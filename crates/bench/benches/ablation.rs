@@ -1,0 +1,91 @@
+//! Ablations of the paper's two load-bearing design choices:
+//!
+//! * **A — admission policy.** DESIGN.md calls out pluggable resolving
+//!   services; this compares the cost of resolving a deployment burst under
+//!   no admission control, utilization cap, RM bound, and EDF.
+//! * **B — bridge discipline.** §3.2 mandates an *asynchronous* management
+//!   bridge. This compares simulating the same component under the async
+//!   poll, the rejected synchronous design, and no bridge at all. (The
+//!   `ablation` binary reports the quality metrics — overruns and latency —
+//!   for the same configurations.)
+
+use bench::{run_table1_config, ImplKind, Table1Config};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drcom::drcr::ComponentProvider;
+use drcom::hybrid::BridgeMode;
+use drcom::prelude::*;
+use drcom::resolve::{AlwaysAdmit, EdfResolver, RmBoundResolver, ResolvingService, UtilizationResolver};
+use rtos::kernel::KernelConfig;
+use rtos::latency::{LoadMode, TimerJitterModel};
+use rtos::time::SimDuration;
+use std::hint::black_box;
+
+fn deploy_burst(internal: Box<dyn ResolvingService>, n: usize) -> usize {
+    let mut rt = DrtRuntime::with_resolver(
+        KernelConfig::new(5).with_timer(TimerJitterModel::ideal()),
+        internal,
+    );
+    for i in 0..n {
+        let name = format!("b{i:03}");
+        let descriptor = ComponentDescriptor::builder(&name)
+            .periodic(100, 0, 2)
+            .cpu_usage(0.04)
+            .build()
+            .expect("descriptor");
+        rt.install_component(
+            &format!("bundle.{name}"),
+            ComponentProvider::new(descriptor, || {
+                Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {}))
+            }),
+        )
+        .expect("install");
+    }
+    let names = rt.drcr().component_names();
+    names
+        .iter()
+        .filter(|n| rt.component_state(n) == Some(ComponentState::Active))
+        .count()
+}
+
+fn bench_admission_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/admission-policy");
+    group.sample_size(10);
+    type ResolverFactory = fn() -> Box<dyn ResolvingService>;
+    let policies: Vec<(&str, ResolverFactory)> = vec![
+        ("none", || Box::new(AlwaysAdmit)),
+        ("utilization", || Box::new(UtilizationResolver::default())),
+        ("rm-bound", || Box::new(RmBoundResolver)),
+        ("edf", || Box::new(EdfResolver)),
+    ];
+    for (label, make) in policies {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(deploy_burst(make(), 32)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bridge_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/bridge-mode");
+    group.sample_size(10);
+    for (label, bridge) in [
+        ("async-poll", BridgeMode::AsyncPoll),
+        ("sync-blocking", BridgeMode::SyncBlocking(SimDuration::from_micros(200))),
+        ("disconnected", BridgeMode::Disconnected),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let cfg = Table1Config {
+                    cycles: 1_000,
+                    bridge,
+                    ..Table1Config::paper(ImplKind::Hrc, LoadMode::Light, 11)
+                };
+                black_box(run_table1_config(&cfg).average())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission_policies, bench_bridge_modes);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Service registry and LDAP filter throughput.
+//!
+//! The paper notes that "pure OSGi register based service reference
+//! location may not handle the real time invocation timely" — which is why
+//! the DRCR maps inter-component communication onto the RT kernel instead
+//! of the registry. These benches quantify the registry-side costs that
+//! motivated that design: lookup latency as the registry grows, and filter
+//! evaluation cost by filter complexity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osgi::ldap::{Filter, Properties};
+use osgi::registry::ServiceRegistry;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn populate(n: usize) -> ServiceRegistry {
+    let mut reg = ServiceRegistry::new();
+    for i in 0..n {
+        let props = Properties::new()
+            .with("drt.name", format!("comp{i:04}"))
+            .with("drt.cpu", (i % 4) as i64)
+            .with("drt.cpuusage", (i % 100) as f64 / 100.0)
+            .with("service.ranking", (i % 10) as i64);
+        reg.register(&["drt.management"], Rc::new(i), props);
+    }
+    reg
+}
+
+fn bench_lookup_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry/find-by-name");
+    for n in [10usize, 100, 1_000] {
+        let reg = populate(n);
+        let filter = Filter::parse(&format!("(drt.name=comp{:04})", n / 2)).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| black_box(reg.find("drt.management", Some(black_box(&filter)))).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry/filter-eval");
+    let props = Properties::new()
+        .with("drt.name", "calc")
+        .with("drt.cpu", 0)
+        .with("drt.cpuusage", 0.15)
+        .with("drt.enabled", true);
+    for (label, text) in [
+        ("equality", "(drt.name=calc)"),
+        ("presence", "(drt.name=*)"),
+        ("substring", "(drt.name=c*l*)"),
+        (
+            "composite",
+            "(&(drt.name=calc)(|(drt.cpu<=1)(drt.cpuusage>=0.5))(!(drt.enabled=false)))",
+        ),
+    ] {
+        let filter = Filter::parse(text).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(filter.matches(black_box(&props))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter_parse(c: &mut Criterion) {
+    c.bench_function("registry/filter-parse", |b| {
+        b.iter(|| {
+            Filter::parse(black_box(
+                "(&(objectclass=drt.resolver)(|(policy=rm)(policy=edf))(!(disabled=true)))",
+            ))
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lookup_scaling,
+    bench_filter_complexity,
+    bench_filter_parse
+);
+criterion_main!(benches);

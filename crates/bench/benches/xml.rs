@@ -1,0 +1,54 @@
+//! Descriptor parse throughput: the deployment-time cost of reading the
+//! component meta-data (paper Figure 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drcom::descriptor::ComponentDescriptor;
+use drcom::xml;
+use std::hint::black_box;
+
+const CAMERA_XML: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<drt:component name="camera" desc="this is a smart camera controller"
+    type="periodic" enabled="true" cpuusage="0.1">
+  <implementation bincode="ua.pats.demo.smartcamera.RTComponent"/>
+  <periodictask frequence="100" runoncup="0" priority="2"/>
+  <outport name="images" interface="RTAI.SHM" type="Byte" size="400" />
+  <inport name="xysize" interface="RTAI.SHM" type="Integer" size="400"/>
+  <property name="prox00" type="Integer" value="6" />
+  <property name="prox01" type="Integer" value="7" />
+  <property name="label" type="String" value="left-arm &amp; gripper" />
+</drt:component>"#;
+
+fn big_descriptor(ports: usize) -> String {
+    let mut xml = String::from(
+        r#"<drt:component name="big" type="periodic" cpuusage="0.5">
+  <implementation bincode="a.B"/>
+  <periodictask frequence="100" priority="2"/>
+"#,
+    );
+    for i in 0..ports {
+        xml.push_str(&format!(
+            "  <outport name=\"p{i:04}\" interface=\"RTAI.SHM\" type=\"Byte\" size=\"16\"/>\n"
+        ));
+    }
+    xml.push_str("</drt:component>");
+    xml
+}
+
+fn bench_xml_parse(c: &mut Criterion) {
+    c.bench_function("xml/parse-camera", |b| {
+        b.iter(|| xml::parse(black_box(CAMERA_XML)).unwrap())
+    });
+}
+
+fn bench_descriptor_parse(c: &mut Criterion) {
+    c.bench_function("xml/descriptor-camera", |b| {
+        b.iter(|| ComponentDescriptor::parse_xml(black_box(CAMERA_XML)).unwrap())
+    });
+    let big = big_descriptor(64);
+    c.bench_function("xml/descriptor-64-ports", |b| {
+        b.iter(|| ComponentDescriptor::parse_xml(black_box(&big)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_xml_parse, bench_descriptor_parse);
+criterion_main!(benches);

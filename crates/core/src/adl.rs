@@ -1,0 +1,645 @@
+//! Architecture description: assemblies of components with explicit,
+//! validated connections.
+//!
+//! The paper's future work calls for "integrat\[ing\] certain Architecture
+//! Description Language into our DRCom", because port wiring by bare
+//! channel-name equality cannot express or check an *intended*
+//! architecture. An [`Assembly`] is that missing layer: it names a set of
+//! member components and declares every connection between them, and
+//! [`Assembly::validate`] checks the declaration against the members'
+//! descriptors **before deployment**:
+//!
+//! * every connection endpoint exists and has the right direction,
+//! * connected ports are shape-compatible (name/interface/type/size),
+//! * every member inport is either connected within the assembly or
+//!   explicitly declared `external` (fed by components outside the
+//!   assembly) — silent dangling dependencies are rejected.
+//!
+//! A validated assembly deploys **atomically**: each member becomes one
+//! bundle; on any installation failure the already-installed members are
+//! rolled back. Undeploy removes all member bundles (the DRCR cascades as
+//! usual).
+
+use crate::descriptor::ComponentDescriptor;
+use crate::drcr::ComponentProvider;
+use crate::runtime::DrtRuntime;
+use osgi::event::BundleId;
+use osgi::framework::FrameworkError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One declared connection: `from` component's outport feeds `to`
+/// component's inport. Both ports necessarily share the channel name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    /// Providing member component.
+    pub from: String,
+    /// Outport (= channel) name.
+    pub port: String,
+    /// Consuming member component.
+    pub to: String,
+}
+
+impl fmt::Display for Connection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{} -> {}.{}", self.from, self.port, self.to, self.port)
+    }
+}
+
+/// An architecture validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdlError {
+    /// A connection references a member that does not exist.
+    UnknownComponent {
+        /// The offending connection, rendered.
+        connection: String,
+        /// The missing member name.
+        component: String,
+    },
+    /// A connection references a port its endpoint does not declare.
+    UnknownPort {
+        /// The offending connection, rendered.
+        connection: String,
+        /// The member lacking the port.
+        component: String,
+        /// The missing port name.
+        port: String,
+        /// Whether an outport (`true`) or inport was required.
+        needs_outport: bool,
+    },
+    /// Connected ports disagree on interface/type/size.
+    IncompatibleConnection {
+        /// The offending connection, rendered.
+        connection: String,
+        /// Human-readable shape difference.
+        detail: String,
+    },
+    /// A member inport is neither connected nor declared external.
+    UnboundInport {
+        /// The consuming member.
+        component: String,
+        /// The dangling inport.
+        port: String,
+    },
+    /// Two members share a name.
+    DuplicateMember(String),
+    /// An `external` declaration names a port no member imports.
+    UselessExternal(String),
+}
+
+impl fmt::Display for AdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdlError::UnknownComponent {
+                connection,
+                component,
+            } => write!(f, "{connection}: no member named `{component}`"),
+            AdlError::UnknownPort {
+                connection,
+                component,
+                port,
+                needs_outport,
+            } => write!(
+                f,
+                "{connection}: member `{component}` has no {} named `{port}`",
+                if *needs_outport { "outport" } else { "inport" }
+            ),
+            AdlError::IncompatibleConnection { connection, detail } => {
+                write!(f, "{connection}: incompatible ports ({detail})")
+            }
+            AdlError::UnboundInport { component, port } => write!(
+                f,
+                "member `{component}` inport `{port}` is neither connected nor declared external"
+            ),
+            AdlError::DuplicateMember(name) => write!(f, "duplicate member `{name}`"),
+            AdlError::UselessExternal(port) => {
+                write!(f, "external declaration `{port}` matches no member inport")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdlError {}
+
+/// A deployable, validated set of components. See the [module docs](self).
+///
+/// ```
+/// use drcom::adl::Assembly;
+/// use drcom::drcr::ComponentProvider;
+/// use drcom::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = ComponentDescriptor::builder("src")
+///     .periodic(100, 0, 2)
+///     .cpu_usage(0.1)
+///     .outport("chan", PortInterface::Shm, DataType::Integer, 1)
+///     .build()?;
+/// let snk = ComponentDescriptor::builder("snk")
+///     .periodic(10, 0, 4)
+///     .cpu_usage(0.05)
+///     .inport("chan", PortInterface::Shm, DataType::Integer, 1)
+///     .build()?;
+/// let noop = || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {})) as Box<dyn RtLogic>;
+/// let assembly = Assembly::new("pipe")
+///     .member(ComponentProvider::new(src, noop))
+///     .member(ComponentProvider::new(snk, noop))
+///     .connect("src", "chan", "snk");
+/// assembly.validate().map_err(|e| format!("{e:?}"))?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct Assembly {
+    name: String,
+    members: Vec<(String, ComponentProvider)>,
+    connections: Vec<Connection>,
+    externals: Vec<String>,
+}
+
+impl fmt::Debug for Assembly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Assembly")
+            .field("name", &self.name)
+            .field("members", &self.members.len())
+            .field("connections", &self.connections)
+            .finish()
+    }
+}
+
+impl Assembly {
+    /// Starts an empty assembly named `name`.
+    pub fn new(name: &str) -> Self {
+        Assembly {
+            name: name.to_string(),
+            members: Vec::new(),
+            connections: Vec::new(),
+            externals: Vec::new(),
+        }
+    }
+
+    /// The assembly name (used as the bundle-name prefix).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a member component.
+    pub fn member(mut self, provider: ComponentProvider) -> Self {
+        let name = provider.descriptor().name.to_string();
+        self.members.push((name, provider));
+        self
+    }
+
+    /// Declares that `from`'s outport `port` feeds `to`'s inport of the
+    /// same name.
+    pub fn connect(mut self, from: &str, port: &str, to: &str) -> Self {
+        self.connections.push(Connection {
+            from: from.to_string(),
+            port: port.to_string(),
+            to: to.to_string(),
+        });
+        self
+    }
+
+    /// Declares that inports on channel `port` are fed from outside the
+    /// assembly.
+    pub fn external(mut self, port: &str) -> Self {
+        self.externals.push(port.to_string());
+        self
+    }
+
+    /// Parses the assembly *structure* (connections and externals) from an
+    /// application descriptor, pairing it with the member providers:
+    ///
+    /// ```xml
+    /// <drt:application name="plant">
+    ///   <connection from="sensor" port="meas" to="pid"/>
+    ///   <external port="act"/>
+    /// </drt:application>
+    /// ```
+    ///
+    /// Members arrive as code (providers); the XML carries the declared
+    /// architecture, validated against them by [`Assembly::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first structural problem.
+    pub fn from_xml(xml: &str, members: Vec<ComponentProvider>) -> Result<Self, String> {
+        let root = crate::xml::parse(xml).map_err(|e| e.to_string())?;
+        if root.local_name() != "application" {
+            return Err(format!(
+                "root element must be `application`, found `{}`",
+                root.name
+            ));
+        }
+        let name = root
+            .attr("name")
+            .ok_or_else(|| "application needs a `name`".to_string())?;
+        let mut assembly = Assembly::new(name);
+        for provider in members {
+            assembly = assembly.member(provider);
+        }
+        for conn in root.children_named("connection") {
+            let from = conn
+                .attr("from")
+                .ok_or_else(|| "`connection` needs `from`".to_string())?;
+            let port = conn
+                .attr("port")
+                .ok_or_else(|| "`connection` needs `port`".to_string())?;
+            let to = conn
+                .attr("to")
+                .ok_or_else(|| "`connection` needs `to`".to_string())?;
+            assembly = assembly.connect(from, port, to);
+        }
+        for ext in root.children_named("external") {
+            let port = ext
+                .attr("port")
+                .ok_or_else(|| "`external` needs `port`".to_string())?;
+            assembly = assembly.external(port);
+        }
+        Ok(assembly)
+    }
+
+    /// Checks the declared architecture against the members' descriptors.
+    ///
+    /// # Errors
+    ///
+    /// All problems found, not just the first.
+    pub fn validate(&self) -> Result<(), Vec<AdlError>> {
+        let mut errors = Vec::new();
+        let mut by_name: BTreeMap<&str, &ComponentDescriptor> = BTreeMap::new();
+        for (name, provider) in &self.members {
+            if by_name.insert(name.as_str(), provider.descriptor()).is_some() {
+                errors.push(AdlError::DuplicateMember(name.clone()));
+            }
+        }
+        // Connections reference real, compatible ports.
+        for c in &self.connections {
+            let rendered = c.to_string();
+            let from = match by_name.get(c.from.as_str()) {
+                Some(d) => Some(*d),
+                None => {
+                    errors.push(AdlError::UnknownComponent {
+                        connection: rendered.clone(),
+                        component: c.from.clone(),
+                    });
+                    None
+                }
+            };
+            let to = match by_name.get(c.to.as_str()) {
+                Some(d) => Some(*d),
+                None => {
+                    errors.push(AdlError::UnknownComponent {
+                        connection: rendered.clone(),
+                        component: c.to.clone(),
+                    });
+                    None
+                }
+            };
+            let out_port = from.and_then(|d| {
+                let p = d.outports.iter().find(|p| p.name.as_str() == c.port);
+                if p.is_none() {
+                    errors.push(AdlError::UnknownPort {
+                        connection: rendered.clone(),
+                        component: c.from.clone(),
+                        port: c.port.clone(),
+                        needs_outport: true,
+                    });
+                }
+                p
+            });
+            let in_port = to.and_then(|d| {
+                let p = d.inports.iter().find(|p| p.name.as_str() == c.port);
+                if p.is_none() {
+                    errors.push(AdlError::UnknownPort {
+                        connection: rendered.clone(),
+                        component: c.to.clone(),
+                        port: c.port.clone(),
+                        needs_outport: false,
+                    });
+                }
+                p
+            });
+            if let (Some(o), Some(i)) = (out_port, in_port) {
+                if !o.compatible_with(i) {
+                    errors.push(AdlError::IncompatibleConnection {
+                        connection: rendered,
+                        detail: format!(
+                            "provider {} x{} over {}, consumer {} x{} over {}",
+                            o.data_type, o.size, o.interface, i.data_type, i.size, i.interface
+                        ),
+                    });
+                }
+            }
+        }
+        // Completeness: every inport is connected or external.
+        for (name, provider) in &self.members {
+            for inport in &provider.descriptor().inports {
+                let connected = self
+                    .connections
+                    .iter()
+                    .any(|c| c.to == *name && c.port == inport.name.as_str());
+                let external = self.externals.iter().any(|e| e == inport.name.as_str());
+                if !connected && !external {
+                    errors.push(AdlError::UnboundInport {
+                        component: name.clone(),
+                        port: inport.name.to_string(),
+                    });
+                }
+            }
+        }
+        // Externals must be meaningful.
+        for e in &self.externals {
+            let used = self
+                .members
+                .iter()
+                .any(|(_, p)| p.descriptor().inports.iter().any(|i| i.name.as_str() == *e));
+            if !used {
+                errors.push(AdlError::UselessExternal(e.clone()));
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Validates, then deploys every member as its own bundle, atomically:
+    /// if any installation fails, the members installed so far are rolled
+    /// back (uninstalled) before returning the error.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::Invalid`] with the validation findings, or
+    /// [`DeployError::Framework`] from bundle installation.
+    pub fn deploy(self, rt: &mut DrtRuntime) -> Result<DeployedAssembly, DeployError> {
+        if let Err(errors) = self.validate() {
+            return Err(DeployError::Invalid(errors));
+        }
+        let mut bundles = Vec::new();
+        let assembly_name = self.name.clone();
+        for (member, provider) in self.members {
+            let bundle_name = format!("{assembly_name}.{member}");
+            match rt.install_component(&bundle_name, provider) {
+                Ok(bundle) => bundles.push((member, bundle)),
+                Err(err) => {
+                    for (_, installed) in bundles {
+                        let _ = rt.uninstall_bundle(installed);
+                    }
+                    return Err(DeployError::Framework(err));
+                }
+            }
+        }
+        Ok(DeployedAssembly {
+            name: assembly_name,
+            bundles,
+        })
+    }
+}
+
+/// A deployment failure.
+#[derive(Debug)]
+pub enum DeployError {
+    /// The architecture did not validate; nothing was installed.
+    Invalid(Vec<AdlError>),
+    /// A bundle failed to install; prior members were rolled back.
+    Framework(FrameworkError),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Invalid(errors) => {
+                writeln!(f, "assembly failed validation:")?;
+                for e in errors {
+                    writeln!(f, "  - {e}")?;
+                }
+                Ok(())
+            }
+            DeployError::Framework(e) => write!(f, "deployment failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// Handle to a deployed assembly's bundles.
+#[derive(Debug)]
+pub struct DeployedAssembly {
+    name: String,
+    bundles: Vec<(String, BundleId)>,
+}
+
+impl DeployedAssembly {
+    /// The assembly name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `(member component, bundle)` pairs, in deployment order.
+    pub fn bundles(&self) -> &[(String, BundleId)] {
+        &self.bundles
+    }
+
+    /// The bundle deploying a given member.
+    pub fn bundle_of(&self, member: &str) -> Option<BundleId> {
+        self.bundles
+            .iter()
+            .find(|(m, _)| m == member)
+            .map(|(_, b)| *b)
+    }
+
+    /// Uninstalls every member bundle (reverse order); the DRCR cascades.
+    ///
+    /// # Errors
+    ///
+    /// The first framework error, after attempting all members.
+    pub fn undeploy(self, rt: &mut DrtRuntime) -> Result<(), FrameworkError> {
+        let mut first_err = None;
+        for (_, bundle) in self.bundles.into_iter().rev() {
+            if let Err(e) = rt.uninstall_bundle(bundle) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::{FnLogic, RtIo};
+    use crate::lifecycle::ComponentState;
+    use crate::model::PortInterface;
+    use rtos::kernel::KernelConfig;
+    use rtos::latency::TimerJitterModel;
+    use rtos::shm::DataType;
+
+    fn noop() -> Box<dyn crate::hybrid::RtLogic> {
+        Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {}))
+    }
+
+    fn source(name: &str, chan: &str) -> ComponentProvider {
+        let d = ComponentDescriptor::builder(name)
+            .periodic(100, 0, 2)
+            .cpu_usage(0.05)
+            .outport(chan, PortInterface::Shm, DataType::Integer, 1)
+            .build()
+            .unwrap();
+        ComponentProvider::new(d, noop)
+    }
+
+    fn sink(name: &str, chan: &str) -> ComponentProvider {
+        let d = ComponentDescriptor::builder(name)
+            .periodic(10, 0, 4)
+            .cpu_usage(0.02)
+            .inport(chan, PortInterface::Shm, DataType::Integer, 1)
+            .build()
+            .unwrap();
+        ComponentProvider::new(d, noop)
+    }
+
+    #[test]
+    fn valid_assembly_deploys_atomically() {
+        let mut rt =
+            DrtRuntime::new(KernelConfig::new(5).with_timer(TimerJitterModel::ideal()));
+        let assembly = Assembly::new("pipeline")
+            .member(source("src", "chan"))
+            .member(sink("snk", "chan"))
+            .connect("src", "chan", "snk");
+        assembly.validate().unwrap();
+        let assembly = Assembly::new("pipeline")
+            .member(source("src", "chan"))
+            .member(sink("snk", "chan"))
+            .connect("src", "chan", "snk");
+        let deployed = assembly.deploy(&mut rt).unwrap();
+        assert_eq!(rt.component_state("src"), Some(ComponentState::Active));
+        assert_eq!(rt.component_state("snk"), Some(ComponentState::Active));
+        assert_eq!(deployed.bundles().len(), 2);
+        assert!(deployed.bundle_of("src").is_some());
+        deployed.undeploy(&mut rt).unwrap();
+        assert_eq!(rt.component_state("src"), None);
+        assert_eq!(rt.component_state("snk"), None);
+        assert!(rt.drcr().ledger().is_empty());
+    }
+
+    #[test]
+    fn unbound_inport_is_rejected() {
+        let assembly = Assembly::new("broken").member(sink("snk", "chan"));
+        let errors = assembly.validate().unwrap_err();
+        assert!(matches!(errors[0], AdlError::UnboundInport { .. }));
+        // But declaring it external passes.
+        let assembly = Assembly::new("ok").member(sink("snk", "chan")).external("chan");
+        assembly.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_endpoints_are_rejected() {
+        let assembly = Assembly::new("broken")
+            .member(source("src", "chan"))
+            .member(sink("snk", "chan"))
+            .connect("ghost", "chan", "snk")
+            .connect("src", "nope", "snk");
+        let errors = assembly.validate().unwrap_err();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, AdlError::UnknownComponent { component, .. } if component == "ghost")));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, AdlError::UnknownPort { port, .. } if port == "nope")));
+    }
+
+    #[test]
+    fn incompatible_shapes_are_rejected() {
+        let fat_sink = {
+            let d = ComponentDescriptor::builder("snk")
+                .periodic(10, 0, 4)
+                .cpu_usage(0.02)
+                .inport("chan", PortInterface::Shm, DataType::Integer, 99)
+                .build()
+                .unwrap();
+            ComponentProvider::new(d, noop)
+        };
+        let assembly = Assembly::new("broken")
+            .member(source("src", "chan"))
+            .member(fat_sink)
+            .connect("src", "chan", "snk");
+        let errors = assembly.validate().unwrap_err();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, AdlError::IncompatibleConnection { .. })));
+    }
+
+    #[test]
+    fn duplicate_members_and_useless_externals() {
+        let assembly = Assembly::new("broken")
+            .member(source("src", "chan"))
+            .member(source("src", "chan2"))
+            .external("ghost");
+        let errors = assembly.validate().unwrap_err();
+        assert!(errors.iter().any(|e| matches!(e, AdlError::DuplicateMember(_))));
+        assert!(errors.iter().any(|e| matches!(e, AdlError::UselessExternal(_))));
+    }
+
+    #[test]
+    fn failed_deploy_rolls_back() {
+        let mut rt =
+            DrtRuntime::new(KernelConfig::new(6).with_timer(TimerJitterModel::ideal()));
+        // Occupy the bundle name the second member will want.
+        rt.framework_mut()
+            .install(
+                osgi::manifest::BundleManifest::new("roll.snk", osgi::version::Version::new(1, 0, 0)),
+                Box::new(osgi::framework::NoopActivator),
+            )
+            .unwrap();
+        let assembly = Assembly::new("roll")
+            .member(source("src", "chan"))
+            .member(sink("snk", "chan"))
+            .connect("src", "chan", "snk");
+        let err = assembly.deploy(&mut rt).unwrap_err();
+        assert!(matches!(err, DeployError::Framework(_)));
+        // The first member was rolled back: no components remain.
+        assert_eq!(rt.component_state("src"), None);
+        assert!(rt.drcr().component_names().is_empty());
+    }
+
+    #[test]
+    fn assembly_structure_parses_from_xml() {
+        let xml = r#"<drt:application name="pipe">
+          <connection from="src" port="chan" to="snk"/>
+        </drt:application>"#;
+        let assembly =
+            Assembly::from_xml(xml, vec![source("src", "chan"), sink("snk", "chan")]).unwrap();
+        assert_eq!(assembly.name(), "pipe");
+        assembly.validate().unwrap();
+        // Structure referencing unknown members fails validation, not parse.
+        let xml = r#"<drt:application name="pipe">
+          <connection from="ghost" port="chan" to="snk"/>
+        </drt:application>"#;
+        let assembly = Assembly::from_xml(xml, vec![sink("snk", "chan")]).unwrap();
+        assert!(assembly.validate().is_err());
+        // Malformed documents fail at parse.
+        assert!(Assembly::from_xml("<nope/>", vec![]).is_err());
+        assert!(Assembly::from_xml("<drt:application/>", vec![]).is_err());
+        assert!(Assembly::from_xml(
+            r#"<drt:application name="x"><connection from="a"/></drt:application>"#,
+            vec![]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn invalid_assembly_installs_nothing() {
+        let mut rt =
+            DrtRuntime::new(KernelConfig::new(7).with_timer(TimerJitterModel::ideal()));
+        let err = Assembly::new("broken")
+            .member(sink("snk", "chan"))
+            .deploy(&mut rt)
+            .unwrap_err();
+        assert!(matches!(err, DeployError::Invalid(_)));
+        assert!(err.to_string().contains("neither connected nor declared external"));
+        assert!(rt.drcr().component_names().is_empty());
+    }
+}

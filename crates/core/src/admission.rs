@@ -1,0 +1,155 @@
+//! The per-CPU admission ledger.
+//!
+//! The ledger is the DRCR's book-keeping of *reserved* CPU budget: a
+//! component's claimed `cpuusage` is reserved when it activates and released
+//! when it deactivates. The ledger records; [resolving
+//! services](crate::resolve) decide — the split keeps admission *policy*
+//! pluggable (paper §2.2: "the resource budget should be enforced by a
+//! central scheme rather than by each single bundle") while the *accounting*
+//! stays authoritative in one place.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A ledger accounting failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerError {
+    /// The component already holds a reservation.
+    AlreadyReserved(String),
+    /// The CPU does not exist.
+    NoSuchCpu(u32),
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::AlreadyReserved(name) => {
+                write!(f, "component `{name}` already holds a reservation")
+            }
+            LedgerError::NoSuchCpu(cpu) => write!(f, "no CPU {cpu}"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Per-CPU reserved-budget accounting. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionLedger {
+    cpu_count: u32,
+    reservations: BTreeMap<String, (u32, f64)>,
+}
+
+impl AdmissionLedger {
+    /// Creates a ledger for `cpu_count` CPUs.
+    pub fn new(cpu_count: u32) -> Self {
+        AdmissionLedger {
+            cpu_count,
+            reservations: BTreeMap::new(),
+        }
+    }
+
+    /// Number of CPUs tracked.
+    pub fn cpu_count(&self) -> u32 {
+        self.cpu_count
+    }
+
+    /// Reserves `usage` of CPU `cpu` for `component`.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::AlreadyReserved`] / [`LedgerError::NoSuchCpu`].
+    pub fn reserve(&mut self, component: &str, cpu: u32, usage: f64) -> Result<(), LedgerError> {
+        if cpu >= self.cpu_count {
+            return Err(LedgerError::NoSuchCpu(cpu));
+        }
+        if self.reservations.contains_key(component) {
+            return Err(LedgerError::AlreadyReserved(component.to_string()));
+        }
+        self.reservations.insert(component.to_string(), (cpu, usage));
+        Ok(())
+    }
+
+    /// Releases a component's reservation. Returns the freed `(cpu, usage)`
+    /// or `None` if it held none.
+    pub fn release(&mut self, component: &str) -> Option<(u32, f64)> {
+        self.reservations.remove(component)
+    }
+
+    /// Total reserved fraction on `cpu`.
+    pub fn utilization(&self, cpu: u32) -> f64 {
+        self.reservations
+            .values()
+            .filter(|(c, _)| *c == cpu)
+            .map(|(_, u)| u)
+            .sum()
+    }
+
+    /// The reservation held by a component.
+    pub fn reservation(&self, component: &str) -> Option<(u32, f64)> {
+        self.reservations.get(component).copied()
+    }
+
+    /// Number of live reservations.
+    pub fn len(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// True when nothing is reserved.
+    pub fn is_empty(&self) -> bool {
+        self.reservations.is_empty()
+    }
+
+    /// Iterates over `(component, cpu, usage)` reservations.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32, f64)> {
+        self.reservations
+            .iter()
+            .map(|(name, (cpu, usage))| (name.as_str(), *cpu, *usage))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_roundtrip() {
+        let mut l = AdmissionLedger::new(2);
+        l.reserve("calc", 0, 0.3).unwrap();
+        l.reserve("disp", 0, 0.1).unwrap();
+        l.reserve("cam", 1, 0.5).unwrap();
+        assert!((l.utilization(0) - 0.4).abs() < 1e-9);
+        assert!((l.utilization(1) - 0.5).abs() < 1e-9);
+        assert_eq!(l.release("calc"), Some((0, 0.3)));
+        assert!((l.utilization(0) - 0.1).abs() < 1e-9);
+        assert_eq!(l.release("calc"), None);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn double_reserve_rejected() {
+        let mut l = AdmissionLedger::new(1);
+        l.reserve("calc", 0, 0.3).unwrap();
+        assert_eq!(
+            l.reserve("calc", 0, 0.1),
+            Err(LedgerError::AlreadyReserved("calc".into()))
+        );
+    }
+
+    #[test]
+    fn bad_cpu_rejected() {
+        let mut l = AdmissionLedger::new(1);
+        assert_eq!(l.reserve("calc", 1, 0.1), Err(LedgerError::NoSuchCpu(1)));
+    }
+
+    #[test]
+    fn reservation_lookup_and_iter() {
+        let mut l = AdmissionLedger::new(4);
+        assert!(l.is_empty());
+        l.reserve("a", 2, 0.25).unwrap();
+        assert_eq!(l.reservation("a"), Some((2, 0.25)));
+        assert_eq!(l.reservation("b"), None);
+        let all: Vec<_> = l.iter().collect();
+        assert_eq!(all, vec![("a", 2, 0.25)]);
+    }
+}

@@ -1,0 +1,1266 @@
+//! The Declarative Real-time Component Runtime (DRCR) executive.
+//!
+//! The DRCR owns the **whole lifecycle** of every declarative real-time
+//! component (§2.2): components are activated and deactivated only through
+//! it, which is what keeps its global view — the [`SystemView`] handed to
+//! resolving services — complete and accurate. It reacts to framework
+//! events (component bundles arriving and departing, resolvers coming and
+//! going) by re-running constraint resolution:
+//!
+//! 1. **Functional constraints** — every inport wired to a compatible
+//!    outport of an *active* component ([`crate::wiring`]).
+//! 2. **Non-functional constraints** — the internal resolving service *and
+//!    all* customized resolving services found in the service registry must
+//!    admit the candidate (§4.3: "when both services return positive
+//!    results").
+//!
+//! On departure the DRCR cascades: consumers left without an active
+//! provider are deactivated back to `Unsatisfied` (releasing their
+//! admission), and re-activated automatically when a provider returns.
+//! Every decision is recorded in a transition log for audit and for the
+//! paper's dynamicity scenario.
+
+use crate::admission::AdmissionLedger;
+use crate::descriptor::ComponentDescriptor;
+use crate::error::DrcrError;
+use crate::hybrid::{BridgeMode, Command, HybridRtBody, PortBinding, Reply, RtLogic};
+use crate::lifecycle::{ComponentState, Transition};
+use crate::manage::{ManagementHandle, ManagementReply, RequestToken, RtComponentManagement, MANAGEMENT_SERVICE};
+use crate::model::{PortInterface, PropertyValue, TaskSpec};
+use crate::resolve::{Decision, ResolverHandle, ResolvingService, UtilizationResolver, RESOLVER_SERVICE};
+use crate::view::{ComponentInfo, SystemView};
+use crate::wiring::WiringGraph;
+use osgi::event::{BundleId, FrameworkEvent, ServiceEventKind};
+use osgi::framework::Framework;
+use osgi::ldap::{Properties, PropValue};
+use osgi::registry::ServiceId;
+use rtos::kernel::Kernel;
+use rtos::task::{TaskConfig, TaskId};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::{Rc, Weak};
+
+/// Service-registry interface name under which component bundles publish
+/// their descriptor + implementation factory.
+pub const COMPONENT_SERVICE: &str = "drt.component";
+
+/// Property key carrying the component name on `drt.component` and
+/// `drt.management` registrations.
+pub const PROP_COMPONENT_NAME: &str = "drt.name";
+
+/// Maximum retained decision-log entries; older entries are dropped.
+const MAX_DECISIONS: usize = 10_000;
+
+/// A deployable component: validated descriptor plus the factory producing
+/// its real-time logic.
+///
+/// This is the Rust-native equivalent of the paper's bundle payload (XML
+/// descriptor + implementation class named by `bincode`).
+pub struct ComponentProvider {
+    descriptor: ComponentDescriptor,
+    factory: Rc<dyn Fn() -> Box<dyn RtLogic>>,
+}
+
+impl fmt::Debug for ComponentProvider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ComponentProvider({})", self.descriptor.name)
+    }
+}
+
+impl ComponentProvider {
+    /// Pairs a descriptor with its logic factory.
+    pub fn new(
+        descriptor: ComponentDescriptor,
+        factory: impl Fn() -> Box<dyn RtLogic> + 'static,
+    ) -> Self {
+        ComponentProvider {
+            descriptor,
+            factory: Rc::new(factory),
+        }
+    }
+
+    /// Parses the descriptor from XML, then pairs it with the factory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor parse/validation errors.
+    pub fn from_xml(
+        xml: &str,
+        factory: impl Fn() -> Box<dyn RtLogic> + 'static,
+    ) -> Result<Self, crate::error::DescriptorError> {
+        Ok(ComponentProvider {
+            descriptor: ComponentDescriptor::parse_xml(xml)?,
+            factory: Rc::new(factory),
+        })
+    }
+
+    /// The validated descriptor.
+    pub fn descriptor(&self) -> &ComponentDescriptor {
+        &self.descriptor
+    }
+
+    pub(crate) fn factory(&self) -> Rc<dyn Fn() -> Box<dyn RtLogic>> {
+        self.factory.clone()
+    }
+}
+
+struct ComponentRecord {
+    /// The contract currently in force (mode-substituted).
+    descriptor: ComponentDescriptor,
+    /// The pristine contract as registered (mode switches derive from it).
+    base_descriptor: ComponentDescriptor,
+    factory: Rc<dyn Fn() -> Box<dyn RtLogic>>,
+    state: ComponentState,
+    bundle: Option<BundleId>,
+    task: Option<TaskId>,
+    mgmt: Option<ServiceId>,
+    cmd_mbx: Option<String>,
+    reply_mbx: Option<String>,
+    /// Chosen provider per inport at activation (for diagnostics).
+    providers: Vec<(String, String)>,
+    /// The operating mode currently substituted into the contract.
+    current_mode: String,
+    /// Replies already drained from the reply mailbox, by token.
+    reply_buffer: HashMap<u32, ManagementReply>,
+}
+
+/// The DRCR executive. Construct with [`Drcr::new_shared`]; the shared
+/// handle is what management services capture. See the [module docs](self).
+pub struct Drcr {
+    kernel: Rc<RefCell<Kernel>>,
+    components: BTreeMap<String, ComponentRecord>,
+    ledger: AdmissionLedger,
+    internal: Box<dyn ResolvingService>,
+    bridge: BridgeMode,
+    enforce_budgets: bool,
+    transitions: Vec<Transition>,
+    decisions: Vec<String>,
+    next_chan: u32,
+    next_token: u32,
+    dirty: bool,
+    self_ref: Weak<RefCell<Drcr>>,
+}
+
+impl fmt::Debug for Drcr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Drcr")
+            .field("components", &self.components.len())
+            .field("reserved", &self.ledger.len())
+            .finish()
+    }
+}
+
+impl Drcr {
+    /// Creates the executive with the default internal resolver
+    /// (utilization cap 1.0).
+    pub fn new_shared(kernel: Rc<RefCell<Kernel>>) -> Rc<RefCell<Drcr>> {
+        Self::with_resolver(kernel, Box::new(UtilizationResolver::default()))
+    }
+
+    /// Creates the executive with a custom internal resolving service.
+    pub fn with_resolver(
+        kernel: Rc<RefCell<Kernel>>,
+        internal: Box<dyn ResolvingService>,
+    ) -> Rc<RefCell<Drcr>> {
+        let cpu_count = kernel.borrow().cpu_count();
+        let drcr = Rc::new(RefCell::new(Drcr {
+            kernel,
+            components: BTreeMap::new(),
+            ledger: AdmissionLedger::new(cpu_count),
+            internal,
+            bridge: BridgeMode::AsyncPoll,
+            enforce_budgets: false,
+            transitions: Vec::new(),
+            decisions: Vec::new(),
+            next_chan: 0,
+            next_token: 0,
+            dirty: false,
+            self_ref: Weak::new(),
+        }));
+        drcr.borrow_mut().self_ref = Rc::downgrade(&drcr);
+        drcr
+    }
+
+    /// Sets the intra-component bridge mode used for future activations
+    /// (the ablation hook; default [`BridgeMode::AsyncPoll`]).
+    pub fn set_bridge_mode(&mut self, bridge: BridgeMode) {
+        self.bridge = bridge;
+    }
+
+    /// When enabled, future activations of periodic components get a
+    /// kernel-enforced per-cycle execution budget of `cpuusage x period`,
+    /// making the declared claim binding (see [`crate::enforce`]).
+    pub fn set_budget_enforcement(&mut self, on: bool) {
+        self.enforce_budgets = on;
+    }
+
+    // ------------------------------------------------------------------
+    // Registration
+    // ------------------------------------------------------------------
+
+    /// Registers a component with the executive (normally driven by service
+    /// events; callable directly for embedded use).
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError::DuplicateComponent`] — component names are globally
+    /// unique (§2.3).
+    pub fn register_component(
+        &mut self,
+        descriptor: ComponentDescriptor,
+        factory: Rc<dyn Fn() -> Box<dyn RtLogic>>,
+        bundle: Option<BundleId>,
+    ) -> Result<(), DrcrError> {
+        let name = descriptor.name.to_string();
+        if self.components.contains_key(&name) {
+            return Err(DrcrError::DuplicateComponent(name));
+        }
+        let initial = if descriptor.enabled {
+            ComponentState::Unsatisfied
+        } else {
+            ComponentState::Disabled
+        };
+        self.record_transition(&name, ComponentState::Installed, initial, "descriptor registered");
+        self.components.insert(
+            name,
+            ComponentRecord {
+                base_descriptor: descriptor.clone(),
+                descriptor,
+                factory,
+                state: initial,
+                bundle,
+                task: None,
+                mgmt: None,
+                cmd_mbx: None,
+                reply_mbx: None,
+                providers: Vec::new(),
+                current_mode: crate::model::BASE_MODE.to_string(),
+                reply_buffer: HashMap::new(),
+            },
+        );
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Removes a component: deactivates it if needed, destroys its record.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError::NoSuchComponent`].
+    pub fn remove_component(&mut self, name: &str, fw: &mut Framework) -> Result<(), DrcrError> {
+        if !self.components.contains_key(name) {
+            return Err(DrcrError::NoSuchComponent(name.to_string()));
+        }
+        let state = self.components[name].state;
+        if state.holds_admission() {
+            self.deactivate(name, fw, ComponentState::Destroyed, "component removed")?;
+        } else {
+            self.record_transition(name, state, ComponentState::Destroyed, "component removed");
+        }
+        self.components.remove(name);
+        self.dirty = true;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Current lifecycle state of a component.
+    pub fn state_of(&self, name: &str) -> Option<ComponentState> {
+        self.components.get(name).map(|r| r.state)
+    }
+
+    /// Names of all registered components, sorted.
+    pub fn component_names(&self) -> Vec<String> {
+        self.components.keys().cloned().collect()
+    }
+
+    /// The providers chosen for a component's inports at activation.
+    pub fn providers_of(&self, name: &str) -> Option<&[(String, String)]> {
+        self.components.get(name).map(|r| r.providers.as_slice())
+    }
+
+    /// The full transition log, oldest first.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// The resolution decision log (admissions, rejections, cascades).
+    pub fn decisions(&self) -> &[String] {
+        &self.decisions
+    }
+
+    /// The admission ledger (reserved budgets).
+    pub fn ledger(&self) -> &AdmissionLedger {
+        &self.ledger
+    }
+
+    /// Snapshot of the global real-time context.
+    pub fn system_view(&self) -> SystemView {
+        SystemView {
+            cpu_count: self.ledger.cpu_count(),
+            components: self
+                .components
+                .values()
+                .map(|r| {
+                    ComponentInfo::from_contract(
+                        r.descriptor.name.as_str(),
+                        r.state,
+                        &r.descriptor.task,
+                        r.descriptor.cpu_usage.fraction(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The kernel task id behind an active component.
+    pub fn task_of(&self, name: &str) -> Option<TaskId> {
+        self.components.get(name).and_then(|r| r.task)
+    }
+
+    /// The bundle that deployed a component, when it came through one.
+    pub fn bundle_of(&self, name: &str) -> Option<BundleId> {
+        self.components.get(name).and_then(|r| r.bundle)
+    }
+
+    /// A copy of a component's declared contract.
+    pub fn descriptor_of(&self, name: &str) -> Option<ComponentDescriptor> {
+        self.components.get(name).map(|r| r.descriptor.clone())
+    }
+
+    /// The operating mode a component currently runs under.
+    pub fn current_mode(&self, name: &str) -> Option<String> {
+        self.components.get(name).map(|r| r.current_mode.clone())
+    }
+
+    /// Releases one cycle of an aperiodic component (the manual trigger;
+    /// mailbox inports trigger automatically on arrival).
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError::NoSuchComponent`] / [`DrcrError::Management`] for
+    /// periodic or inactive components.
+    pub fn trigger_component(&mut self, name: &str) -> Result<(), DrcrError> {
+        let rec = self
+            .components
+            .get(name)
+            .ok_or_else(|| DrcrError::NoSuchComponent(name.to_string()))?;
+        if rec.descriptor.task.is_periodic() {
+            return Err(DrcrError::Management(format!(
+                "component `{name}` is periodic; only aperiodic components are triggered"
+            )));
+        }
+        let Some(task) = rec.task else {
+            return Err(DrcrError::Management(format!(
+                "component `{name}` is not active (state {:?})",
+                rec.state
+            )));
+        };
+        self.kernel.borrow_mut().trigger(task)?;
+        Ok(())
+    }
+
+    /// Switches a component to one of its declared operating modes (or back
+    /// to [`crate::model::BASE_MODE`]).
+    ///
+    /// An active component is deactivated, its contract re-written with the
+    /// mode's frequency/claim/priority, and re-admitted on the next resolve
+    /// pass — the mode switch goes through the same admission gate as a
+    /// fresh deployment, so a switch the system cannot afford leaves the
+    /// component `Unsatisfied` rather than overcommitting the CPU.
+    ///
+    /// Switching a *suspended* component implicitly resumes it (the switch
+    /// is a reconfiguration epoch: the old instance is torn down and a
+    /// fresh one admitted under the new contract).
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError::NoSuchComponent`] for unknown components,
+    /// [`DrcrError::Management`] for unknown modes or aperiodic components.
+    pub fn switch_mode(
+        &mut self,
+        name: &str,
+        mode_name: &str,
+        fw: &mut Framework,
+    ) -> Result<(), DrcrError> {
+        let rec = self
+            .components
+            .get(name)
+            .ok_or_else(|| DrcrError::NoSuchComponent(name.to_string()))?;
+        if rec.current_mode == mode_name {
+            return Ok(());
+        }
+        // Modes are alternatives to the *base* contract, not cumulative
+        // rewrites, so lookup and substitution both run against the
+        // pristine registered descriptor.
+        let mode = rec.base_descriptor.mode(mode_name).ok_or_else(|| {
+            DrcrError::Management(format!(
+                "component `{name}` has no mode `{mode_name}`"
+            ))
+        })?;
+        let was_running = rec.state.holds_admission();
+        if was_running {
+            self.deactivate(
+                name,
+                fw,
+                ComponentState::Unsatisfied,
+                &format!("mode switch to `{mode_name}`"),
+            )?;
+        }
+        let rec = self.components.get_mut(name).expect("present");
+        rec.descriptor = rec.base_descriptor.with_mode(&mode);
+        rec.current_mode = mode_name.to_string();
+        self.record_decision(format!(
+            "`{name}` contract re-written for mode `{mode_name}` (freq {} Hz, claim {:.3})",
+            mode.frequency_hz, mode.cpu_usage
+        ));
+        self.dirty = true;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The event-driven resolve loop
+    // ------------------------------------------------------------------
+
+    /// Drains framework events and re-runs constraint resolution.
+    ///
+    /// This is the paper's "DRCR receives notifications from the OSGi
+    /// framework for component state changes; these notifications can
+    /// trigger re-configuration activities".
+    pub fn process(&mut self, fw: &mut Framework) {
+        for event in fw.drain_events() {
+            let FrameworkEvent::Service(e) = event else {
+                continue;
+            };
+            let is_component = e.interfaces.iter().any(|i| i == COMPONENT_SERVICE);
+            let is_resolver = e.interfaces.iter().any(|i| i == RESOLVER_SERVICE);
+            match (e.kind, is_component, is_resolver) {
+                (ServiceEventKind::Registered, true, _) => {
+                    if let Some(provider) = fw.registry().get::<ComponentProvider>(e.service) {
+                        let bundle = match e.properties.get(osgi::registry::SERVICE_BUNDLE) {
+                            Some(PropValue::Int(i)) => fw
+                                .bundles()
+                                .into_iter()
+                                .find(|b| b.raw() == *i as u64),
+                            _ => None,
+                        };
+                        let result = self.register_component(
+                            provider.descriptor().clone(),
+                            provider.factory(),
+                            bundle,
+                        );
+                        if let Err(err) = result {
+                            self.record_decision(format!("registration refused: {err}"));
+                        }
+                    }
+                }
+                (ServiceEventKind::Unregistering, true, _) => {
+                    if let Some(PropValue::Str(name)) = e.properties.get(PROP_COMPONENT_NAME) {
+                        let name = name.clone();
+                        let _ = self.remove_component(&name, fw);
+                    }
+                }
+                (_, _, true) => {
+                    // Resolver arrived or departed: re-resolve.
+                    self.dirty = true;
+                }
+                _ => {}
+            }
+        }
+        if self.dirty {
+            self.dirty = false;
+            self.resolve_all(fw);
+        }
+    }
+
+    /// Runs deactivation cascades and activation attempts to a fixpoint.
+    fn resolve_all(&mut self, fw: &mut Framework) {
+        loop {
+            let mut changed = false;
+
+            // Deactivation sweep: running components whose functional
+            // constraints broke fall back to Unsatisfied.
+            let running: Vec<String> = self
+                .components
+                .iter()
+                .filter(|(_, r)| r.state.holds_admission())
+                .map(|(n, _)| n.clone())
+                .collect();
+            for name in running {
+                let missing = {
+                    let rec = &self.components[&name];
+                    if rec.descriptor.inports.is_empty() {
+                        continue;
+                    }
+                    let entries: Vec<_> = self
+                        .components
+                        .values()
+                        .map(|r| (&r.descriptor, r.state))
+                        .collect();
+                    let graph = WiringGraph::new(entries);
+                    graph
+                        .check_functional(&rec.descriptor, &[])
+                        .err()
+                };
+                if let Some(missing) = missing {
+                    let reason = missing
+                        .iter()
+                        .map(|m| m.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    self.record_decision(format!("cascade: deactivating `{name}`: {reason}"));
+                    let _ = self.deactivate(&name, fw, ComponentState::Unsatisfied, &reason);
+                    changed = true;
+                }
+            }
+
+            // Activation sweep.
+            let waiting: Vec<String> = self
+                .components
+                .iter()
+                .filter(|(_, r)| r.state == ComponentState::Unsatisfied)
+                .map(|(n, _)| n.clone())
+                .collect();
+            for name in waiting {
+                match self.try_activate(&name, fw) {
+                    Ok(true) => changed = true,
+                    Ok(false) => {}
+                    Err(err) => {
+                        self.record_decision(format!("activation of `{name}` failed: {err}"))
+                    }
+                }
+            }
+
+            // Cyclically dependent components cannot activate one at a time
+            // (each waits for the other). When the strict sweep stalls, try
+            // co-activating a mutually-consistent group.
+            if !changed && self.try_activate_group(fw) {
+                changed = true;
+            }
+
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Optimistic group activation: finds the largest set of unsatisfied
+    /// components that are functionally consistent *assuming each other
+    /// active* (greatest fixpoint), admission-checks them, and activates
+    /// the whole group. Returns `true` if anything activated.
+    fn try_activate_group(&mut self, fw: &mut Framework) -> bool {
+        let mut assume: Vec<String> = self
+            .components
+            .iter()
+            .filter(|(_, r)| r.state == ComponentState::Unsatisfied)
+            .map(|(n, _)| n.clone())
+            .collect();
+        if assume.len() < 2 {
+            return false;
+        }
+        // Strike out members whose constraints fail even under the
+        // assumption, until stable.
+        loop {
+            let entries: Vec<_> = self
+                .components
+                .values()
+                .map(|r| (&r.descriptor, r.state))
+                .collect();
+            let graph = WiringGraph::new(entries);
+            let before = assume.len();
+            let keep: Vec<String> = assume
+                .iter()
+                .filter(|name| {
+                    let rec = &self.components[name.as_str()];
+                    graph.check_functional(&rec.descriptor, &assume).is_ok()
+                })
+                .cloned()
+                .collect();
+            assume = keep;
+            if assume.len() == before {
+                break;
+            }
+        }
+        // A group of one would have activated in the strict sweep already.
+        if assume.len() < 2 {
+            return false;
+        }
+        // Admission for every member, against the view as members join.
+        for name in &assume {
+            let candidate = {
+                let rec = &self.components[name.as_str()];
+                ComponentInfo::from_contract(
+                    rec.descriptor.name.as_str(),
+                    rec.state,
+                    &rec.descriptor.task,
+                    rec.descriptor.cpu_usage.fraction(),
+                )
+            };
+            let view = self.system_view();
+            if let Decision::Reject(reason) = self.internal.admit(&candidate, &view) {
+                self.record_decision(format!(
+                    "group activation abandoned: `{name}` rejected by internal resolver: {reason}"
+                ));
+                return false;
+            }
+            for service_ref in fw.registry().find(RESOLVER_SERVICE, None) {
+                let Some(handle) = fw.registry().get::<ResolverHandle>(service_ref.id()) else {
+                    continue;
+                };
+                if let Decision::Reject(reason) = handle.0.admit(&candidate, &view) {
+                    self.record_decision(format!(
+                        "group activation abandoned: `{name}` rejected by customized resolver ({}): {reason}",
+                        handle.0.name()
+                    ));
+                    return false;
+                }
+            }
+        }
+        self.record_decision(format!(
+            "co-activating dependency cycle: {}",
+            assume.join(", ")
+        ));
+        let mut any = false;
+        for name in assume.clone() {
+            let providers = {
+                let rec = &self.components[&name];
+                let entries: Vec<_> = self
+                    .components
+                    .values()
+                    .map(|r| (&r.descriptor, r.state))
+                    .collect();
+                let graph = WiringGraph::new(entries);
+                match graph.check_functional(&rec.descriptor, &assume) {
+                    Ok(p) => p,
+                    Err(_) => continue,
+                }
+            };
+            match self.activate(&name, fw, providers) {
+                Ok(()) => any = true,
+                Err(err) => {
+                    self.record_decision(format!("group member `{name}` failed to activate: {err}"))
+                }
+            }
+        }
+        any
+    }
+
+    /// Attempts one activation; `Ok(true)` when the component went active.
+    fn try_activate(&mut self, name: &str, fw: &mut Framework) -> Result<bool, DrcrError> {
+        // Functional constraints (strict: providers must be Active now).
+        let providers = {
+            let rec = self
+                .components
+                .get(name)
+                .ok_or_else(|| DrcrError::NoSuchComponent(name.to_string()))?;
+            let entries: Vec<_> = self
+                .components
+                .values()
+                .map(|r| (&r.descriptor, r.state))
+                .collect();
+            let graph = WiringGraph::new(entries);
+            match graph.check_functional(&rec.descriptor, &[]) {
+                Ok(p) => p,
+                Err(missing) => {
+                    self.record_decision(format!(
+                        "`{name}` stays unsatisfied: {}",
+                        missing
+                            .iter()
+                            .map(|m| m.to_string())
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    ));
+                    return Ok(false);
+                }
+            }
+        };
+
+        // Non-functional constraints: internal + every customized resolver.
+        let candidate = {
+            let rec = &self.components[name];
+            ComponentInfo::from_contract(
+                rec.descriptor.name.as_str(),
+                rec.state,
+                &rec.descriptor.task,
+                rec.descriptor.cpu_usage.fraction(),
+            )
+        };
+        let view = self.system_view();
+        if let Decision::Reject(reason) = self.internal.admit(&candidate, &view) {
+            self.record_decision(format!(
+                "`{name}` rejected by internal resolver ({}): {reason}",
+                self.internal.name()
+            ));
+            return Ok(false);
+        }
+        for service_ref in fw.registry().find(RESOLVER_SERVICE, None) {
+            let Some(handle) = fw.registry().get::<ResolverHandle>(service_ref.id()) else {
+                continue;
+            };
+            if let Decision::Reject(reason) = handle.0.admit(&candidate, &view) {
+                self.record_decision(format!(
+                    "`{name}` rejected by customized resolver ({}): {reason}",
+                    handle.0.name()
+                ));
+                return Ok(false);
+            }
+        }
+
+        self.activate(name, fw, providers)?;
+        Ok(true)
+    }
+
+    /// Performs the activation: channels, RT task, admission, management
+    /// service registration, lifecycle transition.
+    fn activate(
+        &mut self,
+        name: &str,
+        fw: &mut Framework,
+        providers: Vec<(String, String)>,
+    ) -> Result<(), DrcrError> {
+        let (descriptor, factory, from_state) = {
+            let rec = &self.components[name];
+            (rec.descriptor.clone(), rec.factory.clone(), rec.state)
+        };
+        debug_assert!(from_state.can_transition(ComponentState::Active));
+
+        let mut kernel = self.kernel.borrow_mut();
+
+        // Everything allocated below is recorded so a mid-activation
+        // failure (e.g. a channel-shape conflict with an unrelated kernel
+        // object) rolls back cleanly instead of leaking.
+        enum Created {
+            Shm(String),
+            Mbx(String),
+            Fifo(String),
+        }
+        let mut created: Vec<Created> = Vec::new();
+        macro_rules! rollback {
+            ($kernel:expr, $err:expr) => {{
+                for c in created.into_iter().rev() {
+                    match c {
+                        Created::Shm(n) => {
+                            let _ = $kernel.shm_mut().free(&n);
+                        }
+                        Created::Mbx(n) => {
+                            let _ = $kernel.mailboxes_mut().delete(&n);
+                        }
+                        Created::Fifo(n) => {
+                            let _ = $kernel.fifos_mut().destroy(&n);
+                        }
+                    }
+                }
+                return Err($err.into());
+            }};
+        }
+
+        // 1. Port channels: providers own their outport channels; consumers
+        //    attach to SHM (refcounted) and share mailboxes.
+        for port in &descriptor.outports {
+            let result = match port.interface {
+                PortInterface::Shm => kernel
+                    .shm_mut()
+                    .alloc(port.name.as_str(), port.data_type, port.size)
+                    .map(|()| Created::Shm(port.name.to_string())),
+                PortInterface::Mailbox => kernel
+                    .mailboxes_mut()
+                    .create(port.name.as_str(), port.size.max(1))
+                    .map(|()| Created::Mbx(port.name.to_string())),
+                // Streams get 4 buffers' worth of slack.
+                PortInterface::Fifo => kernel
+                    .fifos_mut()
+                    .create(port.name.as_str(), port.byte_len().max(1) * 4)
+                    .map(|()| Created::Fifo(port.name.to_string())),
+            };
+            match result {
+                Ok(c) => created.push(c),
+                Err(e) => rollback!(kernel, e),
+            }
+        }
+        for port in &descriptor.inports {
+            if port.interface == PortInterface::Shm {
+                match kernel
+                    .shm_mut()
+                    .alloc(port.name.as_str(), port.data_type, port.size)
+                {
+                    Ok(()) => created.push(Created::Shm(port.name.to_string())),
+                    Err(e) => rollback!(kernel, e),
+                }
+            }
+        }
+
+        // 2. The §3.2 intra-component bridge. Channel names are allocated
+        // from a wrap-around counter, skipping names still held by live
+        // components so long-running systems never alias two bridges.
+        let (cmd_mbx, reply_mbx) = match self.bridge {
+            BridgeMode::Disconnected => (None, None),
+            _ => {
+                let mut chosen = None;
+                for _ in 0..100_000 {
+                    self.next_chan = self.next_chan.wrapping_add(1);
+                    let candidate = self.next_chan % 100_000;
+                    let c = format!("c{candidate:05}");
+                    let r = format!("r{candidate:05}");
+                    if kernel.mailboxes().get(&c).is_none()
+                        && kernel.mailboxes().get(&r).is_none()
+                    {
+                        chosen = Some((c, r));
+                        break;
+                    }
+                }
+                let Some((c, r)) = chosen else {
+                    rollback!(
+                        kernel,
+                        DrcrError::Kernel("no free bridge channel names".into())
+                    );
+                };
+                if let Err(e) = kernel.mailboxes_mut().create(&c, 16) {
+                    rollback!(kernel, e);
+                }
+                created.push(Created::Mbx(c.clone()));
+                if let Err(e) = kernel.mailboxes_mut().create(&r, 16) {
+                    rollback!(kernel, e);
+                }
+                created.push(Created::Mbx(r.clone()));
+                (Some(c), Some(r))
+            }
+        };
+
+        // 3. The RT task.
+        let bindings: Vec<PortBinding> = descriptor
+            .ports()
+            .map(|(direction, spec)| PortBinding {
+                spec: spec.clone(),
+                direction,
+            })
+            .collect();
+        let body = HybridRtBody::new(
+            factory(),
+            bindings,
+            descriptor.properties.clone(),
+            cmd_mbx.clone(),
+            reply_mbx.clone(),
+            self.bridge,
+        );
+        let mut cfg = match descriptor.task {
+            TaskSpec::Periodic { .. } => TaskConfig::periodic(
+                descriptor.name.as_str(),
+                descriptor.task.priority(),
+                descriptor.task.period().expect("periodic"),
+            )
+            .map_err(|e| DrcrError::Kernel(e.to_string()))?
+            .on_cpu(descriptor.task.cpu())
+            .with_latency_tracking(),
+            TaskSpec::Aperiodic { .. } => {
+                TaskConfig::aperiodic(descriptor.name.as_str(), descriptor.task.priority())
+                    .map_err(|e| DrcrError::Kernel(e.to_string()))?
+                    .on_cpu(descriptor.task.cpu())
+                    .with_latency_tracking()
+            }
+        };
+        if self.enforce_budgets {
+            if let Some(period) = descriptor.task.period() {
+                let budget_ns = (period.as_nanos() as f64
+                    * descriptor.cpu_usage.fraction())
+                .round()
+                .max(1.0) as u64;
+                cfg = cfg.with_exec_budget(rtos::time::SimDuration::from_nanos(budget_ns));
+            }
+        }
+        let task = match kernel.create_task(cfg, Box::new(body)) {
+            Ok(t) => t,
+            Err(e) => rollback!(kernel, e),
+        };
+        if let Err(e) = kernel.start_task(task) {
+            let _ = kernel.delete_task(task);
+            rollback!(kernel, e);
+        }
+        // Event-driven components: aperiodic tasks wake on arrivals at
+        // their mailbox inports.
+        if !descriptor.task.is_periodic() {
+            for port in &descriptor.inports {
+                if port.interface == PortInterface::Mailbox {
+                    let _ = kernel.bind_mailbox_wakeup(port.name.as_str(), task);
+                }
+            }
+        }
+        drop(kernel);
+
+        // 4. Admission reservation.
+        self.ledger
+            .reserve(name, descriptor.task.cpu(), descriptor.cpu_usage.fraction())
+            .map_err(|e| DrcrError::Kernel(e.to_string()))?;
+
+        // 5. Management service.
+        let mgmt = self.self_ref.upgrade().map(|drcr| {
+            let service: Rc<dyn RtComponentManagement> = Rc::new(DrcrManagement {
+                drcr,
+                component: name.to_string(),
+            });
+            fw.registry_mut().register(
+                &[MANAGEMENT_SERVICE],
+                Rc::new(ManagementHandle(service)),
+                Properties::new()
+                    .with(PROP_COMPONENT_NAME, name)
+                    .with("drt.cpu", descriptor.task.cpu() as i64)
+                    .with("drt.cpuusage", descriptor.cpu_usage.fraction()),
+            )
+        });
+
+        // 6. Book-keeping + transition.
+        let rec = self.components.get_mut(name).expect("checked above");
+        rec.task = Some(task);
+        rec.mgmt = mgmt;
+        rec.cmd_mbx = cmd_mbx;
+        rec.reply_mbx = reply_mbx;
+        rec.providers = providers;
+        rec.state = ComponentState::Active;
+        self.record_transition(name, from_state, ComponentState::Active, "constraints satisfied; admitted");
+        self.record_decision(format!("activated `{name}`"));
+        Ok(())
+    }
+
+    /// Tears an active/suspended component down to `to` (Unsatisfied,
+    /// Disabled or Destroyed).
+    fn deactivate(
+        &mut self,
+        name: &str,
+        fw: &mut Framework,
+        to: ComponentState,
+        reason: &str,
+    ) -> Result<(), DrcrError> {
+        let (descriptor, task, mgmt, cmd_mbx, reply_mbx, from_state) = {
+            let rec = self
+                .components
+                .get(name)
+                .ok_or_else(|| DrcrError::NoSuchComponent(name.to_string()))?;
+            (
+                rec.descriptor.clone(),
+                rec.task,
+                rec.mgmt,
+                rec.cmd_mbx.clone(),
+                rec.reply_mbx.clone(),
+                rec.state,
+            )
+        };
+        if !from_state.can_transition(to) {
+            return Err(DrcrError::IllegalTransition {
+                component: name.to_string(),
+                from: from_state,
+                to,
+            });
+        }
+        let mut kernel = self.kernel.borrow_mut();
+        if let Some(task) = task {
+            let _ = kernel.delete_task(task);
+        }
+        for port in &descriptor.outports {
+            match port.interface {
+                PortInterface::Shm => {
+                    let _ = kernel.shm_mut().free(port.name.as_str());
+                }
+                PortInterface::Mailbox => {
+                    let _ = kernel.mailboxes_mut().delete(port.name.as_str());
+                }
+                PortInterface::Fifo => {
+                    let _ = kernel.fifos_mut().destroy(port.name.as_str());
+                }
+            }
+        }
+        for port in &descriptor.inports {
+            if port.interface == PortInterface::Shm {
+                let _ = kernel.shm_mut().free(port.name.as_str());
+            }
+        }
+        for mbx in [cmd_mbx, reply_mbx].into_iter().flatten() {
+            let _ = kernel.mailboxes_mut().delete(&mbx);
+        }
+        drop(kernel);
+        self.ledger.release(name);
+        if let Some(svc) = mgmt {
+            fw.registry_mut().unregister(svc);
+        }
+        let rec = self.components.get_mut(name).expect("checked above");
+        rec.task = None;
+        rec.mgmt = None;
+        rec.cmd_mbx = None;
+        rec.reply_mbx = None;
+        rec.providers.clear();
+        rec.reply_buffer.clear();
+        rec.state = to;
+        self.record_transition(name, from_state, to, reason);
+        self.dirty = true;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Management operations (called through DrcrManagement)
+    // ------------------------------------------------------------------
+
+    /// Suspends an active component, keeping its admission reservation.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError::IllegalTransition`] unless the component is active.
+    pub fn suspend_component(&mut self, name: &str) -> Result<(), DrcrError> {
+        let rec = self
+            .components
+            .get(name)
+            .ok_or_else(|| DrcrError::NoSuchComponent(name.to_string()))?;
+        if rec.state != ComponentState::Active {
+            return Err(DrcrError::IllegalTransition {
+                component: name.to_string(),
+                from: rec.state,
+                to: ComponentState::Suspended,
+            });
+        }
+        let task = rec.task.expect("active component has a task");
+        self.kernel.borrow_mut().suspend_task(task)?;
+        self.components.get_mut(name).expect("present").state = ComponentState::Suspended;
+        self.record_transition(
+            name,
+            ComponentState::Active,
+            ComponentState::Suspended,
+            "management suspend",
+        );
+        // A suspended provider stops feeding its consumers: re-resolve.
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Resumes a suspended component.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError::IllegalTransition`] unless the component is suspended.
+    pub fn resume_component(&mut self, name: &str) -> Result<(), DrcrError> {
+        let rec = self
+            .components
+            .get(name)
+            .ok_or_else(|| DrcrError::NoSuchComponent(name.to_string()))?;
+        if rec.state != ComponentState::Suspended {
+            return Err(DrcrError::IllegalTransition {
+                component: name.to_string(),
+                from: rec.state,
+                to: ComponentState::Active,
+            });
+        }
+        let task = rec.task.expect("suspended component keeps its task");
+        self.kernel.borrow_mut().resume_task(task)?;
+        self.components.get_mut(name).expect("present").state = ComponentState::Active;
+        self.record_transition(
+            name,
+            ComponentState::Suspended,
+            ComponentState::Active,
+            "management resume",
+        );
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Disables a component (deactivating it first if needed); it is
+    /// ignored by resolution until re-enabled.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError::NoSuchComponent`] / illegal transitions.
+    pub fn disable_component(&mut self, name: &str, fw: &mut Framework) -> Result<(), DrcrError> {
+        let state = self
+            .state_of(name)
+            .ok_or_else(|| DrcrError::NoSuchComponent(name.to_string()))?;
+        if state.holds_admission() {
+            self.deactivate(name, fw, ComponentState::Disabled, "management disable")?;
+        } else if state.can_transition(ComponentState::Disabled) {
+            self.components.get_mut(name).expect("present").state = ComponentState::Disabled;
+            self.record_transition(name, state, ComponentState::Disabled, "management disable");
+        } else {
+            return Err(DrcrError::IllegalTransition {
+                component: name.to_string(),
+                from: state,
+                to: ComponentState::Disabled,
+            });
+        }
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Re-enables a disabled component (the descriptor's
+    /// `enableRTComponent` method).
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError::IllegalTransition`] unless the component is disabled.
+    pub fn enable_component(&mut self, name: &str) -> Result<(), DrcrError> {
+        let state = self
+            .state_of(name)
+            .ok_or_else(|| DrcrError::NoSuchComponent(name.to_string()))?;
+        if state != ComponentState::Disabled {
+            return Err(DrcrError::IllegalTransition {
+                component: name.to_string(),
+                from: state,
+                to: ComponentState::Unsatisfied,
+            });
+        }
+        self.components.get_mut(name).expect("present").state = ComponentState::Unsatisfied;
+        self.record_transition(name, state, ComponentState::Unsatisfied, "management enable");
+        self.dirty = true;
+        Ok(())
+    }
+
+    fn send_command(&mut self, name: &str, command: Command) -> Result<(), DrcrError> {
+        let rec = self
+            .components
+            .get(name)
+            .ok_or_else(|| DrcrError::NoSuchComponent(name.to_string()))?;
+        let Some(cmd_mbx) = rec.cmd_mbx.clone() else {
+            return Err(DrcrError::Management(format!(
+                "component `{name}` has no management channel (state {:?})",
+                rec.state
+            )));
+        };
+        let queued = self
+            .kernel
+            .borrow_mut()
+            .mailboxes_mut()
+            .send(&cmd_mbx, &command.encode())
+            .map_err(|e| DrcrError::Management(e.to_string()))?;
+        if !queued {
+            return Err(DrcrError::Management(format!(
+                "command mailbox of `{name}` is full"
+            )));
+        }
+        Ok(())
+    }
+
+    fn fresh_token(&mut self) -> u32 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    fn drain_replies(&mut self, name: &str) -> Result<(), DrcrError> {
+        let Some(rec) = self.components.get(name) else {
+            return Err(DrcrError::NoSuchComponent(name.to_string()));
+        };
+        let Some(reply_mbx) = rec.reply_mbx.clone() else {
+            return Ok(());
+        };
+        loop {
+            let msg = self
+                .kernel
+                .borrow_mut()
+                .mailboxes_mut()
+                .recv(&reply_mbx)
+                .map_err(|e| DrcrError::Management(e.to_string()))?;
+            let Some(msg) = msg else { break };
+            let Ok(reply) = Reply::decode(&msg) else {
+                continue;
+            };
+            let token = reply.token();
+            let decoded = match reply {
+                Reply::Property { name, value, .. } => ManagementReply::Property { name, value },
+                Reply::Status { cycles, at_ns, .. } => ManagementReply::Status { cycles, at_ns },
+                Reply::Pong { .. } => ManagementReply::Pong,
+            };
+            self.components
+                .get_mut(name)
+                .expect("checked above")
+                .reply_buffer
+                .insert(token, decoded);
+        }
+        Ok(())
+    }
+
+    fn record_decision(&mut self, entry: String) {
+        if self.decisions.len() == MAX_DECISIONS {
+            self.decisions.remove(0);
+        }
+        self.decisions.push(entry);
+    }
+
+    fn record_transition(&mut self, component: &str, from: ComponentState, to: ComponentState, reason: &str) {
+        self.transitions.push(Transition {
+            component: component.to_string(),
+            from,
+            to,
+            reason: reason.to_string(),
+        });
+    }
+}
+
+/// The management service the DRCR registers per active component.
+///
+/// Holds the shared executive, so every call goes through the DRCR and the
+/// global view stays accurate.
+pub struct DrcrManagement {
+    drcr: Rc<RefCell<Drcr>>,
+    component: String,
+}
+
+impl fmt::Debug for DrcrManagement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DrcrManagement({})", self.component)
+    }
+}
+
+impl RtComponentManagement for DrcrManagement {
+    fn component_name(&self) -> &str {
+        &self.component
+    }
+
+    fn state(&self) -> ComponentState {
+        self.drcr
+            .borrow()
+            .state_of(&self.component)
+            .unwrap_or(ComponentState::Destroyed)
+    }
+
+    fn suspend(&self) -> Result<(), DrcrError> {
+        self.drcr.borrow_mut().suspend_component(&self.component)
+    }
+
+    fn resume(&self) -> Result<(), DrcrError> {
+        self.drcr.borrow_mut().resume_component(&self.component)
+    }
+
+    fn set_property(&self, name: &str, value: PropertyValue) -> Result<(), DrcrError> {
+        self.drcr.borrow_mut().send_command(
+            &self.component,
+            Command::SetProperty {
+                name: name.to_string(),
+                value,
+            },
+        )
+    }
+
+    fn request_property(&self, name: &str) -> Result<RequestToken, DrcrError> {
+        let mut drcr = self.drcr.borrow_mut();
+        let token = drcr.fresh_token();
+        drcr.send_command(
+            &self.component,
+            Command::GetProperty {
+                token,
+                name: name.to_string(),
+            },
+        )?;
+        Ok(RequestToken(token))
+    }
+
+    fn request_status(&self) -> Result<RequestToken, DrcrError> {
+        let mut drcr = self.drcr.borrow_mut();
+        let token = drcr.fresh_token();
+        drcr.send_command(&self.component, Command::QueryStatus { token })?;
+        Ok(RequestToken(token))
+    }
+
+    fn poll_reply(&self, token: RequestToken) -> Result<Option<ManagementReply>, DrcrError> {
+        let mut drcr = self.drcr.borrow_mut();
+        drcr.drain_replies(&self.component)?;
+        Ok(drcr
+            .components
+            .get_mut(&self.component)
+            .and_then(|r| r.reply_buffer.remove(&token.0)))
+    }
+}

@@ -1,0 +1,301 @@
+//! Contract enforcement: making declared CPU claims *binding*.
+//!
+//! The paper argues that "the resource budget should be 'enforced' by a
+//! central scheme rather than by each single bundle" (§2.1) and positions
+//! itself next to Härtig & Zschaler's *enforceable* component contracts
+//! (§5). Admission alone only checks claims at activation; a component
+//! whose real demand exceeds its declared `cpuusage` can still starve its
+//! peers. This module closes that gap from two sides:
+//!
+//! * **Kernel-level budgets** — [`crate::drcr::Drcr::set_budget_enforcement`]
+//!   makes the executive create every periodic task with a
+//!   per-cycle execution budget of `cpuusage × period`; the kernel clamps
+//!   overruns, so a lying component can *never* take more than it claimed.
+//! * **Monitoring + policy** — [`ContractMonitor`] periodically compares
+//!   each active component's *observed* utilization (from the kernel's
+//!   per-task CPU accounting) against its claim and applies an
+//!   [`EnforcementAction`] to violators: log, suspend, or disable.
+//!
+//! Both are deliberately centralized in the executive — the component
+//! itself is never trusted with its own enforcement.
+
+use crate::error::DrcrError;
+use crate::lifecycle::ComponentState;
+use crate::runtime::DrtRuntime;
+use rtos::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What the monitor does to a component caught over its claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnforcementAction {
+    /// Record the violation only.
+    Log,
+    /// Suspend the component (reservation kept; an operator decides).
+    Suspend,
+    /// Disable the component (reservation released; stays out until
+    /// re-enabled).
+    Disable,
+}
+
+/// Monitor configuration.
+#[derive(Debug, Clone)]
+pub struct EnforcementPolicy {
+    /// Observed/claimed ratio above which a component is in violation
+    /// (1.2 = 20 % grace).
+    pub tolerance: f64,
+    /// Action applied to violators.
+    pub action: EnforcementAction,
+    /// Minimum observation window before judging a component.
+    pub min_window: SimDuration,
+}
+
+impl Default for EnforcementPolicy {
+    fn default() -> Self {
+        EnforcementPolicy {
+            tolerance: 1.2,
+            action: EnforcementAction::Log,
+            min_window: SimDuration::from_millis(100),
+        }
+    }
+}
+
+/// One detected contract violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The offending component.
+    pub component: String,
+    /// Its declared CPU fraction.
+    pub claimed: f64,
+    /// The utilization observed over the window.
+    pub observed: f64,
+    /// When the violation was detected.
+    pub at: SimTime,
+    /// The action that was applied.
+    pub action: EnforcementAction,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "contract violation at {}: `{}` observed {:.3} > claimed {:.3} ({:?})",
+            self.at, self.component, self.observed, self.claimed, self.action
+        )
+    }
+}
+
+/// Periodic contract checker. Create once, call
+/// [`ContractMonitor::check`] from the management loop.
+#[derive(Debug)]
+pub struct ContractMonitor {
+    policy: EnforcementPolicy,
+    /// Per-component last sample: (time, accumulated CPU time).
+    samples: HashMap<String, (SimTime, SimDuration)>,
+    violations: Vec<Violation>,
+}
+
+impl ContractMonitor {
+    /// Creates a monitor with the given policy.
+    pub fn new(policy: EnforcementPolicy) -> Self {
+        ContractMonitor {
+            policy,
+            samples: HashMap::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &EnforcementPolicy {
+        &self.policy
+    }
+
+    /// All violations detected so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Samples every active component's CPU consumption and applies the
+    /// policy to violators. Returns the violations detected this round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DrcrError`] from applied actions.
+    pub fn check(&mut self, rt: &mut DrtRuntime) -> Result<Vec<Violation>, DrcrError> {
+        let now = rt.kernel().now();
+        let mut fresh = Vec::new();
+        let names = rt.drcr().component_names();
+        for name in names {
+            if rt.component_state(&name) != Some(ComponentState::Active) {
+                self.samples.remove(&name);
+                continue;
+            }
+            let (task, claimed) = {
+                let drcr = rt.drcr();
+                let Some(task) = drcr.task_of(&name) else {
+                    continue;
+                };
+                let view = drcr.system_view();
+                let claimed = view
+                    .component(&name)
+                    .map(|c| c.cpu_usage)
+                    .unwrap_or(1.0);
+                (task, claimed)
+            };
+            let Some(cpu_time) = rt.kernel().task_cpu_time(task) else {
+                continue;
+            };
+            let Some(&(t0, cpu0)) = self.samples.get(&name) else {
+                self.samples.insert(name.clone(), (now, cpu_time));
+                continue;
+            };
+            let window = now.duration_since(t0);
+            if window < self.policy.min_window {
+                continue;
+            }
+            let used = cpu_time.saturating_sub(cpu0);
+            let observed = used.as_nanos() as f64 / window.as_nanos() as f64;
+            self.samples.insert(name.clone(), (now, cpu_time));
+            if observed > claimed * self.policy.tolerance {
+                let violation = Violation {
+                    component: name.clone(),
+                    claimed,
+                    observed,
+                    at: now,
+                    action: self.policy.action,
+                };
+                match self.policy.action {
+                    EnforcementAction::Log => {}
+                    EnforcementAction::Suspend => rt.suspend_component(&name)?,
+                    EnforcementAction::Disable => rt.disable_component(&name)?,
+                }
+                self.violations.push(violation.clone());
+                fresh.push(violation);
+            }
+        }
+        Ok(fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::ComponentDescriptor;
+    use crate::drcr::ComponentProvider;
+    use crate::hybrid::{FnLogic, RtIo};
+    use rtos::kernel::KernelConfig;
+    use rtos::latency::TimerJitterModel;
+
+    /// Claims 10% but burns ~50% of a 10 ms period.
+    fn liar() -> ComponentProvider {
+        let d = ComponentDescriptor::builder("liar")
+            .periodic(100, 0, 2)
+            .cpu_usage(0.10)
+            .build()
+            .unwrap();
+        ComponentProvider::new(d, || {
+            Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+                io.compute(SimDuration::from_millis(5));
+            }))
+        })
+    }
+
+    /// Claims 10% and honestly uses ~5%.
+    fn honest() -> ComponentProvider {
+        let d = ComponentDescriptor::builder("honest")
+            .periodic(100, 0, 3)
+            .cpu_usage(0.10)
+            .build()
+            .unwrap();
+        ComponentProvider::new(d, || {
+            Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+                io.compute(SimDuration::from_micros(500));
+            }))
+        })
+    }
+
+    fn runtime() -> DrtRuntime {
+        DrtRuntime::new(KernelConfig::new(31).with_timer(TimerJitterModel::ideal()))
+    }
+
+    #[test]
+    fn monitor_flags_only_the_liar() {
+        let mut rt = runtime();
+        rt.install_component("demo.liar", liar()).unwrap();
+        rt.install_component("demo.honest", honest()).unwrap();
+        let mut monitor = ContractMonitor::new(EnforcementPolicy::default());
+        // First check establishes baselines.
+        monitor.check(&mut rt).unwrap();
+        rt.advance(SimDuration::from_millis(500));
+        let violations = monitor.check(&mut rt).unwrap();
+        assert_eq!(violations.len(), 1);
+        let v = &violations[0];
+        assert_eq!(v.component, "liar");
+        assert!(v.observed > 0.4, "observed {}", v.observed);
+        assert_eq!(v.claimed, 0.10);
+        // Log action leaves states alone.
+        assert_eq!(rt.component_state("liar"), Some(ComponentState::Active));
+    }
+
+    #[test]
+    fn suspend_action_parks_the_violator() {
+        let mut rt = runtime();
+        rt.install_component("demo.liar", liar()).unwrap();
+        let mut monitor = ContractMonitor::new(EnforcementPolicy {
+            action: EnforcementAction::Suspend,
+            ..EnforcementPolicy::default()
+        });
+        monitor.check(&mut rt).unwrap();
+        rt.advance(SimDuration::from_millis(300));
+        let violations = monitor.check(&mut rt).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(rt.component_state("liar"), Some(ComponentState::Suspended));
+        // Reservation intentionally retained under Suspend.
+        assert!(rt.drcr().ledger().reservation("liar").is_some());
+    }
+
+    #[test]
+    fn disable_action_evicts_and_frees_budget() {
+        let mut rt = runtime();
+        rt.install_component("demo.liar", liar()).unwrap();
+        let mut monitor = ContractMonitor::new(EnforcementPolicy {
+            action: EnforcementAction::Disable,
+            ..EnforcementPolicy::default()
+        });
+        monitor.check(&mut rt).unwrap();
+        rt.advance(SimDuration::from_millis(300));
+        monitor.check(&mut rt).unwrap();
+        assert_eq!(rt.component_state("liar"), Some(ComponentState::Disabled));
+        assert!(rt.drcr().ledger().is_empty());
+    }
+
+    #[test]
+    fn kernel_budgets_cap_the_liar_mechanically() {
+        let mut rt = runtime();
+        rt.drcr_mut().set_budget_enforcement(true);
+        rt.install_component("demo.liar", liar()).unwrap();
+        rt.install_component("demo.honest", honest()).unwrap();
+        rt.advance(SimDuration::from_secs(1));
+        let liar_task = rt.drcr().task_of("liar").unwrap();
+        // Clamped to 10% of the 10 ms period = 1 ms per cycle.
+        let cpu = rt.kernel().task_cpu_time(liar_task).unwrap().as_nanos() as f64;
+        let elapsed = rt.kernel().now().as_nanos() as f64;
+        assert!(cpu / elapsed < 0.11, "liar used {}", cpu / elapsed);
+        assert!(rt.kernel().task_budget_overruns(liar_task).unwrap() > 90);
+        // And the monitor now sees a clean system.
+        let mut monitor = ContractMonitor::new(EnforcementPolicy::default());
+        monitor.check(&mut rt).unwrap();
+        rt.advance(SimDuration::from_millis(300));
+        assert!(monitor.check(&mut rt).unwrap().is_empty());
+    }
+
+    #[test]
+    fn short_windows_are_not_judged() {
+        let mut rt = runtime();
+        rt.install_component("demo.liar", liar()).unwrap();
+        let mut monitor = ContractMonitor::new(EnforcementPolicy::default());
+        monitor.check(&mut rt).unwrap();
+        rt.advance(SimDuration::from_millis(20)); // below min_window
+        assert!(monitor.check(&mut rt).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! The declarative real-time component lifecycle (the paper's Figure 1).
+//!
+//! A DRCom's lifecycle is a *sub-lifecycle* of its OSGi bundle: once the
+//! bundle is active and carries a valid descriptor, the DRCR takes over and
+//! drives the component through these states:
+//!
+//! ```text
+//!                    enable            constraints satisfied + admitted
+//!   Installed ──► Unsatisfied ────────────────► Active ◄──┐
+//!       │   ▲         ▲  ▲                        │  │    │ resume
+//!       │   │ disable │  │ dependency lost /      │  └── Suspended
+//!       ▼   │         │  │ admission revoked      │ suspend
+//!   Disabled ◄────────┘  └────────────────────────┘
+//!       │                                         │
+//!       └────────────► Destroyed ◄────────────────┘  (bundle stopped)
+//! ```
+//!
+//! * **Installed** — descriptor parsed and registered with the DRCR.
+//! * **Disabled** — deployed with `enabled="false"` (or disabled by a
+//!   manager); the DRCR ignores it during resolution.
+//! * **Unsatisfied** — waiting for functional (port wiring) or
+//!   non-functional (admission) constraints.
+//! * **Active** — RT task created and released; contracts guaranteed.
+//! * **Suspended** — RT task parked by management action, resources still
+//!   reserved (a suspended component keeps its admission so resuming can
+//!   never fail).
+//! * **Destroyed** — removed; terminal.
+//!
+//! Every transition the DRCR performs is checked against this table, which
+//! is what makes the executive's global view trustworthy: a component can
+//! never reach a state the model does not allow.
+
+use std::fmt;
+
+/// Lifecycle state of a declarative real-time component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentState {
+    /// Registered with the DRCR, not yet considered for resolution.
+    Installed,
+    /// Excluded from resolution until enabled.
+    Disabled,
+    /// Waiting for constraints (functional or non-functional).
+    Unsatisfied,
+    /// Running with guaranteed contracts.
+    Active,
+    /// Parked by management action; admission retained.
+    Suspended,
+    /// Removed. Terminal.
+    Destroyed,
+}
+
+impl fmt::Display for ComponentState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentState::Installed => "INSTALLED",
+            ComponentState::Disabled => "DISABLED",
+            ComponentState::Unsatisfied => "UNSATISFIED",
+            ComponentState::Active => "ACTIVE",
+            ComponentState::Suspended => "SUSPENDED",
+            ComponentState::Destroyed => "DESTROYED",
+        };
+        f.write_str(s)
+    }
+}
+
+impl ComponentState {
+    /// All states, for exhaustive tests.
+    pub const ALL: [ComponentState; 6] = [
+        ComponentState::Installed,
+        ComponentState::Disabled,
+        ComponentState::Unsatisfied,
+        ComponentState::Active,
+        ComponentState::Suspended,
+        ComponentState::Destroyed,
+    ];
+
+    /// True when the transition `self → to` is legal per Figure 1.
+    pub fn can_transition(self, to: ComponentState) -> bool {
+        use ComponentState::*;
+        matches!(
+            (self, to),
+            // Initial routing after registration.
+            (Installed, Unsatisfied)   // enabled descriptor
+                | (Installed, Disabled) // enabled="false"
+                | (Installed, Destroyed)
+                // Enable / disable.
+                | (Disabled, Unsatisfied)
+                | (Unsatisfied, Disabled)
+                | (Disabled, Destroyed)
+                // Resolution outcomes.
+                | (Unsatisfied, Active)
+                | (Unsatisfied, Destroyed)
+                // Run-time changes.
+                | (Active, Unsatisfied)  // dependency lost / admission revoked
+                | (Active, Suspended)
+                | (Active, Disabled)     // manager disables a running component
+                | (Active, Destroyed)
+                | (Suspended, Active)
+                | (Suspended, Unsatisfied) // dependency lost while parked
+                | (Suspended, Disabled)
+                | (Suspended, Destroyed)
+        )
+    }
+
+    /// True when the component holds an admission reservation in this state.
+    pub fn holds_admission(self) -> bool {
+        matches!(self, ComponentState::Active | ComponentState::Suspended)
+    }
+
+    /// True when the component's outports feed the wiring graph in this
+    /// state (only running components satisfy their consumers).
+    pub fn provides_outputs(self) -> bool {
+        self == ComponentState::Active
+    }
+
+    /// True when no further transitions are possible.
+    pub fn is_terminal(self) -> bool {
+        self == ComponentState::Destroyed
+    }
+}
+
+/// A recorded lifecycle transition, for the DRCR decision log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// The component name.
+    pub component: String,
+    /// State before.
+    pub from: ComponentState,
+    /// State after.
+    pub to: ComponentState,
+    /// Why the DRCR performed it.
+    pub reason: String,
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} ({})",
+            self.component, self.from, self.to, self.reason
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ComponentState::*;
+
+    #[test]
+    fn happy_path_is_legal() {
+        assert!(Installed.can_transition(Unsatisfied));
+        assert!(Unsatisfied.can_transition(Active));
+        assert!(Active.can_transition(Suspended));
+        assert!(Suspended.can_transition(Active));
+        assert!(Active.can_transition(Destroyed));
+    }
+
+    #[test]
+    fn dependency_loss_paths() {
+        assert!(Active.can_transition(Unsatisfied));
+        assert!(Suspended.can_transition(Unsatisfied));
+        assert!(Unsatisfied.can_transition(Active));
+    }
+
+    #[test]
+    fn disable_enable_paths() {
+        assert!(Installed.can_transition(Disabled));
+        assert!(Disabled.can_transition(Unsatisfied));
+        assert!(Active.can_transition(Disabled));
+        assert!(Unsatisfied.can_transition(Disabled));
+        assert!(!Disabled.can_transition(Active), "must re-resolve first");
+    }
+
+    #[test]
+    fn destroyed_is_terminal() {
+        for s in ComponentState::ALL {
+            assert!(!Destroyed.can_transition(s), "{s}");
+        }
+        for s in ComponentState::ALL {
+            if s != Destroyed {
+                assert!(s.can_transition(Destroyed), "{s} must be destroyable");
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_transitions() {
+        for s in ComponentState::ALL {
+            assert!(!s.can_transition(s), "{s}");
+        }
+    }
+
+    #[test]
+    fn activation_requires_resolution() {
+        // Nothing may jump straight to Active except Unsatisfied (resolution)
+        // and Suspended (resume).
+        for s in ComponentState::ALL {
+            let expected = matches!(s, Unsatisfied | Suspended);
+            assert_eq!(s.can_transition(Active), expected, "{s}");
+        }
+    }
+
+    #[test]
+    fn admission_held_exactly_when_running_or_parked() {
+        assert!(Active.holds_admission());
+        assert!(Suspended.holds_admission());
+        for s in [Installed, Disabled, Unsatisfied, Destroyed] {
+            assert!(!s.holds_admission(), "{s}");
+        }
+    }
+
+    #[test]
+    fn only_active_provides_outputs() {
+        for s in ComponentState::ALL {
+            assert_eq!(s.provides_outputs(), s == Active, "{s}");
+        }
+    }
+
+    #[test]
+    fn installed_routes_only_to_enablement_states() {
+        for s in ComponentState::ALL {
+            let expected = matches!(s, Unsatisfied | Disabled | Destroyed);
+            assert_eq!(Installed.can_transition(s), expected, "{s}");
+        }
+    }
+
+    #[test]
+    fn transition_displays_readably() {
+        let t = Transition {
+            component: "disp".into(),
+            from: Active,
+            to: Unsatisfied,
+            reason: "provider `calc` stopped".into(),
+        };
+        assert_eq!(t.to_string(), "disp: ACTIVE -> UNSATISFIED (provider `calc` stopped)");
+    }
+}

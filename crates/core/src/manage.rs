@@ -1,0 +1,149 @@
+//! The general real-time component management interface (§2.4).
+//!
+//! Every activated component gets a management service registered in the
+//! OSGi service registry under [`MANAGEMENT_SERVICE`], so "general or
+//! application specific adaptation managers can monitor the tasks status
+//! and adjust the parameter\[s\]". The interface is deliberately small —
+//! suspend, resume, get/set properties, status — and, faithful to the
+//! paper, **does not expose init/uninit**: creation and destruction belong
+//! exclusively to the DRCR, or the global view would rot.
+//!
+//! Property reads and status queries travel over the asynchronous §3.2
+//! bridge, so they return a [`RequestToken`] that is later redeemed with
+//! [`RtComponentManagement::poll_reply`] once the RT task has had a cycle
+//! to answer.
+
+use crate::error::DrcrError;
+use crate::lifecycle::ComponentState;
+use crate::model::PropertyValue;
+use std::fmt;
+use std::rc::Rc;
+
+/// Service-registry interface name for component management services.
+pub const MANAGEMENT_SERVICE: &str = "drt.management";
+
+/// Correlation token for an in-flight asynchronous request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestToken(pub u32);
+
+/// A decoded asynchronous answer from the RT side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManagementReply {
+    /// A property value (or `None` if the RT side has no such property).
+    Property {
+        /// Property name.
+        name: String,
+        /// Value at the answering cycle.
+        value: Option<PropertyValue>,
+    },
+    /// Task status snapshot.
+    Status {
+        /// Completed cycles at the answering cycle.
+        cycles: u64,
+        /// Virtual time (ns) of the answering cycle.
+        at_ns: u64,
+    },
+    /// Liveness acknowledgement.
+    Pong,
+}
+
+/// The management contract registered for every active component.
+///
+/// Implemented by the DRCR (which owns the lifecycle and the kernel handle);
+/// external adaptation managers discover instances through the registry and
+/// never touch the kernel directly.
+pub trait RtComponentManagement {
+    /// The managed component's name.
+    fn component_name(&self) -> &str;
+
+    /// Current lifecycle state in the DRCR's global view.
+    fn state(&self) -> ComponentState;
+
+    /// Parks the RT task. The reservation is kept so resuming cannot fail
+    /// admission.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError`] if the component is not in a suspendable state.
+    fn suspend(&self) -> Result<(), DrcrError>;
+
+    /// Resumes a suspended task.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError`] if the component is not suspended.
+    fn resume(&self) -> Result<(), DrcrError>;
+
+    /// Queues a property replacement over the async bridge. Applied by the
+    /// RT side between cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError::Management`] when the bridge is down or full.
+    fn set_property(&self, name: &str, value: PropertyValue) -> Result<(), DrcrError>;
+
+    /// Requests a property value; redeem with
+    /// [`poll_reply`](Self::poll_reply) after the RT task's next cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError::Management`] when the bridge is down or full.
+    fn request_property(&self, name: &str) -> Result<RequestToken, DrcrError>;
+
+    /// Requests a status snapshot; redeem with
+    /// [`poll_reply`](Self::poll_reply).
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError::Management`] when the bridge is down or full.
+    fn request_status(&self) -> Result<RequestToken, DrcrError>;
+
+    /// Polls for the answer to an earlier request. `Ok(None)` means "not
+    /// answered yet" — advance the kernel and poll again.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError::Management`] when the bridge is down.
+    fn poll_reply(&self, token: RequestToken) -> Result<Option<ManagementReply>, DrcrError>;
+}
+
+/// Newtype wrapper so `Rc<dyn RtComponentManagement>` can live in the
+/// service registry (which downcasts to concrete types).
+pub struct ManagementHandle(pub Rc<dyn RtComponentManagement>);
+
+impl fmt::Debug for ManagementHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ManagementHandle({})", self.0.component_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_are_comparable() {
+        assert_eq!(RequestToken(1), RequestToken(1));
+        assert_ne!(RequestToken(1), RequestToken(2));
+    }
+
+    #[test]
+    fn replies_carry_payloads() {
+        let r = ManagementReply::Property {
+            name: "gain".into(),
+            value: Some(PropertyValue::Integer(3)),
+        };
+        assert_eq!(r, r.clone());
+        let s = ManagementReply::Status {
+            cycles: 10,
+            at_ns: 100,
+        };
+        assert_ne!(
+            s,
+            ManagementReply::Status {
+                cycles: 11,
+                at_ns: 100
+            }
+        );
+    }
+}

@@ -1,0 +1,391 @@
+//! Resolving services: pluggable admission policy.
+//!
+//! The paper's DRCR consults an **internal resolving service** and any
+//! **customized resolving services** registered in the OSGi service
+//! registry; a component activates only "when both services return positive
+//! results". [`ResolvingService`] is that contract: a pure function from a
+//! candidate + the global [`SystemView`] to a [`Decision`].
+//!
+//! Built-in policies:
+//!
+//! * [`UtilizationResolver`] — admit while the per-CPU reserved budget stays
+//!   under a cap (the internal resolver's default, cap 1.0).
+//! * [`RmBoundResolver`] — Liu–Layland rate-monotonic bound
+//!   `n(2^{1/n} − 1)` over periodic components per CPU.
+//! * [`EdfResolver`] — EDF bound (utilization ≤ 1) per CPU.
+//! * [`CompositeResolver`] — all inner resolvers must admit.
+//! * [`AlwaysAdmit`] / [`AlwaysReject`] — scenario and test plumbing.
+//!
+//! Customized resolvers are discovered under the service interface
+//! [`RESOLVER_SERVICE`], wrapped in [`ResolverHandle`] so the registry can
+//! hand back a concrete type.
+
+use crate::view::{ComponentInfo, SystemView};
+use std::fmt;
+use std::rc::Rc;
+
+/// Service-registry interface name for customized resolving services.
+pub const RESOLVER_SERVICE: &str = "drt.resolver";
+
+/// Outcome of consulting a resolving service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// The candidate may activate.
+    Admit,
+    /// The candidate must stay unsatisfied, with a reason for the log.
+    Reject(String),
+}
+
+impl Decision {
+    /// True for [`Decision::Admit`].
+    pub fn is_admit(&self) -> bool {
+        matches!(self, Decision::Admit)
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Admit => write!(f, "admit"),
+            Decision::Reject(reason) => write!(f, "reject: {reason}"),
+        }
+    }
+}
+
+/// An admission policy over the global view. See the [module docs](self).
+pub trait ResolvingService {
+    /// A short policy name for logs.
+    fn name(&self) -> &str;
+
+    /// Decides whether `candidate` may activate given the current view.
+    ///
+    /// The view includes the candidate itself (in its pre-activation state);
+    /// implementations should reason about the hypothetical system where
+    /// the candidate's claim is added to its CPU.
+    fn admit(&self, candidate: &ComponentInfo, view: &SystemView) -> Decision;
+}
+
+/// Newtype wrapper so `Rc<dyn ResolvingService>` can live in the service
+/// registry (which downcasts to concrete types).
+pub struct ResolverHandle(pub Rc<dyn ResolvingService>);
+
+impl fmt::Debug for ResolverHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ResolverHandle({})", self.0.name())
+    }
+}
+
+/// Admits while `reserved + candidate ≤ cap` on the candidate's CPU.
+///
+/// ```
+/// use drcom::resolve::{ResolvingService, UtilizationResolver};
+/// use drcom::view::{ComponentInfo, SystemView};
+/// use drcom::lifecycle::ComponentState;
+///
+/// let resolver = UtilizationResolver::new(0.8);
+/// let candidate = ComponentInfo {
+///     name: "calc".into(),
+///     state: ComponentState::Unsatisfied,
+///     cpu: 0,
+///     cpu_usage: 0.5,
+///     priority: 2,
+///     period_ns: Some(1_000_000),
+/// };
+/// let view = SystemView { cpu_count: 1, components: vec![candidate.clone()] };
+/// assert!(resolver.admit(&candidate, &view).is_admit());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationResolver {
+    cap: f64,
+}
+
+impl UtilizationResolver {
+    /// A resolver with the given per-CPU cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is not in `(0, 1]`.
+    pub fn new(cap: f64) -> Self {
+        assert!(cap > 0.0 && cap <= 1.0, "cap must be in (0, 1]");
+        UtilizationResolver { cap }
+    }
+
+    /// The configured cap.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+}
+
+impl Default for UtilizationResolver {
+    fn default() -> Self {
+        UtilizationResolver { cap: 1.0 }
+    }
+}
+
+impl ResolvingService for UtilizationResolver {
+    fn name(&self) -> &str {
+        "utilization"
+    }
+
+    fn admit(&self, candidate: &ComponentInfo, view: &SystemView) -> Decision {
+        let current = view.utilization(candidate.cpu);
+        let hypothetical = current + candidate.cpu_usage;
+        if hypothetical <= self.cap + 1e-9 {
+            Decision::Admit
+        } else {
+            Decision::Reject(format!(
+                "CPU {} budget: {current:.3} reserved + {:.3} claimed > cap {:.3}",
+                candidate.cpu, candidate.cpu_usage, self.cap
+            ))
+        }
+    }
+}
+
+/// Liu–Layland rate-monotonic schedulability bound for periodic components.
+///
+/// With `n` periodic tasks on a CPU the bound is `n(2^{1/n} − 1)`;
+/// aperiodic candidates fall back to a utilization cap of 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RmBoundResolver;
+
+impl RmBoundResolver {
+    /// The Liu–Layland bound for `n` tasks.
+    pub fn bound(n: usize) -> f64 {
+        if n == 0 {
+            return 1.0;
+        }
+        let n = n as f64;
+        n * (2f64.powf(1.0 / n) - 1.0)
+    }
+}
+
+impl ResolvingService for RmBoundResolver {
+    fn name(&self) -> &str {
+        "rm-bound"
+    }
+
+    fn admit(&self, candidate: &ComponentInfo, view: &SystemView) -> Decision {
+        if !candidate.is_periodic() {
+            let u = view.utilization(candidate.cpu) + candidate.cpu_usage;
+            return if u <= 1.0 + 1e-9 {
+                Decision::Admit
+            } else {
+                Decision::Reject(format!("aperiodic over full budget: {u:.3} > 1"))
+            };
+        }
+        let n = view.periodic_count(candidate.cpu) + 1;
+        let bound = Self::bound(n);
+        let u: f64 = view
+            .admitted_on(candidate.cpu)
+            .filter(|c| c.is_periodic())
+            .map(|c| c.cpu_usage)
+            .sum::<f64>()
+            + candidate.cpu_usage;
+        if u <= bound + 1e-9 {
+            Decision::Admit
+        } else {
+            Decision::Reject(format!(
+                "RM bound: {u:.3} > n(2^(1/n)-1) = {bound:.3} for n = {n}"
+            ))
+        }
+    }
+}
+
+/// EDF schedulability: total utilization per CPU at most 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdfResolver;
+
+impl ResolvingService for EdfResolver {
+    fn name(&self) -> &str {
+        "edf"
+    }
+
+    fn admit(&self, candidate: &ComponentInfo, view: &SystemView) -> Decision {
+        let u = view.utilization(candidate.cpu) + candidate.cpu_usage;
+        if u <= 1.0 + 1e-9 {
+            Decision::Admit
+        } else {
+            Decision::Reject(format!("EDF: utilization {u:.3} > 1"))
+        }
+    }
+}
+
+/// Admits only if every inner resolver admits; reports the first rejection.
+pub struct CompositeResolver {
+    name: String,
+    inner: Vec<Box<dyn ResolvingService>>,
+}
+
+impl fmt::Debug for CompositeResolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CompositeResolver({}; {} inner)", self.name, self.inner.len())
+    }
+}
+
+impl CompositeResolver {
+    /// Composes the given resolvers under one name.
+    pub fn new(name: &str, inner: Vec<Box<dyn ResolvingService>>) -> Self {
+        CompositeResolver {
+            name: name.to_string(),
+            inner,
+        }
+    }
+}
+
+impl ResolvingService for CompositeResolver {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn admit(&self, candidate: &ComponentInfo, view: &SystemView) -> Decision {
+        for r in &self.inner {
+            if let Decision::Reject(reason) = r.admit(candidate, view) {
+                return Decision::Reject(format!("{}: {reason}", r.name()));
+            }
+        }
+        Decision::Admit
+    }
+}
+
+/// Admits everything (the "no admission control" ablation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlwaysAdmit;
+
+impl ResolvingService for AlwaysAdmit {
+    fn name(&self) -> &str {
+        "always-admit"
+    }
+
+    fn admit(&self, _candidate: &ComponentInfo, _view: &SystemView) -> Decision {
+        Decision::Admit
+    }
+}
+
+/// Rejects everything, with a fixed reason (scenario plumbing).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AlwaysReject(pub String);
+
+impl ResolvingService for AlwaysReject {
+    fn name(&self) -> &str {
+        "always-reject"
+    }
+
+    fn admit(&self, _candidate: &ComponentInfo, _view: &SystemView) -> Decision {
+        Decision::Reject(self.0.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifecycle::ComponentState;
+
+    fn info(name: &str, state: ComponentState, cpu: u32, usage: f64, periodic: bool) -> ComponentInfo {
+        ComponentInfo {
+            name: name.into(),
+            state,
+            cpu,
+            cpu_usage: usage,
+            priority: 2,
+            period_ns: periodic.then_some(1_000_000),
+        }
+    }
+
+    fn view(components: Vec<ComponentInfo>) -> SystemView {
+        SystemView {
+            cpu_count: 2,
+            components,
+        }
+    }
+
+    #[test]
+    fn utilization_resolver_respects_cap() {
+        let r = UtilizationResolver::new(0.8);
+        let v = view(vec![info("a", ComponentState::Active, 0, 0.5, true)]);
+        let ok = info("b", ComponentState::Unsatisfied, 0, 0.3, true);
+        assert!(r.admit(&ok, &v).is_admit());
+        let too_much = info("c", ComponentState::Unsatisfied, 0, 0.31, true);
+        assert!(!r.admit(&too_much, &v).is_admit());
+        // Other CPU is unaffected.
+        let other_cpu = info("d", ComponentState::Unsatisfied, 1, 0.8, true);
+        assert!(r.admit(&other_cpu, &v).is_admit());
+    }
+
+    #[test]
+    fn utilization_resolver_counts_suspended_reservations() {
+        let r = UtilizationResolver::default();
+        let v = view(vec![info("a", ComponentState::Suspended, 0, 0.9, true)]);
+        let candidate = info("b", ComponentState::Unsatisfied, 0, 0.2, true);
+        assert!(!r.admit(&candidate, &v).is_admit());
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be in (0, 1]")]
+    fn utilization_cap_validated() {
+        let _ = UtilizationResolver::new(0.0);
+    }
+
+    #[test]
+    fn liu_layland_bounds() {
+        assert!((RmBoundResolver::bound(1) - 1.0).abs() < 1e-9);
+        assert!((RmBoundResolver::bound(2) - 0.8284).abs() < 1e-3);
+        assert!((RmBoundResolver::bound(3) - 0.7798).abs() < 1e-3);
+        // Monotone decreasing towards ln 2.
+        assert!(RmBoundResolver::bound(100) > 0.69);
+        assert!(RmBoundResolver::bound(100) < RmBoundResolver::bound(3));
+    }
+
+    #[test]
+    fn rm_resolver_is_stricter_than_edf() {
+        let rm = RmBoundResolver;
+        let edf = EdfResolver;
+        let v = view(vec![info("a", ComponentState::Active, 0, 0.5, true)]);
+        // 0.5 + 0.4 = 0.9: fine for EDF, over the 2-task RM bound (0.828).
+        let candidate = info("b", ComponentState::Unsatisfied, 0, 0.4, true);
+        assert!(edf.admit(&candidate, &v).is_admit());
+        assert!(!rm.admit(&candidate, &v).is_admit());
+        // 0.5 + 0.3 = 0.8 < 0.828: both admit.
+        let smaller = info("c", ComponentState::Unsatisfied, 0, 0.3, true);
+        assert!(rm.admit(&smaller, &v).is_admit());
+    }
+
+    #[test]
+    fn rm_resolver_handles_aperiodic_candidates() {
+        let rm = RmBoundResolver;
+        let v = view(vec![info("a", ComponentState::Active, 0, 0.5, true)]);
+        let aperiodic = info("e", ComponentState::Unsatisfied, 0, 0.4, false);
+        assert!(rm.admit(&aperiodic, &v).is_admit());
+        let hog = info("f", ComponentState::Unsatisfied, 0, 0.6, false);
+        assert!(!rm.admit(&hog, &v).is_admit());
+    }
+
+    #[test]
+    fn composite_requires_unanimity() {
+        let c = CompositeResolver::new(
+            "both",
+            vec![Box::new(AlwaysAdmit), Box::new(EdfResolver)],
+        );
+        let v = view(vec![info("a", ComponentState::Active, 0, 0.9, true)]);
+        let small = info("b", ComponentState::Unsatisfied, 0, 0.05, true);
+        assert!(c.admit(&small, &v).is_admit());
+        let big = info("c", ComponentState::Unsatisfied, 0, 0.2, true);
+        let d = c.admit(&big, &v);
+        assert!(!d.is_admit());
+        assert!(d.to_string().contains("edf"), "{d}");
+    }
+
+    #[test]
+    fn always_variants() {
+        let v = view(vec![]);
+        let c = info("x", ComponentState::Unsatisfied, 0, 0.1, true);
+        assert!(AlwaysAdmit.admit(&c, &v).is_admit());
+        let rej = AlwaysReject("operator veto".into()).admit(&c, &v);
+        assert_eq!(rej, Decision::Reject("operator veto".into()));
+    }
+
+    #[test]
+    fn decisions_display() {
+        assert_eq!(Decision::Admit.to_string(), "admit");
+        assert!(Decision::Reject("x".into()).to_string().contains("x"));
+    }
+}

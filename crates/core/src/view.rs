@@ -1,0 +1,143 @@
+//! The global system view the DRCR maintains and exposes to resolvers.
+//!
+//! The paper's central argument (§2.2) is that real-time contracts can only
+//! be preserved under dynamicity if a single authority holds "a complete and
+//! accurate global view of current system context". [`SystemView`] is that
+//! snapshot: every registered component's declared contract and current
+//! lifecycle state, plus per-CPU admission totals. Resolving services reason
+//! over this view and nothing else, which keeps them pure and composable.
+
+use crate::lifecycle::ComponentState;
+use crate::model::TaskSpec;
+
+/// Declared contract + current state of one component, as resolvers see it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentInfo {
+    /// Component name.
+    pub name: String,
+    /// Current lifecycle state.
+    pub state: ComponentState,
+    /// CPU the task is pinned to.
+    pub cpu: u32,
+    /// Claimed CPU fraction.
+    pub cpu_usage: f64,
+    /// Task priority (lower is more urgent).
+    pub priority: u8,
+    /// Task period in nanoseconds, for periodic components.
+    pub period_ns: Option<u64>,
+}
+
+impl ComponentInfo {
+    /// Builds the info record from a descriptor's task spec.
+    pub fn from_contract(
+        name: &str,
+        state: ComponentState,
+        task: &TaskSpec,
+        cpu_usage: f64,
+    ) -> Self {
+        ComponentInfo {
+            name: name.to_string(),
+            state,
+            cpu: task.cpu(),
+            cpu_usage,
+            priority: task.priority().0,
+            period_ns: task.period().map(|p| p.as_nanos()),
+        }
+    }
+
+    /// True for periodic components.
+    pub fn is_periodic(&self) -> bool {
+        self.period_ns.is_some()
+    }
+}
+
+/// Snapshot of the whole real-time context at one resolution point.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SystemView {
+    /// Number of CPUs on the kernel.
+    pub cpu_count: u32,
+    /// Every registered component (all states, including the candidate
+    /// under consideration).
+    pub components: Vec<ComponentInfo>,
+}
+
+impl SystemView {
+    /// Looks up a component by name.
+    pub fn component(&self, name: &str) -> Option<&ComponentInfo> {
+        self.components.iter().find(|c| c.name == name)
+    }
+
+    /// Components currently holding an admission reservation on `cpu`
+    /// (Active or Suspended).
+    pub fn admitted_on(&self, cpu: u32) -> impl Iterator<Item = &ComponentInfo> {
+        self.components
+            .iter()
+            .filter(move |c| c.cpu == cpu && c.state.holds_admission())
+    }
+
+    /// Total claimed CPU fraction reserved on `cpu`.
+    pub fn utilization(&self, cpu: u32) -> f64 {
+        self.admitted_on(cpu).map(|c| c.cpu_usage).sum()
+    }
+
+    /// Number of admitted periodic components on `cpu`.
+    pub fn periodic_count(&self, cpu: u32) -> usize {
+        self.admitted_on(cpu).filter(|c| c.is_periodic()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtos::task::Priority;
+
+    fn info(name: &str, state: ComponentState, cpu: u32, usage: f64) -> ComponentInfo {
+        ComponentInfo {
+            name: name.into(),
+            state,
+            cpu,
+            cpu_usage: usage,
+            priority: 2,
+            period_ns: Some(1_000_000),
+        }
+    }
+
+    #[test]
+    fn from_contract_extracts_task_fields() {
+        let spec = TaskSpec::Periodic {
+            frequency_hz: 1000,
+            cpu: 1,
+            priority: Priority(3),
+        };
+        let i = ComponentInfo::from_contract("calc", ComponentState::Unsatisfied, &spec, 0.2);
+        assert_eq!(i.cpu, 1);
+        assert_eq!(i.priority, 3);
+        assert_eq!(i.period_ns, Some(1_000_000));
+        assert!(i.is_periodic());
+        let spec = TaskSpec::Aperiodic {
+            cpu: 0,
+            priority: Priority(9),
+        };
+        let i = ComponentInfo::from_contract("evt", ComponentState::Unsatisfied, &spec, 0.1);
+        assert!(!i.is_periodic());
+    }
+
+    #[test]
+    fn utilization_counts_only_admission_holders_on_cpu() {
+        let view = SystemView {
+            cpu_count: 2,
+            components: vec![
+                info("a", ComponentState::Active, 0, 0.3),
+                info("b", ComponentState::Suspended, 0, 0.2),
+                info("c", ComponentState::Unsatisfied, 0, 0.4),
+                info("d", ComponentState::Active, 1, 0.5),
+            ],
+        };
+        assert!((view.utilization(0) - 0.5).abs() < 1e-9);
+        assert!((view.utilization(1) - 0.5).abs() < 1e-9);
+        assert_eq!(view.periodic_count(0), 2);
+        assert_eq!(view.admitted_on(0).count(), 2);
+        assert!(view.component("c").is_some());
+        assert!(view.component("zz").is_none());
+    }
+}

@@ -1,0 +1,364 @@
+//! Functional constraint solving: matching inports to outports.
+//!
+//! A component's *functional constraints* (paper §2.3/§4.3) are satisfied
+//! when every one of its inports is fed by a **compatible** outport of an
+//! **active** component. Compatibility requires name, interface, data type
+//! and size to all agree — the port name doubles as the channel (SHM
+//! segment / mailbox) name, so a name match with mismatched shape is a
+//! deployment error worth surfacing, which is why the solver distinguishes
+//! "no provider" from "provider exists but is incompatible" from "provider
+//! exists but is not active".
+
+use crate::descriptor::ComponentDescriptor;
+use crate::lifecycle::ComponentState;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why an inport is unsatisfied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MissingReason {
+    /// No component declares a matching outport at all.
+    NoProvider,
+    /// A component declares an outport with the same name but an
+    /// incompatible shape.
+    IncompatibleProvider {
+        /// The offending provider component.
+        provider: String,
+    },
+    /// A compatible provider exists but is not active.
+    ProviderInactive {
+        /// The best candidate provider.
+        provider: String,
+    },
+}
+
+/// One unsatisfied inport of a component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingPort {
+    /// The consumer component.
+    pub component: String,
+    /// The unsatisfied inport name.
+    pub port: String,
+    /// Why.
+    pub reason: MissingReason,
+}
+
+impl fmt::Display for MissingPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.reason {
+            MissingReason::NoProvider => {
+                write!(f, "`{}`.{}: no provider", self.component, self.port)
+            }
+            MissingReason::IncompatibleProvider { provider } => write!(
+                f,
+                "`{}`.{}: provider `{provider}` has an incompatible port shape",
+                self.component, self.port
+            ),
+            MissingReason::ProviderInactive { provider } => write!(
+                f,
+                "`{}`.{}: provider `{provider}` is not active",
+                self.component, self.port
+            ),
+        }
+    }
+}
+
+/// The wiring solver over a set of registered components.
+///
+/// Built fresh from the DRCR's records on each resolution pass; holds
+/// borrowed descriptors, so it is a short-lived analysis object.
+#[derive(Debug)]
+pub struct WiringGraph<'a> {
+    entries: Vec<(&'a ComponentDescriptor, ComponentState)>,
+}
+
+impl<'a> WiringGraph<'a> {
+    /// Builds the graph from `(descriptor, current state)` pairs.
+    pub fn new(entries: Vec<(&'a ComponentDescriptor, ComponentState)>) -> Self {
+        WiringGraph { entries }
+    }
+
+    /// Checks the functional constraints of `candidate` against the current
+    /// states, returning the chosen provider per inport.
+    ///
+    /// A provider counts only while [`ComponentState::provides_outputs`]
+    /// (i.e. `Active`) — the paper's Display "could not start if no active
+    /// calculation task exists". When `assume_active` names the candidate
+    /// set of a fixpoint pass, those components count as active too.
+    ///
+    /// # Errors
+    ///
+    /// The list of unsatisfied inports, each with its reason.
+    pub fn check_functional(
+        &self,
+        candidate: &ComponentDescriptor,
+        assume_active: &[String],
+    ) -> Result<Vec<(String, String)>, Vec<MissingPort>> {
+        let mut providers = Vec::new();
+        let mut missing = Vec::new();
+        for inport in &candidate.inports {
+            let mut best: Option<MissingReason> = Some(MissingReason::NoProvider);
+            let mut chosen: Option<String> = None;
+            for (desc, state) in &self.entries {
+                if desc.name == candidate.name {
+                    continue;
+                }
+                let Some(outport) = desc.outports.iter().find(|o| o.name == inport.name) else {
+                    continue;
+                };
+                if !outport.compatible_with(inport) {
+                    if matches!(best, Some(MissingReason::NoProvider)) {
+                        best = Some(MissingReason::IncompatibleProvider {
+                            provider: desc.name.to_string(),
+                        });
+                    }
+                    continue;
+                }
+                let active = state.provides_outputs()
+                    || assume_active.iter().any(|n| n == desc.name.as_str());
+                if active {
+                    chosen = Some(desc.name.to_string());
+                    best = None;
+                    break;
+                }
+                best = Some(MissingReason::ProviderInactive {
+                    provider: desc.name.to_string(),
+                });
+            }
+            match (chosen, best) {
+                (Some(provider), _) => providers.push((inport.name.to_string(), provider)),
+                (None, Some(reason)) => missing.push(MissingPort {
+                    component: candidate.name.to_string(),
+                    port: inport.name.to_string(),
+                    reason,
+                }),
+                (None, None) => unreachable!("either chosen or a reason"),
+            }
+        }
+        if missing.is_empty() {
+            Ok(providers)
+        } else {
+            Err(missing)
+        }
+    }
+
+    /// Names of components whose functional constraints depend on an
+    /// outport of `provider` with **no alternative active provider**.
+    ///
+    /// These are the components the DRCR must deactivate (cascade) when
+    /// `provider` leaves.
+    pub fn dependents_of(&self, provider: &str) -> Vec<String> {
+        let Some((pdesc, _)) = self.entries.iter().find(|(d, _)| d.name.as_str() == provider)
+        else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (desc, state) in &self.entries {
+            if desc.name.as_str() == provider || !state.holds_admission() {
+                continue;
+            }
+            let depends = desc.inports.iter().any(|inport| {
+                let fed_by_provider = pdesc
+                    .outports
+                    .iter()
+                    .any(|o| o.compatible_with(inport));
+                if !fed_by_provider {
+                    return false;
+                }
+                // Any *other* active provider for this inport?
+                let alternative = self.entries.iter().any(|(other, ostate)| {
+                    other.name != desc.name
+                        && other.name.as_str() != provider
+                        && ostate.provides_outputs()
+                        && other.outports.iter().any(|o| o.compatible_with(inport))
+                });
+                !alternative
+            });
+            if depends {
+                out.push(desc.name.to_string());
+            }
+        }
+        out
+    }
+
+    /// Summary of every channel: `name → (providers, consumers)`.
+    pub fn channels(&self) -> BTreeMap<String, (Vec<String>, Vec<String>)> {
+        let mut map: BTreeMap<String, (Vec<String>, Vec<String>)> = BTreeMap::new();
+        for (desc, _) in &self.entries {
+            for p in &desc.outports {
+                map.entry(p.name.to_string())
+                    .or_default()
+                    .0
+                    .push(desc.name.to_string());
+            }
+            for p in &desc.inports {
+                map.entry(p.name.to_string())
+                    .or_default()
+                    .1
+                    .push(desc.name.to_string());
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::ComponentDescriptor;
+    use crate::model::PortInterface;
+    use rtos::shm::DataType;
+
+    fn calc() -> ComponentDescriptor {
+        ComponentDescriptor::builder("calc")
+            .periodic(1000, 0, 2)
+            .cpu_usage(0.2)
+            .outport("latdat", PortInterface::Shm, DataType::Integer, 4)
+            .build()
+            .unwrap()
+    }
+
+    fn disp() -> ComponentDescriptor {
+        ComponentDescriptor::builder("disp")
+            .periodic(4, 0, 5)
+            .cpu_usage(0.05)
+            .inport("latdat", PortInterface::Shm, DataType::Integer, 4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn inport_satisfied_by_active_provider() {
+        let c = calc();
+        let d = disp();
+        let g = WiringGraph::new(vec![
+            (&c, ComponentState::Active),
+            (&d, ComponentState::Unsatisfied),
+        ]);
+        let providers = g.check_functional(&d, &[]).unwrap();
+        assert_eq!(providers, vec![("latdat".to_string(), "calc".to_string())]);
+    }
+
+    #[test]
+    fn inactive_provider_reports_reason() {
+        let c = calc();
+        let d = disp();
+        let g = WiringGraph::new(vec![
+            (&c, ComponentState::Unsatisfied),
+            (&d, ComponentState::Unsatisfied),
+        ]);
+        let missing = g.check_functional(&d, &[]).unwrap_err();
+        assert_eq!(missing.len(), 1);
+        assert_eq!(
+            missing[0].reason,
+            MissingReason::ProviderInactive {
+                provider: "calc".into()
+            }
+        );
+        // But an optimistic pass that assumes calc will activate succeeds.
+        assert!(g.check_functional(&d, &["calc".into()]).is_ok());
+    }
+
+    #[test]
+    fn no_provider_at_all() {
+        let d = disp();
+        let g = WiringGraph::new(vec![(&d, ComponentState::Unsatisfied)]);
+        let missing = g.check_functional(&d, &[]).unwrap_err();
+        assert_eq!(missing[0].reason, MissingReason::NoProvider);
+        assert!(missing[0].to_string().contains("no provider"));
+    }
+
+    #[test]
+    fn incompatible_shape_reports_provider() {
+        let bad_calc = ComponentDescriptor::builder("calc")
+            .periodic(1000, 0, 2)
+            .outport("latdat", PortInterface::Shm, DataType::Byte, 4) // wrong type
+            .build()
+            .unwrap();
+        let d = disp();
+        let g = WiringGraph::new(vec![
+            (&bad_calc, ComponentState::Active),
+            (&d, ComponentState::Unsatisfied),
+        ]);
+        let missing = g.check_functional(&d, &[]).unwrap_err();
+        assert_eq!(
+            missing[0].reason,
+            MissingReason::IncompatibleProvider {
+                provider: "calc".into()
+            }
+        );
+    }
+
+    #[test]
+    fn component_cannot_feed_itself() {
+        let selfloop = ComponentDescriptor::builder("loop")
+            .periodic(10, 0, 2)
+            .outport("chan", PortInterface::Shm, DataType::Byte, 1)
+            .inport("chan2", PortInterface::Shm, DataType::Byte, 1)
+            .build()
+            .unwrap();
+        let g = WiringGraph::new(vec![(&selfloop, ComponentState::Active)]);
+        assert!(g.check_functional(&selfloop, &[]).is_err());
+    }
+
+    #[test]
+    fn dependents_cascade_without_alternatives() {
+        let c = calc();
+        let d = disp();
+        let g = WiringGraph::new(vec![
+            (&c, ComponentState::Active),
+            (&d, ComponentState::Active),
+        ]);
+        assert_eq!(g.dependents_of("calc"), vec!["disp".to_string()]);
+        assert!(g.dependents_of("disp").is_empty());
+    }
+
+    #[test]
+    fn alternative_provider_prevents_cascade() {
+        let c = calc();
+        let backup = ComponentDescriptor::builder("calc2")
+            .periodic(1000, 0, 3)
+            .outport("latdat", PortInterface::Shm, DataType::Integer, 4)
+            .build()
+            .unwrap();
+        let d = disp();
+        let g = WiringGraph::new(vec![
+            (&c, ComponentState::Active),
+            (&backup, ComponentState::Active),
+            (&d, ComponentState::Active),
+        ]);
+        assert!(g.dependents_of("calc").is_empty());
+        // But if the backup is not active, the cascade applies.
+        let g = WiringGraph::new(vec![
+            (&c, ComponentState::Active),
+            (&backup, ComponentState::Unsatisfied),
+            (&d, ComponentState::Active),
+        ]);
+        assert_eq!(g.dependents_of("calc"), vec!["disp".to_string()]);
+    }
+
+    #[test]
+    fn channels_summarize_topology() {
+        let c = calc();
+        let d = disp();
+        let g = WiringGraph::new(vec![
+            (&c, ComponentState::Active),
+            (&d, ComponentState::Active),
+        ]);
+        let channels = g.channels();
+        let (providers, consumers) = &channels["latdat"];
+        assert_eq!(providers, &vec!["calc".to_string()]);
+        assert_eq!(consumers, &vec!["disp".to_string()]);
+    }
+
+    #[test]
+    fn suspended_provider_does_not_satisfy() {
+        let c = calc();
+        let d = disp();
+        let g = WiringGraph::new(vec![
+            (&c, ComponentState::Suspended),
+            (&d, ComponentState::Unsatisfied),
+        ]);
+        assert!(g.check_functional(&d, &[]).is_err());
+    }
+}

@@ -1,0 +1,5 @@
+//! XML parsing for DRCom descriptors — re-exported from the shared
+//! [`xmlite`] crate (the `osgi` Declarative Services runtime parses its
+//! `component.xml` documents with the same parser).
+
+pub use xmlite::{parse, Element, Node, XmlError};

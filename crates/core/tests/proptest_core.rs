@@ -1,0 +1,287 @@
+//! Property-based tests of the DRCom layer: descriptor XML roundtrips, the
+//! intra-component wire protocol, lifecycle laws, admission accounting, and
+//! resolver bounds.
+
+use drcom::admission::AdmissionLedger;
+use drcom::descriptor::ComponentDescriptor;
+use drcom::hybrid::{Command, Reply};
+use drcom::lifecycle::ComponentState;
+use drcom::model::{PortInterface, PropertyValue};
+use drcom::resolve::RmBoundResolver;
+use drcom::xml;
+use proptest::prelude::*;
+use rtos::shm::DataType;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+fn obj_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}"
+}
+
+fn property_value() -> impl Strategy<Value = PropertyValue> {
+    prop_oneof![
+        any::<i64>().prop_map(PropertyValue::Integer),
+        (-1.0e6f64..1.0e6).prop_map(PropertyValue::Float),
+        // Strings roundtrip through XML attributes: printable, no control
+        // chars; XML specials are escaped by to_xml.
+        "[ -~]{0,20}".prop_map(PropertyValue::Text),
+        any::<bool>().prop_map(PropertyValue::Boolean),
+    ]
+}
+
+fn port_interface() -> impl Strategy<Value = PortInterface> {
+    prop_oneof![Just(PortInterface::Shm), Just(PortInterface::Mailbox)]
+}
+
+fn data_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![Just(DataType::Integer), Just(DataType::Byte)]
+}
+
+#[derive(Debug, Clone)]
+struct DescriptorSpec {
+    name: String,
+    desc: String,
+    enabled: bool,
+    periodic: Option<(u32, u32, u8)>,
+    cpu_usage: f64,
+    outports: Vec<(String, PortInterface, DataType, usize)>,
+    inports: Vec<(String, PortInterface, DataType, usize)>,
+    properties: Vec<(String, PropertyValue)>,
+    modes: Vec<(String, u32, f64, u8)>,
+}
+
+fn descriptor_spec() -> impl Strategy<Value = DescriptorSpec> {
+    (
+        obj_name(),
+        "[ -~&&[^\"&<>']]{0,24}",
+        any::<bool>(),
+        proptest::option::of((1u32..10_000, 0u32..1, 0u8..=254)),
+        0.01f64..1.0,
+        proptest::collection::vec((obj_name(), port_interface(), data_type(), 1usize..64), 0..4),
+        proptest::collection::vec((obj_name(), port_interface(), data_type(), 1usize..64), 0..4),
+        proptest::collection::vec(("[a-zA-Z][a-zA-Z0-9_]{0,10}", property_value()), 0..4),
+        proptest::collection::vec(
+            ("[a-z][a-z0-9]{0,8}", 1u32..10_000, 0.01f64..1.0, 0u8..=254),
+            0..3,
+        ),
+    )
+        .prop_filter_map(
+            "unique port and property names",
+            |(name, desc, enabled, periodic, cpu_usage, outports, inports, properties, modes)| {
+                let mut port_names: Vec<&String> = outports
+                    .iter()
+                    .map(|(n, ..)| n)
+                    .chain(inports.iter().map(|(n, ..)| n))
+                    .collect();
+                port_names.sort();
+                port_names.dedup();
+                if port_names.len() != outports.len() + inports.len() {
+                    return None;
+                }
+                let mut prop_names: Vec<&String> = properties.iter().map(|(n, _)| n).collect();
+                prop_names.sort();
+                prop_names.dedup();
+                if prop_names.len() != properties.len() {
+                    return None;
+                }
+                // Modes only on periodic components, unique non-reserved names.
+                let modes = if periodic.is_some() { modes } else { Vec::new() };
+                let mut mode_names: Vec<&String> = modes.iter().map(|(n, ..)| n).collect();
+                mode_names.sort();
+                mode_names.dedup();
+                if mode_names.len() != modes.len()
+                    || modes.iter().any(|(n, ..)| n == "normal")
+                {
+                    return None;
+                }
+                Some(DescriptorSpec {
+                    name,
+                    desc,
+                    enabled,
+                    periodic,
+                    cpu_usage,
+                    outports,
+                    inports,
+                    properties,
+                    modes,
+                })
+            },
+        )
+}
+
+fn build(spec: &DescriptorSpec) -> ComponentDescriptor {
+    let mut b = ComponentDescriptor::builder(&spec.name)
+        .description(&spec.desc)
+        .enabled(spec.enabled)
+        .cpu_usage(spec.cpu_usage);
+    b = match spec.periodic {
+        Some((hz, cpu, prio)) => b.periodic(hz, cpu, prio),
+        None => b.aperiodic(0, 100),
+    };
+    for (n, i, t, s) in &spec.outports {
+        b = b.outport(n, *i, *t, *s);
+    }
+    for (n, i, t, s) in &spec.inports {
+        b = b.inport(n, *i, *t, *s);
+    }
+    for (n, v) in &spec.properties {
+        b = b.property(n, v.clone());
+    }
+    for (n, hz, usage, prio) in &spec.modes {
+        b = b.mode(n, *hz, *usage, *prio);
+    }
+    b.build().expect("generated descriptors are valid")
+}
+
+proptest! {
+    /// Any valid descriptor serializes to XML that parses back to an equal
+    /// descriptor (modulo float text formatting, which is exact for the
+    /// generated range).
+    #[test]
+    fn descriptor_xml_roundtrip(spec in descriptor_spec()) {
+        let d = build(&spec);
+        let xml_text = d.to_xml();
+        let reparsed = ComponentDescriptor::parse_xml(&xml_text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml_text}"));
+        prop_assert_eq!(reparsed.name, d.name);
+        prop_assert_eq!(reparsed.description, d.description);
+        prop_assert_eq!(reparsed.enabled, d.enabled);
+        prop_assert_eq!(reparsed.task, d.task);
+        prop_assert!((reparsed.cpu_usage.fraction() - d.cpu_usage.fraction()).abs() < 1e-12);
+        prop_assert_eq!(reparsed.inports, d.inports);
+        prop_assert_eq!(reparsed.outports, d.outports);
+        // Properties: compare name + rendered value (float text identity).
+        prop_assert_eq!(reparsed.properties.len(), d.properties.len());
+        for ((n1, v1), (n2, v2)) in reparsed.properties.iter().zip(d.properties.iter()) {
+            prop_assert_eq!(n1, n2);
+            prop_assert_eq!(v1.to_string(), v2.to_string());
+        }
+        // Modes survive, including their claims.
+        prop_assert_eq!(reparsed.modes.len(), d.modes.len());
+        for (m1, m2) in reparsed.modes.iter().zip(d.modes.iter()) {
+            prop_assert_eq!(&m1.name, &m2.name);
+            prop_assert_eq!(m1.frequency_hz, m2.frequency_hz);
+            prop_assert_eq!(m1.priority, m2.priority);
+            prop_assert!((m1.cpu_usage - m2.cpu_usage).abs() < 1e-12);
+        }
+    }
+
+    /// The XML parser never panics on arbitrary input.
+    #[test]
+    fn xml_parse_never_panics(s in "[ -~\\n\\t]{0,120}") {
+        let _ = xml::parse(&s);
+    }
+
+    /// Commands survive the §3.2 wire format.
+    #[test]
+    fn command_wire_roundtrip(
+        name in "[ -~]{0,24}",
+        value in property_value(),
+        token in any::<u32>(),
+        which in 0u8..4,
+    ) {
+        let cmd = match which {
+            0 => Command::SetProperty { name, value },
+            1 => Command::GetProperty { token, name },
+            2 => Command::QueryStatus { token },
+            _ => Command::Ping { token },
+        };
+        let bytes = cmd.encode();
+        prop_assert_eq!(Command::decode(&bytes).expect("decode"), cmd);
+    }
+
+    /// Replies survive the wire format, and decode never panics on noise.
+    #[test]
+    fn reply_wire_roundtrip(
+        name in "[ -~]{0,24}",
+        value in proptest::option::of(property_value()),
+        token in any::<u32>(),
+        cycles in any::<u64>(),
+        at_ns in any::<u64>(),
+        which in 0u8..3,
+        noise in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let reply = match which {
+            0 => Reply::Property { token, name, value },
+            1 => Reply::Status { token, cycles, at_ns },
+            _ => Reply::Pong { token },
+        };
+        let bytes = reply.encode();
+        prop_assert_eq!(Reply::decode(&bytes).expect("decode"), reply);
+        let _ = Reply::decode(&noise);
+        let _ = Command::decode(&noise);
+    }
+
+    /// Lifecycle laws over random walks: admission-holding states are only
+    /// reachable through Unsatisfied→Active, and Destroyed is absorbing.
+    #[test]
+    fn lifecycle_random_walk(steps in proptest::collection::vec(0usize..6, 1..40)) {
+        let states = ComponentState::ALL;
+        let mut current = ComponentState::Installed;
+        let mut was_active = false;
+        for &s in &steps {
+            let target = states[s];
+            if current.can_transition(target) {
+                // Law: you can only *become* admission-holding from
+                // Unsatisfied (activation) or between Active/Suspended.
+                if target.holds_admission() && !current.holds_admission() {
+                    prop_assert_eq!(current, ComponentState::Unsatisfied);
+                    prop_assert_eq!(target, ComponentState::Active);
+                }
+                if target == ComponentState::Active {
+                    was_active = true;
+                }
+                current = target;
+            }
+            if current.is_terminal() {
+                break;
+            }
+        }
+        // Suspended implies it was active at some point.
+        if current == ComponentState::Suspended {
+            prop_assert!(was_active);
+        }
+    }
+
+    /// The ledger's per-CPU totals always equal the sum of live
+    /// reservations, through arbitrary reserve/release interleavings.
+    #[test]
+    fn ledger_accounting(ops in proptest::collection::vec(
+        (0u8..2, 0usize..8, 0u32..2, 0.01f64..0.5),
+        1..60,
+    )) {
+        let mut ledger = AdmissionLedger::new(2);
+        let mut model: std::collections::HashMap<String, (u32, f64)> = Default::default();
+        for (op, comp, cpu, usage) in ops {
+            let name = format!("c{comp}");
+            if op == 0 {
+                match ledger.reserve(&name, cpu, usage) {
+                    Ok(()) => {
+                        prop_assert!(!model.contains_key(&name));
+                        model.insert(name, (cpu, usage));
+                    }
+                    Err(_) => prop_assert!(model.contains_key(&name)),
+                }
+            } else {
+                let released = ledger.release(&name);
+                prop_assert_eq!(released.is_some(), model.remove(&name).is_some());
+            }
+            for c in 0..2u32 {
+                let expect: f64 = model.values().filter(|(mc, _)| *mc == c).map(|(_, u)| u).sum();
+                prop_assert!((ledger.utilization(c) - expect).abs() < 1e-9);
+            }
+            prop_assert_eq!(ledger.len(), model.len());
+        }
+    }
+
+    /// Liu–Layland bound: decreasing in n, bounded by (ln 2, 1].
+    #[test]
+    fn rm_bound_laws(n in 1usize..200) {
+        let b = RmBoundResolver::bound(n);
+        prop_assert!(b > std::f64::consts::LN_2 - 1e-9);
+        prop_assert!(b <= 1.0 + 1e-9);
+        prop_assert!(RmBoundResolver::bound(n + 1) <= b + 1e-12);
+    }
+}

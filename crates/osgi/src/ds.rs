@@ -1,0 +1,825 @@
+//! Declarative Services (DS) — the non-real-time component model the paper
+//! builds its analogy on.
+//!
+//! OSGi R4's Declarative Services lets a bundle declare *service
+//! components*: plain objects whose required service **references** are
+//! bound by a runtime (the SCR) instead of by lookup code, and which are
+//! activated exactly while all mandatory references are satisfied. The
+//! paper's §2.1 credits DS (and Cervantes & Hall's Service Binder) for the
+//! dynamic-availability machinery, then extends the idea to real-time
+//! contracts — so this substrate module implements the original,
+//! non-real-time half:
+//!
+//! * [`DsComponent`] — the component description: provided service,
+//!   required references (cardinality, binding policy, optional LDAP
+//!   target filter).
+//! * [`DsInstance`] — the component behaviour: `activate` / `deactivate`
+//!   plus `bind` / `unbind` callbacks.
+//! * [`ScrRuntime`] — the Service Component Runtime: reacts to registry
+//!   events, tracks reference satisfaction, activates/deactivates
+//!   instances, and registers provided services on their behalf.
+//!
+//! Differences from the paper's DRCR are instructive and deliberate: DS
+//! matches references by *service interface + filter* (late-bound, Java
+//! flavored), has no notion of resource admission, and its policy is fixed
+//! — precisely the limitations §2.1 lists as motivation for DRCom.
+
+use crate::event::{FrameworkEvent, ServiceEventKind};
+use crate::framework::Framework;
+use crate::ldap::{Filter, Properties};
+use crate::registry::{ServiceId, ServiceRef};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// How many bound services a reference needs/accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cardinality {
+    /// `0..1` — bind if available, stay satisfied without.
+    Optional,
+    /// `1..1` — exactly one binding required.
+    Mandatory,
+    /// `0..n` — bind all matches, stay satisfied without.
+    Multiple,
+    /// `1..n` — at least one binding required.
+    AtLeastOne,
+}
+
+impl Cardinality {
+    /// Whether zero bindings still satisfies the reference.
+    pub fn satisfied_by_zero(self) -> bool {
+        matches!(self, Cardinality::Optional | Cardinality::Multiple)
+    }
+
+    /// Whether more than one binding is accepted.
+    pub fn binds_many(self) -> bool {
+        matches!(self, Cardinality::Multiple | Cardinality::AtLeastOne)
+    }
+}
+
+/// How a bound reference reacts to a better/replacement service appearing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingPolicy {
+    /// Rebinding requires deactivating and reactivating the component.
+    Static,
+    /// The runtime rebinds in place via `bind`/`unbind` callbacks.
+    Dynamic,
+}
+
+/// A declared dependency on a service.
+#[derive(Debug, Clone)]
+pub struct DsReference {
+    /// Reference name passed to `bind`/`unbind`.
+    pub name: String,
+    /// Required service interface.
+    pub interface: String,
+    /// Cardinality (default mandatory).
+    pub cardinality: Cardinality,
+    /// Binding policy (default static).
+    pub policy: BindingPolicy,
+    /// Optional LDAP target filter narrowing candidates.
+    pub target: Option<Filter>,
+}
+
+impl DsReference {
+    /// A mandatory, statically bound reference.
+    pub fn mandatory(name: &str, interface: &str) -> Self {
+        DsReference {
+            name: name.to_string(),
+            interface: interface.to_string(),
+            cardinality: Cardinality::Mandatory,
+            policy: BindingPolicy::Static,
+            target: None,
+        }
+    }
+
+    /// Sets the cardinality.
+    pub fn with_cardinality(mut self, cardinality: Cardinality) -> Self {
+        self.cardinality = cardinality;
+        self
+    }
+
+    /// Sets the binding policy.
+    pub fn with_policy(mut self, policy: BindingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the target filter.
+    pub fn with_target(mut self, filter: Filter) -> Self {
+        self.target = Some(filter);
+        self
+    }
+}
+
+/// Behaviour of a service component instance.
+pub trait DsInstance {
+    /// Called when all mandatory references are bound.
+    fn activate(&mut self) {}
+
+    /// Called when the component is being deactivated.
+    fn deactivate(&mut self) {}
+
+    /// A service was bound to the named reference.
+    fn bind(&mut self, _reference: &str, _service: Rc<dyn Any>) {}
+
+    /// A service is being unbound from the named reference.
+    fn unbind(&mut self, _reference: &str, _service_id: ServiceId) {}
+
+    /// The object to register under the component's provided interface
+    /// while active, if any.
+    fn provided_service(&self) -> Option<Rc<dyn Any>> {
+        None
+    }
+}
+
+/// A service component description + instance factory.
+pub struct DsComponent {
+    /// Unique component name.
+    pub name: String,
+    /// Interface registered while the component is active, if any.
+    pub provides: Option<String>,
+    /// Service properties attached to the provided registration.
+    pub properties: Properties,
+    /// Declared references.
+    pub references: Vec<DsReference>,
+    factory: Box<dyn Fn() -> Box<dyn DsInstance>>,
+}
+
+impl fmt::Debug for DsComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DsComponent")
+            .field("name", &self.name)
+            .field("provides", &self.provides)
+            .field("references", &self.references.len())
+            .finish()
+    }
+}
+
+impl DsComponent {
+    /// Starts a description for a component named `name`.
+    pub fn new(name: &str, factory: impl Fn() -> Box<dyn DsInstance> + 'static) -> Self {
+        DsComponent {
+            name: name.to_string(),
+            provides: None,
+            properties: Properties::new(),
+            references: Vec::new(),
+            factory: Box::new(factory),
+        }
+    }
+
+    /// Declares the provided service interface.
+    pub fn provides(mut self, interface: &str) -> Self {
+        self.provides = Some(interface.to_string());
+        self
+    }
+
+    /// Attaches registration properties.
+    pub fn with_properties(mut self, properties: Properties) -> Self {
+        self.properties = properties;
+        self
+    }
+
+    /// Adds a reference.
+    pub fn requires(mut self, reference: DsReference) -> Self {
+        self.references.push(reference);
+        self
+    }
+
+    /// Parses a component description from the SCR XML grammar
+    /// (`OSGI-INF/component.xml`), pairing it with the given instance
+    /// factory:
+    ///
+    /// ```xml
+    /// <scr:component name="logger">
+    ///   <implementation class="com.acme.Logger"/>
+    ///   <service><provide interface="log.Service"/></service>
+    ///   <property name="level" type="String" value="info"/>
+    ///   <reference name="store" interface="store.Service"
+    ///              cardinality="1..1" policy="dynamic"
+    ///              target="(kind=disk)"/>
+    /// </scr:component>
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsXmlError`] for malformed documents or bad attribute
+    /// values.
+    pub fn from_xml(
+        xml: &str,
+        factory: impl Fn() -> Box<dyn DsInstance> + 'static,
+    ) -> Result<Self, DsXmlError> {
+        let root = xmlite::parse(xml).map_err(|e| DsXmlError(e.to_string()))?;
+        if root.local_name() != "component" {
+            return Err(DsXmlError(format!(
+                "root element must be `component`, found `{}`",
+                root.name
+            )));
+        }
+        let name = root
+            .attr("name")
+            .ok_or_else(|| DsXmlError("component needs a `name`".into()))?;
+        let mut component = DsComponent::new(name, factory);
+        if let Some(service) = root.child_named("service") {
+            let provide = service
+                .child_named("provide")
+                .ok_or_else(|| DsXmlError("`service` needs a `provide` child".into()))?;
+            let interface = provide
+                .attr("interface")
+                .ok_or_else(|| DsXmlError("`provide` needs an `interface`".into()))?;
+            component = component.provides(interface);
+        }
+        let mut properties = Properties::new();
+        for prop in root.children_named("property") {
+            let pname = prop
+                .attr("name")
+                .ok_or_else(|| DsXmlError("`property` needs a `name`".into()))?;
+            let raw = prop
+                .attr("value")
+                .ok_or_else(|| DsXmlError("`property` needs a `value`".into()))?;
+            let value = match prop.attr("type").unwrap_or("String") {
+                "String" => crate::ldap::PropValue::Str(raw.to_string()),
+                "Integer" | "Long" => raw
+                    .trim()
+                    .parse::<i64>()
+                    .map(crate::ldap::PropValue::Int)
+                    .map_err(|_| DsXmlError(format!("`{raw}` is not an integer")))?,
+                "Double" | "Float" => raw
+                    .trim()
+                    .parse::<f64>()
+                    .map(crate::ldap::PropValue::Float)
+                    .map_err(|_| DsXmlError(format!("`{raw}` is not a number")))?,
+                "Boolean" => raw
+                    .trim()
+                    .parse::<bool>()
+                    .map(crate::ldap::PropValue::Bool)
+                    .map_err(|_| DsXmlError(format!("`{raw}` is not a boolean")))?,
+                other => return Err(DsXmlError(format!("unknown property type `{other}`"))),
+            };
+            properties.insert(pname, value);
+        }
+        component = component.with_properties(properties);
+        for reference in root.children_named("reference") {
+            let rname = reference
+                .attr("name")
+                .ok_or_else(|| DsXmlError("`reference` needs a `name`".into()))?;
+            let interface = reference
+                .attr("interface")
+                .ok_or_else(|| DsXmlError("`reference` needs an `interface`".into()))?;
+            let mut r = DsReference::mandatory(rname, interface);
+            if let Some(card) = reference.attr("cardinality") {
+                r = r.with_cardinality(match card {
+                    "0..1" => Cardinality::Optional,
+                    "1..1" => Cardinality::Mandatory,
+                    "0..n" => Cardinality::Multiple,
+                    "1..n" => Cardinality::AtLeastOne,
+                    other => {
+                        return Err(DsXmlError(format!("unknown cardinality `{other}`")))
+                    }
+                });
+            }
+            if let Some(policy) = reference.attr("policy") {
+                r = r.with_policy(match policy {
+                    "static" => BindingPolicy::Static,
+                    "dynamic" => BindingPolicy::Dynamic,
+                    other => return Err(DsXmlError(format!("unknown policy `{other}`"))),
+                });
+            }
+            if let Some(target) = reference.attr("target") {
+                let filter = Filter::parse(target)
+                    .map_err(|e| DsXmlError(format!("bad target filter: {e}")))?;
+                r = r.with_target(filter);
+            }
+            component = component.requires(r);
+        }
+        Ok(component)
+    }
+}
+
+/// A failure parsing an SCR component document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsXmlError(String);
+
+impl fmt::Display for DsXmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid SCR component XML: {}", self.0)
+    }
+}
+
+impl std::error::Error for DsXmlError {}
+
+/// State of a managed component, mirroring the DS specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DsState {
+    /// Mandatory references unsatisfied.
+    Unsatisfied,
+    /// Instance active (and provided service registered).
+    Active,
+}
+
+struct Managed {
+    component: DsComponent,
+    state: DsState,
+    instance: Option<Box<dyn DsInstance>>,
+    bound: BTreeMap<String, Vec<ServiceId>>,
+    registration: Option<ServiceId>,
+}
+
+/// The Service Component Runtime. See the [module docs](self).
+#[derive(Default)]
+pub struct ScrRuntime {
+    components: BTreeMap<String, Managed>,
+}
+
+impl fmt::Debug for ScrRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScrRuntime")
+            .field("components", &self.components.len())
+            .finish()
+    }
+}
+
+impl ScrRuntime {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a component description and immediately tries to satisfy
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a component with the same name is already managed.
+    pub fn add_component(&mut self, fw: &mut Framework, component: DsComponent) {
+        assert!(
+            !self.components.contains_key(&component.name),
+            "duplicate DS component `{}`",
+            component.name
+        );
+        let name = component.name.clone();
+        self.components.insert(
+            name,
+            Managed {
+                component,
+                state: DsState::Unsatisfied,
+                instance: None,
+                bound: BTreeMap::new(),
+                registration: None,
+            },
+        );
+        self.resolve(fw);
+    }
+
+    /// Removes a component, deactivating it if active.
+    pub fn remove_component(&mut self, fw: &mut Framework, name: &str) {
+        if let Some(mut managed) = self.components.remove(name) {
+            deactivate(&mut managed, fw);
+        }
+        self.resolve(fw);
+    }
+
+    /// Current state of a managed component.
+    pub fn state(&self, name: &str) -> Option<DsState> {
+        self.components.get(name).map(|m| m.state)
+    }
+
+    /// Services currently bound to a component's reference.
+    pub fn bound_to(&self, component: &str, reference: &str) -> Vec<ServiceId> {
+        self.components
+            .get(component)
+            .and_then(|m| m.bound.get(reference).cloned())
+            .unwrap_or_default()
+    }
+
+    /// Drains framework events and re-resolves. Call after anything that
+    /// may have changed the registry.
+    pub fn process(&mut self, fw: &mut Framework) {
+        let mut relevant = false;
+        for event in fw.drain_events() {
+            match event {
+                FrameworkEvent::Service(e)
+                    if matches!(
+                        e.kind,
+                        ServiceEventKind::Registered
+                            | ServiceEventKind::Unregistering
+                            | ServiceEventKind::Modified
+                    ) =>
+                {
+                    relevant = true;
+                }
+                _ => {}
+            }
+        }
+        if relevant {
+            self.resolve(fw);
+        }
+    }
+
+    /// Re-evaluates satisfaction for all components to a fixpoint (a
+    /// component's provided service can satisfy another's reference).
+    pub fn resolve(&mut self, fw: &mut Framework) {
+        loop {
+            let mut changed = false;
+            let names: Vec<String> = self.components.keys().cloned().collect();
+            for name in names {
+                let managed = self.components.get_mut(&name).expect("present");
+                let satisfied = references_satisfiable(&managed.component, fw);
+                match (managed.state, satisfied) {
+                    (DsState::Unsatisfied, true) => {
+                        activate(managed, fw);
+                        changed = true;
+                    }
+                    (DsState::Active, false) => {
+                        deactivate(managed, fw);
+                        changed = true;
+                    }
+                    (DsState::Active, true) => {
+                        // Dynamic references: rebind in place if the bound
+                        // set drifted from the current best matches.
+                        if rebind_dynamic(managed, fw) {
+                            changed = true;
+                        }
+                    }
+                    (DsState::Unsatisfied, false) => {}
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+}
+
+fn candidates(reference: &DsReference, fw: &Framework) -> Vec<ServiceRef> {
+    fw.registry()
+        .find(&reference.interface, reference.target.as_ref())
+}
+
+fn references_satisfiable(component: &DsComponent, fw: &Framework) -> bool {
+    component.references.iter().all(|r| {
+        r.cardinality.satisfied_by_zero() || !candidates(r, fw).is_empty()
+    })
+}
+
+fn activate(managed: &mut Managed, fw: &mut Framework) {
+    let mut instance = (managed.component.factory)();
+    managed.bound.clear();
+    for reference in &managed.component.references {
+        let found = candidates(reference, fw);
+        let take = if reference.cardinality.binds_many() {
+            found.len()
+        } else {
+            found.len().min(1)
+        };
+        let mut ids = Vec::new();
+        for service_ref in found.into_iter().take(take) {
+            if let Some(obj) = raw_object(fw, service_ref.id()) {
+                instance.bind(&reference.name, obj);
+            }
+            ids.push(service_ref.id());
+        }
+        managed.bound.insert(reference.name.clone(), ids);
+    }
+    instance.activate();
+    if let Some(interface) = &managed.component.provides {
+        if let Some(service) = instance.provided_service() {
+            let mut props = managed.component.properties.clone();
+            props.insert("component.name", managed.component.name.as_str());
+            managed.registration =
+                Some(fw.registry_mut().register(&[interface.as_str()], service, props));
+        }
+    }
+    managed.instance = Some(instance);
+    managed.state = DsState::Active;
+}
+
+fn deactivate(managed: &mut Managed, fw: &mut Framework) {
+    if let Some(mut instance) = managed.instance.take() {
+        if let Some(reg) = managed.registration.take() {
+            fw.registry_mut().unregister(reg);
+        }
+        for (name, ids) in std::mem::take(&mut managed.bound) {
+            for id in ids {
+                instance.unbind(&name, id);
+            }
+        }
+        instance.deactivate();
+    }
+    managed.state = DsState::Unsatisfied;
+}
+
+/// For dynamic references, reconcile the bound set with current candidates.
+/// Returns true if any rebinding happened.
+fn rebind_dynamic(managed: &mut Managed, fw: &mut Framework) -> bool {
+    let mut any = false;
+    let refs: Vec<DsReference> = managed
+        .component
+        .references
+        .iter()
+        .filter(|r| r.policy == BindingPolicy::Dynamic)
+        .cloned()
+        .collect();
+    for reference in refs {
+        let current = managed
+            .bound
+            .get(&reference.name)
+            .cloned()
+            .unwrap_or_default();
+        let found = candidates(&reference, fw);
+        let want: Vec<ServiceId> = if reference.cardinality.binds_many() {
+            found.iter().map(|r| r.id()).collect()
+        } else {
+            found.iter().map(|r| r.id()).take(1).collect()
+        };
+        if current == want {
+            continue;
+        }
+        let instance = managed.instance.as_mut().expect("active instance");
+        for id in current.iter().filter(|id| !want.contains(id)) {
+            instance.unbind(&reference.name, *id);
+            any = true;
+        }
+        for id in want.iter().filter(|id| !current.contains(id)) {
+            if let Some(obj) = raw_object(fw, *id) {
+                instance.bind(&reference.name, obj);
+                any = true;
+            }
+        }
+        managed.bound.insert(reference.name.clone(), want);
+    }
+    any
+}
+
+/// Fetches the raw `Rc<dyn Any>` behind a service id.
+fn raw_object(fw: &Framework, id: ServiceId) -> Option<Rc<dyn Any>> {
+    // The registry stores `Rc<dyn Any>`; `get::<T>` downcasts, which we do
+    // not want here. Use the typed accessor with the erased type.
+    fw.registry().get_any(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::Framework;
+    use crate::ldap::Filter;
+    use std::cell::RefCell;
+
+    #[derive(Default)]
+    struct Probe {
+        activations: u32,
+        deactivations: u32,
+        binds: Vec<String>,
+        unbinds: Vec<String>,
+    }
+
+    struct ProbeInstance(Rc<RefCell<Probe>>);
+
+    impl DsInstance for ProbeInstance {
+        fn activate(&mut self) {
+            self.0.borrow_mut().activations += 1;
+        }
+        fn deactivate(&mut self) {
+            self.0.borrow_mut().deactivations += 1;
+        }
+        fn bind(&mut self, reference: &str, _service: Rc<dyn Any>) {
+            self.0.borrow_mut().binds.push(reference.to_string());
+        }
+        fn unbind(&mut self, reference: &str, _id: ServiceId) {
+            self.0.borrow_mut().unbinds.push(reference.to_string());
+        }
+        fn provided_service(&self) -> Option<Rc<dyn Any>> {
+            Some(Rc::new(42u32))
+        }
+    }
+
+    fn probe_component(probe: Rc<RefCell<Probe>>, reference: DsReference) -> DsComponent {
+        DsComponent::new("user", move || Box::new(ProbeInstance(probe.clone())))
+            .provides("user.Service")
+            .requires(reference)
+    }
+
+    #[test]
+    fn mandatory_reference_gates_activation() {
+        let mut fw = Framework::new();
+        let mut scr = ScrRuntime::new();
+        let probe: Rc<RefCell<Probe>> = Rc::default();
+        scr.add_component(
+            &mut fw,
+            probe_component(probe.clone(), DsReference::mandatory("log", "log.Service")),
+        );
+        assert_eq!(scr.state("user"), Some(DsState::Unsatisfied));
+        assert_eq!(probe.borrow().activations, 0);
+
+        // The dependency arrives.
+        let log_id = fw
+            .registry_mut()
+            .register(&["log.Service"], Rc::new("logger"), Properties::new());
+        scr.process(&mut fw);
+        assert_eq!(scr.state("user"), Some(DsState::Active));
+        assert_eq!(probe.borrow().activations, 1);
+        assert_eq!(probe.borrow().binds, vec!["log"]);
+        assert_eq!(scr.bound_to("user", "log"), vec![log_id]);
+        // The provided service is registered while active.
+        assert_eq!(fw.registry().find("user.Service", None).len(), 1);
+
+        // The dependency leaves.
+        fw.registry_mut().unregister(log_id);
+        scr.process(&mut fw);
+        assert_eq!(scr.state("user"), Some(DsState::Unsatisfied));
+        assert_eq!(probe.borrow().deactivations, 1);
+        assert_eq!(probe.borrow().unbinds, vec!["log"]);
+        assert!(fw.registry().find("user.Service", None).is_empty());
+    }
+
+    #[test]
+    fn optional_reference_does_not_gate() {
+        let mut fw = Framework::new();
+        let mut scr = ScrRuntime::new();
+        let probe: Rc<RefCell<Probe>> = Rc::default();
+        scr.add_component(
+            &mut fw,
+            probe_component(
+                probe.clone(),
+                DsReference::mandatory("log", "log.Service")
+                    .with_cardinality(Cardinality::Optional),
+            ),
+        );
+        assert_eq!(scr.state("user"), Some(DsState::Active));
+        assert!(probe.borrow().binds.is_empty());
+    }
+
+    #[test]
+    fn components_satisfy_each_other_in_chains() {
+        let mut fw = Framework::new();
+        let mut scr = ScrRuntime::new();
+        let p1: Rc<RefCell<Probe>> = Rc::default();
+        let p2: Rc<RefCell<Probe>> = Rc::default();
+        // `user` needs user.Service provided by `provider`.
+        let user = {
+            let p = p2.clone();
+            DsComponent::new("consumer", move || Box::new(ProbeInstance(p.clone())))
+                .requires(DsReference::mandatory("dep", "user.Service"))
+        };
+        scr.add_component(&mut fw, user);
+        assert_eq!(scr.state("consumer"), Some(DsState::Unsatisfied));
+        let provider = {
+            let p = p1.clone();
+            DsComponent::new("user", move || Box::new(ProbeInstance(p.clone())))
+                .provides("user.Service")
+        };
+        scr.add_component(&mut fw, provider);
+        // Fixpoint: provider activates, registers user.Service, consumer
+        // activates off it.
+        assert_eq!(scr.state("user"), Some(DsState::Active));
+        assert_eq!(scr.state("consumer"), Some(DsState::Active));
+        // Removing the provider cascades.
+        scr.remove_component(&mut fw, "user");
+        assert_eq!(scr.state("consumer"), Some(DsState::Unsatisfied));
+    }
+
+    #[test]
+    fn target_filter_narrows_candidates() {
+        let mut fw = Framework::new();
+        let mut scr = ScrRuntime::new();
+        fw.registry_mut().register(
+            &["log.Service"],
+            Rc::new("noisy"),
+            Properties::new().with("level", "debug"),
+        );
+        let probe: Rc<RefCell<Probe>> = Rc::default();
+        scr.add_component(
+            &mut fw,
+            probe_component(
+                probe.clone(),
+                DsReference::mandatory("log", "log.Service")
+                    .with_target(Filter::parse("(level=error)").unwrap()),
+            ),
+        );
+        assert_eq!(scr.state("user"), Some(DsState::Unsatisfied));
+        fw.registry_mut().register(
+            &["log.Service"],
+            Rc::new("quiet"),
+            Properties::new().with("level", "error"),
+        );
+        scr.process(&mut fw);
+        assert_eq!(scr.state("user"), Some(DsState::Active));
+    }
+
+    #[test]
+    fn dynamic_reference_rebinds_without_restart() {
+        let mut fw = Framework::new();
+        let mut scr = ScrRuntime::new();
+        let first = fw.registry_mut().register(
+            &["log.Service"],
+            Rc::new("first"),
+            Properties::new().with("service.ranking", 1),
+        );
+        let probe: Rc<RefCell<Probe>> = Rc::default();
+        scr.add_component(
+            &mut fw,
+            probe_component(
+                probe.clone(),
+                DsReference::mandatory("log", "log.Service")
+                    .with_policy(BindingPolicy::Dynamic),
+            ),
+        );
+        assert_eq!(scr.bound_to("user", "log"), vec![first]);
+        // A higher-ranked service appears: rebind in place, no restart.
+        let better = fw.registry_mut().register(
+            &["log.Service"],
+            Rc::new("better"),
+            Properties::new().with("service.ranking", 10),
+        );
+        scr.process(&mut fw);
+        assert_eq!(scr.bound_to("user", "log"), vec![better]);
+        assert_eq!(probe.borrow().activations, 1, "no restart");
+        assert_eq!(probe.borrow().binds.len(), 2);
+        assert_eq!(probe.borrow().unbinds.len(), 1);
+    }
+
+    #[test]
+    fn scr_xml_parses_the_full_grammar() {
+        let xml = r#"<?xml version="1.0"?>
+        <scr:component name="logger">
+          <implementation class="com.acme.Logger"/>
+          <service><provide interface="log.Service"/></service>
+          <property name="level" type="String" value="info"/>
+          <property name="buffer" type="Integer" value="128"/>
+          <property name="sync" type="Boolean" value="true"/>
+          <reference name="store" interface="store.Service"
+                     cardinality="0..1" policy="dynamic"
+                     target="(kind=disk)"/>
+        </scr:component>"#;
+        let c = DsComponent::from_xml(xml, || {
+            Box::new(ProbeInstance(Rc::default()))
+        })
+        .unwrap();
+        assert_eq!(c.name, "logger");
+        assert_eq!(c.provides.as_deref(), Some("log.Service"));
+        assert_eq!(c.references.len(), 1);
+        let r = &c.references[0];
+        assert_eq!(r.cardinality, Cardinality::Optional);
+        assert_eq!(r.policy, BindingPolicy::Dynamic);
+        assert!(r.target.is_some());
+        assert_eq!(
+            c.properties.get("buffer"),
+            Some(&crate::ldap::PropValue::Int(128))
+        );
+
+        // And it deploys like a builder-made component.
+        let mut fw = Framework::new();
+        let mut scr = ScrRuntime::new();
+        scr.add_component(&mut fw, c);
+        assert_eq!(scr.state("logger"), Some(DsState::Active));
+        let found = fw.registry().find("log.Service", None);
+        assert_eq!(found.len(), 1);
+        assert_eq!(
+            found[0].properties().get("level"),
+            Some(&crate::ldap::PropValue::Str("info".into()))
+        );
+    }
+
+    #[test]
+    fn scr_xml_rejects_malformed_documents() {
+        let mk = |xml: &str| DsComponent::from_xml(xml, || Box::new(ProbeInstance(Rc::default())));
+        for bad in [
+            "<scr:component/>",                         // no name
+            "<other name=\"x\"/>",                      // wrong root
+            "<scr:component name=\"x\"><service/></scr:component>", // no provide
+            r#"<scr:component name="x"><reference name="r"/></scr:component>"#, // no interface
+            r#"<scr:component name="x"><reference name="r" interface="i" cardinality="2..3"/></scr:component>"#,
+            r#"<scr:component name="x"><reference name="r" interface="i" policy="magic"/></scr:component>"#,
+            r#"<scr:component name="x"><reference name="r" interface="i" target="((("/></scr:component>"#,
+            r#"<scr:component name="x"><property name="p" type="Integer" value="abc"/></scr:component>"#,
+        ] {
+            assert!(mk(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn multiple_cardinality_binds_all() {
+        let mut fw = Framework::new();
+        let mut scr = ScrRuntime::new();
+        for i in 0..3 {
+            fw.registry_mut().register(
+                &["sink.Service"],
+                Rc::new(i),
+                Properties::new(),
+            );
+        }
+        let probe: Rc<RefCell<Probe>> = Rc::default();
+        scr.add_component(
+            &mut fw,
+            probe_component(
+                probe.clone(),
+                DsReference::mandatory("sinks", "sink.Service")
+                    .with_cardinality(Cardinality::AtLeastOne),
+            ),
+        );
+        assert_eq!(scr.state("user"), Some(DsState::Active));
+        assert_eq!(probe.borrow().binds.len(), 3);
+        assert_eq!(scr.bound_to("user", "sinks").len(), 3);
+    }
+}

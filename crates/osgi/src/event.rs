@@ -1,0 +1,111 @@
+//! Framework, bundle and service events.
+//!
+//! The framework records every state change as an event in an internal
+//! queue; interested parties (in this reproduction, most importantly the
+//! DRCR executive) **drain** the queue and react. The paper's DRCR
+//! "receives notifications from the OSGi framework for component state
+//! changes" and uses them to trigger re-configuration — this queue is that
+//! notification channel, kept synchronous and deterministic.
+
+use crate::ldap::Properties;
+use crate::registry::ServiceId;
+
+/// Identifier of an installed bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BundleId(pub(crate) u64);
+
+impl BundleId {
+    /// The raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for BundleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bundle#{}", self.0)
+    }
+}
+
+/// What happened to a bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BundleEventKind {
+    /// The bundle was installed.
+    Installed,
+    /// The bundle's imports were wired to exporters.
+    Resolved,
+    /// The bundle's activator completed start.
+    Started,
+    /// The bundle's activator completed stop.
+    Stopped,
+    /// The bundle was replaced in place.
+    Updated,
+    /// The bundle was removed.
+    Uninstalled,
+}
+
+/// A bundle lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BundleEvent {
+    /// The affected bundle.
+    pub bundle: BundleId,
+    /// The bundle's symbolic name at event time.
+    pub symbolic_name: String,
+    /// What happened.
+    pub kind: BundleEventKind,
+}
+
+/// What happened to a service registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceEventKind {
+    /// A service was registered.
+    Registered,
+    /// A service's properties changed.
+    Modified,
+    /// A service is about to disappear.
+    Unregistering,
+}
+
+/// A service registry event, carrying a snapshot of the service's metadata
+/// at event time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceEvent {
+    /// The affected service.
+    pub service: ServiceId,
+    /// Interfaces the service was registered under.
+    pub interfaces: Vec<String>,
+    /// Property snapshot at event time.
+    pub properties: Properties,
+    /// What happened.
+    pub kind: ServiceEventKind,
+}
+
+/// Any framework event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameworkEvent {
+    /// A bundle lifecycle event.
+    Bundle(BundleEvent),
+    /// A service registry event.
+    Service(ServiceEvent),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_id_displays() {
+        assert_eq!(BundleId(3).to_string(), "bundle#3");
+        assert_eq!(BundleId(3).raw(), 3);
+    }
+
+    #[test]
+    fn events_are_comparable() {
+        let a = BundleEvent {
+            bundle: BundleId(1),
+            symbolic_name: "x".into(),
+            kind: BundleEventKind::Started,
+        };
+        assert_eq!(a, a.clone());
+    }
+}

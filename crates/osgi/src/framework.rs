@@ -1,0 +1,800 @@
+//! The bundle framework: install / resolve / start / stop / update /
+//! uninstall, with package wiring and the event queue.
+//!
+//! This is the "continuous deployment platform" the paper builds on: bundles
+//! arrive and depart at run time, and every transition is observable through
+//! [`Framework::drain_events`] so the DRCR executive can react.
+
+use crate::event::{BundleEvent, BundleEventKind, BundleId, FrameworkEvent};
+use crate::ldap::{Filter, Properties};
+use crate::manifest::BundleManifest;
+use crate::registry::{ServiceId, ServiceRef, ServiceRegistry};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Lifecycle state of a bundle (OSGi core specification, §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BundleState {
+    /// Installed but imports not yet wired.
+    Installed,
+    /// Imports wired; ready to start.
+    Resolved,
+    /// Activator `start` in progress.
+    Starting,
+    /// Running.
+    Active,
+    /// Activator `stop` in progress.
+    Stopping,
+    /// Removed from the framework.
+    Uninstalled,
+}
+
+/// Behaviour attached to a bundle, driven by the framework.
+pub trait BundleActivator {
+    /// Called when the bundle starts. Registering services and wiring
+    /// listeners happens here.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error aborts the start; the bundle falls back to
+    /// `Resolved`.
+    fn start(&mut self, ctx: &mut BundleContext<'_>) -> Result<(), String>;
+
+    /// Called when the bundle stops. Services registered through the
+    /// context are removed automatically after this returns.
+    fn stop(&mut self, _ctx: &mut BundleContext<'_>) {}
+}
+
+/// A no-op activator for library bundles.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopActivator;
+
+impl BundleActivator for NoopActivator {
+    fn start(&mut self, _ctx: &mut BundleContext<'_>) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// A wiring decision: `importer` gets `package` from `exporter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wire {
+    /// The importing bundle.
+    pub importer: BundleId,
+    /// The exporting bundle.
+    pub exporter: BundleId,
+    /// The wired package name.
+    pub package: String,
+}
+
+/// Errors from framework operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameworkError {
+    /// No bundle with that id.
+    NoSuchBundle(BundleId),
+    /// The operation is invalid in the bundle's current state.
+    InvalidState {
+        /// The bundle.
+        bundle: BundleId,
+        /// What was attempted.
+        operation: &'static str,
+        /// Its state.
+        state: BundleState,
+    },
+    /// Mandatory imports could not be wired.
+    UnresolvedImports {
+        /// The bundle that failed to resolve.
+        bundle: BundleId,
+        /// The missing package names.
+        missing: Vec<String>,
+    },
+    /// The activator's `start` returned an error.
+    ActivatorFailed {
+        /// The bundle whose activator failed.
+        bundle: BundleId,
+        /// The activator's message.
+        message: String,
+    },
+    /// A symbolic name is already installed.
+    DuplicateName(String),
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::NoSuchBundle(b) => write!(f, "no such bundle {b}"),
+            FrameworkError::InvalidState {
+                bundle,
+                operation,
+                state,
+            } => write!(f, "cannot {operation} {bundle} in state {state:?}"),
+            FrameworkError::UnresolvedImports { bundle, missing } => {
+                write!(f, "{bundle} has unresolved imports: {}", missing.join(", "))
+            }
+            FrameworkError::ActivatorFailed { bundle, message } => {
+                write!(f, "activator of {bundle} failed: {message}")
+            }
+            FrameworkError::DuplicateName(name) => {
+                write!(f, "bundle with symbolic name `{name}` already installed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {}
+
+struct Bundle {
+    manifest: BundleManifest,
+    state: BundleState,
+    activator: Option<Box<dyn BundleActivator>>,
+}
+
+/// The OSGi framework. See the [module docs](self).
+#[derive(Default)]
+pub struct Framework {
+    bundles: BTreeMap<u64, Bundle>,
+    next_bundle: u64,
+    registry: ServiceRegistry,
+    wires: Vec<Wire>,
+    events: Vec<FrameworkEvent>,
+}
+
+impl fmt::Debug for Framework {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Framework")
+            .field("bundles", &self.bundles.len())
+            .field("services", &self.registry.len())
+            .finish()
+    }
+}
+
+impl Framework {
+    /// Boots an empty framework.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a bundle; it starts in [`BundleState::Installed`].
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::DuplicateName`] if the symbolic name is taken by a
+    /// non-uninstalled bundle.
+    pub fn install(
+        &mut self,
+        manifest: BundleManifest,
+        activator: Box<dyn BundleActivator>,
+    ) -> Result<BundleId, FrameworkError> {
+        if self.bundles.values().any(|b| {
+            b.state != BundleState::Uninstalled
+                && b.manifest.symbolic_name == manifest.symbolic_name
+        }) {
+            return Err(FrameworkError::DuplicateName(manifest.symbolic_name));
+        }
+        self.next_bundle += 1;
+        let id = BundleId(self.next_bundle);
+        let symbolic_name = manifest.symbolic_name.clone();
+        self.bundles.insert(
+            id.raw(),
+            Bundle {
+                manifest,
+                state: BundleState::Installed,
+                activator: Some(activator),
+            },
+        );
+        self.emit_bundle(id, &symbolic_name, BundleEventKind::Installed);
+        Ok(id)
+    }
+
+    /// Attempts to wire a bundle's imports; moves it to `Resolved`.
+    ///
+    /// Resolution considers exports of every bundle that is itself
+    /// `Resolved`/`Active`, and runs to a fixpoint so chains of `Installed`
+    /// bundles resolve together.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::UnresolvedImports`] listing the missing packages.
+    pub fn resolve(&mut self, id: BundleId) -> Result<(), FrameworkError> {
+        let bundle = self.get(id)?;
+        match bundle.state {
+            BundleState::Installed => {}
+            BundleState::Resolved | BundleState::Active | BundleState::Starting => return Ok(()),
+            state => {
+                return Err(FrameworkError::InvalidState {
+                    bundle: id,
+                    operation: "resolve",
+                    state,
+                })
+            }
+        }
+        // Greatest fixpoint: optimistically assume every installed bundle
+        // resolves (so mutually dependent bundles can wire to each other),
+        // then strike out any whose mandatory imports are unsatisfiable and
+        // repeat until stable.
+        let already: Vec<u64> = self
+            .bundles
+            .iter()
+            .filter(|(_, b)| {
+                matches!(
+                    b.state,
+                    BundleState::Resolved | BundleState::Active | BundleState::Starting
+                )
+            })
+            .map(|(i, _)| *i)
+            .collect();
+        let mut newly: Vec<u64> = self
+            .bundles
+            .iter()
+            .filter(|(_, b)| b.state == BundleState::Installed)
+            .map(|(i, _)| *i)
+            .collect();
+        loop {
+            let resolved: Vec<u64> = already.iter().chain(newly.iter()).copied().collect();
+            let before = newly.len();
+            newly.retain(|&cand| {
+                self.bundles[&cand].manifest.imports.iter().all(|imp| {
+                    imp.optional
+                        || resolved
+                            .iter()
+                            .any(|&e| self.bundles[&e].manifest.satisfies(imp))
+                })
+            });
+            if newly.len() == before {
+                break;
+            }
+        }
+        let resolved: Vec<u64> = already.iter().chain(newly.iter()).copied().collect();
+        if !newly.contains(&id.raw()) {
+            let missing: Vec<String> = self.bundles[&id.raw()]
+                .manifest
+                .imports
+                .iter()
+                .filter(|imp| {
+                    !imp.optional
+                        && !resolved
+                            .iter()
+                            .any(|&e| self.bundles[&e].manifest.satisfies(imp))
+                })
+                .map(|imp| imp.package.clone())
+                .collect();
+            return Err(FrameworkError::UnresolvedImports {
+                bundle: id,
+                missing,
+            });
+        }
+        // Record wires and flip states for everything that resolved.
+        for &b in &newly {
+            let importer = BundleId(b);
+            let imports = self.bundles[&b].manifest.imports.clone();
+            for imp in imports {
+                if let Some((&exp, _)) = self
+                    .bundles
+                    .iter()
+                    .find(|(i, bb)| resolved.contains(i) && bb.manifest.satisfies(&imp))
+                {
+                    self.wires.push(Wire {
+                        importer,
+                        exporter: BundleId(exp),
+                        package: imp.package.clone(),
+                    });
+                }
+            }
+            let bundle = self.bundles.get_mut(&b).expect("resolved bundle exists");
+            bundle.state = BundleState::Resolved;
+            let name = bundle.manifest.symbolic_name.clone();
+            self.emit_bundle(importer, &name, BundleEventKind::Resolved);
+        }
+        Ok(())
+    }
+
+    /// Starts a bundle: resolves if needed, runs the activator.
+    ///
+    /// # Errors
+    ///
+    /// Resolution or activator failures; the bundle is left `Resolved` if
+    /// its activator failed.
+    pub fn start(&mut self, id: BundleId) -> Result<(), FrameworkError> {
+        match self.get(id)?.state {
+            BundleState::Active | BundleState::Starting => return Ok(()),
+            BundleState::Installed => self.resolve(id)?,
+            BundleState::Resolved => {}
+            state => {
+                return Err(FrameworkError::InvalidState {
+                    bundle: id,
+                    operation: "start",
+                    state,
+                })
+            }
+        }
+        self.set_state(id, BundleState::Starting);
+        let mut activator = self
+            .bundles
+            .get_mut(&id.raw())
+            .expect("bundle exists")
+            .activator
+            .take()
+            .expect("activator present outside start/stop");
+        let result = {
+            let mut ctx = BundleContext {
+                framework: self,
+                bundle: id,
+            };
+            activator.start(&mut ctx)
+        };
+        self.bundles
+            .get_mut(&id.raw())
+            .expect("bundle exists")
+            .activator = Some(activator);
+        match result {
+            Ok(()) => {
+                self.set_state(id, BundleState::Active);
+                let name = self.symbolic_name(id).expect("exists").to_string();
+                self.emit_bundle(id, &name, BundleEventKind::Started);
+                Ok(())
+            }
+            Err(message) => {
+                self.set_state(id, BundleState::Resolved);
+                Err(FrameworkError::ActivatorFailed {
+                    bundle: id,
+                    message,
+                })
+            }
+        }
+    }
+
+    /// Stops a bundle: runs the activator's `stop`, then removes every
+    /// service it registered through its context.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::InvalidState`] unless the bundle is `Active`.
+    pub fn stop(&mut self, id: BundleId) -> Result<(), FrameworkError> {
+        match self.get(id)?.state {
+            BundleState::Active => {}
+            BundleState::Resolved | BundleState::Installed => return Ok(()),
+            state => {
+                return Err(FrameworkError::InvalidState {
+                    bundle: id,
+                    operation: "stop",
+                    state,
+                })
+            }
+        }
+        self.set_state(id, BundleState::Stopping);
+        let mut activator = self
+            .bundles
+            .get_mut(&id.raw())
+            .expect("bundle exists")
+            .activator
+            .take()
+            .expect("activator present outside start/stop");
+        {
+            let mut ctx = BundleContext {
+                framework: self,
+                bundle: id,
+            };
+            activator.stop(&mut ctx);
+        }
+        self.bundles
+            .get_mut(&id.raw())
+            .expect("bundle exists")
+            .activator = Some(activator);
+        self.registry.unregister_owned(id.raw());
+        self.set_state(id, BundleState::Resolved);
+        let name = self.symbolic_name(id).expect("exists").to_string();
+        self.emit_bundle(id, &name, BundleEventKind::Stopped);
+        Ok(())
+    }
+
+    /// Updates a bundle in place with a new manifest and activator. An
+    /// active bundle is stopped first and **not** restarted (callers decide).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stop errors; fails on uninstalled bundles.
+    pub fn update(
+        &mut self,
+        id: BundleId,
+        manifest: BundleManifest,
+        activator: Box<dyn BundleActivator>,
+    ) -> Result<(), FrameworkError> {
+        if self.get(id)?.state == BundleState::Active {
+            self.stop(id)?;
+        }
+        let bundle = self.bundles.get_mut(&id.raw()).expect("bundle exists");
+        bundle.manifest = manifest;
+        bundle.activator = Some(activator);
+        bundle.state = BundleState::Installed;
+        self.wires.retain(|w| w.importer != id);
+        let name = self.symbolic_name(id).expect("exists").to_string();
+        self.emit_bundle(id, &name, BundleEventKind::Updated);
+        Ok(())
+    }
+
+    /// Uninstalls a bundle (stopping it first if active).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stop errors; fails on already-uninstalled bundles.
+    pub fn uninstall(&mut self, id: BundleId) -> Result<(), FrameworkError> {
+        let state = self.get(id)?.state;
+        if state == BundleState::Uninstalled {
+            return Err(FrameworkError::InvalidState {
+                bundle: id,
+                operation: "uninstall",
+                state,
+            });
+        }
+        if state == BundleState::Active {
+            self.stop(id)?;
+        }
+        self.set_state(id, BundleState::Uninstalled);
+        self.wires.retain(|w| w.importer != id && w.exporter != id);
+        let name = self.symbolic_name(id).expect("exists").to_string();
+        self.emit_bundle(id, &name, BundleEventKind::Uninstalled);
+        Ok(())
+    }
+
+    /// State of a bundle.
+    pub fn bundle_state(&self, id: BundleId) -> Option<BundleState> {
+        self.bundles.get(&id.raw()).map(|b| b.state)
+    }
+
+    /// Symbolic name of a bundle.
+    pub fn symbolic_name(&self, id: BundleId) -> Option<&str> {
+        self.bundles
+            .get(&id.raw())
+            .map(|b| b.manifest.symbolic_name.as_str())
+    }
+
+    /// Finds an installed bundle by symbolic name.
+    pub fn bundle_by_name(&self, symbolic_name: &str) -> Option<BundleId> {
+        self.bundles
+            .iter()
+            .find(|(_, b)| {
+                b.state != BundleState::Uninstalled
+                    && b.manifest.symbolic_name == symbolic_name
+            })
+            .map(|(id, _)| BundleId(*id))
+    }
+
+    /// Ids of all non-uninstalled bundles, in install order.
+    pub fn bundles(&self) -> Vec<BundleId> {
+        self.bundles
+            .iter()
+            .filter(|(_, b)| b.state != BundleState::Uninstalled)
+            .map(|(id, _)| BundleId(*id))
+            .collect()
+    }
+
+    /// The current package wires.
+    pub fn wires(&self) -> &[Wire] {
+        &self.wires
+    }
+
+    /// The service registry.
+    pub fn registry(&self) -> &ServiceRegistry {
+        &self.registry
+    }
+
+    /// The service registry, mutably (for framework-level services).
+    pub fn registry_mut(&mut self) -> &mut ServiceRegistry {
+        &mut self.registry
+    }
+
+    /// Drains all pending framework events (bundle events interleaved with
+    /// service events, in the order they occurred).
+    pub fn drain_events(&mut self) -> Vec<FrameworkEvent> {
+        // Service events live in the registry; merge preserving order is not
+        // possible across queues, so pull registry events in and return the
+        // combined log. Registry events caused by framework operations are
+        // appended where the operation happened thanks to eager merging.
+        self.merge_service_events();
+        std::mem::take(&mut self.events)
+    }
+
+    fn merge_service_events(&mut self) {
+        for e in self.registry.drain_events() {
+            self.events.push(FrameworkEvent::Service(e));
+        }
+    }
+
+    fn emit_bundle(&mut self, id: BundleId, name: &str, kind: BundleEventKind) {
+        // Pull any service events that happened before this transition so
+        // ordering stays faithful.
+        self.merge_service_events();
+        self.events.push(FrameworkEvent::Bundle(BundleEvent {
+            bundle: id,
+            symbolic_name: name.to_string(),
+            kind,
+        }));
+    }
+
+    fn get(&self, id: BundleId) -> Result<&Bundle, FrameworkError> {
+        self.bundles
+            .get(&id.raw())
+            .ok_or(FrameworkError::NoSuchBundle(id))
+    }
+
+    fn set_state(&mut self, id: BundleId, state: BundleState) {
+        if let Some(b) = self.bundles.get_mut(&id.raw()) {
+            b.state = state;
+        }
+    }
+}
+
+/// The capabilities handed to a [`BundleActivator`] while it runs.
+pub struct BundleContext<'a> {
+    framework: &'a mut Framework,
+    bundle: BundleId,
+}
+
+impl fmt::Debug for BundleContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BundleContext")
+            .field("bundle", &self.bundle)
+            .finish()
+    }
+}
+
+impl BundleContext<'_> {
+    /// The bundle this context belongs to.
+    pub fn bundle(&self) -> BundleId {
+        self.bundle
+    }
+
+    /// Registers a service owned by this bundle; it is unregistered
+    /// automatically when the bundle stops.
+    pub fn register_service(
+        &mut self,
+        interfaces: &[&str],
+        object: Rc<dyn Any>,
+        properties: Properties,
+    ) -> ServiceId {
+        self.framework
+            .registry
+            .register_owned(self.bundle.raw(), interfaces, object, properties)
+    }
+
+    /// Finds services (same contract as [`ServiceRegistry::find`]).
+    pub fn find_services(&self, interface: &str, filter: Option<&Filter>) -> Vec<ServiceRef> {
+        self.framework.registry.find(interface, filter)
+    }
+
+    /// Fetches a service object.
+    pub fn get_service<T: 'static>(&self, id: ServiceId) -> Option<Rc<T>> {
+        self.framework.registry.get(id)
+    }
+
+    /// The whole framework, for advanced activators (e.g. the DRCR bundle
+    /// reacting to other bundles).
+    pub fn framework(&mut self) -> &mut Framework {
+        self.framework
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::BundleEventKind as K;
+    use crate::version::{Version, VersionRange};
+    use std::cell::RefCell;
+
+    fn manifest(name: &str) -> BundleManifest {
+        BundleManifest::new(name, Version::new(1, 0, 0))
+    }
+
+    #[test]
+    fn install_start_stop_lifecycle() {
+        let mut fw = Framework::new();
+        let id = fw.install(manifest("a"), Box::new(NoopActivator)).unwrap();
+        assert_eq!(fw.bundle_state(id), Some(BundleState::Installed));
+        fw.start(id).unwrap();
+        assert_eq!(fw.bundle_state(id), Some(BundleState::Active));
+        fw.stop(id).unwrap();
+        assert_eq!(fw.bundle_state(id), Some(BundleState::Resolved));
+        fw.uninstall(id).unwrap();
+        assert_eq!(fw.bundle_state(id), Some(BundleState::Uninstalled));
+        let kinds: Vec<K> = fw
+            .drain_events()
+            .into_iter()
+            .filter_map(|e| match e {
+                FrameworkEvent::Bundle(b) => Some(b.kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![K::Installed, K::Resolved, K::Started, K::Stopped, K::Uninstalled]
+        );
+    }
+
+    #[test]
+    fn duplicate_symbolic_names_rejected_until_uninstalled() {
+        let mut fw = Framework::new();
+        let id = fw.install(manifest("a"), Box::new(NoopActivator)).unwrap();
+        assert!(matches!(
+            fw.install(manifest("a"), Box::new(NoopActivator)),
+            Err(FrameworkError::DuplicateName(_))
+        ));
+        fw.uninstall(id).unwrap();
+        fw.install(manifest("a"), Box::new(NoopActivator)).unwrap();
+    }
+
+    #[test]
+    fn imports_block_start_until_exporter_arrives() {
+        let mut fw = Framework::new();
+        let consumer = fw
+            .install(
+                manifest("consumer").imports(
+                    "lib.api",
+                    VersionRange::at_least(Version::new(1, 0, 0)),
+                ),
+                Box::new(NoopActivator),
+            )
+            .unwrap();
+        let err = fw.start(consumer).unwrap_err();
+        assert!(matches!(err, FrameworkError::UnresolvedImports { ref missing, .. }
+            if missing == &vec!["lib.api".to_string()]));
+        let producer = fw
+            .install(
+                manifest("producer").exports("lib.api", Version::new(1, 2, 0)),
+                Box::new(NoopActivator),
+            )
+            .unwrap();
+        fw.start(consumer).unwrap();
+        assert_eq!(fw.bundle_state(consumer), Some(BundleState::Active));
+        // The wire is recorded.
+        assert!(fw
+            .wires()
+            .iter()
+            .any(|w| w.importer == consumer && w.exporter == producer && w.package == "lib.api"));
+    }
+
+    #[test]
+    fn version_range_respected_in_wiring() {
+        let mut fw = Framework::new();
+        fw.install(
+            manifest("old").exports("lib.api", Version::new(0, 9, 0)),
+            Box::new(NoopActivator),
+        )
+        .unwrap();
+        let consumer = fw
+            .install(
+                manifest("consumer")
+                    .imports("lib.api", "[1.0,2.0)".parse().unwrap()),
+                Box::new(NoopActivator),
+            )
+            .unwrap();
+        assert!(fw.start(consumer).is_err());
+    }
+
+    #[test]
+    fn optional_imports_do_not_block() {
+        let mut fw = Framework::new();
+        let id = fw
+            .install(
+                manifest("opt").imports_optionally("ghost.api", VersionRange::any()),
+                Box::new(NoopActivator),
+            )
+            .unwrap();
+        fw.start(id).unwrap();
+    }
+
+    #[test]
+    fn mutually_dependent_bundles_resolve_together() {
+        let mut fw = Framework::new();
+        let a = fw
+            .install(
+                manifest("a")
+                    .exports("a.api", Version::new(1, 0, 0))
+                    .imports("b.api", VersionRange::any()),
+                Box::new(NoopActivator),
+            )
+            .unwrap();
+        let b = fw
+            .install(
+                manifest("b")
+                    .exports("b.api", Version::new(1, 0, 0))
+                    .imports("a.api", VersionRange::any()),
+                Box::new(NoopActivator),
+            )
+            .unwrap();
+        fw.start(a).unwrap();
+        assert_eq!(fw.bundle_state(b), Some(BundleState::Resolved));
+    }
+
+    struct RegisteringActivator;
+
+    impl BundleActivator for RegisteringActivator {
+        fn start(&mut self, ctx: &mut BundleContext<'_>) -> Result<(), String> {
+            ctx.register_service(&["test.Svc"], Rc::new(42u32), Properties::new());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn services_vanish_when_bundle_stops() {
+        let mut fw = Framework::new();
+        let id = fw
+            .install(manifest("svc"), Box::new(RegisteringActivator))
+            .unwrap();
+        fw.start(id).unwrap();
+        assert_eq!(fw.registry().find("test.Svc", None).len(), 1);
+        fw.stop(id).unwrap();
+        assert_eq!(fw.registry().find("test.Svc", None).len(), 0);
+    }
+
+    struct FailingActivator;
+
+    impl BundleActivator for FailingActivator {
+        fn start(&mut self, _ctx: &mut BundleContext<'_>) -> Result<(), String> {
+            Err("boom".into())
+        }
+    }
+
+    #[test]
+    fn failed_activator_leaves_bundle_resolved() {
+        let mut fw = Framework::new();
+        let id = fw
+            .install(manifest("bad"), Box::new(FailingActivator))
+            .unwrap();
+        let err = fw.start(id).unwrap_err();
+        assert!(matches!(err, FrameworkError::ActivatorFailed { .. }));
+        assert_eq!(fw.bundle_state(id), Some(BundleState::Resolved));
+    }
+
+    struct CountingActivator(Rc<RefCell<(u32, u32)>>);
+
+    impl BundleActivator for CountingActivator {
+        fn start(&mut self, _ctx: &mut BundleContext<'_>) -> Result<(), String> {
+            self.0.borrow_mut().0 += 1;
+            Ok(())
+        }
+        fn stop(&mut self, _ctx: &mut BundleContext<'_>) {
+            self.0.borrow_mut().1 += 1;
+        }
+    }
+
+    #[test]
+    fn update_stops_and_reinstalls() {
+        let counts: Rc<RefCell<(u32, u32)>> = Rc::default();
+        let mut fw = Framework::new();
+        let id = fw
+            .install(manifest("c"), Box::new(CountingActivator(counts.clone())))
+            .unwrap();
+        fw.start(id).unwrap();
+        fw.update(id, manifest("c2"), Box::new(CountingActivator(counts.clone())))
+            .unwrap();
+        assert_eq!(*counts.borrow(), (1, 1));
+        assert_eq!(fw.bundle_state(id), Some(BundleState::Installed));
+        assert_eq!(fw.symbolic_name(id), Some("c2"));
+        fw.start(id).unwrap();
+        assert_eq!(*counts.borrow(), (2, 1));
+    }
+
+    #[test]
+    fn start_stop_are_idempotent_where_specified() {
+        let mut fw = Framework::new();
+        let id = fw.install(manifest("a"), Box::new(NoopActivator)).unwrap();
+        fw.start(id).unwrap();
+        fw.start(id).unwrap(); // already active: fine
+        fw.stop(id).unwrap();
+        fw.stop(id).unwrap(); // already stopped: fine
+        fw.uninstall(id).unwrap();
+        assert!(fw.uninstall(id).is_err());
+        assert!(fw.start(id).is_err());
+    }
+
+    #[test]
+    fn bundle_lookup_by_name() {
+        let mut fw = Framework::new();
+        let id = fw.install(manifest("find.me"), Box::new(NoopActivator)).unwrap();
+        assert_eq!(fw.bundle_by_name("find.me"), Some(id));
+        assert_eq!(fw.bundle_by_name("nope"), None);
+        fw.uninstall(id).unwrap();
+        assert_eq!(fw.bundle_by_name("find.me"), None);
+    }
+}

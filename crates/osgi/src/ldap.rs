@@ -1,0 +1,800 @@
+//! RFC 1960 LDAP search filters over service properties.
+//!
+//! OSGi uses LDAP filter strings to select services from the registry —
+//! the paper relies on this to let adaptation managers and the DRCR locate
+//! management services and customized resolving services. This module
+//! implements the full grammar:
+//!
+//! ```text
+//! filter     = '(' filtercomp ')'
+//! filtercomp = and | or | not | item
+//! and        = '&' filterlist
+//! or         = '|' filterlist
+//! not        = '!' filter
+//! item       = simple | present | substring
+//! simple     = attr filtertype value          ; = ~= >= <=
+//! present    = attr '=*'
+//! substring  = attr '=' [initial] any [final] ; wildcards with '*'
+//! ```
+//!
+//! Values compare numerically when the property is numeric, as booleans for
+//! boolean properties, and case-sensitively as strings otherwise (`~=`
+//! compares case-insensitively with surrounding whitespace ignored).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A typed service property value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropValue {
+    /// UTF-8 string.
+    Str(String),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Homogeneous or heterogeneous list; a filter item matches if it
+    /// matches any element (OSGi multi-valued property semantics).
+    List(Vec<PropValue>),
+}
+
+impl PropValue {
+    /// Renders the value the way the registry prints it.
+    pub fn as_display_string(&self) -> String {
+        match self {
+            PropValue::Str(s) => s.clone(),
+            PropValue::Int(i) => i.to_string(),
+            PropValue::Float(x) => x.to_string(),
+            PropValue::Bool(b) => b.to_string(),
+            PropValue::List(items) => {
+                let inner: Vec<String> = items.iter().map(|v| v.as_display_string()).collect();
+                format!("[{}]", inner.join(", "))
+            }
+        }
+    }
+}
+
+impl From<&str> for PropValue {
+    fn from(s: &str) -> Self {
+        PropValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for PropValue {
+    fn from(s: String) -> Self {
+        PropValue::Str(s)
+    }
+}
+
+impl From<i64> for PropValue {
+    fn from(i: i64) -> Self {
+        PropValue::Int(i)
+    }
+}
+
+impl From<i32> for PropValue {
+    fn from(i: i32) -> Self {
+        PropValue::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for PropValue {
+    fn from(x: f64) -> Self {
+        PropValue::Float(x)
+    }
+}
+
+impl From<bool> for PropValue {
+    fn from(b: bool) -> Self {
+        PropValue::Bool(b)
+    }
+}
+
+/// A case-insensitive property dictionary (OSGi service properties have
+/// case-insensitive keys).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Properties {
+    entries: BTreeMap<String, PropValue>,
+}
+
+impl Properties {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a property, returning any previous value for the key.
+    pub fn insert(&mut self, key: &str, value: impl Into<PropValue>) -> Option<PropValue> {
+        self.entries.insert(key.to_ascii_lowercase(), value.into())
+    }
+
+    /// Builder-style insert.
+    pub fn with(mut self, key: &str, value: impl Into<PropValue>) -> Self {
+        self.insert(key, value);
+        self
+    }
+
+    /// Looks up a property (case-insensitive key).
+    pub fn get(&self, key: &str) -> Option<&PropValue> {
+        self.entries.get(&key.to_ascii_lowercase())
+    }
+
+    /// Removes a property.
+    pub fn remove(&mut self, key: &str) -> Option<PropValue> {
+        self.entries.remove(&key.to_ascii_lowercase())
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PropValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl FromIterator<(String, PropValue)> for Properties {
+    fn from_iter<I: IntoIterator<Item = (String, PropValue)>>(iter: I) -> Self {
+        let mut props = Properties::new();
+        for (k, v) in iter {
+            props.insert(&k, v);
+        }
+        props
+    }
+}
+
+impl Extend<(String, PropValue)> for Properties {
+    fn extend<I: IntoIterator<Item = (String, PropValue)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(&k, v);
+        }
+    }
+}
+
+/// A filter parse failure, with the byte offset of the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFilterError {
+    input: String,
+    offset: usize,
+    reason: &'static str,
+}
+
+impl fmt::Display for ParseFilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid LDAP filter `{}` at byte {}: {}",
+            self.input, self.offset, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseFilterError {}
+
+/// A parsed, evaluable LDAP filter.
+///
+/// ```
+/// use osgi::ldap::{Filter, Properties};
+///
+/// # fn main() -> Result<(), osgi::ldap::ParseFilterError> {
+/// let filter = Filter::parse("(&(objectclass=drt.resolver)(policy=rm))")?;
+/// let props = Properties::new()
+///     .with("objectclass", "drt.resolver")
+///     .with("policy", "rm");
+/// assert!(filter.matches(&props));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// `(&(..)(..))` — all must match. Empty list matches everything.
+    And(Vec<Filter>),
+    /// `(|(..)(..))` — any must match. Empty list matches nothing.
+    Or(Vec<Filter>),
+    /// `(!(..))`.
+    Not(Box<Filter>),
+    /// `(attr=*)` — attribute present.
+    Present(String),
+    /// `(attr=value)`.
+    Equal(String, String),
+    /// `(attr~=value)` — approximate (case/whitespace-insensitive).
+    Approx(String, String),
+    /// `(attr>=value)`.
+    GreaterEq(String, String),
+    /// `(attr<=value)`.
+    LessEq(String, String),
+    /// `(attr=ini*any*fin)` — substring match. `None` components are
+    /// wildcards at the edges.
+    Substring {
+        /// Attribute name.
+        attr: String,
+        /// Leading literal (must prefix the value), if any.
+        initial: Option<String>,
+        /// Inner literals, each must appear in order.
+        any: Vec<String>,
+        /// Trailing literal (must suffix the value), if any.
+        final_: Option<String>,
+    },
+}
+
+impl Filter {
+    /// Parses a filter string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseFilterError`] with the offending byte offset.
+    pub fn parse(input: &str) -> Result<Filter, ParseFilterError> {
+        let mut p = Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let f = p.parse_filter()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after filter"));
+        }
+        Ok(f)
+    }
+
+    /// Evaluates the filter against a property dictionary.
+    pub fn matches(&self, props: &Properties) -> bool {
+        match self {
+            Filter::And(fs) => fs.iter().all(|f| f.matches(props)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(props)),
+            Filter::Not(f) => !f.matches(props),
+            Filter::Present(attr) => props.get(attr).is_some(),
+            Filter::Equal(attr, value) => {
+                match_value(props.get(attr), |v| cmp_eq(v, value))
+            }
+            Filter::Approx(attr, value) => match_value(props.get(attr), |v| {
+                normalize(&display(v)) == normalize(value)
+            }),
+            Filter::GreaterEq(attr, value) => {
+                match_value(props.get(attr), |v| cmp_ord(v, value, false))
+            }
+            Filter::LessEq(attr, value) => {
+                match_value(props.get(attr), |v| cmp_ord(v, value, true))
+            }
+            Filter::Substring {
+                attr,
+                initial,
+                any,
+                final_,
+            } => match_value(props.get(attr), |v| {
+                substring_match(&display(v), initial.as_deref(), any, final_.as_deref())
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Filter::And(fs) => {
+                write!(f, "(&")?;
+                for x in fs {
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Filter::Or(fs) => {
+                write!(f, "(|")?;
+                for x in fs {
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Filter::Not(x) => write!(f, "(!{x})"),
+            Filter::Present(a) => write!(f, "({a}=*)"),
+            Filter::Equal(a, v) => write!(f, "({a}={})", escape(v)),
+            Filter::Approx(a, v) => write!(f, "({a}~={})", escape(v)),
+            Filter::GreaterEq(a, v) => write!(f, "({a}>={})", escape(v)),
+            Filter::LessEq(a, v) => write!(f, "({a}<={})", escape(v)),
+            Filter::Substring {
+                attr,
+                initial,
+                any,
+                final_,
+            } => {
+                write!(f, "({attr}=")?;
+                if let Some(i) = initial {
+                    write!(f, "{}", escape(i))?;
+                }
+                write!(f, "*")?;
+                for a in any {
+                    write!(f, "{}*", escape(a))?;
+                }
+                if let Some(x) = final_ {
+                    write!(f, "{}", escape(x))?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl FromStr for Filter {
+    type Err = ParseFilterError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Filter::parse(s)
+    }
+}
+
+fn escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        if matches!(c, '(' | ')' | '*' | '\\') {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn display(v: &PropValue) -> String {
+    v.as_display_string()
+}
+
+fn normalize(s: &str) -> String {
+    s.trim().to_ascii_lowercase()
+}
+
+/// Applies `f` to a scalar, or to each element of a list.
+fn match_value(v: Option<&PropValue>, f: impl Fn(&PropValue) -> bool) -> bool {
+    match v {
+        None => false,
+        Some(PropValue::List(items)) => items.iter().any(f),
+        Some(scalar) => f(scalar),
+    }
+}
+
+fn cmp_eq(v: &PropValue, literal: &str) -> bool {
+    match v {
+        PropValue::Str(s) => s == literal,
+        PropValue::Int(i) => literal.trim().parse::<i64>() == Ok(*i),
+        PropValue::Float(x) => literal
+            .trim()
+            .parse::<f64>()
+            .is_ok_and(|y| (y - x).abs() <= f64::EPSILON * x.abs().max(1.0)),
+        PropValue::Bool(b) => literal
+            .trim()
+            .parse::<bool>() == Ok(*b),
+        PropValue::List(_) => unreachable!("lists unwrapped by match_value"),
+    }
+}
+
+/// `<=` when `less` is true, otherwise `>=` — comparing the *property* to
+/// the literal.
+fn cmp_ord(v: &PropValue, literal: &str, less: bool) -> bool {
+    let ord = match v {
+        PropValue::Int(i) => literal
+            .trim()
+            .parse::<i64>()
+            .ok()
+            .map(|x| i.cmp(&x)),
+        PropValue::Float(x) => literal
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .and_then(|y| x.partial_cmp(&y)),
+        PropValue::Str(s) => Some(s.as_str().cmp(literal)),
+        PropValue::Bool(_) => None,
+        PropValue::List(_) => unreachable!("lists unwrapped by match_value"),
+    };
+    match ord {
+        None => false,
+        Some(o) => {
+            if less {
+                o != std::cmp::Ordering::Greater
+            } else {
+                o != std::cmp::Ordering::Less
+            }
+        }
+    }
+}
+
+fn substring_match(
+    value: &str,
+    initial: Option<&str>,
+    any: &[String],
+    final_: Option<&str>,
+) -> bool {
+    let mut rest = value;
+    if let Some(i) = initial {
+        match rest.strip_prefix(i) {
+            Some(r) => rest = r,
+            None => return false,
+        }
+    }
+    // Trailing literal is peeled off before scanning inner pieces so an
+    // inner piece cannot consume the suffix.
+    if let Some(fin) = final_ {
+        match rest.strip_suffix(fin) {
+            Some(r) => rest = r,
+            None => return false,
+        }
+    }
+    for piece in any {
+        match rest.find(piece.as_str()) {
+            Some(idx) => rest = &rest[idx + piece.len()..],
+            None => return false,
+        }
+    }
+    true
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, reason: &'static str) -> ParseFilterError {
+        ParseFilterError {
+            input: self.input.to_string(),
+            offset: self.pos,
+            reason,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8, reason: &'static str) -> Result<(), ParseFilterError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(reason))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_filter(&mut self) -> Result<Filter, ParseFilterError> {
+        self.expect(b'(', "expected `(`")?;
+        let f = match self.peek() {
+            Some(b'&') => {
+                self.bump();
+                Filter::And(self.parse_filter_list()?)
+            }
+            Some(b'|') => {
+                self.bump();
+                Filter::Or(self.parse_filter_list()?)
+            }
+            Some(b'!') => {
+                self.bump();
+                self.skip_ws();
+                Filter::Not(Box::new(self.parse_filter()?))
+            }
+            Some(_) => self.parse_item()?,
+            None => return Err(self.error("unexpected end of filter")),
+        };
+        self.skip_ws();
+        self.expect(b')', "expected `)`")?;
+        Ok(f)
+    }
+
+    fn parse_filter_list(&mut self) -> Result<Vec<Filter>, ParseFilterError> {
+        let mut list = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'(') => list.push(self.parse_filter()?),
+                _ => return Ok(list),
+            }
+        }
+    }
+
+    fn parse_item(&mut self) -> Result<Filter, ParseFilterError> {
+        let attr = self.parse_attr()?;
+        let op = match (self.bump(), self.peek()) {
+            (Some(b'~'), Some(b'=')) => {
+                self.bump();
+                Op::Approx
+            }
+            (Some(b'>'), Some(b'=')) => {
+                self.bump();
+                Op::Ge
+            }
+            (Some(b'<'), Some(b'=')) => {
+                self.bump();
+                Op::Le
+            }
+            (Some(b'='), _) => Op::Eq,
+            _ => return Err(self.error("expected `=`, `~=`, `>=` or `<=`")),
+        };
+        let (pieces, had_star) = self.parse_value()?;
+        match op {
+            Op::Approx => Ok(Filter::Approx(attr, join_plain(&pieces, self, had_star)?)),
+            Op::Ge => Ok(Filter::GreaterEq(attr, join_plain(&pieces, self, had_star)?)),
+            Op::Le => Ok(Filter::LessEq(attr, join_plain(&pieces, self, had_star)?)),
+            Op::Eq => {
+                if !had_star {
+                    let value = pieces.into_iter().next().unwrap_or_default();
+                    return Ok(Filter::Equal(attr, value));
+                }
+                // `=*` alone is a presence test.
+                if pieces.iter().all(|p| p.is_empty()) && pieces.len() == 2 {
+                    return Ok(Filter::Present(attr));
+                }
+                // Substring: pieces are split on '*'.
+                let n = pieces.len();
+                let mut iter = pieces.into_iter();
+                let first = iter.next().expect("at least one piece");
+                let initial = if first.is_empty() { None } else { Some(first) };
+                let mut any: Vec<String> = iter.collect();
+                let final_ = match any.pop() {
+                    Some(last) if !last.is_empty() => Some(last),
+                    _ => None,
+                };
+                debug_assert!(n >= 2);
+                any.retain(|p| !p.is_empty());
+                Ok(Filter::Substring {
+                    attr,
+                    initial,
+                    any,
+                    final_,
+                })
+            }
+        }
+    }
+
+    fn parse_attr(&mut self) -> Result<String, ParseFilterError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'=' | b'~' | b'>' | b'<' | b'(' | b')') {
+                break;
+            }
+            self.pos += 1;
+        }
+        let attr = self.input[start..self.pos].trim();
+        if attr.is_empty() {
+            return Err(self.error("empty attribute name"));
+        }
+        Ok(attr.to_string())
+    }
+
+    /// Parses a value, splitting on unescaped `*`. Returns the pieces and
+    /// whether any star was seen.
+    fn parse_value(&mut self) -> Result<(Vec<String>, bool), ParseFilterError> {
+        let mut pieces = vec![String::new()];
+        let mut had_star = false;
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unexpected end of value")),
+                Some(b')') => break,
+                Some(b'(') => return Err(self.error("unescaped `(` in value")),
+                Some(b'*') => {
+                    self.bump();
+                    had_star = true;
+                    pieces.push(String::new());
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    let escaped = self
+                        .bump()
+                        .ok_or_else(|| self.error("dangling escape"))?;
+                    pieces
+                        .last_mut()
+                        .expect("nonempty")
+                        .push(escaped as char);
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.input[self.pos..];
+                    let c = rest.chars().next().expect("nonempty");
+                    pieces.last_mut().expect("nonempty").push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+        Ok((pieces, had_star))
+    }
+}
+
+fn join_plain(
+    pieces: &[String],
+    p: &Parser<'_>,
+    had_star: bool,
+) -> Result<String, ParseFilterError> {
+    if had_star {
+        return Err(p.error("wildcards are only valid with `=`"));
+    }
+    Ok(pieces.concat())
+}
+
+#[derive(Clone, Copy)]
+enum Op {
+    Eq,
+    Approx,
+    Ge,
+    Le,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn props() -> Properties {
+        Properties::new()
+            .with("objectClass", "drt.resolver")
+            .with("service.ranking", 5)
+            .with("cpuusage", 0.25)
+            .with("enabled", true)
+            .with("name", "camera")
+            .with(
+                "ports",
+                PropValue::List(vec!["images".into(), "xysize".into()]),
+            )
+    }
+
+    fn check(filter: &str, expected: bool) {
+        let f = Filter::parse(filter).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(f.matches(&props()), expected, "{filter}");
+    }
+
+    #[test]
+    fn equality_and_presence() {
+        check("(name=camera)", true);
+        check("(name=display)", false);
+        check("(name=*)", true);
+        check("(missing=*)", false);
+        check("(enabled=true)", true);
+        check("(enabled=false)", false);
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        check("(service.ranking>=5)", true);
+        check("(service.ranking>=6)", false);
+        check("(service.ranking<=5)", true);
+        check("(service.ranking<=4)", false);
+        check("(cpuusage<=0.5)", true);
+        check("(cpuusage>=0.5)", false);
+        check("(cpuusage=0.25)", true);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        check("(&(name=camera)(enabled=true))", true);
+        check("(&(name=camera)(enabled=false))", false);
+        check("(|(name=display)(name=camera))", true);
+        check("(|(name=display)(name=nope))", false);
+        check("(!(name=display))", true);
+        check("(!(name=camera))", false);
+        check("(&(|(name=camera)(name=display))(!(service.ranking>=10)))", true);
+    }
+
+    #[test]
+    fn empty_and_or_semantics() {
+        check("(&)", true);
+        check("(|)", false);
+    }
+
+    #[test]
+    fn approx_ignores_case_and_space() {
+        check("(name~=CAMERA)", true);
+        check("(name~= Camera )", true);
+        check("(name~=cam)", false);
+    }
+
+    #[test]
+    fn substring_matching() {
+        check("(name=cam*)", true);
+        check("(name=*era)", true);
+        check("(name=c*m*a)", true);
+        check("(name=*am*)", true);
+        check("(name=x*)", false);
+        check("(name=*x)", false);
+        check("(name=ca*xe*ra)", false);
+    }
+
+    #[test]
+    fn substring_suffix_not_eaten_by_inner_piece() {
+        // Value "abcab": (x=*ab) must match, and (x=*ab*ab) must too.
+        let p = Properties::new().with("x", "abcab");
+        assert!(Filter::parse("(x=*ab)").unwrap().matches(&p));
+        assert!(Filter::parse("(x=ab*ab)").unwrap().matches(&p));
+        assert!(!Filter::parse("(x=ab*c*ab*b)").unwrap().matches(&p));
+    }
+
+    #[test]
+    fn list_properties_match_any_element() {
+        check("(ports=images)", true);
+        check("(ports=xysize)", true);
+        check("(ports=nosuch)", false);
+        check("(ports=ima*)", true);
+    }
+
+    #[test]
+    fn escaped_specials_in_values() {
+        let p = Properties::new().with("path", "a(b)*c\\d");
+        let f = Filter::parse(r"(path=a\(b\)\*c\\d)").unwrap();
+        assert!(f.matches(&p));
+    }
+
+    #[test]
+    fn case_insensitive_keys() {
+        check("(NAME=camera)", true);
+        check("(Service.Ranking>=5)", true);
+    }
+
+    #[test]
+    fn parse_errors_have_offsets() {
+        for bad in [
+            "",
+            "(",
+            "()",
+            "(name)",
+            "(name=camera",
+            "(name=camera))",
+            "(&(name=a)(name=b)",
+            "(name>=a*)",
+            "(=x)",
+        ] {
+            assert!(Filter::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        for s in [
+            "(name=camera)",
+            "(&(a=1)(b=2))",
+            "(|(a=1)(!(b=2)))",
+            "(name=cam*ra)",
+            "(name=*)",
+            "(a~=x)",
+            "(a>=3)",
+            "(a<=4)",
+            "(name=c*m*)",
+        ] {
+            let f = Filter::parse(s).unwrap();
+            let round = Filter::parse(&f.to_string()).unwrap();
+            assert_eq!(f, round, "{s} -> {f}");
+        }
+    }
+
+    #[test]
+    fn string_ordering_comparisons() {
+        let p = Properties::new().with("ver", "beta");
+        assert!(Filter::parse("(ver>=alpha)").unwrap().matches(&p));
+        assert!(Filter::parse("(ver<=gamma)").unwrap().matches(&p));
+        assert!(!Filter::parse("(ver>=gamma)").unwrap().matches(&p));
+    }
+
+    #[test]
+    fn properties_overwrite_and_remove() {
+        let mut p = Properties::new().with("k", 1);
+        assert_eq!(p.insert("K", 2), Some(PropValue::Int(1)));
+        assert_eq!(p.get("k"), Some(&PropValue::Int(2)));
+        assert_eq!(p.remove("k"), Some(PropValue::Int(2)));
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Bundle manifests: symbolic name, version, package imports/exports.
+//!
+//! The OSGi module layer wires `Import-Package` requirements to
+//! `Export-Package` capabilities with version ranges; the framework refuses
+//! to start a bundle whose imports cannot be wired.
+
+use crate::version::{Version, VersionRange};
+
+/// A package exported by a bundle, at a version.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackageExport {
+    /// The Java-style package name, e.g. `ua.pats.demo.smartcamera`.
+    pub package: String,
+    /// The exported version.
+    pub version: Version,
+}
+
+/// A package imported by a bundle, with an acceptable version range.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackageImport {
+    /// The required package name.
+    pub package: String,
+    /// Acceptable versions.
+    pub range: VersionRange,
+    /// Optional imports do not block resolution when unsatisfied.
+    pub optional: bool,
+}
+
+/// A bundle manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BundleManifest {
+    /// Unique symbolic name of the bundle.
+    pub symbolic_name: String,
+    /// Bundle version.
+    pub version: Version,
+    /// Exported packages.
+    pub exports: Vec<PackageExport>,
+    /// Imported packages.
+    pub imports: Vec<PackageImport>,
+}
+
+impl BundleManifest {
+    /// Creates a manifest with no imports or exports.
+    pub fn new(symbolic_name: &str, version: Version) -> Self {
+        BundleManifest {
+            symbolic_name: symbolic_name.to_string(),
+            version,
+            exports: Vec::new(),
+            imports: Vec::new(),
+        }
+    }
+
+    /// Adds an exported package.
+    pub fn exports(mut self, package: &str, version: Version) -> Self {
+        self.exports.push(PackageExport {
+            package: package.to_string(),
+            version,
+        });
+        self
+    }
+
+    /// Adds a mandatory imported package.
+    pub fn imports(mut self, package: &str, range: VersionRange) -> Self {
+        self.imports.push(PackageImport {
+            package: package.to_string(),
+            range,
+            optional: false,
+        });
+        self
+    }
+
+    /// Adds an optional imported package.
+    pub fn imports_optionally(mut self, package: &str, range: VersionRange) -> Self {
+        self.imports.push(PackageImport {
+            package: package.to_string(),
+            range,
+            optional: true,
+        });
+        self
+    }
+
+    /// True when this manifest exports a package satisfying `import`.
+    pub fn satisfies(&self, import: &PackageImport) -> bool {
+        self.exports
+            .iter()
+            .any(|e| e.package == import.package && import.range.includes(&e.version))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_headers() {
+        let m = BundleManifest::new("demo.camera", Version::new(1, 0, 0))
+            .exports("demo.camera.api", Version::new(1, 2, 0))
+            .imports("drt.core", VersionRange::at_least(Version::new(1, 0, 0)))
+            .imports_optionally("demo.extra", VersionRange::any());
+        assert_eq!(m.exports.len(), 1);
+        assert_eq!(m.imports.len(), 2);
+        assert!(m.imports[1].optional);
+    }
+
+    #[test]
+    fn satisfies_checks_name_and_range() {
+        let exporter = BundleManifest::new("lib", Version::new(1, 0, 0))
+            .exports("lib.api", Version::new(1, 5, 0));
+        let want = |range: &str| PackageImport {
+            package: "lib.api".into(),
+            range: range.parse().unwrap(),
+            optional: false,
+        };
+        assert!(exporter.satisfies(&want("[1.0,2.0)")));
+        assert!(!exporter.satisfies(&want("[2.0,3.0)")));
+        let other = PackageImport {
+            package: "other.api".into(),
+            range: VersionRange::any(),
+            optional: false,
+        };
+        assert!(!exporter.satisfies(&other));
+    }
+}

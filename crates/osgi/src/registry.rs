@@ -1,0 +1,431 @@
+//! The OSGi service registry.
+//!
+//! Services are plain Rust objects registered under one or more interface
+//! names together with a [`Properties`] dictionary; consumers discover them
+//! by interface name plus an optional [`Filter`] and rank results by
+//! `service.ranking` (descending) then `service.id` (ascending) — the OSGi
+//! selection order.
+//!
+//! The registry is single-threaded by design: the whole reproduction runs
+//! inside one deterministic simulation loop, so services are held as
+//! `Rc<dyn Any>` and handed out as cheap clones.
+
+use crate::event::{ServiceEvent, ServiceEventKind};
+use crate::ldap::{Filter, Properties, PropValue};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// The property key holding the interface names of a registration.
+pub const OBJECT_CLASS: &str = "objectclass";
+/// The property key holding the unique service id.
+pub const SERVICE_ID: &str = "service.id";
+/// The property key holding the integer ranking used for selection.
+pub const SERVICE_RANKING: &str = "service.ranking";
+/// The property key holding the owning bundle id, when registered through a
+/// bundle context.
+pub const SERVICE_BUNDLE: &str = "service.bundleid";
+
+/// Unique id of a service registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceId(pub(crate) u64);
+
+impl ServiceId {
+    /// The raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "service#{}", self.0)
+    }
+}
+
+/// A reference to a registered service, as returned by queries.
+///
+/// Holds the id and a metadata snapshot; the service object itself is
+/// fetched with [`ServiceRegistry::get`].
+#[derive(Debug, Clone)]
+pub struct ServiceRef {
+    id: ServiceId,
+    interfaces: Vec<String>,
+    properties: Properties,
+}
+
+impl ServiceRef {
+    /// The service id.
+    pub fn id(&self) -> ServiceId {
+        self.id
+    }
+
+    /// Interfaces the service was registered under.
+    pub fn interfaces(&self) -> &[String] {
+        &self.interfaces
+    }
+
+    /// Property snapshot taken at query time.
+    pub fn properties(&self) -> &Properties {
+        &self.properties
+    }
+
+    /// The service ranking (0 when unset).
+    pub fn ranking(&self) -> i64 {
+        match self.properties.get(SERVICE_RANKING) {
+            Some(PropValue::Int(i)) => *i,
+            _ => 0,
+        }
+    }
+}
+
+struct Entry {
+    interfaces: Vec<String>,
+    properties: Properties,
+    object: Rc<dyn Any>,
+    owner: Option<u64>,
+}
+
+/// The service registry. See the [module docs](self).
+#[derive(Default)]
+pub struct ServiceRegistry {
+    next_id: u64,
+    entries: BTreeMap<u64, Entry>,
+    events: Vec<ServiceEvent>,
+}
+
+impl std::fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceRegistry")
+            .field("services", &self.entries.len())
+            .finish()
+    }
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `object` under the given interface names.
+    ///
+    /// The registry adds the standard `objectclass`, `service.id` and (if
+    /// absent) `service.ranking` properties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interfaces` is empty.
+    pub fn register(
+        &mut self,
+        interfaces: &[&str],
+        object: Rc<dyn Any>,
+        mut properties: Properties,
+    ) -> ServiceId {
+        assert!(!interfaces.is_empty(), "a service needs an interface name");
+        self.next_id += 1;
+        let id = ServiceId(self.next_id);
+        let names: Vec<String> = interfaces.iter().map(|s| s.to_string()).collect();
+        properties.insert(
+            OBJECT_CLASS,
+            PropValue::List(names.iter().cloned().map(PropValue::Str).collect()),
+        );
+        properties.insert(SERVICE_ID, id.raw() as i64);
+        if properties.get(SERVICE_RANKING).is_none() {
+            properties.insert(SERVICE_RANKING, 0i64);
+        }
+        self.events.push(ServiceEvent {
+            service: id,
+            interfaces: names.clone(),
+            properties: properties.clone(),
+            kind: ServiceEventKind::Registered,
+        });
+        self.entries.insert(
+            id.raw(),
+            Entry {
+                interfaces: names,
+                properties,
+                object,
+                owner: None,
+            },
+        );
+        id
+    }
+
+    /// Registers a service on behalf of a bundle (auto-unregistered when the
+    /// bundle stops).
+    pub(crate) fn register_owned(
+        &mut self,
+        owner: u64,
+        interfaces: &[&str],
+        object: Rc<dyn Any>,
+        mut properties: Properties,
+    ) -> ServiceId {
+        properties.insert(SERVICE_BUNDLE, owner as i64);
+        let id = self.register(interfaces, object, properties);
+        self.entries
+            .get_mut(&id.raw())
+            .expect("just inserted")
+            .owner = Some(owner);
+        id
+    }
+
+    /// Unregisters a service.
+    ///
+    /// Returns `true` if the service existed.
+    pub fn unregister(&mut self, id: ServiceId) -> bool {
+        match self.entries.remove(&id.raw()) {
+            Some(entry) => {
+                self.events.push(ServiceEvent {
+                    service: id,
+                    interfaces: entry.interfaces,
+                    properties: entry.properties,
+                    kind: ServiceEventKind::Unregistering,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Unregisters every service owned by `owner`, returning how many.
+    pub(crate) fn unregister_owned(&mut self, owner: u64) -> usize {
+        let ids: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.owner == Some(owner))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &ids {
+            self.unregister(ServiceId(*id));
+        }
+        ids.len()
+    }
+
+    /// Replaces the properties of a registration (standard keys are
+    /// reasserted), emitting a `Modified` event.
+    ///
+    /// Returns `false` if the service does not exist.
+    pub fn set_properties(&mut self, id: ServiceId, mut properties: Properties) -> bool {
+        let Some(entry) = self.entries.get_mut(&id.raw()) else {
+            return false;
+        };
+        properties.insert(
+            OBJECT_CLASS,
+            PropValue::List(
+                entry
+                    .interfaces
+                    .iter()
+                    .cloned()
+                    .map(PropValue::Str)
+                    .collect(),
+            ),
+        );
+        properties.insert(SERVICE_ID, id.raw() as i64);
+        if properties.get(SERVICE_RANKING).is_none() {
+            properties.insert(SERVICE_RANKING, 0i64);
+        }
+        if let Some(owner) = entry.owner {
+            properties.insert(SERVICE_BUNDLE, owner as i64);
+        }
+        entry.properties = properties.clone();
+        self.events.push(ServiceEvent {
+            service: id,
+            interfaces: entry.interfaces.clone(),
+            properties,
+            kind: ServiceEventKind::Modified,
+        });
+        true
+    }
+
+    /// Finds services registered under `interface`, optionally narrowed by
+    /// an LDAP filter, ordered by descending ranking then ascending id.
+    pub fn find(&self, interface: &str, filter: Option<&Filter>) -> Vec<ServiceRef> {
+        let mut found: Vec<ServiceRef> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.interfaces.iter().any(|i| i == interface))
+            .filter(|(_, e)| filter.is_none_or(|f| f.matches(&e.properties)))
+            .map(|(id, e)| ServiceRef {
+                id: ServiceId(*id),
+                interfaces: e.interfaces.clone(),
+                properties: e.properties.clone(),
+            })
+            .collect();
+        found.sort_by(|a, b| {
+            b.ranking()
+                .cmp(&a.ranking())
+                .then(a.id().raw().cmp(&b.id().raw()))
+        });
+        found
+    }
+
+    /// The best match for `interface` (highest ranking, lowest id).
+    pub fn find_one(&self, interface: &str, filter: Option<&Filter>) -> Option<ServiceRef> {
+        self.find(interface, filter).into_iter().next()
+    }
+
+    /// Fetches the service object behind a reference, downcast to `T`.
+    ///
+    /// Returns `None` when the service is gone or is not a `T`.
+    pub fn get<T: 'static>(&self, service: ServiceId) -> Option<Rc<T>> {
+        let entry = self.entries.get(&service.raw())?;
+        entry.object.clone().downcast::<T>().ok()
+    }
+
+    /// Fetches the service object without downcasting (for generic
+    /// consumers such as the DS runtime's `bind` callbacks).
+    pub fn get_any(&self, service: ServiceId) -> Option<Rc<dyn Any>> {
+        self.entries.get(&service.raw()).map(|e| e.object.clone())
+    }
+
+    /// Current properties of a service.
+    pub fn properties(&self, service: ServiceId) -> Option<&Properties> {
+        self.entries.get(&service.raw()).map(|e| &e.properties)
+    }
+
+    /// Number of live registrations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no services are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drains the pending service events, oldest first.
+    pub fn drain_events(&mut self) -> Vec<ServiceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Echo(String);
+
+    fn reg() -> ServiceRegistry {
+        ServiceRegistry::new()
+    }
+
+    #[test]
+    fn register_find_get_roundtrip() {
+        let mut r = reg();
+        let id = r.register(
+            &["test.Echo"],
+            Rc::new(Echo("hi".into())),
+            Properties::new().with("name", "a"),
+        );
+        let found = r.find("test.Echo", None);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].id(), id);
+        let svc = r.get::<Echo>(id).unwrap();
+        assert_eq!(*svc, Echo("hi".into()));
+    }
+
+    #[test]
+    fn standard_properties_are_set() {
+        let mut r = reg();
+        let id = r.register(&["a.B", "a.C"], Rc::new(()), Properties::new());
+        let props = r.properties(id).unwrap();
+        assert_eq!(props.get(SERVICE_ID), Some(&PropValue::Int(id.raw() as i64)));
+        assert_eq!(props.get(SERVICE_RANKING), Some(&PropValue::Int(0)));
+        let f = Filter::parse("(objectclass=a.C)").unwrap();
+        assert!(f.matches(props));
+    }
+
+    #[test]
+    fn filter_narrows_results() {
+        let mut r = reg();
+        r.register(
+            &["x"],
+            Rc::new(()),
+            Properties::new().with("kind", "good"),
+        );
+        r.register(&["x"], Rc::new(()), Properties::new().with("kind", "bad"));
+        let f = Filter::parse("(kind=good)").unwrap();
+        assert_eq!(r.find("x", Some(&f)).len(), 1);
+        assert_eq!(r.find("x", None).len(), 2);
+        assert_eq!(r.find("y", None).len(), 0);
+    }
+
+    #[test]
+    fn ranking_orders_selection() {
+        let mut r = reg();
+        let low = r.register(
+            &["x"],
+            Rc::new(()),
+            Properties::new().with(SERVICE_RANKING, 1),
+        );
+        let high = r.register(
+            &["x"],
+            Rc::new(()),
+            Properties::new().with(SERVICE_RANKING, 10),
+        );
+        let tie = r.register(
+            &["x"],
+            Rc::new(()),
+            Properties::new().with(SERVICE_RANKING, 10),
+        );
+        let found = r.find("x", None);
+        assert_eq!(found[0].id(), high, "highest ranking first");
+        assert_eq!(found[1].id(), tie, "ties broken by lower id — wait");
+        assert_eq!(found[2].id(), low);
+        // `high` has a lower id than `tie`, so it wins the tie.
+        assert!(high.raw() < tie.raw());
+        assert_eq!(r.find_one("x", None).unwrap().id(), high);
+    }
+
+    #[test]
+    fn unregister_emits_event_and_removes() {
+        let mut r = reg();
+        let id = r.register(&["x"], Rc::new(()), Properties::new());
+        r.drain_events();
+        assert!(r.unregister(id));
+        assert!(!r.unregister(id));
+        assert!(r.get::<()>(id).is_none());
+        let events = r.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, ServiceEventKind::Unregistering);
+        assert_eq!(events[0].service, id);
+    }
+
+    #[test]
+    fn set_properties_emits_modified() {
+        let mut r = reg();
+        let id = r.register(&["x"], Rc::new(()), Properties::new().with("v", 1));
+        r.drain_events();
+        assert!(r.set_properties(id, Properties::new().with("v", 2)));
+        let events = r.drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, ServiceEventKind::Modified);
+        assert_eq!(
+            r.properties(id).unwrap().get("v"),
+            Some(&PropValue::Int(2))
+        );
+        // Standard keys survive the replacement.
+        assert!(r.properties(id).unwrap().get(SERVICE_ID).is_some());
+    }
+
+    #[test]
+    fn wrong_type_downcast_is_none() {
+        let mut r = reg();
+        let id = r.register(&["x"], Rc::new(Echo("hi".into())), Properties::new());
+        assert!(r.get::<String>(id).is_none());
+        assert!(r.get::<Echo>(id).is_some());
+    }
+
+    #[test]
+    fn owned_services_unregister_together() {
+        let mut r = reg();
+        r.register_owned(7, &["x"], Rc::new(()), Properties::new());
+        r.register_owned(7, &["y"], Rc::new(()), Properties::new());
+        r.register_owned(8, &["z"], Rc::new(()), Properties::new());
+        assert_eq!(r.unregister_owned(7), 2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.find("z", None).len(), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Service tracking: the OSGi `ServiceTracker` pattern over the drained
+//! event model.
+//!
+//! A [`ServiceTracker`] follows every service of one interface (optionally
+//! narrowed by an LDAP filter), maintaining the currently-tracked set and
+//! reporting adds/removals as [`TrackerEvent`]s when it is
+//! [`poll`](ServiceTracker::poll)ed. Because the whole reproduction is a
+//! deterministic single-threaded loop, tracking is a *diff* between polls
+//! rather than a callback from a dispatcher thread — same contract, no
+//! hidden concurrency.
+
+use crate::framework::Framework;
+use crate::ldap::Filter;
+use crate::registry::{ServiceId, ServiceRef};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A change observed between two polls.
+#[derive(Debug, Clone)]
+pub enum TrackerEvent {
+    /// A matching service appeared (or started matching after a property
+    /// change).
+    Added(ServiceRef),
+    /// A matching service's properties changed while it kept matching.
+    Modified(ServiceRef),
+    /// A tracked service disappeared (or stopped matching).
+    Removed(ServiceId),
+}
+
+/// Tracks the services of one interface. See the [module docs](self).
+///
+/// ```
+/// use osgi::framework::Framework;
+/// use osgi::ldap::Properties;
+/// use osgi::tracker::{ServiceTracker, TrackerEvent};
+/// use std::rc::Rc;
+///
+/// let mut fw = Framework::new();
+/// let mut tracker = ServiceTracker::new("log.Service");
+/// fw.registry_mut().register(&["log.Service"], Rc::new(()), Properties::new());
+/// let events = tracker.poll(&fw);
+/// assert!(matches!(events[0], TrackerEvent::Added(_)));
+/// ```
+pub struct ServiceTracker {
+    interface: String,
+    filter: Option<Filter>,
+    tracked: BTreeMap<u64, ServiceRef>,
+}
+
+impl fmt::Debug for ServiceTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceTracker")
+            .field("interface", &self.interface)
+            .field("tracked", &self.tracked.len())
+            .finish()
+    }
+}
+
+impl ServiceTracker {
+    /// Tracks every service of `interface`.
+    pub fn new(interface: &str) -> Self {
+        ServiceTracker {
+            interface: interface.to_string(),
+            filter: None,
+            tracked: BTreeMap::new(),
+        }
+    }
+
+    /// Narrows tracking with an LDAP filter.
+    pub fn with_filter(mut self, filter: Filter) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// The tracked interface.
+    pub fn interface(&self) -> &str {
+        &self.interface
+    }
+
+    /// Currently tracked services, best-ranked first.
+    pub fn tracked(&self) -> Vec<ServiceRef> {
+        let mut refs: Vec<ServiceRef> = self.tracked.values().cloned().collect();
+        refs.sort_by(|a, b| {
+            b.ranking()
+                .cmp(&a.ranking())
+                .then(a.id().raw().cmp(&b.id().raw()))
+        });
+        refs
+    }
+
+    /// The best-ranked tracked service.
+    pub fn best(&self) -> Option<ServiceRef> {
+        self.tracked().into_iter().next()
+    }
+
+    /// Number of tracked services.
+    pub fn len(&self) -> usize {
+        self.tracked.len()
+    }
+
+    /// True when nothing matches.
+    pub fn is_empty(&self) -> bool {
+        self.tracked.is_empty()
+    }
+
+    /// Diffs the registry against the tracked set, updating it and
+    /// returning what changed since the last poll.
+    pub fn poll(&mut self, fw: &Framework) -> Vec<TrackerEvent> {
+        let current: BTreeMap<u64, ServiceRef> = fw
+            .registry()
+            .find(&self.interface, self.filter.as_ref())
+            .into_iter()
+            .map(|r| (r.id().raw(), r))
+            .collect();
+        let mut events = Vec::new();
+        for (id, service_ref) in &current {
+            match self.tracked.get(id) {
+                None => events.push(TrackerEvent::Added(service_ref.clone())),
+                Some(old) if old.properties() != service_ref.properties() => {
+                    events.push(TrackerEvent::Modified(service_ref.clone()))
+                }
+                Some(_) => {}
+            }
+        }
+        for id in self.tracked.keys() {
+            if !current.contains_key(id) {
+                events.push(TrackerEvent::Removed(ServiceId(*id)));
+            }
+        }
+        self.tracked = current;
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ldap::Properties;
+    use std::rc::Rc;
+
+    fn fw() -> Framework {
+        Framework::new()
+    }
+
+    #[test]
+    fn tracks_adds_and_removals() {
+        let mut fw = fw();
+        let mut tracker = ServiceTracker::new("log.Service");
+        assert!(tracker.poll(&fw).is_empty());
+        let a = fw
+            .registry_mut()
+            .register(&["log.Service"], Rc::new(1u8), Properties::new());
+        let events = tracker.poll(&fw);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(&events[0], TrackerEvent::Added(r) if r.id() == a));
+        assert_eq!(tracker.len(), 1);
+        fw.registry_mut().unregister(a);
+        let events = tracker.poll(&fw);
+        assert!(matches!(events[0], TrackerEvent::Removed(id) if id == a));
+        assert!(tracker.is_empty());
+    }
+
+    #[test]
+    fn filter_gates_tracking_and_property_changes_retrack() {
+        let mut fw = fw();
+        let mut tracker = ServiceTracker::new("log.Service")
+            .with_filter(Filter::parse("(level=error)").unwrap());
+        let a = fw.registry_mut().register(
+            &["log.Service"],
+            Rc::new(1u8),
+            Properties::new().with("level", "debug"),
+        );
+        assert!(tracker.poll(&fw).is_empty());
+        // The service's properties change to match: tracked as an add.
+        fw.registry_mut()
+            .set_properties(a, Properties::new().with("level", "error"));
+        let events = tracker.poll(&fw);
+        assert!(matches!(events[0], TrackerEvent::Added(_)));
+        // And back out: removed.
+        fw.registry_mut()
+            .set_properties(a, Properties::new().with("level", "warn"));
+        let events = tracker.poll(&fw);
+        assert!(matches!(events[0], TrackerEvent::Removed(id) if id == a));
+    }
+
+    #[test]
+    fn modifications_inside_the_match_are_reported() {
+        let mut fw = fw();
+        let mut tracker = ServiceTracker::new("x");
+        let a = fw.registry_mut().register(
+            &["x"],
+            Rc::new(()),
+            Properties::new().with("v", 1),
+        );
+        tracker.poll(&fw);
+        fw.registry_mut().set_properties(a, Properties::new().with("v", 2));
+        let events = tracker.poll(&fw);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], TrackerEvent::Modified(_)));
+    }
+
+    #[test]
+    fn best_follows_ranking() {
+        let mut fw = fw();
+        let mut tracker = ServiceTracker::new("x");
+        fw.registry_mut().register(
+            &["x"],
+            Rc::new(()),
+            Properties::new().with("service.ranking", 1),
+        );
+        let high = fw.registry_mut().register(
+            &["x"],
+            Rc::new(()),
+            Properties::new().with("service.ranking", 9),
+        );
+        tracker.poll(&fw);
+        assert_eq!(tracker.best().unwrap().id(), high);
+        assert_eq!(tracker.tracked().len(), 2);
+    }
+}

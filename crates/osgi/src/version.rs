@@ -1,0 +1,326 @@
+//! OSGi version and version-range syntax.
+//!
+//! Versions follow the OSGi `major.minor.micro.qualifier` grammar; ranges
+//! follow the interval notation of the core specification, e.g.
+//! `[1.0,2.0)`, `(1.2.3,2]`, or a bare version `1.0` meaning
+//! `[1.0, ∞)`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parse failure for [`Version`] or [`VersionRange`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVersionError {
+    input: String,
+    reason: &'static str,
+}
+
+impl ParseVersionError {
+    fn new(input: &str, reason: &'static str) -> Self {
+        ParseVersionError {
+            input: input.to_string(),
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for ParseVersionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid version syntax `{}`: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for ParseVersionError {}
+
+/// An OSGi version: `major.minor.micro.qualifier`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Version {
+    /// Major segment.
+    pub major: u32,
+    /// Minor segment.
+    pub minor: u32,
+    /// Micro segment.
+    pub micro: u32,
+    /// Optional qualifier, compared lexicographically.
+    pub qualifier: String,
+}
+
+impl Version {
+    /// Creates a version without qualifier.
+    pub fn new(major: u32, minor: u32, micro: u32) -> Self {
+        Version {
+            major,
+            minor,
+            micro,
+            qualifier: String::new(),
+        }
+    }
+
+    /// The zero version `0.0.0`.
+    pub fn zero() -> Self {
+        Version::new(0, 0, 0)
+    }
+}
+
+impl PartialOrd for Version {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Version {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.major, self.minor, self.micro, &self.qualifier).cmp(&(
+            other.major,
+            other.minor,
+            other.micro,
+            &other.qualifier,
+        ))
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.major, self.minor, self.micro)?;
+        if !self.qualifier.is_empty() {
+            write!(f, ".{}", self.qualifier)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Version {
+    type Err = ParseVersionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseVersionError::new(s, "empty version"));
+        }
+        let mut parts = s.splitn(4, '.');
+        let mut seg = |name: &'static str| -> Result<u32, ParseVersionError> {
+            match parts.next() {
+                None => Ok(0),
+                Some(p) => p
+                    .parse::<u32>()
+                    .map_err(|_| ParseVersionError::new(s, name)),
+            }
+        };
+        let major = seg("bad major segment")?;
+        let minor = seg("bad minor segment")?;
+        let micro = seg("bad micro segment")?;
+        let qualifier = parts.next().unwrap_or("").to_string();
+        if !qualifier
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+        {
+            return Err(ParseVersionError::new(s, "bad qualifier"));
+        }
+        Ok(Version {
+            major,
+            minor,
+            micro,
+            qualifier,
+        })
+    }
+}
+
+/// An OSGi version range, e.g. `[1.0,2.0)` or the bare floor `1.0`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VersionRange {
+    /// Lower bound.
+    pub floor: Version,
+    /// Whether the lower bound itself is included.
+    pub floor_inclusive: bool,
+    /// Upper bound; `None` means unbounded above.
+    pub ceiling: Option<Version>,
+    /// Whether the upper bound itself is included.
+    pub ceiling_inclusive: bool,
+}
+
+impl VersionRange {
+    /// The range accepting any version: `[0.0.0, ∞)`.
+    pub fn any() -> Self {
+        VersionRange {
+            floor: Version::zero(),
+            floor_inclusive: true,
+            ceiling: None,
+            ceiling_inclusive: false,
+        }
+    }
+
+    /// The range `[floor, ∞)`.
+    pub fn at_least(floor: Version) -> Self {
+        VersionRange {
+            floor,
+            floor_inclusive: true,
+            ceiling: None,
+            ceiling_inclusive: false,
+        }
+    }
+
+    /// The exact range `[v, v]`.
+    pub fn exact(v: Version) -> Self {
+        VersionRange {
+            floor: v.clone(),
+            floor_inclusive: true,
+            ceiling: Some(v),
+            ceiling_inclusive: true,
+        }
+    }
+
+    /// True when `v` lies within the range.
+    pub fn includes(&self, v: &Version) -> bool {
+        let lower_ok = match v.cmp(&self.floor) {
+            Ordering::Greater => true,
+            Ordering::Equal => self.floor_inclusive,
+            Ordering::Less => false,
+        };
+        if !lower_ok {
+            return false;
+        }
+        match &self.ceiling {
+            None => true,
+            Some(c) => match v.cmp(c) {
+                Ordering::Less => true,
+                Ordering::Equal => self.ceiling_inclusive,
+                Ordering::Greater => false,
+            },
+        }
+    }
+}
+
+impl Default for VersionRange {
+    fn default() -> Self {
+        VersionRange::any()
+    }
+}
+
+impl fmt::Display for VersionRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.ceiling {
+            None if self.floor_inclusive => write!(f, "{}", self.floor),
+            None => write!(f, "({},)", self.floor),
+            Some(c) => write!(
+                f,
+                "{}{},{}{}",
+                if self.floor_inclusive { '[' } else { '(' },
+                self.floor,
+                c,
+                if self.ceiling_inclusive { ']' } else { ')' },
+            ),
+        }
+    }
+}
+
+impl FromStr for VersionRange {
+    type Err = ParseVersionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let first = s
+            .chars()
+            .next()
+            .ok_or_else(|| ParseVersionError::new(s, "empty range"))?;
+        if first != '[' && first != '(' {
+            // Bare version: floor with open ceiling.
+            return Ok(VersionRange::at_least(s.parse()?));
+        }
+        let last = s.chars().last().expect("nonempty");
+        if last != ']' && last != ')' {
+            return Err(ParseVersionError::new(s, "unterminated interval"));
+        }
+        let inner = &s[1..s.len() - 1];
+        let (lo, hi) = inner
+            .split_once(',')
+            .ok_or_else(|| ParseVersionError::new(s, "interval needs a comma"))?;
+        Ok(VersionRange {
+            floor: lo.trim().parse()?,
+            floor_inclusive: first == '[',
+            ceiling: Some(hi.trim().parse()?),
+            ceiling_inclusive: last == ']',
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Version {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn version_parsing_fills_missing_segments() {
+        assert_eq!(v("1"), Version::new(1, 0, 0));
+        assert_eq!(v("1.2"), Version::new(1, 2, 0));
+        assert_eq!(v("1.2.3"), Version::new(1, 2, 3));
+        let q = v("1.2.3.beta-1");
+        assert_eq!(q.qualifier, "beta-1");
+    }
+
+    #[test]
+    fn version_parsing_rejects_garbage() {
+        for bad in ["", "a.b", "1.-2", "1.2.3.!!", "1.2.x"] {
+            assert!(bad.parse::<Version>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn version_ordering() {
+        assert!(v("1.0.0") < v("1.0.1"));
+        assert!(v("1.0.10") > v("1.0.9"));
+        assert!(v("2") > v("1.9.9"));
+        assert!(v("1.0.0") < v("1.0.0.a"));
+        assert!(v("1.0.0.a") < v("1.0.0.b"));
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in ["1.2.3", "0.0.0", "1.2.3.rc1"] {
+            assert_eq!(v(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn range_parsing_and_membership() {
+        let r: VersionRange = "[1.0,2.0)".parse().unwrap();
+        assert!(r.includes(&v("1.0")));
+        assert!(r.includes(&v("1.9.9")));
+        assert!(!r.includes(&v("2.0")));
+        assert!(!r.includes(&v("0.9")));
+
+        let r: VersionRange = "(1.0,2.0]".parse().unwrap();
+        assert!(!r.includes(&v("1.0")));
+        assert!(r.includes(&v("2.0")));
+
+        let r: VersionRange = "1.5".parse().unwrap();
+        assert!(r.includes(&v("1.5")));
+        assert!(r.includes(&v("99.0")));
+        assert!(!r.includes(&v("1.4.9")));
+    }
+
+    #[test]
+    fn range_parse_errors() {
+        for bad in ["", "[1.0 2.0)", "[1.0,2.0", "[x,2.0)"] {
+            assert!(bad.parse::<VersionRange>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn exact_and_any_ranges() {
+        let e = VersionRange::exact(v("1.2.3"));
+        assert!(e.includes(&v("1.2.3")));
+        assert!(!e.includes(&v("1.2.4")));
+        assert!(VersionRange::any().includes(&v("0.0.0")));
+        assert!(VersionRange::any().includes(&v("100.0.0")));
+    }
+
+    #[test]
+    fn range_display() {
+        assert_eq!("[1.0,2.0)".parse::<VersionRange>().unwrap().to_string(), "[1.0.0,2.0.0)");
+        assert_eq!("1.5".parse::<VersionRange>().unwrap().to_string(), "1.5.0");
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the OSGi substrate: LDAP filter grammar
+//! roundtrips, version ordering laws, and registry selection invariants.
+
+use osgi::ldap::{Filter, PropValue, Properties};
+use osgi::registry::ServiceRegistry;
+use osgi::version::{Version, VersionRange};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+fn attr_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9._-]{0,12}"
+}
+
+/// Values may contain filter metacharacters; Display must escape them.
+fn attr_value() -> impl Strategy<Value = String> {
+    "[ -~]{0,16}"
+}
+
+fn leaf_filter() -> impl Strategy<Value = Filter> {
+    prop_oneof![
+        (attr_name(), attr_value()).prop_map(|(a, v)| Filter::Equal(a, v)),
+        (attr_name(), attr_value()).prop_map(|(a, v)| Filter::Approx(a, v)),
+        (attr_name(), attr_value()).prop_map(|(a, v)| Filter::GreaterEq(a, v)),
+        (attr_name(), attr_value()).prop_map(|(a, v)| Filter::LessEq(a, v)),
+        attr_name().prop_map(Filter::Present),
+        (
+            attr_name(),
+            proptest::option::of(attr_value().prop_filter("nonempty", |s| !s.is_empty())),
+            proptest::collection::vec(
+                attr_value().prop_filter("nonempty", |s| !s.is_empty()),
+                0..3
+            ),
+            proptest::option::of(attr_value().prop_filter("nonempty", |s| !s.is_empty())),
+        )
+            .prop_filter_map(
+                "fully-empty substring canonicalizes to a presence test",
+                |(attr, initial, any, final_)| {
+                    (initial.is_some() || !any.is_empty() || final_.is_some()).then_some(
+                        Filter::Substring {
+                            attr,
+                            initial,
+                            any,
+                            final_,
+                        },
+                    )
+                }
+            ),
+    ]
+}
+
+fn filter_tree() -> impl Strategy<Value = Filter> {
+    leaf_filter().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Filter::And),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Filter::Or),
+            inner.prop_map(|f| Filter::Not(Box::new(f))),
+        ]
+    })
+}
+
+fn version() -> impl Strategy<Value = Version> {
+    (0u32..100, 0u32..100, 0u32..100, "[a-z0-9]{0,6}").prop_map(|(ma, mi, mc, q)| Version {
+        major: ma,
+        minor: mi,
+        micro: mc,
+        qualifier: q,
+    })
+}
+
+proptest! {
+    /// Every filter the AST can express prints to a string the parser
+    /// reads back to the identical AST.
+    #[test]
+    fn filter_display_parse_roundtrip(f in filter_tree()) {
+        let printed = f.to_string();
+        let reparsed = Filter::parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        prop_assert_eq!(f, reparsed);
+    }
+
+    /// Parsing never panics on arbitrary input.
+    #[test]
+    fn filter_parse_never_panics(s in "[ -~]{0,40}") {
+        let _ = Filter::parse(&s);
+    }
+
+    /// Semantic sanity: a generated filter evaluates identically before and
+    /// after a print/parse cycle, over arbitrary property sets.
+    #[test]
+    fn filter_semantics_survive_roundtrip(
+        f in filter_tree(),
+        props in proptest::collection::vec(("[a-z]{1,6}", "[ -~]{0,8}"), 0..6),
+    ) {
+        let dict: Properties = props
+            .into_iter()
+            .map(|(k, v)| (k, PropValue::Str(v)))
+            .collect();
+        let reparsed = Filter::parse(&f.to_string()).expect("roundtrip parse");
+        prop_assert_eq!(f.matches(&dict), reparsed.matches(&dict));
+    }
+
+    /// Version display/parse roundtrip.
+    #[test]
+    fn version_display_parse_roundtrip(v in version()) {
+        let reparsed: Version = v.to_string().parse().expect("reparse");
+        prop_assert_eq!(v, reparsed);
+    }
+
+    /// Version ordering is total and consistent with segment ordering.
+    #[test]
+    fn version_ordering_laws(a in version(), b in version()) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(&a, &b),
+        }
+        if a.major != b.major {
+            prop_assert_eq!(a.major.cmp(&b.major), a.cmp(&b));
+        }
+    }
+
+    /// Range membership agrees with the endpoints' ordering.
+    #[test]
+    fn range_membership_consistent(lo in version(), hi in version(), probe in version()) {
+        prop_assume!(lo <= hi);
+        let range = VersionRange {
+            floor: lo.clone(),
+            floor_inclusive: true,
+            ceiling: Some(hi.clone()),
+            ceiling_inclusive: true,
+        };
+        prop_assert_eq!(range.includes(&probe), lo <= probe && probe <= hi);
+        // Displayed form parses back to something with identical membership.
+        let reparsed: VersionRange = range.to_string().parse().expect("range reparse");
+        prop_assert_eq!(reparsed.includes(&probe), range.includes(&probe));
+    }
+
+    /// Registry ranking selection: find_one always returns the maximum by
+    /// (ranking desc, id asc) among matching services.
+    #[test]
+    fn registry_selection_order(rankings in proptest::collection::vec(-100i64..100, 1..12)) {
+        let mut reg = ServiceRegistry::new();
+        let ids: Vec<_> = rankings
+            .iter()
+            .map(|&r| {
+                reg.register(
+                    &["svc"],
+                    Rc::new(()),
+                    Properties::new().with("service.ranking", r),
+                )
+            })
+            .collect();
+        let found = reg.find("svc", None);
+        prop_assert_eq!(found.len(), rankings.len());
+        // Verify the full sort order.
+        for pair in found.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            prop_assert!(
+                a.ranking() > b.ranking()
+                    || (a.ranking() == b.ranking() && a.id().raw() < b.id().raw())
+            );
+        }
+        // find_one is the head.
+        let best = reg.find_one("svc", None).expect("nonempty");
+        prop_assert_eq!(best.id(), found[0].id());
+        // Unregister everything; registry drains.
+        for id in ids {
+            prop_assert!(reg.unregister(id));
+        }
+        prop_assert!(reg.is_empty());
+    }
+}

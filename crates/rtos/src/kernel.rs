@@ -1,0 +1,1630 @@
+//! The discrete-event real-time kernel.
+//!
+//! [`Kernel`] simulates an RTAI-like dual-kernel machine in virtual time:
+//! per-CPU fixed-priority preemptive scheduling with round-robin among equal
+//! priorities, a periodic/oneshot hardware-timer model with calibrated error
+//! (see [`crate::latency`]), named shared memory, bounded mailboxes, and a
+//! Linux domain whose tasks run only when no real-time task is runnable.
+//!
+//! The simulation is single-threaded and deterministic: all randomness comes
+//! from one seeded generator, so an experiment is reproducible from its
+//! configuration alone.
+//!
+//! # Execution model
+//!
+//! Task behaviour is supplied as a [`TaskBody`]. When a release is
+//! dispatched, the body runs *logically at the dispatch instant*; the CPU
+//! time it charges (via [`TaskCtx::compute`] plus fixed per-operation IPC
+//! costs) then occupies the CPU in virtual time, during which the task can
+//! be preempted by more urgent releases. Release→dispatch latency — the
+//! quantity in the paper's Table 1 — is recorded for tasks created with
+//! latency tracking.
+
+use crate::error::KernelError;
+use crate::latency::{LatencyStats, LoadMode, TimerJitterModel, TimerMode};
+use crate::fifo::FifoRegistry;
+use crate::mailbox::MailboxRegistry;
+use crate::rng::SimRng;
+use crate::shm::ShmRegistry;
+use crate::task::{
+    Domain, ObjName, Priority, ReleasePolicy, TaskBody, TaskConfig, TaskId, TaskState,
+};
+use crate::time::{LatencyNs, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Static configuration of a [`Kernel`].
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Number of CPUs.
+    pub cpus: u32,
+    /// Seed for all stochastic models.
+    pub seed: u64,
+    /// Hardware-timer error model.
+    pub timer: TimerJitterModel,
+    /// Initial system load regime.
+    pub load_mode: LoadMode,
+    /// Round-robin quantum among equal-priority tasks.
+    pub rr_quantum: SimDuration,
+    /// CPU cost charged per shared-memory read/write.
+    pub shm_op_cost: SimDuration,
+    /// CPU cost charged per mailbox send/receive (including empty polls).
+    pub mbx_op_cost: SimDuration,
+    /// Capacity of the in-kernel trace ring buffer (0 disables tracing).
+    pub trace_capacity: usize,
+}
+
+impl KernelConfig {
+    /// A single-CPU kernel with the calibrated periodic-mode timer.
+    pub fn new(seed: u64) -> Self {
+        KernelConfig {
+            cpus: 1,
+            seed,
+            timer: TimerJitterModel::calibrated(TimerMode::Periodic),
+            load_mode: LoadMode::Light,
+            rr_quantum: SimDuration::from_millis(1),
+            shm_op_cost: SimDuration::from_nanos(120),
+            mbx_op_cost: SimDuration::from_nanos(180),
+            trace_capacity: 0,
+        }
+    }
+
+    /// Sets the CPU count.
+    pub fn with_cpus(mut self, cpus: u32) -> Self {
+        assert!(cpus > 0, "need at least one CPU");
+        self.cpus = cpus;
+        self
+    }
+
+    /// Sets the timer model.
+    pub fn with_timer(mut self, timer: TimerJitterModel) -> Self {
+        self.timer = timer;
+        self
+    }
+
+    /// Sets the load regime.
+    pub fn with_load_mode(mut self, mode: LoadMode) -> Self {
+        self.load_mode = mode;
+        self
+    }
+
+    /// Enables the trace ring buffer.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig::new(0)
+    }
+}
+
+/// A single entry in the kernel trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Human-readable description.
+    pub what: String,
+}
+
+#[derive(Debug, Default)]
+struct Trace {
+    capacity: usize,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    fn push(&mut self, time: SimTime, what: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.remove(0);
+        }
+        self.events.push(TraceEvent { time, what });
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Hardware-timer interrupt releasing a task. The *ideal* release time is
+    /// stored on the task; the event time includes the sampled timer error.
+    Release { task: TaskId, ideal: SimTime },
+    /// The running task's charged execution time is exhausted.
+    Finish { task: TaskId, gen: u64 },
+    /// Round-robin quantum expiry for the task dispatched with `gen`.
+    Timeslice { task: TaskId, gen: u64 },
+    /// Deferred scheduling decision for one CPU. Releases enqueue and then
+    /// post this, so all releases at the same instant are queued before any
+    /// dispatch happens — priority order is respected even among
+    /// simultaneous releases.
+    Dispatch { cpu: u32 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EventEntry {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Task {
+    cfg: TaskConfig,
+    state: TaskState,
+    body: Option<Box<dyn TaskBody>>,
+    /// Ideal release time of the cycle currently queued/running.
+    pending_ideal: Option<SimTime>,
+    /// Remaining execution when preempted mid-cycle.
+    remaining: SimDuration,
+    /// Dispatch generation; cancels stale Finish/Timeslice events.
+    run_gen: u64,
+    /// Whether a round-robin quantum is armed for the current slice.
+    quantum_armed: bool,
+    /// When the current execution slice started (valid while Running).
+    slice_start: SimTime,
+    /// Time at which the current cycle would finish if undisturbed.
+    finish_at: SimTime,
+    cycles: u64,
+    overruns: u64,
+    budget_overruns: u64,
+    cpu_time: SimDuration,
+    stats: LatencyStats,
+    /// Response time (release → finish) samples, when tracking is on.
+    response_stats: LatencyStats,
+    /// Cycles whose response time exceeded the period (implicit deadline).
+    deadline_misses: u64,
+    started: bool,
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("name", &self.cfg.name)
+            .field("state", &self.state)
+            .field("cycles", &self.cycles)
+            .finish()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Cpu {
+    running: Option<TaskId>,
+    /// Min-heap on (priority, enqueue seq): FIFO among equal priorities.
+    ready: BinaryHeap<Reverse<(Priority, u64, TaskId)>>,
+    busy_rt: SimDuration,
+    busy_linux: SimDuration,
+}
+
+/// Aggregate scheduler counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Number of body dispatches (fresh cycles).
+    pub dispatches: u64,
+    /// Number of preemptions (a running task was displaced).
+    pub preemptions: u64,
+    /// Number of round-robin rotations.
+    pub timeslices: u64,
+    /// Releases discarded because the previous cycle had not finished.
+    pub overruns: u64,
+}
+
+/// The simulated real-time kernel. See the [module docs](self).
+pub struct Kernel {
+    cfg: KernelConfig,
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<EventEntry>>,
+    tasks: HashMap<TaskId, Task>,
+    names: HashMap<ObjName, TaskId>,
+    next_task_id: u64,
+    cpus: Vec<Cpu>,
+    shm: ShmRegistry,
+    mailboxes: MailboxRegistry,
+    fifos: FifoRegistry,
+    rng: SimRng,
+    trace: Trace,
+    counters: SchedCounters,
+    /// Aperiodic tasks to release when a mailbox receives a message.
+    wakeups: Vec<(ObjName, TaskId)>,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("tasks", &self.tasks.len())
+            .field("pending_events", &self.events.len())
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Boots a kernel from its configuration.
+    pub fn new(cfg: KernelConfig) -> Self {
+        let rng = SimRng::from_seed(cfg.seed);
+        let cpus = (0..cfg.cpus).map(|_| Cpu::default()).collect();
+        Kernel {
+            trace: Trace {
+                capacity: cfg.trace_capacity,
+                events: Vec::new(),
+            },
+            rng,
+            cpus,
+            cfg,
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            tasks: HashMap::new(),
+            names: HashMap::new(),
+            next_task_id: 1,
+            shm: ShmRegistry::new(),
+            mailboxes: MailboxRegistry::new(),
+            fifos: FifoRegistry::new(),
+            counters: SchedCounters::default(),
+            wakeups: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of CPUs on this kernel.
+    pub fn cpu_count(&self) -> u32 {
+        self.cpus.len() as u32
+    }
+
+    /// The active load regime.
+    pub fn load_mode(&self) -> LoadMode {
+        self.cfg.load_mode
+    }
+
+    /// Switches the load regime mid-run (scenario support).
+    pub fn set_load_mode(&mut self, mode: LoadMode) {
+        self.cfg.load_mode = mode;
+        self.trace_push(format!("load mode -> {mode}"));
+    }
+
+    /// Shared-memory registry (read access).
+    pub fn shm(&self) -> &ShmRegistry {
+        &self.shm
+    }
+
+    /// Shared-memory registry (management access from the non-RT side).
+    pub fn shm_mut(&mut self) -> &mut ShmRegistry {
+        &mut self.shm
+    }
+
+    /// Mailbox registry (read access).
+    pub fn mailboxes(&self) -> &MailboxRegistry {
+        &self.mailboxes
+    }
+
+    /// Mailbox registry (management access from the non-RT side).
+    pub fn mailboxes_mut(&mut self) -> &mut MailboxRegistry {
+        &mut self.mailboxes
+    }
+
+    /// FIFO registry (read access).
+    pub fn fifos(&self) -> &FifoRegistry {
+        &self.fifos
+    }
+
+    /// FIFO registry (management access from the non-RT side).
+    pub fn fifos_mut(&mut self) -> &mut FifoRegistry {
+        &mut self.fifos
+    }
+
+    /// Aggregate scheduler counters.
+    pub fn counters(&self) -> SchedCounters {
+        self.counters
+    }
+
+    /// The trace buffer contents, oldest first.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace.events
+    }
+
+    fn trace_push(&mut self, what: String) {
+        self.trace.push(self.now, what);
+    }
+
+    // ------------------------------------------------------------------
+    // Task management
+    // ------------------------------------------------------------------
+
+    /// Creates a task in the `Dormant` state.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::DuplicateTask`] if the name is taken,
+    /// [`KernelError::NoSuchCpu`] if the pinned CPU does not exist.
+    pub fn create_task(
+        &mut self,
+        cfg: TaskConfig,
+        body: Box<dyn TaskBody>,
+    ) -> Result<TaskId, KernelError> {
+        if self.names.contains_key(&cfg.name) {
+            return Err(KernelError::DuplicateTask(cfg.name));
+        }
+        if cfg.cpu as usize >= self.cpus.len() {
+            return Err(KernelError::NoSuchCpu(cfg.cpu));
+        }
+        let id = TaskId(self.next_task_id);
+        self.next_task_id += 1;
+        self.names.insert(cfg.name.clone(), id);
+        self.trace_push(format!("create task `{}`", cfg.name));
+        self.tasks.insert(
+            id,
+            Task {
+                cfg,
+                state: TaskState::Dormant,
+                body: Some(body),
+                pending_ideal: None,
+                remaining: SimDuration::ZERO,
+                run_gen: 0,
+                quantum_armed: false,
+                slice_start: SimTime::ZERO,
+                finish_at: SimTime::ZERO,
+                cycles: 0,
+                overruns: 0,
+                budget_overruns: 0,
+                cpu_time: SimDuration::ZERO,
+                stats: LatencyStats::new(),
+                response_stats: LatencyStats::new(),
+                deadline_misses: 0,
+                started: false,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Changes a dormant task's release policy (LXRT's
+    /// `rt_task_make_periodic` path).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchTask`] / [`KernelError::InvalidState`] if the
+    /// task has already started.
+    pub fn set_release_policy(
+        &mut self,
+        id: TaskId,
+        policy: ReleasePolicy,
+    ) -> Result<(), KernelError> {
+        let task = self.tasks.get_mut(&id).ok_or(KernelError::NoSuchTask(id))?;
+        if task.state != TaskState::Dormant {
+            return Err(KernelError::InvalidState {
+                task: id,
+                operation: "change release policy of",
+                state: task.state,
+            });
+        }
+        task.cfg.release = policy;
+        Ok(())
+    }
+
+    /// Enables or disables latency tracking on an existing task.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchTask`] if the id is unknown.
+    pub fn set_latency_tracking(&mut self, id: TaskId, on: bool) -> Result<(), KernelError> {
+        let task = self.tasks.get_mut(&id).ok_or(KernelError::NoSuchTask(id))?;
+        task.cfg.track_latency = on;
+        Ok(())
+    }
+
+    /// Starts a dormant task. Periodic tasks get their first release one
+    /// period from now; aperiodic tasks wait for [`Kernel::trigger`].
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchTask`] / [`KernelError::InvalidState`].
+    pub fn start_task(&mut self, id: TaskId) -> Result<(), KernelError> {
+        let task = self.tasks.get_mut(&id).ok_or(KernelError::NoSuchTask(id))?;
+        if task.state != TaskState::Dormant {
+            return Err(KernelError::InvalidState {
+                task: id,
+                operation: "start",
+                state: task.state,
+            });
+        }
+        task.state = TaskState::Waiting;
+        let release = task.cfg.release;
+        let name = task.cfg.name.clone();
+        self.run_hook(id, Hook::Start);
+        self.trace_push(format!("start task `{name}`"));
+        if let ReleasePolicy::Periodic { period } = release {
+            let ideal = self.now + period;
+            self.schedule_release(id, ideal);
+        }
+        Ok(())
+    }
+
+    /// Suspends a task: queued work completes its current cycle, further
+    /// releases are discarded until [`Kernel::resume_task`].
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchTask`] / [`KernelError::InvalidState`].
+    pub fn suspend_task(&mut self, id: TaskId) -> Result<(), KernelError> {
+        let task = self.tasks.get_mut(&id).ok_or(KernelError::NoSuchTask(id))?;
+        match task.state {
+            TaskState::Deleted | TaskState::Dormant => Err(KernelError::InvalidState {
+                task: id,
+                operation: "suspend",
+                state: task.state,
+            }),
+            TaskState::Suspended => Ok(()),
+            TaskState::Running => {
+                // Takes effect at cycle end: the Finish handler checks state.
+                task.state = TaskState::Suspended;
+                let name = task.cfg.name.clone();
+                self.trace_push(format!("suspend task `{name}` (running; effective at cycle end)"));
+                Ok(())
+            }
+            TaskState::Ready => {
+                task.state = TaskState::Suspended;
+                task.pending_ideal = None;
+                task.remaining = SimDuration::ZERO;
+                let cpu = task.cfg.cpu;
+                let name = task.cfg.name.clone();
+                self.remove_from_ready(cpu, id);
+                self.trace_push(format!("suspend task `{name}`"));
+                Ok(())
+            }
+            TaskState::Waiting => {
+                task.state = TaskState::Suspended;
+                let name = task.cfg.name.clone();
+                self.trace_push(format!("suspend task `{name}`"));
+                Ok(())
+            }
+        }
+    }
+
+    /// Resumes a suspended task, restarting its periodic grid from now.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchTask`] / [`KernelError::InvalidState`].
+    pub fn resume_task(&mut self, id: TaskId) -> Result<(), KernelError> {
+        let task = self.tasks.get_mut(&id).ok_or(KernelError::NoSuchTask(id))?;
+        if task.state != TaskState::Suspended {
+            return Err(KernelError::InvalidState {
+                task: id,
+                operation: "resume",
+                state: task.state,
+            });
+        }
+        task.state = TaskState::Waiting;
+        let release = task.cfg.release;
+        let name = task.cfg.name.clone();
+        self.trace_push(format!("resume task `{name}`"));
+        if let ReleasePolicy::Periodic { period } = release {
+            let ideal = self.now + period;
+            self.schedule_release(id, ideal);
+        }
+        Ok(())
+    }
+
+    /// Deletes a task, running its `on_stop` hook and freeing its name.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchTask`] if the id is unknown or already deleted.
+    pub fn delete_task(&mut self, id: TaskId) -> Result<(), KernelError> {
+        let state = self
+            .tasks
+            .get(&id)
+            .map(|t| t.state)
+            .ok_or(KernelError::NoSuchTask(id))?;
+        if state == TaskState::Deleted {
+            return Err(KernelError::NoSuchTask(id));
+        }
+        self.run_hook(id, Hook::Stop);
+        let task = self.tasks.get_mut(&id).expect("checked above");
+        let cpu = task.cfg.cpu;
+        let name = task.cfg.name.clone();
+        task.state = TaskState::Deleted;
+        task.run_gen += 1; // cancels any in-flight Finish/Timeslice
+        task.body = None;
+        self.names.remove(&name);
+        self.wakeups.retain(|(_, t)| *t != id);
+        self.remove_from_ready(cpu, id);
+        if self.cpus[cpu as usize].running == Some(id) {
+            self.cpus[cpu as usize].running = None;
+            self.try_dispatch(cpu);
+        }
+        self.trace_push(format!("delete task `{name}`"));
+        Ok(())
+    }
+
+    /// Triggers one release of an aperiodic task.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchTask`] / [`KernelError::InvalidState`] (e.g.
+    /// triggering a periodic or suspended task).
+    pub fn trigger(&mut self, id: TaskId) -> Result<(), KernelError> {
+        let task = self.tasks.get(&id).ok_or(KernelError::NoSuchTask(id))?;
+        if !matches!(task.cfg.release, ReleasePolicy::Aperiodic) {
+            return Err(KernelError::InvalidState {
+                task: id,
+                operation: "trigger (periodic task)",
+                state: task.state,
+            });
+        }
+        match task.state {
+            TaskState::Waiting => {
+                let ideal = self.now;
+                self.push_event(self.now, Event::Release { task: id, ideal });
+                Ok(())
+            }
+            TaskState::Ready | TaskState::Running => {
+                // Release while busy: counted as overrun, matching periodic
+                // semantics.
+                let t = self.tasks.get_mut(&id).expect("present");
+                t.overruns += 1;
+                self.counters.overruns += 1;
+                Ok(())
+            }
+            other => Err(KernelError::InvalidState {
+                task: id,
+                operation: "trigger",
+                state: other,
+            }),
+        }
+    }
+
+    /// Arranges for `task` (aperiodic) to be released whenever the named
+    /// mailbox receives a message — event-driven task semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchTask`] / [`KernelError::BadName`].
+    pub fn bind_mailbox_wakeup(&mut self, mailbox: &str, task: TaskId) -> Result<(), KernelError> {
+        if !self.tasks.contains_key(&task) {
+            return Err(KernelError::NoSuchTask(task));
+        }
+        let name = ObjName::new(mailbox)?;
+        if !self.wakeups.iter().any(|(n, t)| *n == name && *t == task) {
+            self.wakeups.push((name, task));
+        }
+        Ok(())
+    }
+
+    /// Removes all mailbox wakeups bound to `task`.
+    pub fn unbind_mailbox_wakeups(&mut self, task: TaskId) {
+        self.wakeups.retain(|(_, t)| *t != task);
+    }
+
+    /// Posts a message into a mailbox from the non-RT side, waking any
+    /// bound aperiodic tasks. Returns `false` when the mailbox was full.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::error::IpcError`] as a kernel error.
+    pub fn post(&mut self, mailbox: &str, msg: &[u8]) -> Result<bool, KernelError> {
+        let queued = self.mailboxes.send(mailbox, msg)?;
+        if queued {
+            self.service_wakeups();
+        }
+        Ok(queued)
+    }
+
+    /// Releases every wakeup-bound waiting task whose mailbox has pending
+    /// messages.
+    fn service_wakeups(&mut self) {
+        let due: Vec<TaskId> = self
+            .wakeups
+            .iter()
+            .filter(|(mbx, task)| {
+                self.mailboxes
+                    .get(mbx.as_str())
+                    .map(|m| !m.is_empty())
+                    .unwrap_or(false)
+                    && self.tasks.get(task).map(|t| t.state) == Some(TaskState::Waiting)
+            })
+            .map(|(_, t)| *t)
+            .collect();
+        for task in due {
+            let ideal = self.now;
+            self.push_event(self.now, Event::Release { task, ideal });
+        }
+    }
+
+    /// Looks up a task by name.
+    pub fn task_by_name(&self, name: &str) -> Option<TaskId> {
+        let name = ObjName::new(name).ok()?;
+        self.names.get(&name).copied()
+    }
+
+    /// Current state of a task.
+    pub fn task_state(&self, id: TaskId) -> Option<TaskState> {
+        self.tasks.get(&id).map(|t| t.state)
+    }
+
+    /// Completed cycles of a task.
+    pub fn task_cycles(&self, id: TaskId) -> Option<u64> {
+        self.tasks.get(&id).map(|t| t.cycles)
+    }
+
+    /// Releases discarded because the task was still busy.
+    pub fn task_overruns(&self, id: TaskId) -> Option<u64> {
+        self.tasks.get(&id).map(|t| t.overruns)
+    }
+
+    /// Cycles whose execution was clamped to the configured budget.
+    pub fn task_budget_overruns(&self, id: TaskId) -> Option<u64> {
+        self.tasks.get(&id).map(|t| t.budget_overruns)
+    }
+
+    /// Total CPU time the task has consumed.
+    pub fn task_cpu_time(&self, id: TaskId) -> Option<SimDuration> {
+        self.tasks.get(&id).map(|t| t.cpu_time)
+    }
+
+    /// Latency statistics of a task (empty unless created with tracking).
+    pub fn task_stats(&self, id: TaskId) -> Option<&LatencyStats> {
+        self.tasks.get(&id).map(|t| &t.stats)
+    }
+
+    /// Response-time (release → completion) statistics of a task (empty
+    /// unless created with tracking).
+    pub fn task_response_stats(&self, id: TaskId) -> Option<&LatencyStats> {
+        self.tasks.get(&id).map(|t| &t.response_stats)
+    }
+
+    /// Cycles whose response time exceeded the period (implicit-deadline
+    /// misses), for tracked periodic tasks.
+    pub fn task_deadline_misses(&self, id: TaskId) -> Option<u64> {
+        self.tasks.get(&id).map(|t| t.deadline_misses)
+    }
+
+    /// Name of a task.
+    pub fn task_name(&self, id: TaskId) -> Option<&ObjName> {
+        self.tasks.get(&id).map(|t| &t.cfg.name)
+    }
+
+    /// Fraction of elapsed time CPU `cpu` spent running RT-domain work.
+    pub fn cpu_rt_utilization(&self, cpu: u32) -> f64 {
+        let elapsed = self.now.as_nanos();
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.cpus[cpu as usize].busy_rt.as_nanos() as f64 / elapsed as f64
+    }
+
+    /// Fraction of elapsed time CPU `cpu` spent running Linux-domain work.
+    pub fn cpu_linux_utilization(&self, cpu: u32) -> f64 {
+        let elapsed = self.now.as_nanos();
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.cpus[cpu as usize].busy_linux.as_nanos() as f64 / elapsed as f64
+    }
+
+    // ------------------------------------------------------------------
+    // Event engine
+    // ------------------------------------------------------------------
+
+    fn push_event(&mut self, time: SimTime, event: Event) {
+        let time = time.max(self.now);
+        self.seq += 1;
+        self.events.push(Reverse(EventEntry {
+            time,
+            seq: self.seq,
+            event,
+        }));
+    }
+
+    fn schedule_release(&mut self, id: TaskId, ideal: SimTime) {
+        let error: LatencyNs = self.cfg.timer.sample_error(&mut self.rng, self.cfg.load_mode);
+        let actual = ideal.offset(error);
+        self.push_event(actual, Event::Release { task: id, ideal });
+    }
+
+    /// Runs the simulation until `deadline` (inclusive of events at it).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(entry)) = self.events.peek().copied() {
+            if entry.time > deadline {
+                break;
+            }
+            self.events.pop();
+            debug_assert!(entry.time >= self.now, "time went backwards");
+            self.now = entry.time;
+            self.handle(entry.event);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs the simulation for a span of virtual time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+
+    /// Processes a single event. Returns `false` when the event queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        match self.events.pop() {
+            Some(Reverse(entry)) => {
+                self.now = entry.time;
+                self.handle(entry.event);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Release { task, ideal } => self.on_release(task, ideal),
+            Event::Finish { task, gen } => self.on_finish(task, gen),
+            Event::Timeslice { task, gen } => self.on_timeslice(task, gen),
+            Event::Dispatch { cpu } => self.try_dispatch(cpu),
+        }
+    }
+
+    fn on_release(&mut self, id: TaskId, ideal: SimTime) {
+        let Some(task) = self.tasks.get_mut(&id) else {
+            return;
+        };
+        // Schedule the next periodic release first so the grid never stalls
+        // (suspended/deleted tasks break the chain deliberately).
+        let reschedule = match (task.state, task.cfg.release) {
+            (TaskState::Deleted | TaskState::Suspended | TaskState::Dormant, _) => None,
+            (_, ReleasePolicy::Periodic { period }) => Some(ideal + period),
+            (_, ReleasePolicy::Aperiodic) => None,
+        };
+        match task.state {
+            TaskState::Waiting => {
+                task.state = TaskState::Ready;
+                task.pending_ideal = Some(ideal);
+                let cpu = task.cfg.cpu;
+                let prio = task.cfg.priority;
+                self.seq += 1;
+                let seq = self.seq;
+                self.cpus[cpu as usize].ready.push(Reverse((prio, seq, id)));
+                if let Some(next) = reschedule {
+                    self.schedule_release(id, next);
+                }
+                self.push_event(self.now, Event::Dispatch { cpu });
+            }
+            TaskState::Ready | TaskState::Running => {
+                task.overruns += 1;
+                self.counters.overruns += 1;
+                if let Some(next) = reschedule {
+                    self.schedule_release(id, next);
+                }
+            }
+            TaskState::Suspended | TaskState::Dormant | TaskState::Deleted => {
+                // Release discarded; chain intentionally broken.
+            }
+        }
+    }
+
+    fn on_finish(&mut self, id: TaskId, gen: u64) {
+        let Some(task) = self.tasks.get_mut(&id) else {
+            return;
+        };
+        if task.run_gen != gen || task.state == TaskState::Deleted {
+            return; // stale event from a cancelled slice
+        }
+        let cpu = task.cfg.cpu;
+        let domain = task.cfg.domain;
+        let slice = self.now.duration_since(task.slice_start);
+        task.cpu_time += slice;
+        task.cycles += 1;
+        task.remaining = SimDuration::ZERO;
+        task.run_gen += 1;
+        if task.cfg.track_latency {
+            if let Some(ideal) = task.pending_ideal {
+                let response = self.now.signed_delta(ideal);
+                task.response_stats.record(response);
+                if let ReleasePolicy::Periodic { period } = task.cfg.release {
+                    if response > period.as_nanos() as i64 {
+                        task.deadline_misses += 1;
+                    }
+                }
+            }
+        }
+        task.pending_ideal = None;
+        let mut rerelease = false;
+        if task.state == TaskState::Running {
+            task.state = TaskState::Waiting;
+            rerelease = task.cfg.continuous;
+        }
+        // If state is Suspended the suspend was requested mid-cycle and is
+        // now effective: stay Suspended, no further releases are queued.
+        self.account_busy(cpu, domain, slice);
+        self.cpus[cpu as usize].running = None;
+        if rerelease {
+            let ideal = self.now;
+            self.push_event(self.now, Event::Release { task: id, ideal });
+        }
+        self.try_dispatch(cpu);
+    }
+
+    fn on_timeslice(&mut self, id: TaskId, gen: u64) {
+        let Some(task) = self.tasks.get(&id) else {
+            return;
+        };
+        if task.run_gen != gen || task.state != TaskState::Running {
+            return;
+        }
+        let cpu = task.cfg.cpu;
+        // Rotate only if an equal-priority peer is waiting; more urgent peers
+        // would already have preempted and less urgent ones must keep waiting.
+        let head_prio = self.cpus[cpu as usize]
+            .ready
+            .peek()
+            .map(|Reverse((p, _, _))| *p);
+        if head_prio == Some(task.cfg.priority) {
+            self.counters.timeslices += 1;
+            self.preempt_running(cpu);
+            self.try_dispatch(cpu);
+        }
+    }
+
+    /// Displaces the running task on `cpu` back into the ready queue,
+    /// preserving its remaining execution time.
+    fn preempt_running(&mut self, cpu: u32) {
+        let Some(running_id) = self.cpus[cpu as usize].running.take() else {
+            return;
+        };
+        let task = self.tasks.get_mut(&running_id).expect("running task exists");
+        let progressed = self.now.duration_since(task.slice_start);
+        task.cpu_time += progressed;
+        let domain = task.cfg.domain;
+        task.remaining = task.finish_at.duration_since(self.now);
+        task.run_gen += 1; // cancels its Finish/Timeslice events
+        task.state = TaskState::Ready;
+        let prio = task.cfg.priority;
+        self.seq += 1;
+        let seq = self.seq;
+        self.cpus[cpu as usize]
+            .ready
+            .push(Reverse((prio, seq, running_id)));
+        self.account_busy(cpu, domain, progressed);
+    }
+
+    fn account_busy(&mut self, cpu: u32, domain: Domain, span: SimDuration) {
+        match domain {
+            Domain::RealTime => self.cpus[cpu as usize].busy_rt += span,
+            Domain::Linux => self.cpus[cpu as usize].busy_linux += span,
+        }
+    }
+
+    /// Removes a task from its CPU's ready queue (linear rebuild; rare path).
+    fn remove_from_ready(&mut self, cpu: u32, id: TaskId) {
+        let queue = &mut self.cpus[cpu as usize].ready;
+        if queue.iter().any(|Reverse((_, _, t))| *t == id) {
+            let drained: Vec<_> = std::mem::take(queue)
+                .into_iter()
+                .filter(|Reverse((_, _, t))| *t != id)
+                .collect();
+            *queue = drained.into_iter().collect();
+        }
+    }
+
+    /// Core dispatch decision for one CPU.
+    fn try_dispatch(&mut self, cpu: u32) {
+        loop {
+            let head = self.cpus[cpu as usize]
+                .ready
+                .peek()
+                .map(|Reverse((p, s, t))| (*p, *s, *t));
+            let Some((head_prio, _, head_id)) = head else {
+                return;
+            };
+            if let Some(running_id) = self.cpus[cpu as usize].running {
+                let running_prio = self.tasks[&running_id].cfg.priority;
+                if head_prio.preempts(running_prio) {
+                    self.counters.preemptions += 1;
+                    self.preempt_running(cpu);
+                    continue; // re-evaluate with the CPU now free
+                }
+                // An equal-priority peer arrived while another runs: arm the
+                // round-robin quantum if it is not already ticking.
+                if head_prio == running_prio {
+                    let running = self.tasks.get_mut(&running_id).expect("running exists");
+                    if !running.quantum_armed {
+                        running.quantum_armed = true;
+                        let gen = running.run_gen;
+                        let slice_end = self.now + self.cfg.rr_quantum;
+                        self.push_event(
+                            slice_end,
+                            Event::Timeslice {
+                                task: running_id,
+                                gen,
+                            },
+                        );
+                    }
+                }
+                return;
+            }
+            // CPU idle: dispatch the head.
+            self.cpus[cpu as usize].ready.pop();
+            let task = self.tasks.get_mut(&head_id).expect("queued task exists");
+            if task.state != TaskState::Ready {
+                continue; // stale entry (suspended/deleted after queuing)
+            }
+            task.state = TaskState::Running;
+            task.slice_start = self.now;
+            task.run_gen += 1;
+            let gen = task.run_gen;
+            self.cpus[cpu as usize].running = Some(head_id);
+
+            let exec = if !task.remaining.is_zero() {
+                // Resuming a preempted cycle: the body already ran.
+                let rem = task.remaining;
+                task.remaining = SimDuration::ZERO;
+                rem
+            } else {
+                // Fresh cycle: record latency, run the body, charge its cost.
+                self.counters.dispatches += 1;
+                if task.cfg.track_latency {
+                    if let Some(ideal) = task.pending_ideal {
+                        let latency = self.now.signed_delta(ideal);
+                        task.stats.record(latency);
+                    }
+                }
+                let base = task.cfg.base_cost;
+                let budget = task.cfg.exec_budget;
+                let charged = self.run_body_cycle(head_id);
+                let mut exec = base + charged;
+                if let Some(budget) = budget {
+                    if exec > budget {
+                        exec = budget;
+                        let task = self.tasks.get_mut(&head_id).expect("still exists");
+                        task.budget_overruns += 1;
+                    }
+                }
+                exec
+            };
+            let exec = if exec.is_zero() {
+                SimDuration::from_nanos(1)
+            } else {
+                exec
+            };
+            let task = self.tasks.get_mut(&head_id).expect("still exists");
+            task.finish_at = self.now + exec;
+            let finish_at = task.finish_at;
+            self.push_event(finish_at, Event::Finish { task: head_id, gen });
+
+            // Round-robin: arm a quantum if an equal-priority peer waits.
+            let peer_same_prio = self.cpus[cpu as usize]
+                .ready
+                .peek()
+                .map(|Reverse((p, _, _))| *p == head_prio)
+                .unwrap_or(false);
+            let task = self.tasks.get_mut(&head_id).expect("still exists");
+            task.quantum_armed = peer_same_prio;
+            if peer_same_prio {
+                let slice_end = self.now + self.cfg.rr_quantum;
+                self.push_event(slice_end, Event::Timeslice { task: head_id, gen });
+            }
+            return;
+        }
+    }
+
+    /// Runs the task body's `on_cycle`, returning the CPU time it charged.
+    fn run_body_cycle(&mut self, id: TaskId) -> SimDuration {
+        let charged = self.run_hook(id, Hook::Cycle);
+        // The body may have sent into wakeup-bound mailboxes.
+        if !self.wakeups.is_empty() {
+            self.service_wakeups();
+        }
+        charged
+    }
+
+    fn run_hook(&mut self, id: TaskId, hook: Hook) -> SimDuration {
+        let Some(task) = self.tasks.get_mut(&id) else {
+            return SimDuration::ZERO;
+        };
+        let Some(mut body) = task.body.take() else {
+            return SimDuration::ZERO;
+        };
+        let name = task.cfg.name.clone();
+        let cycle = task.cycles;
+        let started = task.started;
+        if hook == Hook::Start {
+            task.started = true;
+        }
+        let mut ctx = TaskCtx {
+            now: self.now,
+            task: id,
+            name,
+            cycle,
+            charged: SimDuration::ZERO,
+            shm: &mut self.shm,
+            mailboxes: &mut self.mailboxes,
+            fifos: &mut self.fifos,
+            rng: &mut self.rng,
+            trace: &mut self.trace,
+            shm_op_cost: self.cfg.shm_op_cost,
+            mbx_op_cost: self.cfg.mbx_op_cost,
+        };
+        match hook {
+            Hook::Start => body.on_start(&mut ctx),
+            Hook::Cycle => {
+                if !started {
+                    body.on_start(&mut ctx);
+                    if let Some(t) = self.tasks.get_mut(&id) {
+                        t.started = true;
+                    }
+                }
+                body.on_cycle(&mut ctx)
+            }
+            Hook::Stop => body.on_stop(&mut ctx),
+        }
+        let charged = ctx.charged;
+        if let Some(task) = self.tasks.get_mut(&id) {
+            task.body = Some(body);
+        }
+        charged
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Hook {
+    Start,
+    Cycle,
+    Stop,
+}
+
+/// Execution context handed to a [`TaskBody`] while it runs.
+///
+/// All IPC operations charge their fixed CPU cost automatically; additional
+/// computation is charged explicitly with [`TaskCtx::compute`].
+pub struct TaskCtx<'a> {
+    now: SimTime,
+    task: TaskId,
+    name: ObjName,
+    cycle: u64,
+    charged: SimDuration,
+    shm: &'a mut ShmRegistry,
+    mailboxes: &'a mut MailboxRegistry,
+    fifos: &'a mut FifoRegistry,
+    rng: &'a mut SimRng,
+    trace: &'a mut Trace,
+    shm_op_cost: SimDuration,
+    mbx_op_cost: SimDuration,
+}
+
+impl std::fmt::Debug for TaskCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskCtx")
+            .field("task", &self.name)
+            .field("now", &self.now)
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+impl TaskCtx<'_> {
+    /// Virtual time at dispatch.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This task's id.
+    pub fn task_id(&self) -> TaskId {
+        self.task
+    }
+
+    /// This task's name.
+    pub fn task_name(&self) -> &ObjName {
+        &self.name
+    }
+
+    /// Zero-based index of the current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// CPU time charged so far this cycle.
+    pub fn charged(&self) -> SimDuration {
+        self.charged
+    }
+
+    /// Charges `span` of CPU time (the task's computation).
+    pub fn compute(&mut self, span: SimDuration) {
+        self.charged += span;
+    }
+
+    /// Charges a randomized computation in `[mean/2, mean*3/2)`.
+    pub fn compute_about(&mut self, mean: SimDuration) {
+        let ns = mean.as_nanos();
+        if ns == 0 {
+            return;
+        }
+        let sampled = self.rng.uniform_u64(ns / 2, ns + ns / 2 + 1);
+        self.charged += SimDuration::from_nanos(sampled);
+    }
+
+    /// Writes a whole shared-memory segment; charges the SHM op cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::error::IpcError`] from the registry.
+    pub fn shm_write(&mut self, name: &str, buf: &[u8]) -> Result<(), crate::error::IpcError> {
+        self.charged += self.shm_op_cost;
+        self.shm.write(name, buf)
+    }
+
+    /// Reads a whole shared-memory segment; charges the SHM op cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::error::IpcError`] from the registry.
+    pub fn shm_read(&mut self, name: &str) -> Result<Vec<u8>, crate::error::IpcError> {
+        self.charged += self.shm_op_cost;
+        self.shm.read(name)
+    }
+
+    /// Non-blocking mailbox send; charges the mailbox op cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::error::IpcError`] from the registry.
+    pub fn mailbox_send(&mut self, name: &str, msg: &[u8]) -> Result<bool, crate::error::IpcError> {
+        self.charged += self.mbx_op_cost;
+        self.mailboxes.send(name, msg)
+    }
+
+    /// Non-blocking mailbox receive; charges the mailbox op cost (polling an
+    /// empty mailbox still costs — that is the price of the §3.2 poll).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::error::IpcError`] from the registry.
+    pub fn mailbox_recv(&mut self, name: &str) -> Result<Option<Vec<u8>>, crate::error::IpcError> {
+        self.charged += self.mbx_op_cost;
+        self.mailboxes.recv(name)
+    }
+
+    /// Non-blocking FIFO append; charges the mailbox op cost. Returns how
+    /// many bytes were accepted (the stream may be near-full).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::error::IpcError`] from the registry.
+    pub fn fifo_put(&mut self, name: &str, data: &[u8]) -> Result<usize, crate::error::IpcError> {
+        self.charged += self.mbx_op_cost;
+        self.fifos.put(name, data)
+    }
+
+    /// Non-blocking FIFO drain of up to `max` bytes; charges the mailbox
+    /// op cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::error::IpcError`] from the registry.
+    pub fn fifo_get(&mut self, name: &str, max: usize) -> Result<Vec<u8>, crate::error::IpcError> {
+        self.charged += self.mbx_op_cost;
+        self.fifos.get(name, max)
+    }
+
+    /// Appends a line to the kernel trace.
+    pub fn log(&mut self, what: impl Into<String>) {
+        self.trace.push(self.now, format!("[{}] {}", self.name, what.into()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{FnBody, IdleBody};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn quiet_kernel(seed: u64) -> Kernel {
+        Kernel::new(
+            KernelConfig::new(seed)
+                .with_timer(TimerJitterModel::ideal())
+                .with_cpus(2),
+        )
+    }
+
+    #[test]
+    fn periodic_task_runs_on_its_grid() {
+        let mut k = quiet_kernel(1);
+        let cfg = TaskConfig::periodic("tick", Priority(2), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_micros(10))
+            .with_latency_tracking();
+        let times: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let t2 = times.clone();
+        let id = k
+            .create_task(
+                cfg,
+                Box::new(FnBody(move |ctx: &mut TaskCtx<'_>| {
+                    t2.borrow_mut().push(ctx.now().as_nanos());
+                })),
+            )
+            .unwrap();
+        k.start_task(id).unwrap();
+        k.run_for(SimDuration::from_millis(10));
+        let times = times.borrow();
+        assert_eq!(times.len(), 10);
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(t, (i as u64 + 1) * 1_000_000, "cycle {i}");
+        }
+        let stats = k.task_stats(id).unwrap();
+        assert_eq!(stats.count(), 10);
+        assert_eq!(stats.average(), 0.0); // ideal timer, idle CPU
+    }
+
+    #[test]
+    fn higher_priority_preempts_lower() {
+        let mut k = quiet_kernel(2);
+        // Low-priority task with a long cycle on CPU 0.
+        let low_cfg = TaskConfig::periodic("low", Priority(10), SimDuration::from_millis(10))
+            .unwrap()
+            .with_base_cost(SimDuration::from_millis(5));
+        let low = k.create_task(low_cfg, Box::new(IdleBody)).unwrap();
+        // High-priority 1 kHz task with latency tracking.
+        let high_cfg = TaskConfig::periodic("high", Priority(1), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_micros(100))
+            .with_latency_tracking();
+        let high = k.create_task(high_cfg, Box::new(IdleBody)).unwrap();
+        k.start_task(low).unwrap();
+        k.start_task(high).unwrap();
+        k.run_for(SimDuration::from_millis(50));
+        let stats = k.task_stats(high).unwrap();
+        assert!(stats.count() >= 45);
+        // High-priority task is never delayed by the low one.
+        assert_eq!(stats.max().unwrap(), 0);
+        assert!(k.counters().preemptions > 0, "low task was never preempted");
+        // Low task still makes progress despite preemption.
+        assert!(k.task_cycles(low).unwrap() >= 4);
+    }
+
+    #[test]
+    fn lower_priority_waits_for_higher() {
+        let mut k = quiet_kernel(3);
+        let high_cfg = TaskConfig::periodic("high", Priority(1), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_micros(600));
+        let low_cfg = TaskConfig::periodic("low", Priority(5), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_micros(100))
+            .with_latency_tracking();
+        let high = k.create_task(high_cfg, Box::new(IdleBody)).unwrap();
+        let low = k.create_task(low_cfg, Box::new(IdleBody)).unwrap();
+        k.start_task(high).unwrap();
+        k.start_task(low).unwrap();
+        k.run_for(SimDuration::from_millis(20));
+        let stats = k.task_stats(low).unwrap();
+        // Low releases together with high, so it waits ~600 µs every cycle.
+        assert!(stats.average() >= 590_000.0, "avg {}", stats.average());
+    }
+
+    #[test]
+    fn equal_priority_round_robin_shares_cpu() {
+        let mut k = Kernel::new(
+            KernelConfig::new(4)
+                .with_timer(TimerJitterModel::ideal())
+                .with_cpus(1),
+        );
+        // Two CPU-hungry equal-priority tasks; each wants 8 ms every 10 ms.
+        let mk = |name: &str| {
+            TaskConfig::periodic(name, Priority(3), SimDuration::from_millis(10))
+                .unwrap()
+                .with_base_cost(SimDuration::from_millis(8))
+        };
+        let a = k.create_task(mk("taska"), Box::new(IdleBody)).unwrap();
+        let b = k.create_task(mk("taskb"), Box::new(IdleBody)).unwrap();
+        k.start_task(a).unwrap();
+        k.start_task(b).unwrap();
+        k.run_for(SimDuration::from_millis(100));
+        // Demand is 160% of one CPU: both progress, neither starves.
+        assert!(k.task_cycles(a).unwrap() >= 3, "a {:?}", k.task_cycles(a));
+        assert!(k.task_cycles(b).unwrap() >= 3, "b {:?}", k.task_cycles(b));
+        assert!(k.counters().timeslices > 0, "round robin never rotated");
+    }
+
+    #[test]
+    fn linux_domain_runs_only_when_rt_idle() {
+        let mut k = quiet_kernel(5);
+        let hog_cfg = TaskConfig::aperiodic("hog", Priority(0))
+            .unwrap()
+            .in_linux_domain()
+            .continuous()
+            .with_base_cost(SimDuration::from_millis(1));
+        let rt_cfg = TaskConfig::periodic("rt", Priority(2), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_micros(200))
+            .with_latency_tracking();
+        let hog = k.create_task(hog_cfg, Box::new(IdleBody)).unwrap();
+        let rt = k.create_task(rt_cfg, Box::new(IdleBody)).unwrap();
+        k.start_task(hog).unwrap();
+        k.trigger(hog).unwrap();
+        k.start_task(rt).unwrap();
+        k.run_for(SimDuration::from_millis(100));
+        // The RT task is never delayed by the Linux hog.
+        let stats = k.task_stats(rt).unwrap();
+        assert_eq!(stats.max().unwrap(), 0, "RT delayed by Linux work");
+        // The hog still consumed the leftover CPU.
+        assert!(k.cpu_linux_utilization(0) > 0.5);
+        assert!(k.cpu_rt_utilization(0) > 0.15);
+    }
+
+    #[test]
+    fn suspend_discards_releases_and_resume_restarts() {
+        let mut k = quiet_kernel(6);
+        let cfg = TaskConfig::periodic("tick", Priority(2), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_micros(10));
+        let id = k.create_task(cfg, Box::new(IdleBody)).unwrap();
+        k.start_task(id).unwrap();
+        // Half-millisecond slack so the cycle released exactly at the window
+        // edge also finishes.
+        k.run_for(SimDuration::from_millis(5) + SimDuration::from_micros(500));
+        let cycles_before = k.task_cycles(id).unwrap();
+        assert_eq!(cycles_before, 5);
+        k.suspend_task(id).unwrap();
+        k.run_for(SimDuration::from_millis(10));
+        assert_eq!(k.task_cycles(id).unwrap(), cycles_before);
+        assert_eq!(k.task_state(id), Some(TaskState::Suspended));
+        k.resume_task(id).unwrap();
+        k.run_for(SimDuration::from_millis(5) + SimDuration::from_micros(500));
+        assert_eq!(k.task_cycles(id).unwrap(), cycles_before + 5);
+    }
+
+    #[test]
+    fn delete_frees_name_and_stops_cycles() {
+        let mut k = quiet_kernel(7);
+        let cfg = TaskConfig::periodic("tick", Priority(2), SimDuration::from_millis(1)).unwrap();
+        let id = k.create_task(cfg, Box::new(IdleBody)).unwrap();
+        k.start_task(id).unwrap();
+        k.run_for(SimDuration::from_millis(3));
+        k.delete_task(id).unwrap();
+        let cycles = k.task_cycles(id).unwrap();
+        k.run_for(SimDuration::from_millis(5));
+        assert_eq!(k.task_cycles(id).unwrap(), cycles);
+        assert_eq!(k.task_state(id), Some(TaskState::Deleted));
+        assert_eq!(k.task_by_name("tick"), None);
+        // The name can be reused.
+        let cfg = TaskConfig::periodic("tick", Priority(2), SimDuration::from_millis(1)).unwrap();
+        k.create_task(cfg, Box::new(IdleBody)).unwrap();
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut k = quiet_kernel(8);
+        let cfg = TaskConfig::periodic("tick", Priority(2), SimDuration::from_millis(1)).unwrap();
+        k.create_task(cfg.clone(), Box::new(IdleBody)).unwrap();
+        assert!(matches!(
+            k.create_task(cfg, Box::new(IdleBody)),
+            Err(KernelError::DuplicateTask(_))
+        ));
+    }
+
+    #[test]
+    fn bad_cpu_rejected() {
+        let mut k = quiet_kernel(9);
+        let cfg = TaskConfig::periodic("tick", Priority(2), SimDuration::from_millis(1))
+            .unwrap()
+            .on_cpu(7);
+        assert!(matches!(
+            k.create_task(cfg, Box::new(IdleBody)),
+            Err(KernelError::NoSuchCpu(7))
+        ));
+    }
+
+    #[test]
+    fn aperiodic_task_runs_on_trigger() {
+        let mut k = quiet_kernel(10);
+        let hits: Rc<RefCell<u32>> = Rc::default();
+        let h = hits.clone();
+        let cfg = TaskConfig::aperiodic("event", Priority(1)).unwrap();
+        let id = k
+            .create_task(
+                cfg,
+                Box::new(FnBody(move |_ctx: &mut TaskCtx<'_>| {
+                    *h.borrow_mut() += 1;
+                })),
+            )
+            .unwrap();
+        k.start_task(id).unwrap();
+        k.run_for(SimDuration::from_millis(5));
+        assert_eq!(*hits.borrow(), 0);
+        k.trigger(id).unwrap();
+        k.run_for(SimDuration::from_millis(1));
+        assert_eq!(*hits.borrow(), 1);
+        k.trigger(id).unwrap();
+        k.run_for(SimDuration::from_millis(1));
+        assert_eq!(*hits.borrow(), 2);
+    }
+
+    #[test]
+    fn tasks_communicate_through_shm() {
+        let mut k = quiet_kernel(11);
+        k.shm_mut()
+            .alloc("data", crate::shm::DataType::Integer, 1)
+            .unwrap();
+        let prod_cfg = TaskConfig::periodic("prod", Priority(1), SimDuration::from_millis(1))
+            .unwrap();
+        let prod = k
+            .create_task(
+                prod_cfg,
+                Box::new(FnBody(|ctx: &mut TaskCtx<'_>| {
+                    let v = (ctx.cycle() + 1) as i32;
+                    ctx.shm_write("data", &v.to_le_bytes()).unwrap();
+                })),
+            )
+            .unwrap();
+        let seen: Rc<RefCell<Vec<i32>>> = Rc::default();
+        let s = seen.clone();
+        let cons_cfg = TaskConfig::periodic("cons", Priority(2), SimDuration::from_millis(4))
+            .unwrap();
+        let cons = k
+            .create_task(
+                cons_cfg,
+                Box::new(FnBody(move |ctx: &mut TaskCtx<'_>| {
+                    let buf = ctx.shm_read("data").unwrap();
+                    s.borrow_mut()
+                        .push(i32::from_le_bytes(buf.try_into().unwrap()));
+                })),
+            )
+            .unwrap();
+        k.start_task(prod).unwrap();
+        k.start_task(cons).unwrap();
+        k.run_for(SimDuration::from_millis(12) + SimDuration::from_micros(100));
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 3);
+        // Consumer at the 4 ms grid runs after the higher-priority producer
+        // released at the same instant: it sees the 4th, 8th, 12th values.
+        assert_eq!(*seen, vec![4, 8, 12]);
+    }
+
+    #[test]
+    fn overruns_are_counted_not_queued() {
+        let mut k = quiet_kernel(12);
+        // Demands 3 ms of CPU every 1 ms: must overrun.
+        let cfg = TaskConfig::periodic("greedy", Priority(1), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_millis(3));
+        let id = k.create_task(cfg, Box::new(IdleBody)).unwrap();
+        k.start_task(id).unwrap();
+        k.run_for(SimDuration::from_millis(30));
+        assert!(k.task_overruns(id).unwrap() >= 15);
+        assert!(k.task_cycles(id).unwrap() <= 11);
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        let mut k = Kernel::new(
+            KernelConfig::new(13)
+                .with_timer(TimerJitterModel::ideal())
+                .with_trace(64),
+        );
+        let cfg = TaskConfig::periodic("tick", Priority(2), SimDuration::from_millis(1)).unwrap();
+        let id = k.create_task(cfg, Box::new(IdleBody)).unwrap();
+        k.start_task(id).unwrap();
+        k.run_for(SimDuration::from_millis(2));
+        k.delete_task(id).unwrap();
+        let text: Vec<&str> = k.trace().iter().map(|e| e.what.as_str()).collect();
+        assert!(text.iter().any(|s| s.contains("create task `tick`")));
+        assert!(text.iter().any(|s| s.contains("start task `tick`")));
+        assert!(text.iter().any(|s| s.contains("delete task `tick`")));
+    }
+
+    #[test]
+    fn response_times_and_deadline_misses_are_tracked() {
+        let mut k = quiet_kernel(17);
+        // 600 µs of work per 1 ms period: meets deadlines when alone.
+        let cfg = TaskConfig::periodic("meets", Priority(2), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_micros(600))
+            .with_latency_tracking();
+        let meets = k.create_task(cfg, Box::new(IdleBody)).unwrap();
+        k.start_task(meets).unwrap();
+        k.run_for(SimDuration::from_millis(20));
+        let resp = k.task_response_stats(meets).unwrap();
+        assert!(resp.count() >= 19);
+        assert_eq!(resp.min().unwrap(), 600_000);
+        assert_eq!(k.task_deadline_misses(meets), Some(0));
+        // Add a higher-priority 700 µs task: the 600 µs task now needs
+        // 1.3 ms per period and misses every deadline.
+        let cfg = TaskConfig::periodic("bully", Priority(1), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_micros(700));
+        let bully = k.create_task(cfg, Box::new(IdleBody)).unwrap();
+        k.start_task(bully).unwrap();
+        k.run_for(SimDuration::from_millis(20));
+        assert!(k.task_deadline_misses(meets).unwrap() > 5);
+        assert!(k.task_response_stats(meets).unwrap().max().unwrap() > 1_000_000);
+    }
+
+    #[test]
+    fn exec_budget_clamps_and_counts() {
+        let mut k = quiet_kernel(15);
+        // Demands 800 µs/cycle but is budgeted to 200 µs.
+        let cfg = TaskConfig::periodic("greedy", Priority(1), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_micros(800))
+            .with_exec_budget(SimDuration::from_micros(200));
+        let greedy = k.create_task(cfg, Box::new(IdleBody)).unwrap();
+        // A lower-priority observer that would starve without the clamp.
+        let cfg = TaskConfig::periodic("obs", Priority(5), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_micros(100))
+            .with_latency_tracking();
+        let obs = k.create_task(cfg, Box::new(IdleBody)).unwrap();
+        k.start_task(greedy).unwrap();
+        k.start_task(obs).unwrap();
+        k.run_for(SimDuration::from_millis(50));
+        assert!(k.task_budget_overruns(greedy).unwrap() >= 48);
+        // The observer sees only the clamped 200 µs of interference.
+        let worst = k.task_stats(obs).unwrap().max().unwrap();
+        assert!(worst <= 210_000, "worst {worst}");
+        // And the greedy task's CPU time reflects the clamp.
+        let cpu = k.task_cpu_time(greedy).unwrap().as_nanos();
+        assert!(cpu <= 51 * 200_000, "cpu {cpu}");
+    }
+
+    #[test]
+    fn cpu_time_accounts_across_preemption() {
+        let mut k = quiet_kernel(16);
+        let low_cfg = TaskConfig::periodic("low", Priority(10), SimDuration::from_millis(10))
+            .unwrap()
+            .with_base_cost(SimDuration::from_millis(4));
+        let low = k.create_task(low_cfg, Box::new(IdleBody)).unwrap();
+        let high_cfg = TaskConfig::periodic("high", Priority(1), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_micros(300));
+        let high = k.create_task(high_cfg, Box::new(IdleBody)).unwrap();
+        k.start_task(low).unwrap();
+        k.start_task(high).unwrap();
+        k.run_for(SimDuration::from_millis(100));
+        // Despite constant preemption, low's accumulated CPU time matches
+        // its completed cycles × 4 ms within one in-flight cycle.
+        let cycles = k.task_cycles(low).unwrap();
+        let cpu_ms = k.task_cpu_time(low).unwrap().as_nanos() / 1_000_000;
+        assert!(cpu_ms >= cycles * 4, "cpu {cpu_ms} cycles {cycles}");
+        assert!(cpu_ms <= (cycles + 1) * 4, "cpu {cpu_ms} cycles {cycles}");
+        assert!(k.counters().preemptions > 0);
+    }
+
+    #[test]
+    fn cross_cpu_tasks_do_not_interfere() {
+        let mut k = quiet_kernel(14);
+        let cfg0 = TaskConfig::periodic("cpu0", Priority(1), SimDuration::from_millis(1))
+            .unwrap()
+            .on_cpu(0)
+            .with_base_cost(SimDuration::from_micros(900));
+        let cfg1 = TaskConfig::periodic("cpu1", Priority(5), SimDuration::from_millis(1))
+            .unwrap()
+            .on_cpu(1)
+            .with_base_cost(SimDuration::from_micros(100))
+            .with_latency_tracking();
+        let a = k.create_task(cfg0, Box::new(IdleBody)).unwrap();
+        let b = k.create_task(cfg1, Box::new(IdleBody)).unwrap();
+        k.start_task(a).unwrap();
+        k.start_task(b).unwrap();
+        k.run_for(SimDuration::from_millis(20));
+        // Task on CPU 1 never queues behind the busy CPU 0 task.
+        assert_eq!(k.task_stats(b).unwrap().max().unwrap(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! # rtos — a deterministic RTAI-like real-time kernel simulator
+//!
+//! This crate simulates the real-time substrate of the paper *"A framework
+//! for adaptive real-time applications: the declarative real-time OSGi
+//! component model"* (Gui et al., Middleware 2008): an RTAI-patched Linux
+//! machine with a **dual-kernel** architecture where hard-real-time tasks
+//! always preempt ordinary Linux work.
+//!
+//! Everything runs in virtual nanosecond time inside a single-threaded
+//! discrete-event engine, so experiments are fast and exactly reproducible
+//! from a seed. The pieces:
+//!
+//! * [`kernel`] — the event engine: per-CPU fixed-priority preemptive
+//!   scheduling with round-robin among equal priorities, task lifecycle,
+//!   latency capture.
+//! * [`task`] — task names (6-character OS limit), priorities (lower is more
+//!   urgent), configuration, and the [`task::TaskBody`] behaviour trait.
+//! * [`shm`] / [`mailbox`] / [`fifo`] — the `RTAI.SHM`, `RTAI.Mailbox` and
+//!   `RTAI.FIFO` IPC carriers used by component ports.
+//! * [`lxrt`] — an RTAI-LXRT-shaped function façade (`rt_task_init`,
+//!   `rt_task_make_periodic`, `rt_mbx_send_if`, ...).
+//! * [`latency`] — Table-1 statistics (AVERAGE/AVEDEV/MIN/MAX) and the
+//!   calibrated hardware-timer error model.
+//! * [`load`] — the light/stress background-load regimes of the evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rtos::kernel::{Kernel, KernelConfig, TaskCtx};
+//! use rtos::task::{FnBody, Priority, TaskConfig};
+//! use rtos::time::SimDuration;
+//!
+//! # fn main() -> Result<(), rtos::error::KernelError> {
+//! let mut kernel = Kernel::new(KernelConfig::new(7));
+//! let cfg = TaskConfig::periodic("tick", Priority(2), SimDuration::from_hz(1000))?
+//!     .with_latency_tracking();
+//! let task = kernel.create_task(
+//!     cfg,
+//!     Box::new(FnBody(|ctx: &mut TaskCtx<'_>| {
+//!         ctx.compute(SimDuration::from_micros(50));
+//!     })),
+//! )?;
+//! kernel.start_task(task)?;
+//! kernel.run_for(SimDuration::from_secs(1));
+//! let stats = kernel.task_stats(task).unwrap();
+//! assert_eq!(stats.count(), 1000);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod fifo;
+pub mod kernel;
+pub mod latency;
+pub mod load;
+pub mod lxrt;
+pub mod mailbox;
+pub mod rng;
+pub mod shm;
+pub mod task;
+pub mod time;
+
+pub use error::{IpcError, KernelError, NameError};
+pub use kernel::{Kernel, KernelConfig, TaskCtx};
+pub use latency::{LatencyStats, LoadMode, TimerJitterModel, TimerMode};
+pub use task::{ObjName, Priority, TaskBody, TaskConfig, TaskId, TaskState};
+pub use time::{LatencyNs, SimDuration, SimTime};

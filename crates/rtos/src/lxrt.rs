@@ -1,0 +1,263 @@
+//! LXRT-style user-space façade over the kernel.
+//!
+//! The paper's prototype uses the RTAI **LXRT** module, "which allows the
+//! use of the RTAI system calls from within standard user space". This
+//! module mirrors that API surface: thin free functions named after their
+//! RTAI counterparts, operating on a [`Kernel`]. Higher layers (the hybrid
+//! component runtime) can be read side-by-side with RTAI user-model code.
+//!
+//! ```
+//! use rtos::lxrt;
+//! use rtos::kernel::{Kernel, KernelConfig};
+//! use rtos::task::{IdleBody, Priority};
+//! use rtos::time::SimDuration;
+//!
+//! # fn main() -> Result<(), rtos::error::KernelError> {
+//! let mut kernel = Kernel::new(KernelConfig::new(42));
+//! let task = lxrt::rt_task_init(&mut kernel, "calc", Priority(2), 0, Box::new(IdleBody))?;
+//! lxrt::rt_task_make_periodic(&mut kernel, task, SimDuration::from_hz(1000))?;
+//! kernel.run_for(SimDuration::from_millis(10));
+//! assert!(kernel.task_cycles(task).unwrap() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{IpcError, KernelError};
+use crate::kernel::Kernel;
+use crate::shm::DataType;
+use crate::task::{Priority, ReleasePolicy, TaskBody, TaskConfig, TaskId};
+use crate::time::SimDuration;
+
+/// Creates a real-time task in the dormant state (`rt_task_init_schmod`).
+///
+/// The task is aperiodic until [`rt_task_make_periodic`] is called.
+///
+/// # Errors
+///
+/// Propagates [`KernelError`] for bad names, duplicate tasks or bad CPUs.
+pub fn rt_task_init(
+    kernel: &mut Kernel,
+    name: &str,
+    priority: Priority,
+    cpu: u32,
+    body: Box<dyn TaskBody>,
+) -> Result<TaskId, KernelError> {
+    let cfg = TaskConfig::aperiodic(name, priority)?.on_cpu(cpu);
+    kernel.create_task(cfg, body)
+}
+
+/// Makes a dormant task periodic and starts it (`rt_task_make_periodic`).
+///
+/// # Errors
+///
+/// [`KernelError::NoSuchTask`] / [`KernelError::InvalidState`] if the task
+/// is not dormant.
+pub fn rt_task_make_periodic(
+    kernel: &mut Kernel,
+    task: TaskId,
+    period: SimDuration,
+) -> Result<(), KernelError> {
+    kernel.set_release_policy(task, ReleasePolicy::Periodic { period })?;
+    kernel.start_task(task)
+}
+
+/// Starts an aperiodic task so it can be woken with [`rt_task_resume`]-style
+/// triggers.
+///
+/// # Errors
+///
+/// Propagates [`KernelError`].
+pub fn rt_task_start(kernel: &mut Kernel, task: TaskId) -> Result<(), KernelError> {
+    kernel.start_task(task)
+}
+
+/// Suspends a task (`rt_task_suspend`).
+///
+/// # Errors
+///
+/// Propagates [`KernelError`].
+pub fn rt_task_suspend(kernel: &mut Kernel, task: TaskId) -> Result<(), KernelError> {
+    kernel.suspend_task(task)
+}
+
+/// Resumes a suspended task (`rt_task_resume`).
+///
+/// # Errors
+///
+/// Propagates [`KernelError`].
+pub fn rt_task_resume(kernel: &mut Kernel, task: TaskId) -> Result<(), KernelError> {
+    kernel.resume_task(task)
+}
+
+/// Deletes a task (`rt_task_delete`).
+///
+/// # Errors
+///
+/// Propagates [`KernelError`].
+pub fn rt_task_delete(kernel: &mut Kernel, task: TaskId) -> Result<(), KernelError> {
+    kernel.delete_task(task)
+}
+
+/// Allocates or attaches a named shared-memory segment (`rt_shm_alloc`).
+///
+/// # Errors
+///
+/// Propagates [`IpcError`].
+pub fn rt_shm_alloc(
+    kernel: &mut Kernel,
+    name: &str,
+    data_type: DataType,
+    elements: usize,
+) -> Result<(), IpcError> {
+    kernel.shm_mut().alloc(name, data_type, elements)
+}
+
+/// Detaches from a named shared-memory segment (`rt_shm_free`).
+///
+/// # Errors
+///
+/// Propagates [`IpcError`].
+pub fn rt_shm_free(kernel: &mut Kernel, name: &str) -> Result<(), IpcError> {
+    kernel.shm_mut().free(name)
+}
+
+/// Creates a mailbox (`rt_mbx_init`).
+///
+/// # Errors
+///
+/// Propagates [`IpcError`].
+pub fn rt_mbx_init(kernel: &mut Kernel, name: &str, capacity: usize) -> Result<(), IpcError> {
+    kernel.mailboxes_mut().create(name, capacity)
+}
+
+/// Deletes a mailbox (`rt_mbx_delete`).
+///
+/// # Errors
+///
+/// Propagates [`IpcError`].
+pub fn rt_mbx_delete(kernel: &mut Kernel, name: &str) -> Result<(), IpcError> {
+    kernel.mailboxes_mut().delete(name)
+}
+
+/// Non-blocking send from the non-RT side (`rt_mbx_send_if`).
+///
+/// Returns `Ok(true)` if queued, `Ok(false)` if the mailbox was full.
+///
+/// # Errors
+///
+/// Propagates [`IpcError`].
+pub fn rt_mbx_send_if(kernel: &mut Kernel, name: &str, msg: &[u8]) -> Result<bool, IpcError> {
+    kernel.mailboxes_mut().send(name, msg)
+}
+
+/// Non-blocking receive from the non-RT side (`rt_mbx_receive_if`).
+///
+/// # Errors
+///
+/// Propagates [`IpcError`].
+pub fn rt_mbx_receive_if(kernel: &mut Kernel, name: &str) -> Result<Option<Vec<u8>>, IpcError> {
+    kernel.mailboxes_mut().recv(name)
+}
+
+/// Creates a FIFO (`rtf_create`).
+///
+/// # Errors
+///
+/// Propagates [`IpcError`].
+pub fn rtf_create(kernel: &mut Kernel, name: &str, capacity: usize) -> Result<(), IpcError> {
+    kernel.fifos_mut().create(name, capacity)
+}
+
+/// Destroys a FIFO (`rtf_destroy`).
+///
+/// # Errors
+///
+/// Propagates [`IpcError`].
+pub fn rtf_destroy(kernel: &mut Kernel, name: &str) -> Result<(), IpcError> {
+    kernel.fifos_mut().destroy(name)
+}
+
+/// Non-blocking FIFO append from the non-RT side (`rtf_put`).
+///
+/// # Errors
+///
+/// Propagates [`IpcError`].
+pub fn rtf_put(kernel: &mut Kernel, name: &str, data: &[u8]) -> Result<usize, IpcError> {
+    kernel.fifos_mut().put(name, data)
+}
+
+/// Non-blocking FIFO drain from the non-RT side (`rtf_get`).
+///
+/// # Errors
+///
+/// Propagates [`IpcError`].
+pub fn rtf_get(kernel: &mut Kernel, name: &str, max: usize) -> Result<Vec<u8>, IpcError> {
+    kernel.fifos_mut().get(name, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelConfig;
+    use crate::latency::TimerJitterModel;
+    use crate::task::{IdleBody, TaskState};
+
+    fn kernel() -> Kernel {
+        Kernel::new(KernelConfig::new(31).with_timer(TimerJitterModel::ideal()))
+    }
+
+    #[test]
+    fn init_then_make_periodic_runs() {
+        let mut k = kernel();
+        let t = rt_task_init(&mut k, "calc", Priority(2), 0, Box::new(IdleBody)).unwrap();
+        assert_eq!(k.task_state(t), Some(TaskState::Dormant));
+        rt_task_make_periodic(&mut k, t, SimDuration::from_hz(1000)).unwrap();
+        k.run_for(SimDuration::from_millis(5) + SimDuration::from_micros(100));
+        assert_eq!(k.task_cycles(t), Some(5));
+    }
+
+    #[test]
+    fn make_periodic_requires_dormant() {
+        let mut k = kernel();
+        let t = rt_task_init(&mut k, "calc", Priority(2), 0, Box::new(IdleBody)).unwrap();
+        rt_task_make_periodic(&mut k, t, SimDuration::from_hz(100)).unwrap();
+        assert!(matches!(
+            rt_task_make_periodic(&mut k, t, SimDuration::from_hz(100)),
+            Err(KernelError::InvalidState { .. })
+        ));
+    }
+
+    #[test]
+    fn suspend_resume_delete_facade() {
+        let mut k = kernel();
+        let t = rt_task_init(&mut k, "calc", Priority(2), 0, Box::new(IdleBody)).unwrap();
+        rt_task_make_periodic(&mut k, t, SimDuration::from_hz(1000)).unwrap();
+        k.run_for(SimDuration::from_millis(2));
+        rt_task_suspend(&mut k, t).unwrap();
+        assert_eq!(k.task_state(t), Some(TaskState::Suspended));
+        rt_task_resume(&mut k, t).unwrap();
+        rt_task_delete(&mut k, t).unwrap();
+        assert_eq!(k.task_state(t), Some(TaskState::Deleted));
+    }
+
+    #[test]
+    fn ipc_facade_roundtrip() {
+        let mut k = kernel();
+        rt_shm_alloc(&mut k, "seg", DataType::Byte, 4).unwrap();
+        rt_mbx_init(&mut k, "mbx", 2).unwrap();
+        assert!(rt_mbx_send_if(&mut k, "mbx", b"hi").unwrap());
+        assert_eq!(rt_mbx_receive_if(&mut k, "mbx").unwrap().unwrap(), b"hi");
+        rt_mbx_delete(&mut k, "mbx").unwrap();
+        rt_shm_free(&mut k, "seg").unwrap();
+    }
+
+    #[test]
+    fn fifo_facade_roundtrip() {
+        let mut k = kernel();
+        rtf_create(&mut k, "fifo", 16).unwrap();
+        assert_eq!(rtf_put(&mut k, "fifo", b"stream").unwrap(), 6);
+        assert_eq!(rtf_get(&mut k, "fifo", 4).unwrap(), b"stre");
+        assert_eq!(rtf_get(&mut k, "fifo", 4).unwrap(), b"am");
+        rtf_destroy(&mut k, "fifo").unwrap();
+    }
+}

@@ -1,0 +1,147 @@
+//! Deterministic random-number plumbing for the simulator.
+//!
+//! Everything stochastic in the kernel (timer drift, dispatch jitter, load
+//! bursts) draws from one seeded generator so that a whole experiment is
+//! reproducible from a single `--seed` value. `rand` 0.8 ships only uniform
+//! sampling offline, so the Gaussian sampler (Box–Muller) lives here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded random source used by the kernel and the latency model.
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+    /// Cached second output of the Box–Muller transform.
+    spare_gaussian: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_gaussian: None,
+        }
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range");
+        lo + self.uniform() * (hi - lo)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn standard_gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare_gaussian.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms -> two independent standard normals.
+        let u1 = loop {
+            let u = self.uniform();
+            if u > f64::EPSILON {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_gaussian = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn gaussian(&mut self, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.standard_gaussian()
+    }
+
+    /// Exponential sample with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.uniform();
+            if u > f64::EPSILON {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::from_seed(42);
+        let mut b = SimRng::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::from_seed(1);
+        let mut b = SimRng::from_seed(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = SimRng::from_seed(7);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut rng = SimRng::from_seed(9);
+        let n = 40_000;
+        let mean = (0..n).map(|_| rng.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_respects_probability() {
+        let mut rng = SimRng::from_seed(11);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_200..=2_800).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let mut rng = SimRng::from_seed(3);
+        for _ in 0..1_000 {
+            let x = rng.uniform_range(-4.0, 9.0);
+            assert!((-4.0..9.0).contains(&x));
+            let y = rng.uniform_u64(10, 20);
+            assert!((10..20).contains(&y));
+        }
+    }
+}

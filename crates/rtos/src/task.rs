@@ -1,0 +1,348 @@
+//! Real-time task model: names, priorities, configuration, state and the
+//! [`TaskBody`] behaviour trait.
+
+use crate::error::NameError;
+use crate::time::SimDuration;
+use std::fmt;
+
+/// Maximum length of a kernel object name (RTAI heritage; see the paper's
+/// descriptor section: "the underlying real time OS use the six character
+/// name to refer to the real time tasks").
+pub const MAX_OBJ_NAME: usize = 6;
+
+/// A validated kernel object name: 1–6 ASCII alphanumeric characters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjName(String);
+
+impl ObjName {
+    /// Validates and wraps a name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NameError`] when the name is empty, longer than
+    /// [`MAX_OBJ_NAME`], or contains non-alphanumeric ASCII.
+    pub fn new(name: impl Into<String>) -> Result<Self, NameError> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(NameError::new(name, "name is empty"));
+        }
+        if name.len() > MAX_OBJ_NAME {
+            return Err(NameError::new(name, "name exceeds 6 characters"));
+        }
+        if !name.bytes().all(|b| b.is_ascii_alphanumeric()) {
+            return Err(NameError::new(
+                name,
+                "name must be ASCII alphanumeric",
+            ));
+        }
+        Ok(ObjName(name))
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ObjName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for ObjName {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::str::FromStr for ObjName {
+    type Err = NameError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ObjName::new(s)
+    }
+}
+
+/// Unique task identifier assigned by the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u64);
+
+impl TaskId {
+    /// The raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Fixed task priority. **Lower values are more urgent** (RTAI convention;
+/// priority 0 is the most urgent RT priority).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// The most urgent priority.
+    pub const HIGHEST: Priority = Priority(0);
+    /// The least urgent real-time priority.
+    pub const LOWEST_RT: Priority = Priority(254);
+    /// The pseudo-priority of Linux-domain work: always below any RT task.
+    pub const LINUX: Priority = Priority(255);
+
+    /// True if this priority preempts `other`.
+    pub fn preempts(self, other: Priority) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Which of the two kernels of the dual-kernel architecture a task belongs
+/// to. RT tasks always preempt Linux-domain work on the same CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Scheduled by the RT kernel (RTAI side).
+    RealTime,
+    /// Ordinary Linux work; runs only when the CPU has no runnable RT task.
+    Linux,
+}
+
+/// Release pattern of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReleasePolicy {
+    /// Released on a fixed period by the hardware timer.
+    Periodic {
+        /// The task period.
+        period: SimDuration,
+    },
+    /// Released only when explicitly triggered (event-driven).
+    Aperiodic,
+}
+
+/// Lifecycle state of a task inside the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskState {
+    /// Created but not yet started.
+    Dormant,
+    /// Waiting for its next release.
+    Waiting,
+    /// Released and queued for a CPU.
+    Ready,
+    /// Currently executing on a CPU.
+    Running,
+    /// Suspended by management action; releases are discarded.
+    Suspended,
+    /// Deleted; the id is dead.
+    Deleted,
+}
+
+/// Static configuration of a task, built with [`TaskConfig::periodic`] /
+/// [`TaskConfig::aperiodic`] and refined with the builder-style setters.
+#[derive(Debug, Clone)]
+pub struct TaskConfig {
+    /// Task name (unique per kernel).
+    pub name: ObjName,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// CPU the task is pinned to (`runoncpu` in the descriptor).
+    pub cpu: u32,
+    /// Release pattern.
+    pub release: ReleasePolicy,
+    /// Scheduling domain.
+    pub domain: Domain,
+    /// Fixed CPU cost charged per cycle *in addition to* whatever the body
+    /// charges via [`TaskCtx::compute`](crate::kernel::TaskCtx::compute).
+    pub base_cost: SimDuration,
+    /// Whether the kernel records release→dispatch latency for this task.
+    pub track_latency: bool,
+    /// Whether the task re-releases itself immediately after every cycle
+    /// (a `while (1)` worker — used to model Linux-domain CPU hogs).
+    pub continuous: bool,
+    /// Per-cycle execution budget. When set, a cycle that charges more CPU
+    /// than this is clamped to the budget and counted as a budget overrun —
+    /// the kernel-level half of enforceable contracts.
+    pub exec_budget: Option<SimDuration>,
+}
+
+impl TaskConfig {
+    /// Configuration for a periodic RT task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NameError`] if the name is invalid.
+    pub fn periodic(
+        name: &str,
+        priority: Priority,
+        period: SimDuration,
+    ) -> Result<Self, NameError> {
+        Ok(TaskConfig {
+            name: ObjName::new(name)?,
+            priority,
+            cpu: 0,
+            release: ReleasePolicy::Periodic { period },
+            domain: Domain::RealTime,
+            base_cost: SimDuration::from_nanos(1_000),
+            track_latency: false,
+            continuous: false,
+            exec_budget: None,
+        })
+    }
+
+    /// Configuration for an aperiodic (event-triggered) RT task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NameError`] if the name is invalid.
+    pub fn aperiodic(name: &str, priority: Priority) -> Result<Self, NameError> {
+        Ok(TaskConfig {
+            name: ObjName::new(name)?,
+            priority,
+            cpu: 0,
+            release: ReleasePolicy::Aperiodic,
+            domain: Domain::RealTime,
+            base_cost: SimDuration::from_nanos(1_000),
+            track_latency: false,
+            continuous: false,
+            exec_budget: None,
+        })
+    }
+
+    /// Pins the task to a CPU.
+    pub fn on_cpu(mut self, cpu: u32) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Marks the task as Linux-domain background work.
+    pub fn in_linux_domain(mut self) -> Self {
+        self.domain = Domain::Linux;
+        self.priority = Priority::LINUX;
+        self
+    }
+
+    /// Sets the fixed per-cycle CPU cost.
+    pub fn with_base_cost(mut self, cost: SimDuration) -> Self {
+        self.base_cost = cost;
+        self
+    }
+
+    /// Enables release→dispatch latency tracking.
+    pub fn with_latency_tracking(mut self) -> Self {
+        self.track_latency = true;
+        self
+    }
+
+    /// Makes the task re-release itself immediately after every cycle.
+    pub fn continuous(mut self) -> Self {
+        self.continuous = true;
+        self
+    }
+
+    /// Sets a per-cycle execution budget (kernel-enforced).
+    pub fn with_exec_budget(mut self, budget: SimDuration) -> Self {
+        self.exec_budget = Some(budget);
+        self
+    }
+
+    /// The period, if periodic.
+    pub fn period(&self) -> Option<SimDuration> {
+        match self.release {
+            ReleasePolicy::Periodic { period } => Some(period),
+            ReleasePolicy::Aperiodic => None,
+        }
+    }
+}
+
+/// Behaviour of a task, invoked by the kernel on each release.
+///
+/// Implementations receive a [`TaskCtx`](crate::kernel::TaskCtx) giving
+/// access to virtual time, IPC, and CPU-cost charging. The kernel calls
+/// `on_start` once before the first cycle, `on_cycle` at every release, and
+/// `on_stop` when the task is deleted.
+pub trait TaskBody {
+    /// Called once, at task start, in task context.
+    fn on_start(&mut self, _ctx: &mut crate::kernel::TaskCtx<'_>) {}
+
+    /// Called at every release, in task context.
+    fn on_cycle(&mut self, ctx: &mut crate::kernel::TaskCtx<'_>);
+
+    /// Called once when the task is deleted, in task context.
+    fn on_stop(&mut self, _ctx: &mut crate::kernel::TaskCtx<'_>) {}
+}
+
+/// Adapter turning a closure into a [`TaskBody`] (cycle-only).
+pub struct FnBody<F>(pub F);
+
+impl<F: FnMut(&mut crate::kernel::TaskCtx<'_>)> TaskBody for FnBody<F> {
+    fn on_cycle(&mut self, ctx: &mut crate::kernel::TaskCtx<'_>) {
+        (self.0)(ctx)
+    }
+}
+
+/// A body that does nothing but burn its configured base cost — used for
+/// load generators and scheduler tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdleBody;
+
+impl TaskBody for IdleBody {
+    fn on_cycle(&mut self, _ctx: &mut crate::kernel::TaskCtx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obj_name_accepts_valid() {
+        for ok in ["a", "calc", "disp01", "ABC123"] {
+            assert!(ObjName::new(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn obj_name_rejects_invalid() {
+        for bad in ["", "toolong7", "has space", "dash-x", "日本"] {
+            assert!(ObjName::new(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn obj_name_parses_from_str() {
+        let n: ObjName = "camera".parse().unwrap();
+        assert_eq!(n.as_str(), "camera");
+        assert!("too_long".parse::<ObjName>().is_err());
+    }
+
+    #[test]
+    fn priority_ordering_is_rtai_style() {
+        assert!(Priority(0).preempts(Priority(1)));
+        assert!(!Priority(5).preempts(Priority(5)));
+        assert!(Priority::HIGHEST.preempts(Priority::LINUX));
+        assert!(Priority::LOWEST_RT.preempts(Priority::LINUX));
+    }
+
+    #[test]
+    fn periodic_config_builder() {
+        let cfg = TaskConfig::periodic("calc", Priority(2), SimDuration::from_hz(1000))
+            .unwrap()
+            .on_cpu(0)
+            .with_base_cost(SimDuration::from_micros(50))
+            .with_latency_tracking();
+        assert_eq!(cfg.period(), Some(SimDuration::from_millis(1)));
+        assert_eq!(cfg.cpu, 0);
+        assert!(cfg.track_latency);
+        assert_eq!(cfg.domain, Domain::RealTime);
+    }
+
+    #[test]
+    fn linux_domain_forces_linux_priority() {
+        let cfg = TaskConfig::aperiodic("hog", Priority(1))
+            .unwrap()
+            .in_linux_domain();
+        assert_eq!(cfg.priority, Priority::LINUX);
+        assert_eq!(cfg.domain, Domain::Linux);
+        assert_eq!(cfg.period(), None);
+    }
+}

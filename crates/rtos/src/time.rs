@@ -1,0 +1,243 @@
+//! Virtual time for the simulated kernel.
+//!
+//! All simulation time is expressed in integer nanoseconds. Two newtypes keep
+//! points in time ([`SimTime`]) and spans ([`SimDuration`]) statically
+//! distinct (C-NEWTYPE); scheduling *latency* — which can be negative when a
+//! periodic hardware timer fires early — is a plain signed [`LatencyNs`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Signed scheduling latency in nanoseconds.
+///
+/// Negative values mean the task was dispatched *before* its ideal release
+/// point, which genuinely happens on periodic-mode hardware timers whose
+/// calibration drifts (see Table 1 of the paper, where the stress-mode
+/// average is about −21 µs).
+pub type LatencyNs = i64;
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time point `ns` nanoseconds after the epoch.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Signed difference `self - other` in nanoseconds.
+    ///
+    /// This is the primitive from which scheduling latency is computed:
+    /// `dispatch.signed_delta(ideal_release)`.
+    pub fn signed_delta(self, other: SimTime) -> LatencyNs {
+        self.0 as i64 - other.0 as i64
+    }
+
+    /// Adds a signed offset, saturating at the epoch.
+    pub fn offset(self, delta: LatencyNs) -> SimTime {
+        if delta >= 0 {
+            SimTime(self.0.saturating_add(delta as u64))
+        } else {
+            SimTime(self.0.saturating_sub(delta.unsigned_abs()))
+        }
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span of `ns` nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a span of `us` microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a span of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a span of `s` seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// The period of a task running at `hz` cycles per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    pub fn from_hz(hz: u64) -> Self {
+        assert!(hz > 0, "frequency must be positive");
+        SimDuration(1_000_000_000 / hz)
+    }
+
+    /// Length of the span in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// True if the span is zero-length.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction of two spans.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the span by an integer factor.
+    pub const fn mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0 * factor)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 && self.0.is_multiple_of(1_000_000_000) {
+            write!(f, "{}s", self.0 / 1_000_000_000)
+        } else if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000_000) {
+            write!(f, "{}ms", self.0 / 1_000_000)
+        } else if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
+            write!(f, "{}us", self.0 / 1_000)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl From<SimDuration> for u64 {
+    fn from(d: SimDuration) -> u64 {
+        d.as_nanos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_nanos(1_000);
+        let d = SimDuration::from_nanos(500);
+        assert_eq!((t + d).as_nanos(), 1_500);
+        assert_eq!((t + d).duration_since(t), d);
+    }
+
+    #[test]
+    fn signed_delta_is_signed() {
+        let early = SimTime::from_nanos(100);
+        let late = SimTime::from_nanos(300);
+        assert_eq!(late.signed_delta(early), 200);
+        assert_eq!(early.signed_delta(late), -200);
+    }
+
+    #[test]
+    fn offset_handles_negative_saturation() {
+        let t = SimTime::from_nanos(100);
+        assert_eq!(t.offset(-500), SimTime::ZERO);
+        assert_eq!(t.offset(50).as_nanos(), 150);
+        assert_eq!(t.offset(-40).as_nanos(), 60);
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(SimDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimDuration::from_hz(1000).as_nanos(), 1_000_000);
+        assert_eq!(SimDuration::from_hz(4).as_nanos(), 250_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn from_hz_rejects_zero() {
+        let _ = SimDuration::from_hz(0);
+    }
+
+    #[test]
+    fn duration_saturating_sub() {
+        let a = SimDuration::from_nanos(100);
+        let b = SimDuration::from_nanos(300);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_sub(a).as_nanos(), 200);
+    }
+
+    #[test]
+    fn display_picks_best_unit() {
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5ms");
+        assert_eq!(SimDuration::from_micros(7).to_string(), "7us");
+        assert_eq!(SimDuration::from_nanos(13).to_string(), "13ns");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2s");
+    }
+}

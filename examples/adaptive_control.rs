@@ -1,0 +1,211 @@
+//! Adaptive control scenario: a plant controller pipeline that the DRCR
+//! reconfigures at run time — the paper's motivating use case (industrial
+//! control with continuous deployment) played end to end.
+//!
+//! The cast:
+//! * `sensor` — 500 Hz, publishes plant measurements.
+//! * `pid`    — 500 Hz primary controller, consumes `meas`, produces `act`.
+//! * `bang`   — a cheap 100 Hz fallback controller for the same actuator
+//!   channel, deployed *disabled*.
+//! * `logger` — 10 Hz, consumes `act` (depends on whichever controller
+//!   runs).
+//! * a **customized resolving service** that caps CPU 0 at 60% —
+//!   representing a site policy stricter than the internal resolver.
+//!
+//! The scenario: deploy everything → the strict resolver rejects the PID's
+//! appetite → operators register capacity (lift the cap) → PID activates →
+//! the PID bundle crashes/stops → the DRCR cascades, operators enable the
+//! fallback → the logger rewires to the fallback automatically.
+//!
+//! Run with: `cargo run --example adaptive_control`
+
+use drcom::drcr::ComponentProvider;
+use drcom::prelude::*;
+use drcom::resolve::{Decision, ResolvingService};
+use drcom::view::{ComponentInfo, SystemView};
+use rtos::kernel::KernelConfig;
+use std::rc::Rc;
+
+/// A site policy: CPU 0 may not be booked beyond a fixed fraction.
+struct SiteCap {
+    cap: f64,
+}
+
+impl ResolvingService for SiteCap {
+    fn name(&self) -> &str {
+        "site-cap"
+    }
+    fn admit(&self, candidate: &ComponentInfo, view: &SystemView) -> Decision {
+        if candidate.cpu != 0 {
+            return Decision::Admit;
+        }
+        let u = view.utilization(0) + candidate.cpu_usage;
+        if u <= self.cap + 1e-9 {
+            Decision::Admit
+        } else {
+            Decision::Reject(format!("site policy caps CPU 0 at {:.0}%", self.cap * 100.0))
+        }
+    }
+}
+
+fn sensor() -> ComponentProvider {
+    let d = ComponentDescriptor::builder("sensor")
+        .description("plant measurement acquisition, 500 Hz")
+        .periodic(500, 0, 1)
+        .cpu_usage(0.10)
+        .outport("meas", PortInterface::Shm, DataType::Integer, 4)
+        .build()
+        .expect("descriptor");
+    ComponentProvider::new(d, || {
+        Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+            io.compute(SimDuration::from_micros(150));
+            // A decaying oscillation as the "plant".
+            let t = io.cycle() as f64 / 500.0;
+            let y = (100.0 * (2.0 * t).sin() * (-0.2 * t).exp()) as i32;
+            let mut buf = [0u8; 16];
+            buf[0..4].copy_from_slice(&y.to_le_bytes());
+            io.write("meas", &buf).expect("publish measurement");
+        }))
+    })
+}
+
+fn pid() -> ComponentProvider {
+    let d = ComponentDescriptor::builder("pid")
+        .description("primary PID controller, 500 Hz")
+        .periodic(500, 0, 2)
+        .cpu_usage(0.55)
+        .inport("meas", PortInterface::Shm, DataType::Integer, 4)
+        .outport("act", PortInterface::Shm, DataType::Integer, 1)
+        .property("kp", PropertyValue::Float(0.8))
+        .build()
+        .expect("descriptor");
+    ComponentProvider::new(d, || {
+        let mut integral = 0i64;
+        Box::new(FnLogic(move |io: &mut RtIo<'_, '_>| {
+            let Ok(Some(meas)) = io.read("meas") else {
+                return;
+            };
+            io.compute(SimDuration::from_micros(800));
+            let y = i32::from_le_bytes(meas[0..4].try_into().expect("4 bytes")) as i64;
+            integral += y;
+            let kp = match io.property("kp") {
+                Some(PropertyValue::Float(k)) => *k,
+                _ => 1.0,
+            };
+            let u = (-(kp * y as f64) - 0.01 * integral as f64) as i32;
+            io.write("act", &u.to_le_bytes()).expect("actuate");
+        }))
+    })
+}
+
+fn bang_bang() -> ComponentProvider {
+    let d = ComponentDescriptor::builder("bang")
+        .description("bang-bang fallback controller, 100 Hz")
+        .periodic(100, 0, 3)
+        .cpu_usage(0.05)
+        .enabled(false) // deployed cold: operators enable it on demand
+        .inport("meas", PortInterface::Shm, DataType::Integer, 4)
+        .outport("act", PortInterface::Shm, DataType::Integer, 1)
+        .build()
+        .expect("descriptor");
+    ComponentProvider::new(d, || {
+        Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+            let Ok(Some(meas)) = io.read("meas") else {
+                return;
+            };
+            io.compute(SimDuration::from_micros(60));
+            let y = i32::from_le_bytes(meas[0..4].try_into().expect("4 bytes"));
+            let u: i32 = if y > 0 { -50 } else { 50 };
+            io.write("act", &u.to_le_bytes()).expect("actuate");
+        }))
+    })
+}
+
+fn logger() -> ComponentProvider {
+    let d = ComponentDescriptor::builder("logger")
+        .description("actuation logger, 10 Hz")
+        .periodic(10, 0, 6)
+        .cpu_usage(0.02)
+        .inport("act", PortInterface::Shm, DataType::Integer, 1)
+        .build()
+        .expect("descriptor");
+    ComponentProvider::new(d, || {
+        Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+            if let Ok(Some(u)) = io.read("act") {
+                let u = i32::from_le_bytes(u[0..4].try_into().expect("4 bytes"));
+                if io.cycle().is_multiple_of(10) {
+                    io.log(format!("actuation = {u}"));
+                }
+            }
+        }))
+    })
+}
+
+fn states(rt: &DrtRuntime) -> String {
+    ["sensor", "pid", "bang", "logger"]
+        .iter()
+        .map(|n| {
+            format!(
+                "{n}={}",
+                rt.component_state(n)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "GONE".into())
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rt = DrtRuntime::new(KernelConfig::new(3));
+
+    // Site policy: CPU 0 capped at 60%.
+    let cap = rt.register_resolver(Rc::new(SiteCap { cap: 0.60 }));
+
+    rt.install_component("plant.sensor", sensor())?;
+    let pid_bundle = rt.install_component("plant.pid", pid())?;
+    rt.install_component("plant.bang", bang_bang())?;
+    rt.install_component("plant.logger", logger())?;
+
+    println!("1. deployed under 60% site cap:");
+    println!("   {}", states(&rt));
+    println!("   (sensor 10% fits; pid claims 55%, which would push CPU 0 to 65%");
+    println!("    and the site resolver vetoes it; the logger needs `act`, so it waits too)");
+
+    rt.advance(SimDuration::from_millis(200));
+
+    // Operators lift the site cap: swap the resolver for a laxer one.
+    rt.unregister_resolver(cap);
+    rt.register_resolver(Rc::new(SiteCap { cap: 0.90 }));
+    println!("\n2. site cap lifted to 90%:");
+    println!("   {}", states(&rt));
+
+    rt.advance(SimDuration::from_secs(1));
+
+    // The PID bundle is stopped (crash, upgrade, ...): the DRCR cascades.
+    rt.stop_bundle(pid_bundle)?;
+    println!("\n3. pid bundle stopped:");
+    println!("   {}", states(&rt));
+
+    // Operators enable the cold-standby fallback controller.
+    rt.enable_component("bang")?;
+    println!("\n4. fallback enabled:");
+    println!("   {}", states(&rt));
+    println!(
+        "   logger now fed by: {:?}",
+        rt.drcr().providers_of("logger").unwrap()
+    );
+
+    rt.advance(SimDuration::from_secs(1));
+
+    // The PID returns (bundle restarted after the fix).
+    rt.start_bundle(pid_bundle)?;
+    println!("\n5. pid bundle restarted:");
+    println!("   {}", states(&rt));
+
+    println!("\nDRCR decision log:");
+    for d in rt.drcr().decisions() {
+        println!("   {d}");
+    }
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Architecture-described deployment: declare a whole pipeline as an
+//! [`Assembly`] with explicit connections, validate it *before* anything
+//! touches the kernel, and deploy/undeploy it atomically.
+//!
+//! Run with: `cargo run --example assembly`
+
+use drcom::adl::Assembly;
+use drcom::drcr::ComponentProvider;
+use drcom::prelude::*;
+use rtos::kernel::KernelConfig;
+
+fn stage(name: &str, input: Option<&str>, output: Option<&str>, hz: u32) -> ComponentProvider {
+    let mut b = ComponentDescriptor::builder(name)
+        .periodic(hz, 0, 3)
+        .cpu_usage(0.05);
+    if let Some(i) = input {
+        b = b.inport(i, PortInterface::Shm, DataType::Integer, 1);
+    }
+    if let Some(o) = output {
+        b = b.outport(o, PortInterface::Shm, DataType::Integer, 1);
+    }
+    let input = input.map(str::to_string);
+    let output = output.map(str::to_string);
+    ComponentProvider::new(b.build().expect("descriptor"), move || {
+        let input = input.clone();
+        let output = output.clone();
+        Box::new(FnLogic(move |io: &mut RtIo<'_, '_>| {
+            let upstream = input
+                .as_deref()
+                .and_then(|p| io.read(p).ok().flatten())
+                .map(|buf| i32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")))
+                .unwrap_or(1);
+            io.compute(SimDuration::from_micros(200));
+            if let Some(o) = output.as_deref() {
+                io.write(o, &(upstream + 1).to_le_bytes()).expect("write");
+            }
+        }))
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rt = DrtRuntime::new(KernelConfig::new(12));
+
+    // A three-stage processing pipeline, declared as an architecture.
+    let pipeline = Assembly::new("pipe")
+        .member(stage("acq", None, Some("raw"), 1000))
+        .member(stage("filt", Some("raw"), Some("clean"), 1000))
+        .member(stage("ctrl", Some("clean"), None, 500))
+        .connect("acq", "raw", "filt")
+        .connect("filt", "clean", "ctrl");
+    println!("validating pipeline architecture...");
+    pipeline.validate().expect("architecture is sound");
+
+    let deployed = pipeline.deploy(&mut rt).expect("deploy");
+    println!("deployed {} members:", deployed.bundles().len());
+    for name in ["acq", "filt", "ctrl"] {
+        println!("  {name}: {:?}", rt.component_state(name).unwrap());
+    }
+
+    rt.advance(SimDuration::from_secs(1));
+    {
+        let kernel = rt.kernel();
+        let clean = kernel.shm().get("clean").expect("channel exists");
+        println!(
+            "after 1 s: {} frames through stage 2 ({} consumed by stage 3)",
+            clean.write_count(),
+            clean.read_count()
+        );
+    }
+
+    // A broken architecture is refused before deployment.
+    let broken = Assembly::new("broken")
+        .member(stage("acq", None, Some("raw"), 1000))
+        .member(stage("ctrl", Some("clean"), None, 500)) // nothing provides `clean`
+        .connect("acq", "raw", "ctrl"); // and `ctrl` has no `raw` inport
+    println!("\nvalidating a broken architecture:");
+    match broken.validate() {
+        Ok(()) => unreachable!("must not validate"),
+        Err(errors) => {
+            for e in errors {
+                println!("  rejected: {e}");
+            }
+        }
+    }
+
+    deployed.undeploy(&mut rt)?;
+    println!("\nundeployed; components remaining: {:?}", rt.drcr().component_names());
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! # drt — the Declarative Real-Time OSGi Component Model, in Rust
+//!
+//! Umbrella crate re-exporting the whole reproduction of Gui et al.,
+//! *"A framework for adaptive real-time applications: the declarative
+//! real-time OSGi component model"* (Middleware 2008):
+//!
+//! * [`drcom`] — the paper's contribution: declarative component
+//!   contracts, the DRCR executive, hybrid RT/non-RT components, plus the
+//!   future-work extensions (modes, enforcement, adaptation, assemblies).
+//! * [`osgi`] — the module-framework substrate: bundles, LDAP-filtered
+//!   service registry, Declarative Services, service tracking.
+//! * [`rtos`] — the real-time substrate: a deterministic discrete-event
+//!   simulator of an RTAI-like dual-kernel machine.
+//!
+//! Start at [`drcom::runtime::DrtRuntime`], or run the examples:
+//!
+//! ```console
+//! cargo run --example quickstart
+//! cargo run --release -p bench --bin table1   # the paper's Table 1
+//! ```
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub use drcom;
+pub use osgi;
+pub use rtos;

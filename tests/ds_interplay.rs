@@ -1,0 +1,155 @@
+//! Interplay between the two component models sharing one framework: the
+//! non-real-time Declarative Services runtime (the paper's §2.1 heritage)
+//! and the real-time DRCR. A DS component consumes a DRCom component's
+//! management service — the exact shape of an "application specific
+//! adaptation manager" deployed as an ordinary service component.
+
+use drcom::drcr::ComponentProvider;
+use drcom::manage::{ManagementHandle, MANAGEMENT_SERVICE};
+use drcom::prelude::*;
+use osgi::ds::{BindingPolicy, DsComponent, DsReference, DsState, ScrRuntime};
+use osgi::ldap::Filter;
+use osgi::tracker::{ServiceTracker, TrackerEvent};
+use rtos::kernel::KernelConfig;
+use rtos::latency::TimerJitterModel;
+use std::any::Any;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn runtime() -> DrtRuntime {
+    DrtRuntime::new(KernelConfig::new(61).with_timer(TimerJitterModel::ideal()))
+}
+
+fn rt_component(name: &str) -> ComponentProvider {
+    let d = ComponentDescriptor::builder(name)
+        .periodic(100, 0, 3)
+        .cpu_usage(0.1)
+        .build()
+        .unwrap();
+    ComponentProvider::new(d, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {})))
+}
+
+/// A DS "supervisor" component that binds to the RT component's management
+/// service and suspends it on activation (a tiny adaptation manager).
+struct Supervisor {
+    bound: Rc<RefCell<Vec<String>>>,
+    mgmt: Option<Rc<dyn RtComponentManagement>>,
+}
+
+impl osgi::ds::DsInstance for Supervisor {
+    fn bind(&mut self, reference: &str, service: Rc<dyn Any>) {
+        if reference == "target" {
+            if let Ok(handle) = service.downcast::<ManagementHandle>() {
+                self.bound.borrow_mut().push(handle.0.component_name().to_string());
+                self.mgmt = Some(handle.0.clone());
+            }
+        }
+    }
+
+    fn activate(&mut self) {
+        if let Some(mgmt) = &self.mgmt {
+            let _ = mgmt.suspend();
+        }
+    }
+
+    fn unbind(&mut self, _reference: &str, _id: osgi::registry::ServiceId) {
+        self.mgmt = None;
+    }
+}
+
+#[test]
+fn ds_component_supervises_a_drcom_component() {
+    let mut rt = runtime();
+    let mut scr = ScrRuntime::new();
+
+    // The DS supervisor waits for the RT component's management service.
+    let bound: Rc<RefCell<Vec<String>>> = Rc::default();
+    let b = bound.clone();
+    let supervisor = DsComponent::new("superv", move || {
+        Box::new(Supervisor {
+            bound: b.clone(),
+            mgmt: None,
+        })
+    })
+    .requires(
+        DsReference::mandatory("target", MANAGEMENT_SERVICE)
+            .with_target(Filter::parse("(drt.name=calc)").unwrap()),
+    );
+    // SCR resolution happens against the shared framework.
+    scr.add_component(rt.framework_mut(), supervisor);
+    rt.process();
+    assert_eq!(scr.state("superv"), Some(DsState::Unsatisfied));
+
+    // Deploy the RT component: its management service satisfies the DS
+    // reference; the supervisor activates and suspends it.
+    rt.install_component("demo.calc", rt_component("calc")).unwrap();
+    scr.process(rt.framework_mut());
+    rt.process();
+    assert_eq!(scr.state("superv"), Some(DsState::Active));
+    assert_eq!(*bound.borrow(), vec!["calc".to_string()]);
+    assert_eq!(rt.component_state("calc"), Some(ComponentState::Suspended));
+
+    // Resume through the same handle the DS side saw.
+    rt.resume_component("calc").unwrap();
+    assert_eq!(rt.component_state("calc"), Some(ComponentState::Active));
+}
+
+#[test]
+fn ds_supervisor_survives_rt_component_churn() {
+    let mut rt = runtime();
+    let mut scr = ScrRuntime::new();
+    let bound: Rc<RefCell<Vec<String>>> = Rc::default();
+    let b = bound.clone();
+    let supervisor = DsComponent::new("superv", move || {
+        Box::new(Supervisor {
+            bound: b.clone(),
+            mgmt: None,
+        })
+    })
+    .requires(
+        DsReference::mandatory("target", MANAGEMENT_SERVICE)
+            .with_policy(BindingPolicy::Dynamic),
+    );
+    scr.add_component(rt.framework_mut(), supervisor);
+
+    let bundle = rt.install_component("demo.calc", rt_component("calc")).unwrap();
+    scr.process(rt.framework_mut());
+    rt.process();
+    assert_eq!(scr.state("superv"), Some(DsState::Active));
+
+    // The RT component leaves: its management service unregisters, the DS
+    // component deactivates (mandatory reference).
+    rt.stop_bundle(bundle).unwrap();
+    scr.process(rt.framework_mut());
+    assert_eq!(scr.state("superv"), Some(DsState::Unsatisfied));
+
+    // And returns.
+    rt.start_bundle(bundle).unwrap();
+    scr.process(rt.framework_mut());
+    rt.process();
+    assert_eq!(scr.state("superv"), Some(DsState::Active));
+    assert_eq!(bound.borrow().len(), 2, "bound once per arrival");
+    // NOTE: the fresh suspend from re-activation is expected.
+    assert_eq!(rt.component_state("calc"), Some(ComponentState::Suspended));
+}
+
+#[test]
+fn tracker_follows_management_services() {
+    let mut rt = runtime();
+    let mut tracker = ServiceTracker::new(MANAGEMENT_SERVICE);
+    assert!(tracker.poll(rt.framework()).is_empty());
+
+    rt.install_component("demo.a", rt_component("a")).unwrap();
+    rt.install_component("demo.b", rt_component("b")).unwrap();
+    let events = tracker.poll(rt.framework());
+    assert_eq!(events.len(), 2);
+    assert!(events.iter().all(|e| matches!(e, TrackerEvent::Added(_))));
+    assert_eq!(tracker.len(), 2);
+
+    let bundle = rt.drcr().bundle_of("a").unwrap();
+    rt.stop_bundle(bundle).unwrap();
+    let events = tracker.poll(rt.framework());
+    assert_eq!(events.len(), 1);
+    assert!(matches!(events[0], TrackerEvent::Removed(_)));
+    assert_eq!(tracker.len(), 1);
+}

@@ -1,0 +1,137 @@
+//! Event-driven (aperiodic) components: released by mailbox arrivals or
+//! explicit triggers rather than the hardware timer.
+
+use drcom::drcr::ComponentProvider;
+use drcom::prelude::*;
+use rtos::kernel::KernelConfig;
+use rtos::latency::TimerJitterModel;
+
+fn runtime() -> DrtRuntime {
+    DrtRuntime::new(KernelConfig::new(71).with_timer(TimerJitterModel::ideal()))
+}
+
+/// An aperiodic alarm handler consuming a mailbox inport.
+fn handler() -> ComponentProvider {
+    let d = ComponentDescriptor::builder("alarm")
+        .aperiodic(0, 2)
+        .cpu_usage(0.05)
+        .inport("events", PortInterface::Mailbox, DataType::Byte, 8)
+        .build()
+        .unwrap();
+    ComponentProvider::new(d, || {
+        Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+            while let Ok(Some(msg)) = io.read("events") {
+                io.compute(SimDuration::from_micros(50));
+                io.log(format!("handled event {:?}", msg.first()));
+            }
+        }))
+    })
+}
+
+/// A periodic detector feeding the alarm mailbox.
+fn detector() -> ComponentProvider {
+    let d = ComponentDescriptor::builder("detect")
+        .periodic(100, 0, 3)
+        .cpu_usage(0.05)
+        .outport("events", PortInterface::Mailbox, DataType::Byte, 8)
+        .build()
+        .unwrap();
+    ComponentProvider::new(d, || {
+        Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+            // Fire an event every 10th cycle.
+            if io.cycle().is_multiple_of(10) {
+                let _ = io.write("events", &[io.cycle() as u8]).unwrap();
+            }
+        }))
+    })
+}
+
+#[test]
+fn mailbox_arrivals_wake_the_handler() {
+    let mut rt = runtime();
+    rt.install_component("demo.detect", detector()).unwrap();
+    rt.install_component("demo.alarm", handler()).unwrap();
+    assert_eq!(rt.component_state("alarm"), Some(ComponentState::Active));
+    rt.advance(SimDuration::from_secs(1));
+    let task = rt.drcr().task_of("alarm").unwrap();
+    let cycles = rt.kernel().task_cycles(task).unwrap();
+    // The detector fires 10 events/second; the handler runs per arrival,
+    // never on a timer.
+    assert!((9..=11).contains(&cycles), "handler cycles {cycles}");
+    // Every event was consumed.
+    let kernel = rt.kernel();
+    let mbx = kernel.mailboxes().get("events").unwrap();
+    assert_eq!(mbx.sent_count(), mbx.received_count());
+    assert!(mbx.is_empty());
+}
+
+#[test]
+fn external_posts_wake_the_handler() {
+    let mut rt = runtime();
+    // No detector: the handler's inport is fed from outside the assembly,
+    // but functional resolution needs *some* provider — use a provider-only
+    // stub to open the channel... or rather: external feeds mean the
+    // handler cannot resolve without a provider, so deploy the detector but
+    // suspend it, then drive the mailbox by hand.
+    rt.install_component("demo.detect", detector()).unwrap();
+    rt.install_component("demo.alarm", handler()).unwrap();
+    rt.suspend_component("detect").unwrap();
+    // Suspending the provider unsatisfies the handler; resume to keep the
+    // pipeline up but idle the detector by advancing zero time.
+    rt.resume_component("detect").unwrap();
+    assert_eq!(rt.component_state("alarm"), Some(ComponentState::Active));
+    let task = rt.drcr().task_of("alarm").unwrap();
+    let before = rt.kernel().task_cycles(task).unwrap();
+    // Post three events directly (a management/driver path).
+    for i in 0..3 {
+        assert!(rt.post("events", &[i]).unwrap());
+        rt.advance(SimDuration::from_millis(1));
+    }
+    let after = rt.kernel().task_cycles(task).unwrap();
+    assert!(after >= before + 3, "handler ran {} extra cycles", after - before);
+}
+
+#[test]
+fn manual_trigger_releases_one_cycle() {
+    let mut rt = runtime();
+    // A pure computational aperiodic component (no ports).
+    let d = ComponentDescriptor::builder("job")
+        .aperiodic(0, 2)
+        .cpu_usage(0.05)
+        .build()
+        .unwrap();
+    rt.install_component(
+        "demo.job",
+        ComponentProvider::new(d, || {
+            Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+                io.compute(SimDuration::from_millis(1));
+            }))
+        }),
+    )
+    .unwrap();
+    let task = rt.drcr().task_of("job").unwrap();
+    rt.advance(SimDuration::from_millis(50));
+    assert_eq!(rt.kernel().task_cycles(task).unwrap(), 0, "no spontaneous runs");
+    rt.trigger_component("job").unwrap();
+    rt.advance(SimDuration::from_millis(10));
+    assert_eq!(rt.kernel().task_cycles(task).unwrap(), 1);
+    // Triggering periodic components is refused.
+    rt.install_component("demo.detect", detector()).unwrap();
+    assert!(rt.trigger_component("detect").is_err());
+    // Triggering unknown/inactive components errors.
+    assert!(rt.trigger_component("ghost").is_err());
+}
+
+#[test]
+fn wakeups_die_with_the_component() {
+    let mut rt = runtime();
+    rt.install_component("demo.detect", detector()).unwrap();
+    let alarm_bundle = rt.install_component("demo.alarm", handler()).unwrap();
+    rt.advance(SimDuration::from_millis(500));
+    rt.stop_bundle(alarm_bundle).unwrap();
+    // The detector keeps producing; no dead task is ever woken, and the
+    // events channel keeps working (it belongs to the detector).
+    rt.advance(SimDuration::from_millis(500));
+    assert_eq!(rt.component_state("alarm"), None);
+    assert!(rt.kernel().mailboxes().get("events").is_some());
+}

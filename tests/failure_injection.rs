@@ -1,0 +1,219 @@
+//! Failure injection: the system must degrade loudly and cleanly, never
+//! silently or leakily, when components misbehave at deployment or run
+//! time.
+
+use drcom::drcr::ComponentProvider;
+use drcom::prelude::*;
+use osgi::framework::{BundleActivator, BundleContext, FrameworkError};
+use osgi::manifest::BundleManifest;
+use osgi::version::Version;
+use rtos::kernel::KernelConfig;
+use rtos::latency::TimerJitterModel;
+
+fn runtime() -> DrtRuntime {
+    DrtRuntime::new(KernelConfig::new(77).with_timer(TimerJitterModel::ideal()))
+}
+
+fn simple(name: &str, usage: f64) -> ComponentProvider {
+    let d = ComponentDescriptor::builder(name)
+        .periodic(100, 0, 3)
+        .cpu_usage(usage)
+        .build()
+        .unwrap();
+    ComponentProvider::new(d, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {})))
+}
+
+#[test]
+fn malformed_descriptors_fail_before_deployment() {
+    // A descriptor with a 7-character name, a bogus CPU claim, and a
+    // dangling periodic declaration all fail at parse/validate time —
+    // nothing ever reaches the framework or kernel.
+    for bad_xml in [
+        r#"<drt:component name="toolong7" type="aperiodic" cpuusage="0.1">
+             <implementation bincode="a.B"/></drt:component>"#,
+        r#"<drt:component name="x" type="periodic" cpuusage="0.1">
+             <implementation bincode="a.B"/></drt:component>"#,
+        r#"<drt:component name="x" type="aperiodic" cpuusage="7">
+             <implementation bincode="a.B"/></drt:component>"#,
+        "<not-even-xml",
+    ] {
+        assert!(
+            ComponentProvider::from_xml(bad_xml, || Box::new(FnLogic(
+                |_io: &mut RtIo<'_, '_>| {}
+            )))
+            .is_err(),
+            "{bad_xml}"
+        );
+    }
+}
+
+struct PanickyActivator;
+
+impl BundleActivator for PanickyActivator {
+    fn start(&mut self, _ctx: &mut BundleContext<'_>) -> Result<(), String> {
+        Err("refusing to start".into())
+    }
+}
+
+#[test]
+fn failed_activator_leaves_system_consistent() {
+    let mut rt = runtime();
+    rt.install_component("demo.good", simple("good", 0.1)).unwrap();
+    let bad = rt
+        .framework_mut()
+        .install(
+            BundleManifest::new("demo.bad", Version::new(1, 0, 0)),
+            Box::new(PanickyActivator),
+        )
+        .unwrap();
+    let err = rt.framework_mut().start(bad).unwrap_err();
+    assert!(matches!(err, FrameworkError::ActivatorFailed { .. }));
+    rt.process();
+    // The failure is contained: the good component is untouched.
+    assert_eq!(rt.component_state("good"), Some(ComponentState::Active));
+    assert_eq!(rt.drcr().component_names(), vec!["good".to_string()]);
+}
+
+#[test]
+fn duplicate_component_names_are_refused_loudly() {
+    let mut rt = runtime();
+    rt.install_component("demo.one", simple("calc", 0.1)).unwrap();
+    // A second bundle shipping the same component name: the DRCR refuses
+    // the registration (names are globally unique, §2.3) and logs it.
+    rt.install_component("demo.two", simple("calc", 0.2)).unwrap();
+    assert!(rt
+        .drcr()
+        .decisions()
+        .iter()
+        .any(|d| d.contains("registration refused")));
+    // Exactly one `calc`, with the first bundle's claim.
+    assert_eq!(rt.drcr().ledger().reservation("calc"), Some((0, 0.1)));
+}
+
+#[test]
+fn channel_shape_conflicts_roll_back_cleanly() {
+    let mut rt = runtime();
+    // An unrelated kernel object already owns the channel name with a
+    // different shape.
+    rt.kernel_mut()
+        .shm_mut()
+        .alloc("chan", DataType::Byte, 99)
+        .unwrap();
+    let d = ComponentDescriptor::builder("prod")
+        .periodic(100, 0, 3)
+        .cpu_usage(0.1)
+        .outport("chan", PortInterface::Shm, DataType::Integer, 1)
+        .outport("chan2", PortInterface::Shm, DataType::Integer, 1)
+        .build()
+        .unwrap();
+    rt.install_component(
+        "demo.prod",
+        ComponentProvider::new(d, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {}))),
+    )
+    .unwrap();
+    // Activation failed...
+    assert_eq!(rt.component_state("prod"), Some(ComponentState::Unsatisfied));
+    assert!(rt
+        .drcr()
+        .decisions()
+        .iter()
+        .any(|d| d.contains("failed to activate") || d.contains("activation of")));
+    // ...and rolled back: no task, no stray chan2 segment, no reservation.
+    assert!(rt.kernel().task_by_name("prod").is_none());
+    assert!(rt.kernel().shm().get("chan2").is_none());
+    assert!(rt.drcr().ledger().is_empty());
+    // Freeing the conflicting object and re-resolving recovers.
+    rt.kernel_mut().shm_mut().free("chan").unwrap();
+    rt.install_component("demo.nudge", simple("nudge", 0.01)).unwrap();
+    assert_eq!(rt.component_state("prod"), Some(ComponentState::Active));
+}
+
+#[test]
+fn command_mailbox_overflow_is_reported_not_lost() {
+    let mut rt = runtime();
+    rt.install_component("demo.calc", simple("calc", 0.1)).unwrap();
+    let mgmt = rt.management("calc").unwrap();
+    // The command mailbox holds 16; the RT task never runs (we do not
+    // advance time), so the 17th command must be rejected.
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for i in 0..20 {
+        match mgmt.set_property("p", PropertyValue::Integer(i)) {
+            Ok(()) => accepted += 1,
+            Err(e) => {
+                rejected += 1;
+                assert!(e.to_string().contains("full"), "{e}");
+            }
+        }
+    }
+    assert_eq!(accepted, 16);
+    assert_eq!(rejected, 4);
+    // Once the task runs, the queue drains and commands flow again.
+    rt.advance(SimDuration::from_millis(50));
+    let mgmt = rt.management("calc").unwrap();
+    mgmt.set_property("p", PropertyValue::Integer(99)).unwrap();
+}
+
+#[test]
+fn management_calls_on_dead_components_error_cleanly() {
+    let mut rt = runtime();
+    let bundle = rt.install_component("demo.calc", simple("calc", 0.1)).unwrap();
+    let mgmt = rt.management("calc").unwrap();
+    rt.stop_bundle(bundle).unwrap();
+    // The handle outlived its component: every operation fails with a
+    // meaningful error instead of panicking or going to a wrong target.
+    assert!(mgmt.suspend().is_err());
+    assert!(mgmt.set_property("p", PropertyValue::Integer(1)).is_err());
+    assert!(mgmt.request_status().is_err());
+    assert_eq!(mgmt.state(), ComponentState::Destroyed);
+}
+
+#[test]
+fn reply_mailbox_overflow_drops_replies_not_the_task() {
+    let mut rt = runtime();
+    rt.install_component("demo.calc", simple("calc", 0.1)).unwrap();
+    let mgmt = rt.management("calc").unwrap();
+    // 16 status requests fit the command box; the RT side answers all of
+    // them in one cycle, overflowing the 16-slot reply box is impossible
+    // here, but 2 rounds of 16 with no polling in between would overflow.
+    let mut tokens = Vec::new();
+    for _ in 0..16 {
+        tokens.push(mgmt.request_status().unwrap());
+    }
+    rt.advance(SimDuration::from_millis(15));
+    for _ in 0..16 {
+        let _ = mgmt.request_status();
+    }
+    rt.advance(SimDuration::from_millis(15));
+    // The task is alive and still answering.
+    let task = rt.drcr().task_of("calc").unwrap();
+    assert!(rt.kernel().task_cycles(task).unwrap() >= 2);
+    // The first batch of replies is retrievable.
+    let mgmt = rt.management("calc").unwrap();
+    let got = tokens
+        .iter()
+        .filter(|t| matches!(mgmt.poll_reply(**t), Ok(Some(_))))
+        .count();
+    assert!(got >= 1, "at least the drained replies arrive");
+}
+
+#[test]
+fn overload_admission_explains_every_rejection() {
+    let mut rt = runtime();
+    for i in 0..8 {
+        rt.install_component(&format!("demo.c{i}"), simple(&format!("c{i}"), 0.3))
+            .unwrap();
+    }
+    // 0.3 × 8 = 2.4: only 3 fit under the 1.0 internal cap.
+    let active = (0..8)
+        .filter(|i| rt.component_state(&format!("c{i}")) == Some(ComponentState::Active))
+        .count();
+    assert_eq!(active, 3);
+    let rejections = rt
+        .drcr()
+        .decisions()
+        .iter()
+        .filter(|d| d.contains("rejected by internal resolver"))
+        .count();
+    assert!(rejections >= 5, "rejections {rejections}");
+}

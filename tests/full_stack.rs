@@ -1,0 +1,253 @@
+//! Cross-crate integration: descriptors parsed from XML, bundles wired by
+//! the OSGi layer, components activated by the DRCR, data moving through
+//! the RT kernel, and management reached through LDAP-filtered registry
+//! lookups — the whole Figure 3 stack in one place.
+
+use drcom::drcr::{ComponentProvider, PROP_COMPONENT_NAME};
+use drcom::manage::{ManagementHandle, MANAGEMENT_SERVICE};
+use drcom::prelude::*;
+use drcom::resolve::{ResolverHandle, RESOLVER_SERVICE};
+use osgi::framework::{BundleActivator, BundleContext, NoopActivator};
+use osgi::ldap::{Filter, Properties};
+use osgi::manifest::BundleManifest;
+use osgi::version::{Version, VersionRange};
+use rtos::kernel::KernelConfig;
+use rtos::latency::TimerJitterModel;
+use std::rc::Rc;
+
+fn runtime() -> DrtRuntime {
+    DrtRuntime::new(KernelConfig::new(23).with_timer(TimerJitterModel::ideal()))
+}
+
+const PRODUCER_XML: &str = r#"<drt:component name="prod" type="periodic" cpuusage="0.1">
+  <implementation bincode="demo.Producer"/>
+  <periodictask frequence="200" priority="2"/>
+  <outport name="stream" interface="RTAI.Mailbox" type="Byte" size="8"/>
+</drt:component>"#;
+
+const CONSUMER_XML: &str = r#"<drt:component name="cons" type="periodic" cpuusage="0.1">
+  <implementation bincode="demo.Consumer"/>
+  <periodictask frequence="100" priority="3"/>
+  <inport name="stream" interface="RTAI.Mailbox" type="Byte" size="8"/>
+</drt:component>"#;
+
+#[test]
+fn mailbox_ports_connect_components() {
+    let mut rt = runtime();
+    rt.install_component(
+        "demo.prod",
+        ComponentProvider::from_xml(PRODUCER_XML, || {
+            Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+                let msg = [io.cycle() as u8; 4];
+                let _ = io.write("stream", &msg).unwrap();
+            }))
+        })
+        .unwrap(),
+    )
+    .unwrap();
+    rt.install_component(
+        "demo.cons",
+        ComponentProvider::from_xml(CONSUMER_XML, || {
+            Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+                while let Ok(Some(_msg)) = io.read("stream") {}
+            }))
+        })
+        .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(rt.component_state("prod"), Some(ComponentState::Active));
+    assert_eq!(rt.component_state("cons"), Some(ComponentState::Active));
+    rt.advance(SimDuration::from_secs(1));
+    let kernel = rt.kernel();
+    let mbx = kernel.mailboxes().get("stream").unwrap();
+    assert!(mbx.sent_count() > 150, "sent {}", mbx.sent_count());
+    assert!(mbx.received_count() > 150, "received {}", mbx.received_count());
+}
+
+#[test]
+fn management_services_are_ldap_discoverable() {
+    let mut rt = runtime();
+    for name in ["alpha", "beta", "gamma"] {
+        let d = ComponentDescriptor::builder(name)
+            .periodic(50, 0, 4)
+            .cpu_usage(0.05)
+            .build()
+            .unwrap();
+        rt.install_component(
+            &format!("demo.{name}"),
+            ComponentProvider::new(d, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {}))),
+        )
+        .unwrap();
+    }
+    // Three management services, filterable by component name.
+    let all = rt.framework().registry().find(MANAGEMENT_SERVICE, None);
+    assert_eq!(all.len(), 3);
+    let f = Filter::parse(&format!("({PROP_COMPONENT_NAME}=beta)")).unwrap();
+    let found = rt.framework().registry().find(MANAGEMENT_SERVICE, Some(&f));
+    assert_eq!(found.len(), 1);
+    let handle = rt
+        .framework()
+        .registry()
+        .get::<ManagementHandle>(found[0].id())
+        .unwrap();
+    assert_eq!(handle.0.component_name(), "beta");
+    // Filter by declared CPU usage — resolvable because activation
+    // publishes the contract as service properties.
+    let f = Filter::parse("(drt.cpuusage<=0.05)").unwrap();
+    assert_eq!(
+        rt.framework().registry().find(MANAGEMENT_SERVICE, Some(&f)).len(),
+        3
+    );
+}
+
+#[test]
+fn management_service_disappears_with_its_component() {
+    let mut rt = runtime();
+    let d = ComponentDescriptor::builder("tmp")
+        .periodic(50, 0, 4)
+        .cpu_usage(0.05)
+        .build()
+        .unwrap();
+    let bundle = rt
+        .install_component(
+            "demo.tmp",
+            ComponentProvider::new(d, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {}))),
+        )
+        .unwrap();
+    assert!(rt.management("tmp").is_some());
+    rt.stop_bundle(bundle).unwrap();
+    assert!(rt.management("tmp").is_none());
+    assert!(rt.framework().registry().find(MANAGEMENT_SERVICE, None).is_empty());
+}
+
+/// A bundle that registers a resolving service from its activator — the
+/// paper's "customized resolving service plugged into the DRCR runtime by
+/// using the OSGi service model", deployed as a real bundle.
+struct VetoBundle;
+
+impl BundleActivator for VetoBundle {
+    fn start(&mut self, ctx: &mut BundleContext<'_>) -> Result<(), String> {
+        ctx.register_service(
+            &[RESOLVER_SERVICE],
+            Rc::new(ResolverHandle(Rc::new(drcom::resolve::AlwaysReject(
+                "site lockdown".into(),
+            )))),
+            Properties::new(),
+        );
+        Ok(())
+    }
+}
+
+#[test]
+fn resolver_bundle_lifecycle_gates_admissions() {
+    let mut rt = runtime();
+    let veto_bundle = rt
+        .framework_mut()
+        .install(
+            BundleManifest::new("policy.veto", Version::new(1, 0, 0)),
+            Box::new(VetoBundle),
+        )
+        .unwrap();
+    rt.framework_mut().start(veto_bundle).unwrap();
+    rt.process();
+
+    let d = ComponentDescriptor::builder("calc")
+        .periodic(100, 0, 2)
+        .cpu_usage(0.1)
+        .build()
+        .unwrap();
+    rt.install_component(
+        "demo.calc",
+        ComponentProvider::new(d, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {}))),
+    )
+    .unwrap();
+    assert_eq!(rt.component_state("calc"), Some(ComponentState::Unsatisfied));
+
+    // Stopping the policy bundle removes the veto; the DRCR re-resolves on
+    // the Unregistering event.
+    rt.framework_mut().stop(veto_bundle).unwrap();
+    rt.process();
+    assert_eq!(rt.component_state("calc"), Some(ComponentState::Active));
+}
+
+#[test]
+fn plain_osgi_bundles_coexist_with_components() {
+    let mut rt = runtime();
+    // A library bundle exporting a package, and an app bundle importing it.
+    let lib = rt
+        .framework_mut()
+        .install(
+            BundleManifest::new("lib", Version::new(1, 2, 0))
+                .exports("lib.api", Version::new(1, 2, 0)),
+            Box::new(NoopActivator),
+        )
+        .unwrap();
+    let app = rt
+        .framework_mut()
+        .install(
+            BundleManifest::new("app", Version::new(1, 0, 0))
+                .imports("lib.api", VersionRange::at_least(Version::new(1, 0, 0))),
+            Box::new(NoopActivator),
+        )
+        .unwrap();
+    rt.framework_mut().start(app).unwrap();
+    rt.process();
+    assert_eq!(
+        rt.framework().bundle_state(app),
+        Some(osgi::framework::BundleState::Active)
+    );
+    assert_eq!(
+        rt.framework().bundle_state(lib),
+        Some(osgi::framework::BundleState::Resolved)
+    );
+    // Components deploy fine alongside.
+    let d = ComponentDescriptor::builder("calc")
+        .periodic(100, 0, 2)
+        .cpu_usage(0.1)
+        .build()
+        .unwrap();
+    rt.install_component(
+        "demo.calc",
+        ComponentProvider::new(d, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {}))),
+    )
+    .unwrap();
+    assert_eq!(rt.component_state("calc"), Some(ComponentState::Active));
+}
+
+#[test]
+fn cyclic_pipelines_co_activate() {
+    // The smart-camera feedback loop: camera needs the tracker's ROI,
+    // tracker needs the camera's frames.
+    let mut rt = runtime();
+    let cam = ComponentDescriptor::builder("cam")
+        .periodic(100, 0, 2)
+        .cpu_usage(0.1)
+        .outport("frames", PortInterface::Shm, DataType::Byte, 16)
+        .inport("roi", PortInterface::Shm, DataType::Integer, 1)
+        .build()
+        .unwrap();
+    let trk = ComponentDescriptor::builder("trk")
+        .periodic(50, 0, 3)
+        .cpu_usage(0.1)
+        .inport("frames", PortInterface::Shm, DataType::Byte, 16)
+        .outport("roi", PortInterface::Shm, DataType::Integer, 1)
+        .build()
+        .unwrap();
+    rt.install_component(
+        "demo.cam",
+        ComponentProvider::new(cam, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {}))),
+    )
+    .unwrap();
+    assert_eq!(rt.component_state("cam"), Some(ComponentState::Unsatisfied));
+    rt.install_component(
+        "demo.trk",
+        ComponentProvider::new(trk, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {}))),
+    )
+    .unwrap();
+    assert_eq!(rt.component_state("cam"), Some(ComponentState::Active));
+    assert_eq!(rt.component_state("trk"), Some(ComponentState::Active));
+    // And the cycle tears down together when one leaves.
+    let bundle = rt.drcr().bundle_of("trk").unwrap();
+    rt.stop_bundle(bundle).unwrap();
+    assert_eq!(rt.component_state("cam"), Some(ComponentState::Unsatisfied));
+}

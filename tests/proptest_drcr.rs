@@ -1,0 +1,238 @@
+//! Stateful property test of the DRCR executive: arbitrary interleavings
+//! of deployment, departure, suspension, mode switches and time must never
+//! break the executive's global invariants.
+//!
+//! The invariants checked after every operation:
+//!
+//! 1. **Ledger ↔ lifecycle**: a component holds a reservation iff its
+//!    state holds admission (Active/Suspended), and the reserved claim
+//!    equals its current contract's claim.
+//! 2. **Kernel ↔ lifecycle**: admission-holding components have a live
+//!    kernel task; others have none.
+//! 3. **No overcommitment**: reserved utilization per CPU never exceeds
+//!    the internal resolver's cap.
+//! 4. **Functional soundness**: every Active consumer has an Active
+//!    provider for each inport.
+//! 5. **No leaks**: with no components registered, the kernel has no SHM
+//!    segments and no mailboxes.
+
+use drcom::drcr::ComponentProvider;
+use drcom::prelude::*;
+use proptest::prelude::*;
+use rtos::kernel::KernelConfig;
+use rtos::latency::TimerJitterModel;
+use rtos::task::TaskState;
+
+#[derive(Debug, Clone)]
+enum Op {
+    InstallSource,
+    InstallSink,
+    InstallModed,
+    StopSource,
+    StopSink,
+    StopModed,
+    SuspendAny(u8),
+    ResumeAny(u8),
+    SwitchModed(bool), // true = cheap mode, false = base
+    Advance(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::InstallSource),
+        Just(Op::InstallSink),
+        Just(Op::InstallModed),
+        Just(Op::StopSource),
+        Just(Op::StopSink),
+        Just(Op::StopModed),
+        any::<u8>().prop_map(Op::SuspendAny),
+        any::<u8>().prop_map(Op::ResumeAny),
+        any::<bool>().prop_map(Op::SwitchModed),
+        (1u8..20).prop_map(Op::Advance),
+    ]
+}
+
+fn source() -> ComponentProvider {
+    let d = ComponentDescriptor::builder("src")
+        .periodic(100, 0, 2)
+        .cpu_usage(0.3)
+        .outport("chan", PortInterface::Shm, DataType::Integer, 1)
+        .build()
+        .unwrap();
+    ComponentProvider::new(d, || {
+        Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+            let _ = io.write("chan", &1i32.to_le_bytes());
+        }))
+    })
+}
+
+fn sink() -> ComponentProvider {
+    let d = ComponentDescriptor::builder("snk")
+        .periodic(50, 0, 4)
+        .cpu_usage(0.2)
+        .inport("chan", PortInterface::Shm, DataType::Integer, 1)
+        .build()
+        .unwrap();
+    ComponentProvider::new(d, || {
+        Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+            let _ = io.read("chan");
+        }))
+    })
+}
+
+fn moded() -> ComponentProvider {
+    let d = ComponentDescriptor::builder("mod")
+        .periodic(200, 0, 3)
+        .cpu_usage(0.4)
+        .mode("cheap", 20, 0.05, 3)
+        .build()
+        .unwrap();
+    ComponentProvider::new(d, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {})))
+}
+
+fn check_invariants(rt: &DrtRuntime) -> Result<(), TestCaseError> {
+    let drcr = rt.drcr();
+    let names = drcr.component_names();
+    // 1 + 2: ledger and kernel agree with lifecycle states.
+    for name in &names {
+        let state = drcr.state_of(name).expect("registered");
+        let reservation = drcr.ledger().reservation(name);
+        let task = drcr.task_of(name);
+        if state.holds_admission() {
+            prop_assert!(reservation.is_some(), "`{name}` {state} without reservation");
+            let claim = drcr.descriptor_of(name).unwrap().cpu_usage.fraction();
+            let (_, reserved) = reservation.unwrap();
+            prop_assert!(
+                (reserved - claim).abs() < 1e-9,
+                "`{name}` reserved {reserved} vs claim {claim}"
+            );
+            let task = task.expect("admitted components have tasks");
+            let kstate = rt.kernel().task_state(task);
+            prop_assert!(
+                matches!(
+                    kstate,
+                    Some(
+                        TaskState::Waiting
+                            | TaskState::Ready
+                            | TaskState::Running
+                            | TaskState::Suspended
+                    )
+                ),
+                "`{name}` task in {kstate:?}"
+            );
+        } else {
+            prop_assert!(reservation.is_none(), "`{name}` {state} holds a reservation");
+            prop_assert!(task.is_none(), "`{name}` {state} holds a task");
+        }
+    }
+    // 3: never overcommitted.
+    prop_assert!(
+        drcr.ledger().utilization(0) <= 1.0 + 1e-9,
+        "CPU 0 overcommitted: {}",
+        drcr.ledger().utilization(0)
+    );
+    // 4: active consumers are fed.
+    if drcr.state_of("snk") == Some(ComponentState::Active) {
+        prop_assert_eq!(
+            drcr.state_of("src"),
+            Some(ComponentState::Active),
+            "sink active without an active source"
+        );
+    }
+    // 5: no leaks once everything is gone.
+    if names.is_empty() {
+        prop_assert!(rt.kernel().shm().is_empty(), "leaked SHM");
+        prop_assert!(rt.kernel().mailboxes().is_empty(), "leaked mailboxes");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn drcr_invariants_hold_under_random_operations(ops in proptest::collection::vec(op(), 1..60)) {
+        let mut rt = DrtRuntime::new(
+            KernelConfig::new(9).with_timer(TimerJitterModel::ideal()),
+        );
+        let mut bundles: std::collections::HashMap<&str, osgi::event::BundleId> =
+            Default::default();
+        for op in ops {
+            match op {
+                Op::InstallSource => {
+                    if !bundles.contains_key("src") {
+                        let b = rt.install_component("b.src", source()).unwrap();
+                        bundles.insert("src", b);
+                    }
+                }
+                Op::InstallSink => {
+                    if !bundles.contains_key("snk") {
+                        let b = rt.install_component("b.snk", sink()).unwrap();
+                        bundles.insert("snk", b);
+                    }
+                }
+                Op::InstallModed => {
+                    if !bundles.contains_key("mod") {
+                        let b = rt.install_component("b.mod", moded()).unwrap();
+                        bundles.insert("mod", b);
+                    }
+                }
+                Op::StopSource => {
+                    if let Some(b) = bundles.remove("src") {
+                        rt.uninstall_bundle(b).unwrap();
+                    }
+                }
+                Op::StopSink => {
+                    if let Some(b) = bundles.remove("snk") {
+                        rt.uninstall_bundle(b).unwrap();
+                    }
+                }
+                Op::StopModed => {
+                    if let Some(b) = bundles.remove("mod") {
+                        rt.uninstall_bundle(b).unwrap();
+                    }
+                }
+                Op::SuspendAny(pick) => {
+                    let names = rt.drcr().component_names();
+                    if !names.is_empty() {
+                        let name = names[pick as usize % names.len()].clone();
+                        // Only legal from Active; illegal attempts must
+                        // error, not corrupt.
+                        let was_active =
+                            rt.component_state(&name) == Some(ComponentState::Active);
+                        let result = rt.suspend_component(&name);
+                        prop_assert_eq!(result.is_ok(), was_active);
+                    }
+                }
+                Op::ResumeAny(pick) => {
+                    let names = rt.drcr().component_names();
+                    if !names.is_empty() {
+                        let name = names[pick as usize % names.len()].clone();
+                        let was_suspended =
+                            rt.component_state(&name) == Some(ComponentState::Suspended);
+                        let result = rt.resume_component(&name);
+                        prop_assert_eq!(result.is_ok(), was_suspended);
+                    }
+                }
+                Op::SwitchModed(cheap) => {
+                    if rt.component_state("mod").is_some() {
+                        let mode = if cheap { "cheap" } else { drcom::BASE_MODE };
+                        rt.switch_mode("mod", mode).unwrap();
+                    }
+                }
+                Op::Advance(ms) => {
+                    rt.advance(SimDuration::from_millis(u64::from(ms)));
+                }
+            }
+            check_invariants(&rt)?;
+        }
+        // Teardown: everything uninstalls cleanly.
+        for (_, b) in bundles {
+            rt.uninstall_bundle(b).unwrap();
+        }
+        check_invariants(&rt)?;
+    }
+}
