@@ -9,12 +9,14 @@
 //!   `ablation` binary reports the quality metrics — overruns and latency —
 //!   for the same configurations.)
 
+use bench::microbench::Runner;
 use bench::{run_table1_config, ImplKind, Table1Config};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drcom::drcr::ComponentProvider;
 use drcom::hybrid::BridgeMode;
 use drcom::prelude::*;
-use drcom::resolve::{AlwaysAdmit, EdfResolver, RmBoundResolver, ResolvingService, UtilizationResolver};
+use drcom::resolve::{
+    AlwaysAdmit, EdfResolver, ResolvingService, RmBoundResolver, UtilizationResolver,
+};
 use rtos::kernel::KernelConfig;
 use rtos::latency::{LoadMode, TimerJitterModel};
 use rtos::time::SimDuration;
@@ -47,9 +49,8 @@ fn deploy_burst(internal: Box<dyn ResolvingService>, n: usize) -> usize {
         .count()
 }
 
-fn bench_admission_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/admission-policy");
-    group.sample_size(10);
+fn bench_admission_policies() {
+    let runner = Runner::new("ablation/admission-policy").iterations(10);
     type ResolverFactory = fn() -> Box<dyn ResolvingService>;
     let policies: Vec<(&str, ResolverFactory)> = vec![
         ("none", || Box::new(AlwaysAdmit)),
@@ -58,34 +59,32 @@ fn bench_admission_policies(c: &mut Criterion) {
         ("edf", || Box::new(EdfResolver)),
     ];
     for (label, make) in policies {
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| black_box(deploy_burst(make(), 32)))
-        });
+        runner.bench(label, || black_box(deploy_burst(make(), 32)));
     }
-    group.finish();
 }
 
-fn bench_bridge_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/bridge-mode");
-    group.sample_size(10);
+fn bench_bridge_modes() {
+    let runner = Runner::new("ablation/bridge-mode").iterations(10);
     for (label, bridge) in [
         ("async-poll", BridgeMode::AsyncPoll),
-        ("sync-blocking", BridgeMode::SyncBlocking(SimDuration::from_micros(200))),
+        (
+            "sync-blocking",
+            BridgeMode::SyncBlocking(SimDuration::from_micros(200)),
+        ),
         ("disconnected", BridgeMode::Disconnected),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| {
-                let cfg = Table1Config {
-                    cycles: 1_000,
-                    bridge,
-                    ..Table1Config::paper(ImplKind::Hrc, LoadMode::Light, 11)
-                };
-                black_box(run_table1_config(&cfg).average())
-            })
+        runner.bench(label, || {
+            let cfg = Table1Config {
+                cycles: 1_000,
+                bridge,
+                ..Table1Config::paper(ImplKind::Hrc, LoadMode::Light, 11)
+            };
+            black_box(run_table1_config(&cfg).average())
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_admission_policies, bench_bridge_modes);
-criterion_main!(benches);
+fn main() {
+    bench_admission_policies();
+    bench_bridge_modes();
+}

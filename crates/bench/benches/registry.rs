@@ -7,7 +7,7 @@
 //! motivated that design: lookup latency as the registry grows, and filter
 //! evaluation cost by filter complexity.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::microbench::Runner;
 use osgi::ldap::{Filter, Properties};
 use osgi::registry::ServiceRegistry;
 use std::hint::black_box;
@@ -26,20 +26,19 @@ fn populate(n: usize) -> ServiceRegistry {
     reg
 }
 
-fn bench_lookup_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("registry/find-by-name");
+fn bench_lookup_scaling() {
+    let runner = Runner::new("registry/find-by-name").iterations(50);
     for n in [10usize, 100, 1_000] {
         let reg = populate(n);
         let filter = Filter::parse(&format!("(drt.name=comp{:04})", n / 2)).unwrap();
-        group.bench_function(BenchmarkId::from_parameter(n), |b| {
-            b.iter(|| black_box(reg.find("drt.management", Some(black_box(&filter)))).len())
+        runner.bench(&n.to_string(), || {
+            black_box(reg.find("drt.management", Some(black_box(&filter)))).len()
         });
     }
-    group.finish();
 }
 
-fn bench_filter_complexity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("registry/filter-eval");
+fn bench_filter_complexity() {
+    let runner = Runner::new("registry/filter-eval").iterations(50);
     let props = Properties::new()
         .with("drt.name", "calc")
         .with("drt.cpu", 0)
@@ -55,28 +54,23 @@ fn bench_filter_complexity(c: &mut Criterion) {
         ),
     ] {
         let filter = Filter::parse(text).unwrap();
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(filter.matches(black_box(&props))))
-        });
+        runner.bench(label, || black_box(filter.matches(black_box(&props))));
     }
-    group.finish();
 }
 
-fn bench_filter_parse(c: &mut Criterion) {
-    c.bench_function("registry/filter-parse", |b| {
-        b.iter(|| {
+fn bench_filter_parse() {
+    Runner::new("registry")
+        .iterations(50)
+        .bench("filter-parse", || {
             Filter::parse(black_box(
                 "(&(objectclass=drt.resolver)(|(policy=rm)(policy=edf))(!(disabled=true)))",
             ))
             .unwrap()
-        })
-    });
+        });
 }
 
-criterion_group!(
-    benches,
-    bench_lookup_scaling,
-    bench_filter_complexity,
-    bench_filter_parse
-);
-criterion_main!(benches);
+fn main() {
+    bench_lookup_scaling();
+    bench_filter_complexity();
+    bench_filter_parse();
+}

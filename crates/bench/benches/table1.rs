@@ -1,34 +1,27 @@
-//! Criterion wrapper around the Table 1 cells: wall-clock cost of
-//! simulating each configuration (shortened runs; the full-scale table is
-//! produced by the `table1` binary).
+//! Timing wrapper around the Table 1 cells: wall-clock cost of simulating
+//! each configuration (shortened runs; the full-scale table is produced by
+//! the `table1` binary).
 
+use bench::microbench::Runner;
 use bench::{run_table1_config, ImplKind, Table1Config};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtos::latency::LoadMode;
 use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
+fn main() {
+    let runner = Runner::new("table1").iterations(10);
     for (kind, load) in [
         (ImplKind::PureRtai, LoadMode::Light),
         (ImplKind::Hrc, LoadMode::Light),
         (ImplKind::PureRtai, LoadMode::Stress),
         (ImplKind::Hrc, LoadMode::Stress),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(format!("{kind}-{load}")), |b| {
-            b.iter(|| {
-                let cfg = Table1Config {
-                    cycles: 1_000,
-                    ..Table1Config::paper(kind, load, 42)
-                };
-                let stats = run_table1_config(black_box(&cfg));
-                black_box(stats.average())
-            })
+        runner.bench(&format!("{kind}-{load}"), || {
+            let cfg = Table1Config {
+                cycles: 1_000,
+                ..Table1Config::paper(kind, load, 42)
+            };
+            let stats = run_table1_config(black_box(&cfg));
+            black_box(stats.average())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Descriptor parse throughput: the deployment-time cost of reading the
 //! component meta-data (paper Figure 2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::microbench::Runner;
 use drcom::descriptor::ComponentDescriptor;
 use drcom::xml;
 use std::hint::black_box;
@@ -34,21 +34,16 @@ fn big_descriptor(ports: usize) -> String {
     xml
 }
 
-fn bench_xml_parse(c: &mut Criterion) {
-    c.bench_function("xml/parse-camera", |b| {
-        b.iter(|| xml::parse(black_box(CAMERA_XML)).unwrap())
+fn main() {
+    let runner = Runner::new("xml").iterations(50);
+    runner.bench("parse-camera", || {
+        xml::parse(black_box(CAMERA_XML)).unwrap()
     });
-}
-
-fn bench_descriptor_parse(c: &mut Criterion) {
-    c.bench_function("xml/descriptor-camera", |b| {
-        b.iter(|| ComponentDescriptor::parse_xml(black_box(CAMERA_XML)).unwrap())
+    runner.bench("descriptor-camera", || {
+        ComponentDescriptor::parse_xml(black_box(CAMERA_XML)).unwrap()
     });
     let big = big_descriptor(64);
-    c.bench_function("xml/descriptor-64-ports", |b| {
-        b.iter(|| ComponentDescriptor::parse_xml(black_box(&big)).unwrap())
+    runner.bench("descriptor-64-ports", || {
+        ComponentDescriptor::parse_xml(black_box(&big)).unwrap()
     });
 }
-
-criterion_group!(benches, bench_xml_parse, bench_descriptor_parse);
-criterion_main!(benches);

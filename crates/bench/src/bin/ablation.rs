@@ -14,14 +14,18 @@
 use drcom::drcr::ComponentProvider;
 use drcom::hybrid::BridgeMode;
 use drcom::prelude::*;
-use drcom::resolve::{AlwaysAdmit, EdfResolver, RmBoundResolver, ResolvingService, UtilizationResolver};
+use drcom::resolve::{
+    AlwaysAdmit, EdfResolver, ResolvingService, RmBoundResolver, UtilizationResolver,
+};
 use rtos::kernel::KernelConfig;
 use rtos::latency::TimerJitterModel;
 use rtos::time::SimDuration;
 
 fn admission_ablation() {
     println!("== Ablation A: admission policy under an overload burst ==");
-    println!("16 components, each periodic 100 Hz claiming 12% CPU; real demand matches the claim.");
+    println!(
+        "16 components, each periodic 100 Hz claiming 12% CPU; real demand matches the claim."
+    );
     println!(
         "{:<14} {:>9} {:>10} {:>10} {:>12}",
         "policy", "admitted", "overruns", "misses", "cpu-reserved"
@@ -29,7 +33,10 @@ fn admission_ablation() {
     type ResolverFactory = Box<dyn Fn() -> Box<dyn ResolvingService>>;
     let policies: Vec<(&str, ResolverFactory)> = vec![
         ("none", Box::new(|| Box::new(AlwaysAdmit))),
-        ("utilization", Box::new(|| Box::new(UtilizationResolver::default()))),
+        (
+            "utilization",
+            Box::new(|| Box::new(UtilizationResolver::default())),
+        ),
         ("rm-bound", Box::new(|| Box::new(RmBoundResolver))),
         ("edf", Box::new(|| Box::new(EdfResolver))),
     ];

@@ -93,8 +93,15 @@ fn main() {
         println!("  {t}");
     }
 
-    println!("\n=== DRCR decision log ===");
-    for d in rt.drcr().decisions() {
-        println!("  {d}");
+    println!("\n=== DRCR event log ===");
+    for e in rt.drcr().events().iter() {
+        println!("  [{:>12} ns] {}", e.time.as_nanos(), e.event);
     }
+
+    println!("\n=== metrics (text) ===");
+    let report = rt.metrics_report();
+    print!("{}", report.to_text());
+
+    println!("\n=== metrics (json-lines) ===");
+    print!("{}", report.to_json_lines());
 }

@@ -4,6 +4,7 @@
 //! Defaults: 20000 cycles (the paper's scale), seed 42.
 
 use bench::{format_table1, run_table1, PAPER_TABLE1};
+use drcom::obs::MetricsRegistry;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -17,7 +18,10 @@ fn main() {
         .unwrap_or(42);
 
     println!("Table 1 — Latency Test (light & stress mode)");
-    println!("{} cycles at 1000 Hz, seed {seed}; all values in nanoseconds\n", cycles);
+    println!(
+        "{} cycles at 1000 Hz, seed {seed}; all values in nanoseconds\n",
+        cycles
+    );
 
     println!("== Reproduced (this implementation) ==");
     let rows = run_table1(cycles, seed);
@@ -57,11 +61,46 @@ fn main() {
         "Latency bounded within ~30 us in all modes -> {}",
         verdict(bound_ok)
     );
-    let stress_shape = hrc_stress.average() < -15_000.0 && hrc_stress.avedev() < pure_light.avedev();
+    let stress_shape =
+        hrc_stress.average() < -15_000.0 && hrc_stress.avedev() < pure_light.avedev();
     println!(
         "Stress mode: mean shifts early (~-21 us) while deviation collapses -> {}",
         verdict(stress_shape)
     );
+
+    // Machine-readable summary: deterministic for a given (cycles, seed),
+    // byte-identical across runs.
+    let mut metrics = MetricsRegistry::new();
+    metrics.count("table1.cycles", cycles);
+    metrics.count("table1.seed", seed);
+    for row in &rows {
+        let slug: String = row
+            .label
+            .chars()
+            .filter_map(|c| match c {
+                'A'..='Z' => Some(c.to_ascii_lowercase()),
+                'a'..='z' | '0'..='9' => Some(c),
+                ' ' => Some('_'),
+                _ => None,
+            })
+            .collect();
+        metrics.count(&format!("table1.{slug}.samples"), row.stats.count() as u64);
+        metrics.gauge(&format!("table1.{slug}.avg_ns"), row.stats.average());
+        metrics.gauge(&format!("table1.{slug}.avedev_ns"), row.stats.avedev());
+        metrics.gauge(
+            &format!("table1.{slug}.min_ns"),
+            row.stats.min().unwrap_or(0) as f64,
+        );
+        metrics.gauge(
+            &format!("table1.{slug}.max_ns"),
+            row.stats.max().unwrap_or(0) as f64,
+        );
+    }
+    let report = metrics.snapshot();
+    println!("\n=== metrics (text) ===");
+    print!("{}", report.to_text());
+    println!("\n=== metrics (json-lines) ===");
+    print!("{}", report.to_json_lines());
 }
 
 fn verdict(ok: bool) -> &'static str {

@@ -6,11 +6,13 @@
 //!   paper's published numbers.
 //! * `cargo run -p bench --bin dynamicity` — replays the §4.3 adaptation
 //!   scenario and prints the DRCR's decision log.
-//! * `cargo bench -p bench` — Criterion benches: the Table 1 cells, service
-//!   registry and LDAP throughput, DRCR resolve-loop scalability, XML
-//!   descriptor parsing, and the admission/bridge ablations.
+//! * `cargo bench -p bench` — timing benches (driven by the in-repo
+//!   [`microbench`] loop): the Table 1 cells, service registry and LDAP
+//!   throughput, DRCR resolve-loop scalability, XML descriptor parsing,
+//!   and the admission/bridge ablations.
 
 pub mod harness;
+pub mod microbench;
 
 pub use harness::{
     format_table1, run_table1, run_table1_config, ImplKind, Table1Config, Table1Row, PAPER_TABLE1,

@@ -1,0 +1,96 @@
+//! Minimal wall-clock timing harness for the `benches/` targets.
+//!
+//! The offline build carries no external benchmarking framework, so the
+//! `[[bench]]` targets (all `harness = false`) drive this loop instead: a
+//! warmup pass, then a fixed number of timed iterations, reported as
+//! min/median/mean per-iteration time. Intended for relative comparisons
+//! between configurations, not absolute measurement.
+
+use std::time::{Duration, Instant};
+
+/// Runs and reports a group of named timing cases.
+pub struct Runner {
+    group: String,
+    warmup: u32,
+    iterations: u32,
+}
+
+impl Runner {
+    /// A runner printing under the given group label.
+    pub fn new(group: &str) -> Self {
+        Runner {
+            group: group.to_string(),
+            warmup: 3,
+            iterations: 20,
+        }
+    }
+
+    /// Overrides the number of timed iterations (default 20).
+    pub fn iterations(mut self, n: u32) -> Self {
+        self.iterations = n.max(1);
+        self
+    }
+
+    /// Times `f`, preventing the result from being optimized away, and
+    /// prints one line: `group/label  min .. median .. mean`.
+    pub fn bench<T>(&self, label: &str, mut f: impl FnMut() -> T) {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.iterations as usize);
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            samples.push(start.elapsed());
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        println!(
+            "{}/{label}: min {} | median {} | mean {} ({} iters)",
+            self.group,
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            self.iterations,
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0u32;
+        Runner::new("test").iterations(5).bench("count", || {
+            calls += 1;
+            calls
+        });
+        // 3 warmup + 5 timed.
+        assert_eq!(calls, 8);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(50)).ends_with(" s"));
+    }
+}

@@ -19,6 +19,7 @@
 
 use crate::error::DrcrError;
 use crate::lifecycle::ComponentState;
+use crate::manage::ComponentControl;
 use crate::model::PropertyValue;
 use crate::runtime::DrtRuntime;
 use crate::view::SystemView;
@@ -266,8 +267,7 @@ impl AdaptationPolicy for GracefulDegradation {
                 .components
                 .iter()
                 .filter(|c| {
-                    c.cpu == self.cpu
-                        && ctx.current_mode_of(&c.name) != crate::model::BASE_MODE
+                    c.cpu == self.cpu && ctx.current_mode_of(&c.name) != crate::model::BASE_MODE
                 })
                 .collect();
             degraded.sort_by_key(|c| std::cmp::Reverse(ctx.importance_of(&c.name)));
@@ -425,12 +425,15 @@ mod tests {
     #[test]
     fn sheds_least_important_first() {
         let mut rt = runtime();
-        rt.install_component("a.crit", component("crit", 0.4, 10)).unwrap();
-        rt.install_component("a.mid", component("mid", 0.3, 5)).unwrap();
-        rt.install_component("a.low", component("low", 0.25, 1)).unwrap();
+        rt.install_component("a.crit", component("crit", 0.4, 10))
+            .unwrap();
+        rt.install_component("a.mid", component("mid", 0.3, 5))
+            .unwrap();
+        rt.install_component("a.low", component("low", 0.25, 1))
+            .unwrap();
         // Reserved: 0.95 > 0.8 watermark.
-        let mut mgr = AdaptationManager::new()
-            .with_policy(Box::new(LoadShedding::new(0, 0.3, 0.8)));
+        let mut mgr =
+            AdaptationManager::new().with_policy(Box::new(LoadShedding::new(0, 0.3, 0.8)));
         let applied = mgr.run_once(&mut rt).unwrap();
         assert_eq!(applied, vec![AdaptationCommand::Suspend("low".into())]);
         assert_eq!(rt.component_state("low"), Some(ComponentState::Suspended));
@@ -444,9 +447,10 @@ mod tests {
         let heavy = rt
             .install_component("a.heavy", component("heavy", 0.6, 10))
             .unwrap();
-        rt.install_component("a.low", component("low", 0.25, 1)).unwrap();
-        let mut mgr = AdaptationManager::new()
-            .with_policy(Box::new(LoadShedding::new(0, 0.5, 0.8)));
+        rt.install_component("a.low", component("low", 0.25, 1))
+            .unwrap();
+        let mut mgr =
+            AdaptationManager::new().with_policy(Box::new(LoadShedding::new(0, 0.5, 0.8)));
         mgr.run_once(&mut rt).unwrap();
         assert_eq!(rt.component_state("low"), Some(ComponentState::Suspended));
         // Heavy leaves; reserved drops to low's 0.25 (kept) < 0.5.
@@ -460,9 +464,10 @@ mod tests {
     #[test]
     fn steady_state_does_nothing() {
         let mut rt = runtime();
-        rt.install_component("a.mid", component("mid", 0.6, 5)).unwrap();
-        let mut mgr = AdaptationManager::new()
-            .with_policy(Box::new(LoadShedding::new(0, 0.3, 0.8)));
+        rt.install_component("a.mid", component("mid", 0.6, 5))
+            .unwrap();
+        let mut mgr =
+            AdaptationManager::new().with_policy(Box::new(LoadShedding::new(0, 0.3, 0.8)));
         assert!(mgr.run_once(&mut rt).unwrap().is_empty());
     }
 
@@ -489,7 +494,8 @@ mod tests {
     #[test]
     fn parametric_adaptation_rides_the_async_bridge() {
         let mut rt = runtime();
-        rt.install_component("a.mid", component("mid", 0.2, 5)).unwrap();
+        rt.install_component("a.mid", component("mid", 0.2, 5))
+            .unwrap();
         let mut mgr = AdaptationManager::new().with_policy(Box::new(Retune));
         let applied = mgr.run_once(&mut rt).unwrap();
         assert_eq!(applied.len(), 1);
@@ -526,11 +532,13 @@ mod tests {
     #[test]
     fn degradation_downgrades_instead_of_suspending() {
         let mut rt = runtime();
-        rt.install_component("a.crit", moded("crit", 0.5, 0.1, 10)).unwrap();
-        rt.install_component("a.low", moded("low", 0.45, 0.05, 1)).unwrap();
+        rt.install_component("a.crit", moded("crit", 0.5, 0.1, 10))
+            .unwrap();
+        rt.install_component("a.low", moded("low", 0.45, 0.05, 1))
+            .unwrap();
         // 0.95 > 0.8: degrade the least important.
-        let mut mgr = AdaptationManager::new()
-            .with_policy(Box::new(GracefulDegradation::new(0, 0.3, 0.8)));
+        let mut mgr =
+            AdaptationManager::new().with_policy(Box::new(GracefulDegradation::new(0, 0.3, 0.8)));
         let applied = mgr.run_once(&mut rt).unwrap();
         assert_eq!(
             applied,
@@ -553,9 +561,10 @@ mod tests {
         let crit = rt
             .install_component("a.crit", moded("crit", 0.5, 0.1, 10))
             .unwrap();
-        rt.install_component("a.low", moded("low", 0.45, 0.05, 1)).unwrap();
-        let mut mgr = AdaptationManager::new()
-            .with_policy(Box::new(GracefulDegradation::new(0, 0.3, 0.8)));
+        rt.install_component("a.low", moded("low", 0.45, 0.05, 1))
+            .unwrap();
+        let mut mgr =
+            AdaptationManager::new().with_policy(Box::new(GracefulDegradation::new(0, 0.3, 0.8)));
         mgr.run_once(&mut rt).unwrap();
         assert_eq!(rt.drcr().current_mode("low").unwrap(), "cheap");
         // The heavy one leaves: pressure 0.05 < 0.3 -> restore.
@@ -568,7 +577,10 @@ mod tests {
                 mode: crate::model::BASE_MODE.into()
             }]
         );
-        assert_eq!(rt.drcr().current_mode("low").unwrap(), crate::model::BASE_MODE);
+        assert_eq!(
+            rt.drcr().current_mode("low").unwrap(),
+            crate::model::BASE_MODE
+        );
         assert_eq!(rt.drcr().ledger().reservation("low"), Some((0, 0.45)));
     }
 }

@@ -42,7 +42,11 @@ pub struct Connection {
 
 impl fmt::Display for Connection {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{} -> {}.{}", self.from, self.port, self.to, self.port)
+        write!(
+            f,
+            "{}.{} -> {}.{}",
+            self.from, self.port, self.to, self.port
+        )
     }
 }
 
@@ -267,7 +271,10 @@ impl Assembly {
         let mut errors = Vec::new();
         let mut by_name: BTreeMap<&str, &ComponentDescriptor> = BTreeMap::new();
         for (name, provider) in &self.members {
-            if by_name.insert(name.as_str(), provider.descriptor()).is_some() {
+            if by_name
+                .insert(name.as_str(), provider.descriptor())
+                .is_some()
+            {
                 errors.push(AdlError::DuplicateMember(name.clone()));
             }
         }
@@ -503,8 +510,7 @@ mod tests {
 
     #[test]
     fn valid_assembly_deploys_atomically() {
-        let mut rt =
-            DrtRuntime::new(KernelConfig::new(5).with_timer(TimerJitterModel::ideal()));
+        let mut rt = DrtRuntime::new(KernelConfig::new(5).with_timer(TimerJitterModel::ideal()));
         let assembly = Assembly::new("pipeline")
             .member(source("src", "chan"))
             .member(sink("snk", "chan"))
@@ -531,7 +537,9 @@ mod tests {
         let errors = assembly.validate().unwrap_err();
         assert!(matches!(errors[0], AdlError::UnboundInport { .. }));
         // But declaring it external passes.
-        let assembly = Assembly::new("ok").member(sink("snk", "chan")).external("chan");
+        let assembly = Assembly::new("ok")
+            .member(sink("snk", "chan"))
+            .external("chan");
         assembly.validate().unwrap();
     }
 
@@ -543,9 +551,9 @@ mod tests {
             .connect("ghost", "chan", "snk")
             .connect("src", "nope", "snk");
         let errors = assembly.validate().unwrap_err();
-        assert!(errors
-            .iter()
-            .any(|e| matches!(e, AdlError::UnknownComponent { component, .. } if component == "ghost")));
+        assert!(errors.iter().any(
+            |e| matches!(e, AdlError::UnknownComponent { component, .. } if component == "ghost")
+        ));
         assert!(errors
             .iter()
             .any(|e| matches!(e, AdlError::UnknownPort { port, .. } if port == "nope")));
@@ -579,18 +587,24 @@ mod tests {
             .member(source("src", "chan2"))
             .external("ghost");
         let errors = assembly.validate().unwrap_err();
-        assert!(errors.iter().any(|e| matches!(e, AdlError::DuplicateMember(_))));
-        assert!(errors.iter().any(|e| matches!(e, AdlError::UselessExternal(_))));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, AdlError::DuplicateMember(_))));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, AdlError::UselessExternal(_))));
     }
 
     #[test]
     fn failed_deploy_rolls_back() {
-        let mut rt =
-            DrtRuntime::new(KernelConfig::new(6).with_timer(TimerJitterModel::ideal()));
+        let mut rt = DrtRuntime::new(KernelConfig::new(6).with_timer(TimerJitterModel::ideal()));
         // Occupy the bundle name the second member will want.
         rt.framework_mut()
             .install(
-                osgi::manifest::BundleManifest::new("roll.snk", osgi::version::Version::new(1, 0, 0)),
+                osgi::manifest::BundleManifest::new(
+                    "roll.snk",
+                    osgi::version::Version::new(1, 0, 0),
+                ),
                 Box::new(osgi::framework::NoopActivator),
             )
             .unwrap();
@@ -632,14 +646,15 @@ mod tests {
 
     #[test]
     fn invalid_assembly_installs_nothing() {
-        let mut rt =
-            DrtRuntime::new(KernelConfig::new(7).with_timer(TimerJitterModel::ideal()));
+        let mut rt = DrtRuntime::new(KernelConfig::new(7).with_timer(TimerJitterModel::ideal()));
         let err = Assembly::new("broken")
             .member(sink("snk", "chan"))
             .deploy(&mut rt)
             .unwrap_err();
         assert!(matches!(err, DeployError::Invalid(_)));
-        assert!(err.to_string().contains("neither connected nor declared external"));
+        assert!(err
+            .to_string()
+            .contains("neither connected nor declared external"));
         assert!(rt.drcr().component_names().is_empty());
     }
 }

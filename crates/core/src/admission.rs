@@ -66,7 +66,8 @@ impl AdmissionLedger {
         if self.reservations.contains_key(component) {
             return Err(LedgerError::AlreadyReserved(component.to_string()));
         }
-        self.reservations.insert(component.to_string(), (cpu, usage));
+        self.reservations
+            .insert(component.to_string(), (cpu, usage));
         Ok(())
     }
 

@@ -22,7 +22,9 @@
 //! time.
 
 use crate::error::DescriptorError;
-use crate::model::{CpuUsage, OperatingMode, PortDirection, PortInterface, PortSpec, PropertyValue, TaskSpec};
+use crate::model::{
+    CpuUsage, OperatingMode, PortDirection, PortInterface, PortSpec, PropertyValue, TaskSpec,
+};
 use crate::xml::{self, Element};
 use rtos::shm::DataType;
 use rtos::task::{ObjName, Priority};
@@ -179,7 +181,9 @@ impl ComponentDescriptor {
         let mut modes = Vec::new();
         for mode in root.children_named("mode") {
             let mname = require_attr(mode, "name")?.to_string();
-            if mname == crate::model::BASE_MODE || modes.iter().any(|m: &OperatingMode| m.name == mname) {
+            if mname == crate::model::BASE_MODE
+                || modes.iter().any(|m: &OperatingMode| m.name == mname)
+            {
                 return Err(DescriptorError::Invalid(format!(
                     "duplicate or reserved mode name `{mname}`"
                 )));
@@ -310,7 +314,11 @@ impl ComponentDescriptor {
             "<drt:component name=\"{}\" desc=\"{}\" type=\"{}\" enabled=\"{}\" cpuusage=\"{}\">\n",
             self.name,
             escape_xml(&self.description),
-            if self.task.is_periodic() { "periodic" } else { "aperiodic" },
+            if self.task.is_periodic() {
+                "periodic"
+            } else {
+                "aperiodic"
+            },
             self.enabled,
             self.cpu_usage,
         ));
@@ -412,7 +420,10 @@ fn parse_task(root: &Element) -> Result<TaskSpec, DescriptorError> {
             }
             // The paper's Figure 2 spells the CPU attribute `runoncup`;
             // accept the obvious `runoncpu` too.
-            let cpu_raw = t.attr("runoncup").or_else(|| t.attr("runoncpu")).unwrap_or("0");
+            let cpu_raw = t
+                .attr("runoncup")
+                .or_else(|| t.attr("runoncpu"))
+                .unwrap_or("0");
             let cpu = parse_u32(t, "runoncup", cpu_raw)?;
             let prio_raw = require_attr(t, "priority")?;
             let prio = parse_u32(t, "priority", prio_raw)?;
@@ -432,7 +443,10 @@ fn parse_task(root: &Element) -> Result<TaskSpec, DescriptorError> {
         "aperiodic" => {
             let (cpu, prio) = match root.child_named("aperiodictask") {
                 Some(t) => {
-                    let cpu_raw = t.attr("runoncup").or_else(|| t.attr("runoncpu")).unwrap_or("0");
+                    let cpu_raw = t
+                        .attr("runoncup")
+                        .or_else(|| t.attr("runoncpu"))
+                        .unwrap_or("0");
                     let cpu = parse_u32(t, "runoncup", cpu_raw)?;
                     let prio_raw = t.attr("priority").unwrap_or("100");
                     (cpu, parse_u32(t, "priority", prio_raw)?)
@@ -641,11 +655,12 @@ impl DescriptorBuilder {
             parent: "component".into(),
             child: "periodictask",
         })?;
-        let cpu_usage = CpuUsage::new(self.cpu_usage).map_err(|reason| DescriptorError::BadValue {
-            element: "component".into(),
-            attribute: "cpuusage",
-            reason,
-        })?;
+        let cpu_usage =
+            CpuUsage::new(self.cpu_usage).map_err(|reason| DescriptorError::BadValue {
+                element: "component".into(),
+                attribute: "cpuusage",
+                reason,
+            })?;
         let mut seen: Vec<&ObjName> = Vec::new();
         for p in self.inports.iter().chain(self.outports.iter()) {
             if seen.contains(&&p.name) {
@@ -773,33 +788,60 @@ mod tests {
             <periodictask frequence="1" priority="1"/></drt:component>"#;
         assert!(matches!(
             ComponentDescriptor::parse_xml(xml),
-            Err(DescriptorError::MissingAttribute { attribute: "name", .. })
+            Err(DescriptorError::MissingAttribute {
+                attribute: "name",
+                ..
+            })
         ));
         // No implementation.
         let xml = r#"<drt:component name="x" type="periodic" cpuusage="0.1">
             <periodictask frequence="1" priority="1"/></drt:component>"#;
         assert!(matches!(
             ComponentDescriptor::parse_xml(xml),
-            Err(DescriptorError::MissingElement { child: "implementation", .. })
+            Err(DescriptorError::MissingElement {
+                child: "implementation",
+                ..
+            })
         ));
         // Periodic without periodictask.
         let xml = r#"<drt:component name="x" type="periodic" cpuusage="0.1">
             <implementation bincode="a.B"/></drt:component>"#;
         assert!(matches!(
             ComponentDescriptor::parse_xml(xml),
-            Err(DescriptorError::MissingElement { child: "periodictask", .. })
+            Err(DescriptorError::MissingElement {
+                child: "periodictask",
+                ..
+            })
         ));
     }
 
     #[test]
     fn bad_values_are_rejected() {
         for (xml, attr) in [
-            (base("").replace("cpuusage=\"0.2\"", "cpuusage=\"1.5\""), "cpuusage"),
-            (base("").replace("cpuusage=\"0.2\"", "cpuusage=\"abc\""), "cpuusage"),
-            (base("").replace("frequence=\"50\"", "frequence=\"0\""), "frequence"),
-            (base("").replace("priority=\"3\"", "priority=\"999\""), "priority"),
-            (base("").replace("type=\"periodic\"", "type=\"sporadic\""), "type"),
-            (base("").replace("name=\"x\"", "name=\"waytoolong\""), "name"),
+            (
+                base("").replace("cpuusage=\"0.2\"", "cpuusage=\"1.5\""),
+                "cpuusage",
+            ),
+            (
+                base("").replace("cpuusage=\"0.2\"", "cpuusage=\"abc\""),
+                "cpuusage",
+            ),
+            (
+                base("").replace("frequence=\"50\"", "frequence=\"0\""),
+                "frequence",
+            ),
+            (
+                base("").replace("priority=\"3\"", "priority=\"999\""),
+                "priority",
+            ),
+            (
+                base("").replace("type=\"periodic\"", "type=\"sporadic\""),
+                "type",
+            ),
+            (
+                base("").replace("name=\"x\"", "name=\"waytoolong\""),
+                "name",
+            ),
         ] {
             match ComponentDescriptor::parse_xml(&xml) {
                 Err(DescriptorError::BadValue { attribute, .. }) => {
@@ -823,12 +865,18 @@ mod tests {
         let zero = base(r#"<outport name="data" interface="RTAI.SHM" type="Byte" size="0"/>"#);
         assert!(matches!(
             ComponentDescriptor::parse_xml(&zero),
-            Err(DescriptorError::BadValue { attribute: "size", .. })
+            Err(DescriptorError::BadValue {
+                attribute: "size",
+                ..
+            })
         ));
         let badif = base(r#"<outport name="data" interface="RTAI.PIPE" type="Byte" size="4"/>"#);
         assert!(matches!(
             ComponentDescriptor::parse_xml(&badif),
-            Err(DescriptorError::BadValue { attribute: "interface", .. })
+            Err(DescriptorError::BadValue {
+                attribute: "interface",
+                ..
+            })
         ));
     }
 

@@ -25,14 +25,22 @@ use crate::descriptor::ComponentDescriptor;
 use crate::error::DrcrError;
 use crate::hybrid::{BridgeMode, Command, HybridRtBody, PortBinding, Reply, RtLogic};
 use crate::lifecycle::{ComponentState, Transition};
-use crate::manage::{ManagementHandle, ManagementReply, RequestToken, RtComponentManagement, MANAGEMENT_SERVICE};
+use crate::manage::{
+    ManagementHandle, ManagementReply, RequestToken, RtComponentManagement, MANAGEMENT_SERVICE,
+};
 use crate::model::{PortInterface, PropertyValue, TaskSpec};
-use crate::resolve::{Decision, ResolverHandle, ResolvingService, UtilizationResolver, RESOLVER_SERVICE};
+use crate::obs::{
+    BridgeEvent, DrcrEvent, EventSink, Histogram, MetricsRegistry, MetricsReport, Timestamped,
+    TraceRing, TraceSubscriber,
+};
+use crate::resolve::{
+    Decision, ResolverHandle, ResolvingService, UtilizationResolver, RESOLVER_SERVICE,
+};
 use crate::view::{ComponentInfo, SystemView};
 use crate::wiring::WiringGraph;
 use osgi::event::{BundleId, FrameworkEvent, ServiceEventKind};
 use osgi::framework::Framework;
-use osgi::ldap::{Properties, PropValue};
+use osgi::ldap::{PropValue, Properties};
 use osgi::registry::ServiceId;
 use rtos::kernel::Kernel;
 use rtos::task::{TaskConfig, TaskId};
@@ -49,8 +57,9 @@ pub const COMPONENT_SERVICE: &str = "drt.component";
 /// `drt.management` registrations.
 pub const PROP_COMPONENT_NAME: &str = "drt.name";
 
-/// Maximum retained decision-log entries; older entries are dropped.
-const MAX_DECISIONS: usize = 10_000;
+/// Capacity of the executive's event rings; older events are dropped
+/// (counted, and still delivered to live subscribers first).
+const EVENT_RING_CAPACITY: usize = 10_000;
 
 /// A deployable component: validated descriptor plus the factory producing
 /// its real-time logic.
@@ -135,7 +144,12 @@ pub struct Drcr {
     bridge: BridgeMode,
     enforce_budgets: bool,
     transitions: Vec<Transition>,
-    decisions: Vec<String>,
+    events: EventSink<DrcrEvent>,
+    bridge_events: EventSink<BridgeEvent>,
+    metrics: MetricsRegistry,
+    resolve_round: u64,
+    /// Tokened requests in flight: token -> (component, enqueue time ns).
+    pending_replies: HashMap<u32, (String, u64)>,
     next_chan: u32,
     next_token: u32,
     dirty: bool,
@@ -172,7 +186,11 @@ impl Drcr {
             bridge: BridgeMode::AsyncPoll,
             enforce_budgets: false,
             transitions: Vec::new(),
-            decisions: Vec::new(),
+            events: EventSink::new(EVENT_RING_CAPACITY),
+            bridge_events: EventSink::new(EVENT_RING_CAPACITY),
+            metrics: MetricsRegistry::new(),
+            resolve_round: 0,
+            pending_replies: HashMap::new(),
             next_chan: 0,
             next_token: 0,
             dirty: false,
@@ -221,9 +239,14 @@ impl Drcr {
         } else {
             ComponentState::Disabled
         };
-        self.record_transition(&name, ComponentState::Installed, initial, "descriptor registered");
+        self.record_transition(
+            &name,
+            ComponentState::Installed,
+            initial,
+            "descriptor registered",
+        );
         self.components.insert(
-            name,
+            name.clone(),
             ComponentRecord {
                 base_descriptor: descriptor.clone(),
                 descriptor,
@@ -239,6 +262,7 @@ impl Drcr {
                 reply_buffer: HashMap::new(),
             },
         );
+        self.note(DrcrEvent::Registered { component: name });
         self.dirty = true;
         Ok(())
     }
@@ -287,9 +311,71 @@ impl Drcr {
         &self.transitions
     }
 
-    /// The resolution decision log (admissions, rejections, cascades).
-    pub fn decisions(&self) -> &[String] {
-        &self.decisions
+    /// The typed executive event log (resolve rounds, admission verdicts,
+    /// wiring diagnoses, cascades, mode switches, rollbacks), newest-bounded.
+    pub fn events(&self) -> &TraceRing<DrcrEvent> {
+        self.events.ring()
+    }
+
+    /// The management-bridge event log (command enqueues, reply drains and
+    /// latencies).
+    pub fn bridge_events(&self) -> &TraceRing<BridgeEvent> {
+        self.bridge_events.ring()
+    }
+
+    /// Registers a live tap on executive events; it sees every event, even
+    /// ones later evicted from the bounded ring.
+    pub fn add_event_subscriber(&mut self, subscriber: Box<dyn TraceSubscriber<DrcrEvent>>) {
+        self.events.subscribe(subscriber);
+    }
+
+    /// Registers a live tap on bridge events.
+    pub fn add_bridge_subscriber(&mut self, subscriber: Box<dyn TraceSubscriber<BridgeEvent>>) {
+        self.bridge_events.subscribe(subscriber);
+    }
+
+    /// Executive events concerning one component.
+    pub fn events_for<'a>(
+        &'a self,
+        component: &'a str,
+    ) -> impl Iterator<Item = &'a Timestamped<DrcrEvent>> + 'a {
+        self.events
+            .iter()
+            .filter(move |e| e.event.component() == Some(component))
+    }
+
+    /// Admission verdicts only (both admissions and rejections), in order.
+    pub fn admission_verdicts(&self) -> impl Iterator<Item = &Timestamped<DrcrEvent>> {
+        self.events.iter().filter(|e| {
+            matches!(
+                e.event,
+                DrcrEvent::AdmissionVerdict { .. } | DrcrEvent::GroupAbandoned { .. }
+            )
+        })
+    }
+
+    /// Departure-cascade deactivations only, in order.
+    pub fn cascade_events(&self) -> impl Iterator<Item = &Timestamped<DrcrEvent>> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, DrcrEvent::CascadeDeactivation { .. }))
+    }
+
+    /// Compatibility shim for the old `decisions()` string log: renders the
+    /// retained executive events through their `Display` impls, which match
+    /// the legacy decision-log phrasing.
+    pub fn decisions_text(&self) -> Vec<String> {
+        self.events.iter().map(|e| e.event.to_string()).collect()
+    }
+
+    /// The executive's metrics registry (counters, gauges, histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A deterministic snapshot of the executive's metrics.
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.metrics.snapshot()
     }
 
     /// The admission ledger (reserved budgets).
@@ -397,9 +483,7 @@ impl Drcr {
         // rewrites, so lookup and substitution both run against the
         // pristine registered descriptor.
         let mode = rec.base_descriptor.mode(mode_name).ok_or_else(|| {
-            DrcrError::Management(format!(
-                "component `{name}` has no mode `{mode_name}`"
-            ))
+            DrcrError::Management(format!("component `{name}` has no mode `{mode_name}`"))
         })?;
         let was_running = rec.state.holds_admission();
         if was_running {
@@ -413,10 +497,13 @@ impl Drcr {
         let rec = self.components.get_mut(name).expect("present");
         rec.descriptor = rec.base_descriptor.with_mode(&mode);
         rec.current_mode = mode_name.to_string();
-        self.record_decision(format!(
-            "`{name}` contract re-written for mode `{mode_name}` (freq {} Hz, claim {:.3})",
-            mode.frequency_hz, mode.cpu_usage
-        ));
+        self.note(DrcrEvent::ModeSwitch {
+            component: name.to_string(),
+            mode: mode_name.to_string(),
+            frequency_hz: mode.frequency_hz,
+            cpu_usage: mode.cpu_usage,
+        });
+        self.metrics.count("drcr.mode_switches", 1);
         self.dirty = true;
         Ok(())
     }
@@ -441,10 +528,9 @@ impl Drcr {
                 (ServiceEventKind::Registered, true, _) => {
                     if let Some(provider) = fw.registry().get::<ComponentProvider>(e.service) {
                         let bundle = match e.properties.get(osgi::registry::SERVICE_BUNDLE) {
-                            Some(PropValue::Int(i)) => fw
-                                .bundles()
-                                .into_iter()
-                                .find(|b| b.raw() == *i as u64),
+                            Some(PropValue::Int(i)) => {
+                                fw.bundles().into_iter().find(|b| b.raw() == *i as u64)
+                            }
                             _ => None,
                         };
                         let result = self.register_component(
@@ -453,7 +539,9 @@ impl Drcr {
                             bundle,
                         );
                         if let Err(err) = result {
-                            self.record_decision(format!("registration refused: {err}"));
+                            self.note(DrcrEvent::RegistrationRefused {
+                                reason: err.to_string(),
+                            });
                         }
                     }
                 }
@@ -478,7 +566,14 @@ impl Drcr {
 
     /// Runs deactivation cascades and activation attempts to a fixpoint.
     fn resolve_all(&mut self, fw: &mut Framework) {
+        self.resolve_round += 1;
+        let round = self.resolve_round;
+        self.note(DrcrEvent::ResolveRoundStarted { round });
+        let mut activations: u32 = 0;
+        let mut deactivations: u32 = 0;
+        let mut sweeps: u64 = 0;
         loop {
+            sweeps += 1;
             let mut changed = false;
 
             // Deactivation sweep: running components whose functional
@@ -501,9 +596,7 @@ impl Drcr {
                         .map(|r| (&r.descriptor, r.state))
                         .collect();
                     let graph = WiringGraph::new(entries);
-                    graph
-                        .check_functional(&rec.descriptor, &[])
-                        .err()
+                    graph.check_functional(&rec.descriptor, &[]).err()
                 };
                 if let Some(missing) = missing {
                     let reason = missing
@@ -511,8 +604,13 @@ impl Drcr {
                         .map(|m| m.to_string())
                         .collect::<Vec<_>>()
                         .join("; ");
-                    self.record_decision(format!("cascade: deactivating `{name}`: {reason}"));
+                    self.note(DrcrEvent::CascadeDeactivation {
+                        component: name.clone(),
+                        reason: reason.clone(),
+                    });
+                    self.metrics.count("drcr.cascades", 1);
                     let _ = self.deactivate(&name, fw, ComponentState::Unsatisfied, &reason);
+                    deactivations += 1;
                     changed = true;
                 }
             }
@@ -526,32 +624,56 @@ impl Drcr {
                 .collect();
             for name in waiting {
                 match self.try_activate(&name, fw) {
-                    Ok(true) => changed = true,
-                    Ok(false) => {}
-                    Err(err) => {
-                        self.record_decision(format!("activation of `{name}` failed: {err}"))
+                    Ok(true) => {
+                        activations += 1;
+                        changed = true;
                     }
+                    Ok(false) => {}
+                    Err(err) => self.note(DrcrEvent::ActivationFailed {
+                        component: name.clone(),
+                        reason: err.to_string(),
+                    }),
                 }
             }
 
             // Cyclically dependent components cannot activate one at a time
             // (each waits for the other). When the strict sweep stalls, try
             // co-activating a mutually-consistent group.
-            if !changed && self.try_activate_group(fw) {
-                changed = true;
+            if !changed {
+                let group = self.try_activate_group(fw);
+                if group > 0 {
+                    activations += group;
+                    changed = true;
+                }
             }
 
             if !changed {
                 break;
             }
         }
+        self.note(DrcrEvent::ResolveRoundEnded {
+            round,
+            activations,
+            deactivations,
+        });
+        self.metrics.count("drcr.resolve.rounds", 1);
+        self.metrics
+            .observe("drcr.resolve.sweeps", sweeps, Histogram::small_counts);
+        if deactivations > 0 {
+            self.metrics.observe(
+                "drcr.cascade.width",
+                deactivations as u64,
+                Histogram::small_counts,
+            );
+        }
+        self.update_admission_gauges();
     }
 
     /// Optimistic group activation: finds the largest set of unsatisfied
     /// components that are functionally consistent *assuming each other
     /// active* (greatest fixpoint), admission-checks them, and activates
-    /// the whole group. Returns `true` if anything activated.
-    fn try_activate_group(&mut self, fw: &mut Framework) -> bool {
+    /// the whole group. Returns the number of components activated.
+    fn try_activate_group(&mut self, fw: &mut Framework) -> u32 {
         let mut assume: Vec<String> = self
             .components
             .iter()
@@ -559,7 +681,7 @@ impl Drcr {
             .map(|(n, _)| n.clone())
             .collect();
         if assume.len() < 2 {
-            return false;
+            return 0;
         }
         // Strike out members whose constraints fail even under the
         // assumption, until stable.
@@ -586,7 +708,7 @@ impl Drcr {
         }
         // A group of one would have activated in the strict sweep already.
         if assume.len() < 2 {
-            return false;
+            return 0;
         }
         // Admission for every member, against the view as members join.
         for name in &assume {
@@ -601,29 +723,37 @@ impl Drcr {
             };
             let view = self.system_view();
             if let Decision::Reject(reason) = self.internal.admit(&candidate, &view) {
-                self.record_decision(format!(
-                    "group activation abandoned: `{name}` rejected by internal resolver: {reason}"
-                ));
-                return false;
+                let resolver = self.internal.name().to_string();
+                self.note(DrcrEvent::GroupAbandoned {
+                    component: name.clone(),
+                    resolver,
+                    internal: true,
+                    reason,
+                });
+                self.metrics.count("drcr.admission.rejections", 1);
+                return 0;
             }
             for service_ref in fw.registry().find(RESOLVER_SERVICE, None) {
                 let Some(handle) = fw.registry().get::<ResolverHandle>(service_ref.id()) else {
                     continue;
                 };
                 if let Decision::Reject(reason) = handle.0.admit(&candidate, &view) {
-                    self.record_decision(format!(
-                        "group activation abandoned: `{name}` rejected by customized resolver ({}): {reason}",
-                        handle.0.name()
-                    ));
-                    return false;
+                    let resolver = handle.0.name().to_string();
+                    self.note(DrcrEvent::GroupAbandoned {
+                        component: name.clone(),
+                        resolver,
+                        internal: false,
+                        reason,
+                    });
+                    self.metrics.count("drcr.admission.rejections", 1);
+                    return 0;
                 }
             }
         }
-        self.record_decision(format!(
-            "co-activating dependency cycle: {}",
-            assume.join(", ")
-        ));
-        let mut any = false;
+        self.note(DrcrEvent::GroupCoActivation {
+            members: assume.clone(),
+        });
+        let mut activated: u32 = 0;
         for name in assume.clone() {
             let providers = {
                 let rec = &self.components[&name];
@@ -639,13 +769,14 @@ impl Drcr {
                 }
             };
             match self.activate(&name, fw, providers) {
-                Ok(()) => any = true,
-                Err(err) => {
-                    self.record_decision(format!("group member `{name}` failed to activate: {err}"))
-                }
+                Ok(()) => activated += 1,
+                Err(err) => self.note(DrcrEvent::ActivationFailed {
+                    component: name.clone(),
+                    reason: format!("group member failed to activate: {err}"),
+                }),
             }
         }
-        any
+        activated
     }
 
     /// Attempts one activation; `Ok(true)` when the component went active.
@@ -665,14 +796,14 @@ impl Drcr {
             match graph.check_functional(&rec.descriptor, &[]) {
                 Ok(p) => p,
                 Err(missing) => {
-                    self.record_decision(format!(
-                        "`{name}` stays unsatisfied: {}",
-                        missing
+                    self.note(DrcrEvent::WiringUnsatisfied {
+                        component: name.to_string(),
+                        missing: missing
                             .iter()
                             .map(|m| m.to_string())
                             .collect::<Vec<_>>()
-                            .join("; ")
-                    ));
+                            .join("; "),
+                    });
                     return Ok(false);
                 }
             }
@@ -689,22 +820,42 @@ impl Drcr {
             )
         };
         let view = self.system_view();
-        if let Decision::Reject(reason) = self.internal.admit(&candidate, &view) {
-            self.record_decision(format!(
-                "`{name}` rejected by internal resolver ({}): {reason}",
-                self.internal.name()
-            ));
+        let verdict = self.internal.admit(&candidate, &view);
+        let resolver = self.internal.name().to_string();
+        let rejected = matches!(verdict, Decision::Reject(_));
+        self.note(DrcrEvent::AdmissionVerdict {
+            component: name.to_string(),
+            resolver,
+            internal: true,
+            admitted: !rejected,
+            reason: match verdict {
+                Decision::Reject(reason) => reason,
+                _ => String::new(),
+            },
+        });
+        if rejected {
+            self.metrics.count("drcr.admission.rejections", 1);
             return Ok(false);
         }
         for service_ref in fw.registry().find(RESOLVER_SERVICE, None) {
             let Some(handle) = fw.registry().get::<ResolverHandle>(service_ref.id()) else {
                 continue;
             };
-            if let Decision::Reject(reason) = handle.0.admit(&candidate, &view) {
-                self.record_decision(format!(
-                    "`{name}` rejected by customized resolver ({}): {reason}",
-                    handle.0.name()
-                ));
+            let verdict = handle.0.admit(&candidate, &view);
+            let resolver = handle.0.name().to_string();
+            let rejected = matches!(verdict, Decision::Reject(_));
+            self.note(DrcrEvent::AdmissionVerdict {
+                component: name.to_string(),
+                resolver,
+                internal: false,
+                admitted: !rejected,
+                reason: match verdict {
+                    Decision::Reject(reason) => reason,
+                    _ => String::new(),
+                },
+            });
+            if rejected {
+                self.metrics.count("drcr.admission.rejections", 1);
                 return Ok(false);
             }
         }
@@ -740,6 +891,7 @@ impl Drcr {
         let mut created: Vec<Created> = Vec::new();
         macro_rules! rollback {
             ($kernel:expr, $err:expr) => {{
+                let err: DrcrError = $err.into();
                 for c in created.into_iter().rev() {
                     match c {
                         Created::Shm(n) => {
@@ -753,7 +905,16 @@ impl Drcr {
                         }
                     }
                 }
-                return Err($err.into());
+                let now = $kernel.now();
+                self.events.emit(
+                    now,
+                    DrcrEvent::Rollback {
+                        component: name.to_string(),
+                        reason: err.to_string(),
+                    },
+                );
+                self.metrics.count("drcr.rollbacks", 1);
+                return Err(err);
             }};
         }
 
@@ -804,8 +965,7 @@ impl Drcr {
                     let candidate = self.next_chan % 100_000;
                     let c = format!("c{candidate:05}");
                     let r = format!("r{candidate:05}");
-                    if kernel.mailboxes().get(&c).is_none()
-                        && kernel.mailboxes().get(&r).is_none()
+                    if kernel.mailboxes().get(&c).is_none() && kernel.mailboxes().get(&r).is_none()
                     {
                         chosen = Some((c, r));
                         break;
@@ -863,10 +1023,9 @@ impl Drcr {
         };
         if self.enforce_budgets {
             if let Some(period) = descriptor.task.period() {
-                let budget_ns = (period.as_nanos() as f64
-                    * descriptor.cpu_usage.fraction())
-                .round()
-                .max(1.0) as u64;
+                let budget_ns = (period.as_nanos() as f64 * descriptor.cpu_usage.fraction())
+                    .round()
+                    .max(1.0) as u64;
                 cfg = cfg.with_exec_budget(rtos::time::SimDuration::from_nanos(budget_ns));
             }
         }
@@ -918,8 +1077,17 @@ impl Drcr {
         rec.reply_mbx = reply_mbx;
         rec.providers = providers;
         rec.state = ComponentState::Active;
-        self.record_transition(name, from_state, ComponentState::Active, "constraints satisfied; admitted");
-        self.record_decision(format!("activated `{name}`"));
+        self.record_transition(
+            name,
+            from_state,
+            ComponentState::Active,
+            "constraints satisfied; admitted",
+        );
+        self.note(DrcrEvent::Activated {
+            component: name.to_string(),
+        });
+        self.metrics.count("drcr.activations", 1);
+        self.update_admission_gauges();
         Ok(())
     }
 
@@ -992,6 +1160,13 @@ impl Drcr {
         rec.reply_buffer.clear();
         rec.state = to;
         self.record_transition(name, from_state, to, reason);
+        self.note(DrcrEvent::Deactivated {
+            component: name.to_string(),
+            to,
+            reason: reason.to_string(),
+        });
+        self.metrics.count("drcr.deactivations", 1);
+        self.update_admission_gauges();
         self.dirty = true;
         Ok(())
     }
@@ -1105,7 +1280,12 @@ impl Drcr {
             });
         }
         self.components.get_mut(name).expect("present").state = ComponentState::Unsatisfied;
-        self.record_transition(name, state, ComponentState::Unsatisfied, "management enable");
+        self.record_transition(
+            name,
+            state,
+            ComponentState::Unsatisfied,
+            "management enable",
+        );
         self.dirty = true;
         Ok(())
     }
@@ -1121,17 +1301,44 @@ impl Drcr {
                 rec.state
             )));
         };
-        let queued = self
-            .kernel
-            .borrow_mut()
-            .mailboxes_mut()
-            .send(&cmd_mbx, &command.encode())
-            .map_err(|e| DrcrError::Management(e.to_string()))?;
+        let token = match &command {
+            Command::SetProperty { .. } => None,
+            Command::GetProperty { token, .. }
+            | Command::QueryStatus { token }
+            | Command::Ping { token } => Some(*token),
+        };
+        let (queued, depth, now) = {
+            let mut kernel = self.kernel.borrow_mut();
+            let queued = kernel
+                .mailboxes_mut()
+                .send(&cmd_mbx, &command.encode())
+                .map_err(|e| DrcrError::Management(e.to_string()))?;
+            let depth = kernel.mailboxes().get(&cmd_mbx).map_or(0, |m| m.len());
+            (queued, depth, kernel.now())
+        };
         if !queued {
             return Err(DrcrError::Management(format!(
                 "command mailbox of `{name}` is full"
             )));
         }
+        if let Some(token) = token {
+            self.pending_replies
+                .insert(token, (name.to_string(), now.as_nanos()));
+        }
+        self.bridge_events.emit(
+            now,
+            BridgeEvent::CommandEnqueued {
+                component: name.to_string(),
+                token,
+                depth,
+            },
+        );
+        self.metrics.count("bridge.commands", 1);
+        self.metrics.observe(
+            "bridge.cmd_mbx.depth",
+            depth as u64,
+            Histogram::small_counts,
+        );
         Ok(())
     }
 
@@ -1147,6 +1354,7 @@ impl Drcr {
         let Some(reply_mbx) = rec.reply_mbx.clone() else {
             return Ok(());
         };
+        let mut drained: u32 = 0;
         loop {
             let msg = self
                 .kernel
@@ -1164,23 +1372,67 @@ impl Drcr {
                 Reply::Status { cycles, at_ns, .. } => ManagementReply::Status { cycles, at_ns },
                 Reply::Pong { .. } => ManagementReply::Pong,
             };
+            drained += 1;
+            let now = self.kernel.borrow().now();
+            if let Some((component, sent_ns)) = self.pending_replies.remove(&token) {
+                let latency_ns = now.as_nanos().saturating_sub(sent_ns);
+                self.bridge_events.emit(
+                    now,
+                    BridgeEvent::ReplyLatency {
+                        component,
+                        token,
+                        latency_ns,
+                    },
+                );
+                self.metrics
+                    .observe("bridge.reply_latency_ns", latency_ns, Histogram::latency_ns);
+            }
             self.components
                 .get_mut(name)
                 .expect("checked above")
                 .reply_buffer
                 .insert(token, decoded);
         }
+        if drained > 0 {
+            self.metrics.count("bridge.replies", drained as u64);
+            self.note_bridge(BridgeEvent::RepliesDrained {
+                component: name.to_string(),
+                count: drained,
+            });
+        }
         Ok(())
     }
 
-    fn record_decision(&mut self, entry: String) {
-        if self.decisions.len() == MAX_DECISIONS {
-            self.decisions.remove(0);
-        }
-        self.decisions.push(entry);
+    /// Emits an executive event stamped with current virtual time. Must not
+    /// be called while the kernel is borrowed (use the sink directly there).
+    fn note(&mut self, event: DrcrEvent) {
+        let now = self.kernel.borrow().now();
+        self.events.emit(now, event);
     }
 
-    fn record_transition(&mut self, component: &str, from: ComponentState, to: ComponentState, reason: &str) {
+    /// Emits a bridge event stamped with current virtual time.
+    fn note_bridge(&mut self, event: BridgeEvent) {
+        let now = self.kernel.borrow().now();
+        self.bridge_events.emit(now, event);
+    }
+
+    /// Refreshes the per-CPU reserved-utilization gauges from the ledger.
+    fn update_admission_gauges(&mut self) {
+        for cpu in 0..self.ledger.cpu_count() {
+            self.metrics.gauge(
+                &format!("admission.cpu{cpu}.utilization"),
+                self.ledger.utilization(cpu),
+            );
+        }
+    }
+
+    fn record_transition(
+        &mut self,
+        component: &str,
+        from: ComponentState,
+        to: ComponentState,
+        reason: &str,
+    ) {
         self.transitions.push(Transition {
             component: component.to_string(),
             from,

@@ -21,6 +21,7 @@
 
 use crate::error::DrcrError;
 use crate::lifecycle::ComponentState;
+use crate::manage::ComponentControl;
 use crate::runtime::DrtRuntime;
 use rtos::time::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -136,10 +137,7 @@ impl ContractMonitor {
                     continue;
                 };
                 let view = drcr.system_view();
-                let claimed = view
-                    .component(&name)
-                    .map(|c| c.cpu_usage)
-                    .unwrap_or(1.0);
+                let claimed = view.component(&name).map(|c| c.cpu_usage).unwrap_or(1.0);
                 (task, claimed)
             };
             let Some(cpu_time) = rt.kernel().task_cpu_time(task) else {

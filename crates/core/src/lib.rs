@@ -73,13 +73,16 @@ pub mod hybrid;
 pub mod lifecycle;
 pub mod manage;
 pub mod model;
+pub mod obs;
 pub mod resolve;
 pub mod runtime;
 pub mod view;
 pub mod wiring;
 pub mod xml;
 
-pub use adapt::{AdaptationCommand, AdaptationManager, AdaptationPolicy, GracefulDegradation, LoadShedding};
+pub use adapt::{
+    AdaptationCommand, AdaptationManager, AdaptationPolicy, GracefulDegradation, LoadShedding,
+};
 pub use adl::{AdlError, Assembly, DeployedAssembly};
 pub use descriptor::{ComponentDescriptor, DescriptorBuilder};
 pub use drcr::{ComponentProvider, Drcr, COMPONENT_SERVICE, PROP_COMPONENT_NAME};
@@ -87,8 +90,13 @@ pub use enforce::{ContractMonitor, EnforcementAction, EnforcementPolicy, Violati
 pub use error::{DescriptorError, DrcrError};
 pub use hybrid::{BridgeMode, FnLogic, RtIo, RtLogic};
 pub use lifecycle::ComponentState;
-pub use manage::{ManagementReply, RequestToken, RtComponentManagement, MANAGEMENT_SERVICE};
-pub use model::{CpuUsage, OperatingMode, PortInterface, PortSpec, PropertyValue, TaskSpec, BASE_MODE};
+pub use manage::{
+    ComponentControl, ManagementReply, RequestToken, RtComponentManagement, MANAGEMENT_SERVICE,
+};
+pub use model::{
+    CpuUsage, OperatingMode, PortInterface, PortSpec, PropertyValue, TaskSpec, BASE_MODE,
+};
+pub use obs::{BridgeEvent, DrcrEvent, Histogram, MetricsRegistry, MetricsReport};
 pub use resolve::{Decision, ResolvingService, RESOLVER_SERVICE};
 pub use runtime::{DrcomActivator, DrtRuntime};
 pub use view::{ComponentInfo, SystemView};
@@ -99,8 +107,9 @@ pub mod prelude {
     pub use crate::drcr::ComponentProvider;
     pub use crate::hybrid::{FnLogic, RtIo, RtLogic};
     pub use crate::lifecycle::ComponentState;
-    pub use crate::manage::{ManagementReply, RtComponentManagement};
+    pub use crate::manage::{ComponentControl, ManagementReply, RtComponentManagement};
     pub use crate::model::{PortInterface, PropertyValue};
+    pub use crate::obs::{BridgeEvent, DrcrEvent, MetricsReport};
     pub use crate::runtime::DrtRuntime;
     pub use rtos::shm::DataType;
     pub use rtos::time::{SimDuration, SimTime};

@@ -233,6 +233,9 @@ mod tests {
             to: Unsatisfied,
             reason: "provider `calc` stopped".into(),
         };
-        assert_eq!(t.to_string(), "disp: ACTIVE -> UNSATISFIED (provider `calc` stopped)");
+        assert_eq!(
+            t.to_string(),
+            "disp: ACTIVE -> UNSATISFIED (provider `calc` stopped)"
+        );
     }
 }

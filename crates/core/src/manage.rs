@@ -107,6 +107,60 @@ pub trait RtComponentManagement {
     fn poll_reply(&self, token: RequestToken) -> Result<Option<ManagementReply>, DrcrError>;
 }
 
+/// The unified per-component control surface: suspend/resume, enable/
+/// disable, mode switches and manual triggers.
+///
+/// Both the executive ([`crate::drcr::Drcr`], which owns the mechanics) and
+/// the assembled container ([`crate::runtime::DrtRuntime`], which wraps each
+/// call with event processing so the DRCR re-resolves) speak this one
+/// vocabulary, so adaptation code is written once against the trait and runs
+/// against either layer.
+pub trait ComponentControl {
+    /// Parks a component's RT task, keeping its admission reservation.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError`] if the component is unknown or not active.
+    fn suspend_component(&mut self, name: &str) -> Result<(), DrcrError>;
+
+    /// Resumes a suspended component.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError`] if the component is unknown or not suspended.
+    fn resume_component(&mut self, name: &str) -> Result<(), DrcrError>;
+
+    /// Disables a component (deactivating it first if needed); it is
+    /// ignored by resolution until re-enabled.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError`] on unknown components or illegal transitions.
+    fn disable_component(&mut self, name: &str) -> Result<(), DrcrError>;
+
+    /// Re-enables a disabled component.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError`] unless the component is disabled.
+    fn enable_component(&mut self, name: &str) -> Result<(), DrcrError>;
+
+    /// Switches a component to one of its declared operating modes (or back
+    /// to [`crate::model::BASE_MODE`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError`] on unknown components or modes.
+    fn switch_mode(&mut self, name: &str, mode: &str) -> Result<(), DrcrError>;
+
+    /// Releases one cycle of an aperiodic component.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError`] for periodic or inactive components.
+    fn trigger_component(&mut self, name: &str) -> Result<(), DrcrError>;
+}
+
 /// Newtype wrapper so `Rc<dyn RtComponentManagement>` can live in the
 /// service registry (which downcasts to concrete types).
 pub struct ManagementHandle(pub Rc<dyn RtComponentManagement>);

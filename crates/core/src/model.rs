@@ -43,9 +43,7 @@ impl TaskSpec {
     /// The task priority.
     pub fn priority(&self) -> Priority {
         match self {
-            TaskSpec::Periodic { priority, .. } | TaskSpec::Aperiodic { priority, .. } => {
-                *priority
-            }
+            TaskSpec::Periodic { priority, .. } | TaskSpec::Aperiodic { priority, .. } => *priority,
         }
     }
 
@@ -312,12 +310,18 @@ mod tests {
 
     #[test]
     fn port_interface_parses_paper_spelling() {
-        assert_eq!("RTAI.SHM".parse::<PortInterface>().unwrap(), PortInterface::Shm);
+        assert_eq!(
+            "RTAI.SHM".parse::<PortInterface>().unwrap(),
+            PortInterface::Shm
+        );
         assert_eq!(
             "RTAI.Mailbox".parse::<PortInterface>().unwrap(),
             PortInterface::Mailbox
         );
-        assert_eq!("RTAI.FIFO".parse::<PortInterface>().unwrap(), PortInterface::Fifo);
+        assert_eq!(
+            "RTAI.FIFO".parse::<PortInterface>().unwrap(),
+            PortInterface::Fifo
+        );
         assert!("RTAI.PIPE".parse::<PortInterface>().is_err());
         assert_eq!(PortInterface::Shm.to_string(), "RTAI.SHM");
     }
@@ -327,7 +331,8 @@ mod tests {
         let base = PortSpec::new("images", PortInterface::Shm, DataType::Byte, 400).unwrap();
         assert!(base.compatible_with(&base.clone()));
         let other_name = PortSpec::new("image2", PortInterface::Shm, DataType::Byte, 400).unwrap();
-        let other_if = PortSpec::new("images", PortInterface::Mailbox, DataType::Byte, 400).unwrap();
+        let other_if =
+            PortSpec::new("images", PortInterface::Mailbox, DataType::Byte, 400).unwrap();
         let other_ty = PortSpec::new("images", PortInterface::Shm, DataType::Integer, 400).unwrap();
         let other_sz = PortSpec::new("images", PortInterface::Shm, DataType::Byte, 401).unwrap();
         for p in [other_name, other_if, other_ty, other_sz] {

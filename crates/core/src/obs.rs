@@ -1,0 +1,662 @@
+//! Observability for the DRCR executive: typed events and a metrics
+//! registry, mirroring [`rtos::trace`] one layer up.
+//!
+//! The executive's decisions — resolve rounds, admission verdicts, wiring
+//! diagnoses, cascades, mode switches, rollbacks — are [`DrcrEvent`]s;
+//! management-bridge traffic (command enqueue, reply drain and latency) is
+//! [`BridgeEvent`]s. Both flow through the same bounded-ring +
+//! live-subscriber machinery as kernel events ([`rtos::trace::EventSink`]),
+//! so one `TraceSubscriber` implementation can tap any layer.
+//!
+//! Alongside the event streams sits a [`MetricsRegistry`]: named counters,
+//! gauges and fixed-bucket histograms, snapshotable as a deterministic
+//! [`MetricsReport`]. Everything is keyed on virtual time and event counts
+//! only — two runs with the same seed produce byte-identical reports.
+
+use crate::lifecycle::ComponentState;
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use rtos::trace::{EventSink, Timestamped, TraceRing, TraceSubscriber};
+
+/// A decision or state change inside the DRCR executive.
+///
+/// The `Display` rendering matches the pre-typed decision-log strings, so
+/// [`crate::drcr::Drcr::decisions_text`] is a faithful shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DrcrEvent {
+    /// A resolve pass (to fixpoint) began.
+    ResolveRoundStarted {
+        /// Monotonic resolve-round number.
+        round: u64,
+    },
+    /// A resolve pass reached its fixpoint.
+    ResolveRoundEnded {
+        /// The round that ended.
+        round: u64,
+        /// Components activated during the round.
+        activations: u32,
+        /// Components deactivated during the round.
+        deactivations: u32,
+    },
+    /// A component registered with the executive.
+    Registered {
+        /// Component name.
+        component: String,
+    },
+    /// A registration was refused (duplicate name).
+    RegistrationRefused {
+        /// Why.
+        reason: String,
+    },
+    /// One resolver's verdict on one candidate.
+    AdmissionVerdict {
+        /// The candidate component.
+        component: String,
+        /// The resolver that ruled (internal or customized).
+        resolver: String,
+        /// Whether the resolver was the internal one.
+        internal: bool,
+        /// The verdict.
+        admitted: bool,
+        /// Rejection reason (empty on admission).
+        reason: String,
+    },
+    /// Functional constraints unsatisfied: the component stays waiting.
+    WiringUnsatisfied {
+        /// The component.
+        component: String,
+        /// The unbound inports, rendered.
+        missing: String,
+    },
+    /// A departure cascade deactivated a dependent component.
+    CascadeDeactivation {
+        /// The dependent being deactivated.
+        component: String,
+        /// The broken constraint.
+        reason: String,
+    },
+    /// A dependency cycle is being co-activated as a group.
+    GroupCoActivation {
+        /// The members, sorted.
+        members: Vec<String>,
+    },
+    /// Group activation abandoned: one member was rejected.
+    GroupAbandoned {
+        /// The rejected member.
+        component: String,
+        /// The resolver that rejected it.
+        resolver: String,
+        /// Whether the resolver was the internal one.
+        internal: bool,
+        /// The rejection reason.
+        reason: String,
+    },
+    /// A component went active.
+    Activated {
+        /// The component.
+        component: String,
+    },
+    /// An activation attempt errored (not a constraint rejection).
+    ActivationFailed {
+        /// The component.
+        component: String,
+        /// The error.
+        reason: String,
+    },
+    /// A mid-activation failure rolled back the kernel objects already
+    /// created (channels, tasks).
+    Rollback {
+        /// The component whose activation unwound.
+        component: String,
+        /// What failed.
+        reason: String,
+    },
+    /// A component was deactivated.
+    Deactivated {
+        /// The component.
+        component: String,
+        /// The state it fell back to.
+        to: ComponentState,
+        /// Why.
+        reason: String,
+    },
+    /// A component's contract was re-written for an operating mode.
+    ModeSwitch {
+        /// The component.
+        component: String,
+        /// The mode substituted in.
+        mode: String,
+        /// The mode's frequency.
+        frequency_hz: u32,
+        /// The mode's CPU claim.
+        cpu_usage: f64,
+    },
+}
+
+impl fmt::Display for DrcrEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrcrEvent::ResolveRoundStarted { round } => {
+                write!(f, "resolve round {round} started")
+            }
+            DrcrEvent::ResolveRoundEnded {
+                round,
+                activations,
+                deactivations,
+            } => write!(
+                f,
+                "resolve round {round} ended ({activations} activated, {deactivations} deactivated)"
+            ),
+            DrcrEvent::Registered { component } => {
+                write!(f, "registered `{component}`")
+            }
+            DrcrEvent::RegistrationRefused { reason } => {
+                write!(f, "registration refused: {reason}")
+            }
+            DrcrEvent::AdmissionVerdict {
+                component,
+                resolver,
+                internal,
+                admitted,
+                reason,
+            } => {
+                let kind = if *internal { "internal" } else { "customized" };
+                if *admitted {
+                    write!(f, "`{component}` admitted by {kind} resolver ({resolver})")
+                } else {
+                    write!(
+                        f,
+                        "`{component}` rejected by {kind} resolver ({resolver}): {reason}"
+                    )
+                }
+            }
+            DrcrEvent::WiringUnsatisfied { component, missing } => {
+                write!(f, "`{component}` stays unsatisfied: {missing}")
+            }
+            DrcrEvent::CascadeDeactivation { component, reason } => {
+                write!(f, "cascade: deactivating `{component}`: {reason}")
+            }
+            DrcrEvent::GroupCoActivation { members } => {
+                write!(f, "co-activating dependency cycle: {}", members.join(", "))
+            }
+            DrcrEvent::GroupAbandoned {
+                component,
+                resolver,
+                internal,
+                reason,
+            } => {
+                if *internal {
+                    write!(
+                        f,
+                        "group activation abandoned: `{component}` rejected by internal resolver: {reason}"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "group activation abandoned: `{component}` rejected by customized resolver ({resolver}): {reason}"
+                    )
+                }
+            }
+            DrcrEvent::Activated { component } => write!(f, "activated `{component}`"),
+            DrcrEvent::ActivationFailed { component, reason } => {
+                write!(f, "activation of `{component}` failed: {reason}")
+            }
+            DrcrEvent::Rollback { component, reason } => {
+                write!(f, "activation of `{component}` rolled back: {reason}")
+            }
+            DrcrEvent::Deactivated {
+                component,
+                to,
+                reason,
+            } => write!(f, "deactivated `{component}` -> {to:?}: {reason}"),
+            DrcrEvent::ModeSwitch {
+                component,
+                mode,
+                frequency_hz,
+                cpu_usage,
+            } => write!(
+                f,
+                "`{component}` contract re-written for mode `{mode}` (freq {frequency_hz} Hz, claim {cpu_usage:.3})"
+            ),
+        }
+    }
+}
+
+impl DrcrEvent {
+    /// The component this event concerns, when it concerns exactly one.
+    pub fn component(&self) -> Option<&str> {
+        match self {
+            DrcrEvent::Registered { component }
+            | DrcrEvent::AdmissionVerdict { component, .. }
+            | DrcrEvent::WiringUnsatisfied { component, .. }
+            | DrcrEvent::CascadeDeactivation { component, .. }
+            | DrcrEvent::GroupAbandoned { component, .. }
+            | DrcrEvent::Activated { component }
+            | DrcrEvent::ActivationFailed { component, .. }
+            | DrcrEvent::Rollback { component, .. }
+            | DrcrEvent::Deactivated { component, .. }
+            | DrcrEvent::ModeSwitch { component, .. } => Some(component),
+            _ => None,
+        }
+    }
+}
+
+/// Management-bridge traffic between the non-RT side and an RT task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BridgeEvent {
+    /// A command was posted into a component's command mailbox.
+    CommandEnqueued {
+        /// The target component.
+        component: String,
+        /// Correlation token, for commands that expect a reply.
+        token: Option<u32>,
+        /// Pending commands in the mailbox after the enqueue.
+        depth: usize,
+    },
+    /// A reply-mailbox drain completed.
+    RepliesDrained {
+        /// The polled component.
+        component: String,
+        /// Replies pulled out in this drain.
+        count: u32,
+    },
+    /// A tokened request completed its round trip.
+    ReplyLatency {
+        /// The component that answered.
+        component: String,
+        /// The request's token.
+        token: u32,
+        /// Enqueue → drain latency in virtual nanoseconds.
+        latency_ns: u64,
+    },
+}
+
+impl fmt::Display for BridgeEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BridgeEvent::CommandEnqueued {
+                component,
+                token,
+                depth,
+            } => match token {
+                Some(t) => write!(f, "command -> `{component}` (token {t}, depth {depth})"),
+                None => write!(f, "command -> `{component}` (depth {depth})"),
+            },
+            BridgeEvent::RepliesDrained { component, count } => {
+                write!(f, "drained {count} replies from `{component}`")
+            }
+            BridgeEvent::ReplyLatency {
+                component,
+                token,
+                latency_ns,
+            } => write!(
+                f,
+                "reply from `{component}` (token {token}) after {latency_ns} ns"
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+/// A fixed-bucket histogram over `u64` samples (typically nanoseconds).
+///
+/// Bucket bounds are upper-inclusive; samples above the last bound land in
+/// an implicit overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Exponential nanosecond bounds from 1 µs to 1 s — the default shape
+    /// for latency histograms.
+    pub fn latency_ns() -> Self {
+        Histogram::new(&[
+            1_000,
+            10_000,
+            100_000,
+            1_000_000,
+            10_000_000,
+            100_000_000,
+            1_000_000_000,
+        ])
+    }
+
+    /// Small-count bounds (1..64) for width/depth style histograms.
+    pub fn small_counts() -> Self {
+        Histogram::new(&[1, 2, 4, 8, 16, 32, 64])
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(upper_bound, count)` pairs; the final pair is the overflow bucket
+    /// with bound `u64::MAX`.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.counts.iter().copied())
+    }
+}
+
+/// Named counters, gauges and histograms. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to the latest value.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records a sample into a histogram, creating it with `make` on first
+    /// use.
+    pub fn observe(&mut self, name: &str, value: u64, make: impl FnOnce() -> Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(make)
+            .record(value);
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// A deterministic snapshot (all series in lexicographic name order).
+    pub fn snapshot(&self) -> MetricsReport {
+        MetricsReport {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`MetricsRegistry`], ordered and
+/// renderable. Two snapshots of identical registries render byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsReport {
+    /// The counters, name-ordered.
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// The gauges, name-ordered.
+    pub fn gauges(&self) -> &[(String, f64)] {
+        &self.gauges
+    }
+
+    /// The histograms, name-ordered.
+    pub fn histograms(&self) -> &[(String, Histogram)] {
+        &self.histograms
+    }
+
+    /// Human-readable rendering: one aligned line per series.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter   {name} = {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge     {name} = {v:.6}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {name} count={} sum={} min={} max={} mean={:.1}\n",
+                h.count(),
+                h.sum(),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0),
+                h.mean(),
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable rendering: one JSON object per line
+    /// (`{"kind":"counter",...}` / `"gauge"` / `"histogram"`).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!(
+                "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}\n",
+                json_escape(name)
+            ));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{v:.6}}}\n",
+                json_escape(name)
+            ));
+        }
+        for (name, h) in &self.histograms {
+            let buckets: Vec<String> = h
+                .buckets()
+                .map(|(le, count)| {
+                    if le == u64::MAX {
+                        format!("{{\"le\":\"inf\",\"count\":{count}}}")
+                    } else {
+                        format!("{{\"le\":{le},\"count\":{count}}}")
+                    }
+                })
+                .collect();
+            out.push_str(&format!(
+                "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}\n",
+                json_escape(name),
+                h.count(),
+                h.sum(),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0),
+                buckets.join(","),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 10, 11, 99, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(5000));
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        // 5 and 10 land in <=10; 11 and 99 in <=100; 5000 overflows.
+        assert_eq!(buckets, vec![(10, 2), (100, 2), (1000, 0), (u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn registry_snapshot_is_deterministic() {
+        let build = || {
+            let mut m = MetricsRegistry::new();
+            m.count("b.second", 2);
+            m.count("a.first", 1);
+            m.gauge("util", 0.25);
+            m.observe("lat", 500, Histogram::latency_ns);
+            m.observe("lat", 2_000_000, Histogram::latency_ns);
+            m
+        };
+        let (r1, r2) = (build().snapshot(), build().snapshot());
+        assert_eq!(r1, r2);
+        assert_eq!(r1.to_text(), r2.to_text());
+        assert_eq!(r1.to_json_lines(), r2.to_json_lines());
+        // Name order is lexicographic regardless of insertion order.
+        assert_eq!(r1.counters()[0].0, "a.first");
+    }
+
+    #[test]
+    fn json_lines_shape() {
+        let mut m = MetricsRegistry::new();
+        m.count("x", 3);
+        m.gauge("g", 1.5);
+        m.observe("h", 7, || Histogram::new(&[10]));
+        let json = m.snapshot().to_json_lines();
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"counter\",\"name\":\"x\",\"value\":3}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"kind\":\"gauge\",\"name\":\"g\",\"value\":1.500000}"
+        );
+        assert!(
+            lines[2].contains("\"buckets\":[{\"le\":10,\"count\":1},{\"le\":\"inf\",\"count\":0}]")
+        );
+    }
+
+    #[test]
+    fn event_display_matches_legacy_decision_lines() {
+        let e = DrcrEvent::AdmissionVerdict {
+            component: "calc".into(),
+            resolver: "utilization".into(),
+            internal: true,
+            admitted: false,
+            reason: "cap exceeded".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "`calc` rejected by internal resolver (utilization): cap exceeded"
+        );
+        let e = DrcrEvent::CascadeDeactivation {
+            component: "disp".into(),
+            reason: "inport latdat unbound".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "cascade: deactivating `disp`: inport latdat unbound"
+        );
+        let e = DrcrEvent::Activated {
+            component: "calc".into(),
+        };
+        assert_eq!(e.to_string(), "activated `calc`");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

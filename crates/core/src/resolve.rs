@@ -218,7 +218,12 @@ pub struct CompositeResolver {
 
 impl fmt::Debug for CompositeResolver {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CompositeResolver({}; {} inner)", self.name, self.inner.len())
+        write!(
+            f,
+            "CompositeResolver({}; {} inner)",
+            self.name,
+            self.inner.len()
+        )
     }
 }
 
@@ -280,7 +285,13 @@ mod tests {
     use super::*;
     use crate::lifecycle::ComponentState;
 
-    fn info(name: &str, state: ComponentState, cpu: u32, usage: f64, periodic: bool) -> ComponentInfo {
+    fn info(
+        name: &str,
+        state: ComponentState,
+        cpu: u32,
+        usage: f64,
+        periodic: bool,
+    ) -> ComponentInfo {
         ComponentInfo {
             name: name.into(),
             state,
@@ -361,10 +372,7 @@ mod tests {
 
     #[test]
     fn composite_requires_unanimity() {
-        let c = CompositeResolver::new(
-            "both",
-            vec![Box::new(AlwaysAdmit), Box::new(EdfResolver)],
-        );
+        let c = CompositeResolver::new("both", vec![Box::new(AlwaysAdmit), Box::new(EdfResolver)]);
         let v = view(vec![info("a", ComponentState::Active, 0, 0.9, true)]);
         let small = info("b", ComponentState::Unsatisfied, 0, 0.05, true);
         assert!(c.admit(&small, &v).is_admit());

@@ -32,7 +32,9 @@
 use crate::drcr::{ComponentProvider, Drcr, COMPONENT_SERVICE, PROP_COMPONENT_NAME};
 use crate::error::DrcrError;
 use crate::lifecycle::ComponentState;
-use crate::manage::{ManagementHandle, RtComponentManagement, MANAGEMENT_SERVICE};
+use crate::manage::{
+    ComponentControl, ManagementHandle, RtComponentManagement, MANAGEMENT_SERVICE,
+};
 use crate::resolve::{ResolverHandle, ResolvingService, RESOLVER_SERVICE};
 use osgi::event::BundleId;
 use osgi::framework::{BundleActivator, BundleContext, Framework, FrameworkError};
@@ -74,7 +76,14 @@ impl BundleActivator for DrcomActivator {
         let d = self.provider.descriptor();
         let props = Properties::new()
             .with(PROP_COMPONENT_NAME, d.name.as_str())
-            .with("drt.type", if d.task.is_periodic() { "periodic" } else { "aperiodic" })
+            .with(
+                "drt.type",
+                if d.task.is_periodic() {
+                    "periodic"
+                } else {
+                    "aperiodic"
+                },
+            )
             .with("drt.cpuusage", d.cpu_usage.fraction())
             .with("drt.enabled", d.enabled);
         ctx.register_service(&[COMPONENT_SERVICE], self.provider.clone(), props);
@@ -267,71 +276,41 @@ impl DrtRuntime {
         Some(handle.0.clone())
     }
 
-    /// Suspends a component through the DRCR and re-resolves.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`DrcrError`].
-    pub fn suspend_component(&mut self, name: &str) -> Result<(), DrcrError> {
-        self.drcr.borrow_mut().suspend_component(name)?;
-        self.process();
-        Ok(())
-    }
-
-    /// Resumes a component through the DRCR and re-resolves.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`DrcrError`].
-    pub fn resume_component(&mut self, name: &str) -> Result<(), DrcrError> {
-        self.drcr.borrow_mut().resume_component(name)?;
-        self.process();
-        Ok(())
-    }
-
-    /// Disables a component through the DRCR and re-resolves.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`DrcrError`].
-    pub fn disable_component(&mut self, name: &str) -> Result<(), DrcrError> {
-        self.drcr.borrow_mut().disable_component(name, &mut self.framework)?;
-        self.process();
-        Ok(())
-    }
-
-    /// Re-enables a disabled component and re-resolves.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`DrcrError`].
-    pub fn enable_component(&mut self, name: &str) -> Result<(), DrcrError> {
-        self.drcr.borrow_mut().enable_component(name)?;
-        self.process();
-        Ok(())
-    }
-
-    /// Switches a component's operating mode and re-resolves (see
-    /// [`Drcr::switch_mode`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`DrcrError`].
-    pub fn switch_mode(&mut self, name: &str, mode: &str) -> Result<(), DrcrError> {
-        self.drcr
-            .borrow_mut()
-            .switch_mode(name, mode, &mut self.framework)?;
-        self.process();
-        Ok(())
-    }
-
-    /// Releases one cycle of an aperiodic component.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`DrcrError`].
-    pub fn trigger_component(&mut self, name: &str) -> Result<(), DrcrError> {
-        self.drcr.borrow_mut().trigger_component(name)
+    /// A deterministic metrics snapshot covering all three layers: the
+    /// executive's own series (resolve rounds, admission utilization,
+    /// bridge latency) merged with kernel-derived series (per-component
+    /// scheduling latency, per-CPU real-time utilization, trace volume).
+    pub fn metrics_report(&self) -> crate::obs::MetricsReport {
+        let drcr = self.drcr.borrow();
+        let mut metrics = drcr.metrics().clone();
+        let kernel = self.kernel.borrow();
+        for name in drcr.component_names() {
+            let Some(task) = drcr.task_of(&name) else {
+                continue;
+            };
+            let Some(stats) = kernel.task_stats(task) else {
+                continue;
+            };
+            if stats.is_empty() {
+                continue;
+            }
+            metrics.gauge(&format!("sched.{name}.latency.avg_ns"), stats.average());
+            metrics.gauge(&format!("sched.{name}.latency.avedev_ns"), stats.avedev());
+            metrics.gauge(
+                &format!("sched.{name}.latency.max_ns"),
+                stats.max().unwrap_or(0) as f64,
+            );
+            metrics.count(&format!("sched.{name}.cycles"), stats.count() as u64);
+        }
+        for cpu in 0..kernel.cpu_count() {
+            metrics.gauge(
+                &format!("kernel.cpu{cpu}.rt_utilization"),
+                kernel.cpu_rt_utilization(cpu),
+            );
+        }
+        metrics.count("kernel.trace.recorded", kernel.trace().total_recorded());
+        metrics.count("kernel.trace.dropped", kernel.trace().dropped());
+        metrics.snapshot()
     }
 
     /// Posts a message into a named mailbox from outside the RT domain,
@@ -346,6 +325,49 @@ impl DrtRuntime {
             .borrow_mut()
             .post(mailbox, msg)
             .map_err(|e| DrcrError::Kernel(e.to_string()))
+    }
+}
+
+/// The container's side of the unified control surface: every operation
+/// delegates to the DRCR (which owns the mechanics and the global view),
+/// then runs [`DrtRuntime::process`] so the system re-resolves immediately.
+impl ComponentControl for DrtRuntime {
+    fn suspend_component(&mut self, name: &str) -> Result<(), DrcrError> {
+        self.drcr.borrow_mut().suspend_component(name)?;
+        self.process();
+        Ok(())
+    }
+
+    fn resume_component(&mut self, name: &str) -> Result<(), DrcrError> {
+        self.drcr.borrow_mut().resume_component(name)?;
+        self.process();
+        Ok(())
+    }
+
+    fn disable_component(&mut self, name: &str) -> Result<(), DrcrError> {
+        self.drcr
+            .borrow_mut()
+            .disable_component(name, &mut self.framework)?;
+        self.process();
+        Ok(())
+    }
+
+    fn enable_component(&mut self, name: &str) -> Result<(), DrcrError> {
+        self.drcr.borrow_mut().enable_component(name)?;
+        self.process();
+        Ok(())
+    }
+
+    fn switch_mode(&mut self, name: &str, mode: &str) -> Result<(), DrcrError> {
+        self.drcr
+            .borrow_mut()
+            .switch_mode(name, mode, &mut self.framework)?;
+        self.process();
+        Ok(())
+    }
+
+    fn trigger_component(&mut self, name: &str) -> Result<(), DrcrError> {
+        self.drcr.borrow_mut().trigger_component(name)
     }
 }
 
@@ -455,11 +477,15 @@ mod tests {
             rt.component_state("calc"),
             Some(ComponentState::Unsatisfied)
         );
-        assert!(rt
-            .drcr()
-            .decisions()
-            .iter()
-            .any(|d| d.contains("maintenance window")));
+        assert!(rt.drcr().admission_verdicts().any(|e| matches!(
+            &e.event,
+            crate::obs::DrcrEvent::AdmissionVerdict {
+                internal: false,
+                admitted: false,
+                reason,
+                ..
+            } if reason.contains("maintenance window")
+        )));
         // Removing the resolver re-resolves and admits.
         rt.unregister_resolver(veto);
         assert_eq!(rt.component_state("calc"), Some(ComponentState::Active));
@@ -557,7 +583,8 @@ mod tests {
         );
 
         // Replace it, then read it back.
-        mgmt.set_property("gain", PropertyValue::Integer(7)).unwrap();
+        mgmt.set_property("gain", PropertyValue::Integer(7))
+            .unwrap();
         rt.advance(SimDuration::from_millis(2));
         let token = mgmt.request_property("gain").unwrap();
         rt.advance(SimDuration::from_millis(2));
@@ -616,11 +643,24 @@ mod tests {
         let calc_bundle = rt.install_component("demo.calc", calc_provider()).unwrap();
         rt.install_component("demo.disp", disp_provider()).unwrap();
         rt.stop_bundle(calc_bundle).unwrap();
-        let log: Vec<String> = rt.drcr().transitions().iter().map(|t| t.to_string()).collect();
-        assert!(log.iter().any(|l| l.contains("calc: INSTALLED -> UNSATISFIED")));
-        assert!(log.iter().any(|l| l.contains("calc: UNSATISFIED -> ACTIVE")));
-        assert!(log.iter().any(|l| l.contains("disp: UNSATISFIED -> ACTIVE")));
-        assert!(log.iter().any(|l| l.contains("disp: ACTIVE -> UNSATISFIED")));
+        let log: Vec<String> = rt
+            .drcr()
+            .transitions()
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        assert!(log
+            .iter()
+            .any(|l| l.contains("calc: INSTALLED -> UNSATISFIED")));
+        assert!(log
+            .iter()
+            .any(|l| l.contains("calc: UNSATISFIED -> ACTIVE")));
+        assert!(log
+            .iter()
+            .any(|l| l.contains("disp: UNSATISFIED -> ACTIVE")));
+        assert!(log
+            .iter()
+            .any(|l| l.contains("disp: ACTIVE -> UNSATISFIED")));
         assert!(log.iter().any(|l| l.contains("calc: ACTIVE -> DESTROYED")));
     }
 }

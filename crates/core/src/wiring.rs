@@ -148,7 +148,10 @@ impl<'a> WiringGraph<'a> {
     /// These are the components the DRCR must deactivate (cascade) when
     /// `provider` leaves.
     pub fn dependents_of(&self, provider: &str) -> Vec<String> {
-        let Some((pdesc, _)) = self.entries.iter().find(|(d, _)| d.name.as_str() == provider)
+        let Some((pdesc, _)) = self
+            .entries
+            .iter()
+            .find(|(d, _)| d.name.as_str() == provider)
         else {
             return Vec::new();
         };
@@ -158,10 +161,7 @@ impl<'a> WiringGraph<'a> {
                 continue;
             }
             let depends = desc.inports.iter().any(|inport| {
-                let fed_by_provider = pdesc
-                    .outports
-                    .iter()
-                    .any(|o| o.compatible_with(inport));
+                let fed_by_provider = pdesc.outports.iter().any(|o| o.compatible_with(inport));
                 if !fed_by_provider {
                     return false;
                 }

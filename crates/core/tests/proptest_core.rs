@@ -1,6 +1,9 @@
 //! Property-based tests of the DRCom layer: descriptor XML roundtrips, the
 //! intra-component wire protocol, lifecycle laws, admission accounting, and
 //! resolver bounds.
+//!
+//! Cases are generated from the in-repo seeded [`SimRng`] (no external
+//! property-testing crate).
 
 use drcom::admission::AdmissionLedger;
 use drcom::descriptor::ComponentDescriptor;
@@ -9,34 +12,77 @@ use drcom::lifecycle::ComponentState;
 use drcom::model::{PortInterface, PropertyValue};
 use drcom::resolve::RmBoundResolver;
 use drcom::xml;
-use proptest::prelude::*;
+use rtos::rng::SimRng;
 use rtos::shm::DataType;
+
+const CASES: usize = 96;
 
 // ---------------------------------------------------------------------
 // Generators
 // ---------------------------------------------------------------------
 
-fn obj_name() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9]{0,5}"
+fn string_from(rng: &mut SimRng, first: &[u8], rest: &[u8], min: usize, max: usize) -> String {
+    let len = rng.uniform_u64(min as u64, max as u64 + 1) as usize;
+    (0..len)
+        .map(|i| {
+            let set = if i == 0 { first } else { rest };
+            set[rng.uniform_u64(0, set.len() as u64) as usize] as char
+        })
+        .collect()
 }
 
-fn property_value() -> impl Strategy<Value = PropertyValue> {
-    prop_oneof![
-        any::<i64>().prop_map(PropertyValue::Integer),
-        (-1.0e6f64..1.0e6).prop_map(PropertyValue::Float),
-        // Strings roundtrip through XML attributes: printable, no control
-        // chars; XML specials are escaped by to_xml.
-        "[ -~]{0,20}".prop_map(PropertyValue::Text),
-        any::<bool>().prop_map(PropertyValue::Boolean),
-    ]
+const LOWER: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+const LOWER_NUM: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+
+fn obj_name(rng: &mut SimRng) -> String {
+    string_from(rng, LOWER, LOWER_NUM, 1, 6)
 }
 
-fn port_interface() -> impl Strategy<Value = PortInterface> {
-    prop_oneof![Just(PortInterface::Shm), Just(PortInterface::Mailbox)]
+fn printable(rng: &mut SimRng, max: usize) -> String {
+    let len = rng.uniform_u64(0, max as u64 + 1) as usize;
+    (0..len)
+        .map(|_| rng.uniform_u64(0x20, 0x7F) as u8 as char)
+        .collect()
 }
 
-fn data_type() -> impl Strategy<Value = DataType> {
-    prop_oneof![Just(DataType::Integer), Just(DataType::Byte)]
+/// Printable ASCII without XML-attribute specials (`"&<>'`).
+fn xml_safe_text(rng: &mut SimRng, max: usize) -> String {
+    let len = rng.uniform_u64(0, max as u64 + 1) as usize;
+    let mut s = String::new();
+    while s.len() < len {
+        let c = rng.uniform_u64(0x20, 0x7F) as u8 as char;
+        if !matches!(c, '"' | '&' | '<' | '>' | '\'') {
+            s.push(c);
+        }
+    }
+    s
+}
+
+fn property_value(rng: &mut SimRng) -> PropertyValue {
+    match rng.uniform_u64(0, 4) {
+        0 => PropertyValue::Integer(rng.next_u64() as i64),
+        1 => PropertyValue::Float(rng.uniform_range(-1.0e6, 1.0e6)),
+        // Strings roundtrip through XML attributes: printable only; XML
+        // specials are escaped by to_xml.
+        2 => PropertyValue::Text(printable(rng, 20)),
+        _ => PropertyValue::Boolean(rng.chance(0.5)),
+    }
+}
+
+fn port_interface(rng: &mut SimRng) -> PortInterface {
+    if rng.chance(0.5) {
+        PortInterface::Shm
+    } else {
+        PortInterface::Mailbox
+    }
+}
+
+fn data_type(rng: &mut SimRng) -> DataType {
+    if rng.chance(0.5) {
+        DataType::Integer
+    } else {
+        DataType::Byte
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -52,63 +98,99 @@ struct DescriptorSpec {
     modes: Vec<(String, u32, f64, u8)>,
 }
 
-fn descriptor_spec() -> impl Strategy<Value = DescriptorSpec> {
-    (
-        obj_name(),
-        "[ -~&&[^\"&<>']]{0,24}",
-        any::<bool>(),
-        proptest::option::of((1u32..10_000, 0u32..1, 0u8..=254)),
-        0.01f64..1.0,
-        proptest::collection::vec((obj_name(), port_interface(), data_type(), 1usize..64), 0..4),
-        proptest::collection::vec((obj_name(), port_interface(), data_type(), 1usize..64), 0..4),
-        proptest::collection::vec(("[a-zA-Z][a-zA-Z0-9_]{0,10}", property_value()), 0..4),
-        proptest::collection::vec(
-            ("[a-z][a-z0-9]{0,8}", 1u32..10_000, 0.01f64..1.0, 0u8..=254),
-            0..3,
-        ),
-    )
-        .prop_filter_map(
-            "unique port and property names",
-            |(name, desc, enabled, periodic, cpu_usage, outports, inports, properties, modes)| {
-                let mut port_names: Vec<&String> = outports
-                    .iter()
-                    .map(|(n, ..)| n)
-                    .chain(inports.iter().map(|(n, ..)| n))
-                    .collect();
-                port_names.sort();
-                port_names.dedup();
-                if port_names.len() != outports.len() + inports.len() {
-                    return None;
-                }
-                let mut prop_names: Vec<&String> = properties.iter().map(|(n, _)| n).collect();
-                prop_names.sort();
-                prop_names.dedup();
-                if prop_names.len() != properties.len() {
-                    return None;
-                }
-                // Modes only on periodic components, unique non-reserved names.
-                let modes = if periodic.is_some() { modes } else { Vec::new() };
-                let mut mode_names: Vec<&String> = modes.iter().map(|(n, ..)| n).collect();
-                mode_names.sort();
-                mode_names.dedup();
-                if mode_names.len() != modes.len()
-                    || modes.iter().any(|(n, ..)| n == "normal")
-                {
-                    return None;
-                }
-                Some(DescriptorSpec {
-                    name,
-                    desc,
-                    enabled,
-                    periodic,
-                    cpu_usage,
-                    outports,
-                    inports,
-                    properties,
-                    modes,
+/// Generates a spec with unique port/property/mode names; retries until
+/// uniqueness holds (mirrors the prop_filter_map of the original test).
+fn descriptor_spec(rng: &mut SimRng) -> DescriptorSpec {
+    loop {
+        let name = obj_name(rng);
+        let desc = xml_safe_text(rng, 24);
+        let enabled = rng.chance(0.5);
+        let periodic = rng.chance(0.7).then(|| {
+            (
+                rng.uniform_u64(1, 10_000) as u32,
+                0u32,
+                rng.uniform_u64(0, 255) as u8,
+            )
+        });
+        let cpu_usage = rng.uniform_range(0.01, 1.0);
+        let ports = |rng: &mut SimRng| -> Vec<(String, PortInterface, DataType, usize)> {
+            (0..rng.uniform_u64(0, 4))
+                .map(|_| {
+                    (
+                        obj_name(rng),
+                        port_interface(rng),
+                        data_type(rng),
+                        rng.uniform_u64(1, 64) as usize,
+                    )
                 })
-            },
-        )
+                .collect()
+        };
+        let outports = ports(rng);
+        let inports = ports(rng);
+        let properties: Vec<(String, PropertyValue)> = (0..rng.uniform_u64(0, 4))
+            .map(|_| {
+                (
+                    string_from(
+                        rng,
+                        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ",
+                        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_",
+                        1,
+                        11,
+                    ),
+                    property_value(rng),
+                )
+            })
+            .collect();
+        // Modes only on periodic components, unique non-reserved names.
+        let modes: Vec<(String, u32, f64, u8)> = if periodic.is_some() {
+            (0..rng.uniform_u64(0, 3))
+                .map(|_| {
+                    (
+                        string_from(rng, LOWER, LOWER_NUM, 1, 9),
+                        rng.uniform_u64(1, 10_000) as u32,
+                        rng.uniform_range(0.01, 1.0),
+                        rng.uniform_u64(0, 255) as u8,
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut port_names: Vec<&String> = outports
+            .iter()
+            .map(|(n, ..)| n)
+            .chain(inports.iter().map(|(n, ..)| n))
+            .collect();
+        port_names.sort();
+        port_names.dedup();
+        if port_names.len() != outports.len() + inports.len() {
+            continue;
+        }
+        let mut prop_names: Vec<&String> = properties.iter().map(|(n, _)| n).collect();
+        prop_names.sort();
+        prop_names.dedup();
+        if prop_names.len() != properties.len() {
+            continue;
+        }
+        let mut mode_names: Vec<&String> = modes.iter().map(|(n, ..)| n).collect();
+        mode_names.sort();
+        mode_names.dedup();
+        if mode_names.len() != modes.len() || modes.iter().any(|(n, ..)| n == "normal") {
+            continue;
+        }
+        return DescriptorSpec {
+            name,
+            desc,
+            enabled,
+            periodic,
+            cpu_usage,
+            outports,
+            inports,
+            properties,
+            modes,
+        };
+    }
 }
 
 fn build(spec: &DescriptorSpec) -> ComponentDescriptor {
@@ -135,100 +217,136 @@ fn build(spec: &DescriptorSpec) -> ComponentDescriptor {
     b.build().expect("generated descriptors are valid")
 }
 
-proptest! {
-    /// Any valid descriptor serializes to XML that parses back to an equal
-    /// descriptor (modulo float text formatting, which is exact for the
-    /// generated range).
-    #[test]
-    fn descriptor_xml_roundtrip(spec in descriptor_spec()) {
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+/// Any valid descriptor serializes to XML that parses back to an equal
+/// descriptor (modulo float text formatting, which is exact for the
+/// generated range).
+#[test]
+fn descriptor_xml_roundtrip() {
+    let mut rng = SimRng::from_seed(0xD35C);
+    for case in 0..CASES {
+        let spec = descriptor_spec(&mut rng);
         let d = build(&spec);
         let xml_text = d.to_xml();
         let reparsed = ComponentDescriptor::parse_xml(&xml_text)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml_text}"));
-        prop_assert_eq!(reparsed.name, d.name);
-        prop_assert_eq!(reparsed.description, d.description);
-        prop_assert_eq!(reparsed.enabled, d.enabled);
-        prop_assert_eq!(reparsed.task, d.task);
-        prop_assert!((reparsed.cpu_usage.fraction() - d.cpu_usage.fraction()).abs() < 1e-12);
-        prop_assert_eq!(reparsed.inports, d.inports);
-        prop_assert_eq!(reparsed.outports, d.outports);
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{xml_text}"));
+        assert_eq!(reparsed.name, d.name, "case {case}");
+        assert_eq!(reparsed.description, d.description, "case {case}");
+        assert_eq!(reparsed.enabled, d.enabled, "case {case}");
+        assert_eq!(reparsed.task, d.task, "case {case}");
+        assert!(
+            (reparsed.cpu_usage.fraction() - d.cpu_usage.fraction()).abs() < 1e-12,
+            "case {case}"
+        );
+        assert_eq!(reparsed.inports, d.inports, "case {case}");
+        assert_eq!(reparsed.outports, d.outports, "case {case}");
         // Properties: compare name + rendered value (float text identity).
-        prop_assert_eq!(reparsed.properties.len(), d.properties.len());
+        assert_eq!(reparsed.properties.len(), d.properties.len(), "case {case}");
         for ((n1, v1), (n2, v2)) in reparsed.properties.iter().zip(d.properties.iter()) {
-            prop_assert_eq!(n1, n2);
-            prop_assert_eq!(v1.to_string(), v2.to_string());
+            assert_eq!(n1, n2, "case {case}");
+            assert_eq!(v1.to_string(), v2.to_string(), "case {case}");
         }
         // Modes survive, including their claims.
-        prop_assert_eq!(reparsed.modes.len(), d.modes.len());
+        assert_eq!(reparsed.modes.len(), d.modes.len(), "case {case}");
         for (m1, m2) in reparsed.modes.iter().zip(d.modes.iter()) {
-            prop_assert_eq!(&m1.name, &m2.name);
-            prop_assert_eq!(m1.frequency_hz, m2.frequency_hz);
-            prop_assert_eq!(m1.priority, m2.priority);
-            prop_assert!((m1.cpu_usage - m2.cpu_usage).abs() < 1e-12);
+            assert_eq!(&m1.name, &m2.name, "case {case}");
+            assert_eq!(m1.frequency_hz, m2.frequency_hz, "case {case}");
+            assert_eq!(m1.priority, m2.priority, "case {case}");
+            assert!((m1.cpu_usage - m2.cpu_usage).abs() < 1e-12, "case {case}");
         }
     }
+}
 
-    /// The XML parser never panics on arbitrary input.
-    #[test]
-    fn xml_parse_never_panics(s in "[ -~\\n\\t]{0,120}") {
+/// The XML parser never panics on arbitrary input.
+#[test]
+fn xml_parse_never_panics() {
+    let mut rng = SimRng::from_seed(0x9A21C);
+    for _ in 0..CASES {
+        let len = rng.uniform_u64(0, 121) as usize;
+        let s: String = (0..len)
+            .map(|_| match rng.uniform_u64(0, 12) {
+                0 => '\n',
+                1 => '\t',
+                2 => '<',
+                3 => '>',
+                4 => '"',
+                5 => '&',
+                _ => rng.uniform_u64(0x20, 0x7F) as u8 as char,
+            })
+            .collect();
         let _ = xml::parse(&s);
     }
+}
 
-    /// Commands survive the §3.2 wire format.
-    #[test]
-    fn command_wire_roundtrip(
-        name in "[ -~]{0,24}",
-        value in property_value(),
-        token in any::<u32>(),
-        which in 0u8..4,
-    ) {
-        let cmd = match which {
+/// Commands survive the §3.2 wire format.
+#[test]
+fn command_wire_roundtrip() {
+    let mut rng = SimRng::from_seed(0xC0DE);
+    for case in 0..CASES {
+        let name = printable(&mut rng, 24);
+        let value = property_value(&mut rng);
+        let token = rng.next_u64() as u32;
+        let cmd = match rng.uniform_u64(0, 4) {
             0 => Command::SetProperty { name, value },
             1 => Command::GetProperty { token, name },
             2 => Command::QueryStatus { token },
             _ => Command::Ping { token },
         };
         let bytes = cmd.encode();
-        prop_assert_eq!(Command::decode(&bytes).expect("decode"), cmd);
+        assert_eq!(Command::decode(&bytes).expect("decode"), cmd, "case {case}");
     }
+}
 
-    /// Replies survive the wire format, and decode never panics on noise.
-    #[test]
-    fn reply_wire_roundtrip(
-        name in "[ -~]{0,24}",
-        value in proptest::option::of(property_value()),
-        token in any::<u32>(),
-        cycles in any::<u64>(),
-        at_ns in any::<u64>(),
-        which in 0u8..3,
-        noise in proptest::collection::vec(any::<u8>(), 0..48),
-    ) {
-        let reply = match which {
+/// Replies survive the wire format, and decode never panics on noise.
+#[test]
+fn reply_wire_roundtrip() {
+    let mut rng = SimRng::from_seed(0x4E71);
+    for case in 0..CASES {
+        let name = printable(&mut rng, 24);
+        let value = rng.chance(0.5).then(|| property_value(&mut rng));
+        let token = rng.next_u64() as u32;
+        let cycles = rng.next_u64();
+        let at_ns = rng.next_u64();
+        let reply = match rng.uniform_u64(0, 3) {
             0 => Reply::Property { token, name, value },
-            1 => Reply::Status { token, cycles, at_ns },
+            1 => Reply::Status {
+                token,
+                cycles,
+                at_ns,
+            },
             _ => Reply::Pong { token },
         };
         let bytes = reply.encode();
-        prop_assert_eq!(Reply::decode(&bytes).expect("decode"), reply);
+        assert_eq!(Reply::decode(&bytes).expect("decode"), reply, "case {case}");
+        let noise: Vec<u8> = (0..rng.uniform_u64(0, 48))
+            .map(|_| rng.next_u64() as u8)
+            .collect();
         let _ = Reply::decode(&noise);
         let _ = Command::decode(&noise);
     }
+}
 
-    /// Lifecycle laws over random walks: admission-holding states are only
-    /// reachable through Unsatisfied→Active, and Destroyed is absorbing.
-    #[test]
-    fn lifecycle_random_walk(steps in proptest::collection::vec(0usize..6, 1..40)) {
+/// Lifecycle laws over random walks: admission-holding states are only
+/// reachable through Unsatisfied→Active, and Destroyed is absorbing.
+#[test]
+fn lifecycle_random_walk() {
+    let mut rng = SimRng::from_seed(0x11FE);
+    for case in 0..CASES {
         let states = ComponentState::ALL;
         let mut current = ComponentState::Installed;
         let mut was_active = false;
-        for &s in &steps {
-            let target = states[s];
+        let steps = rng.uniform_u64(1, 40);
+        for _ in 0..steps {
+            let target = states[rng.uniform_u64(0, states.len() as u64) as usize];
             if current.can_transition(target) {
                 // Law: you can only *become* admission-holding from
                 // Unsatisfied (activation) or between Active/Suspended.
                 if target.holds_admission() && !current.holds_admission() {
-                    prop_assert_eq!(current, ComponentState::Unsatisfied);
-                    prop_assert_eq!(target, ComponentState::Active);
+                    assert_eq!(current, ComponentState::Unsatisfied, "case {case}");
+                    assert_eq!(target, ComponentState::Active, "case {case}");
                 }
                 if target == ComponentState::Active {
                     was_active = true;
@@ -241,47 +359,61 @@ proptest! {
         }
         // Suspended implies it was active at some point.
         if current == ComponentState::Suspended {
-            prop_assert!(was_active);
+            assert!(was_active, "case {case}");
         }
     }
+}
 
-    /// The ledger's per-CPU totals always equal the sum of live
-    /// reservations, through arbitrary reserve/release interleavings.
-    #[test]
-    fn ledger_accounting(ops in proptest::collection::vec(
-        (0u8..2, 0usize..8, 0u32..2, 0.01f64..0.5),
-        1..60,
-    )) {
+/// The ledger's per-CPU totals always equal the sum of live reservations,
+/// through arbitrary reserve/release interleavings.
+#[test]
+fn ledger_accounting() {
+    let mut rng = SimRng::from_seed(0x1ED6);
+    for case in 0..CASES {
         let mut ledger = AdmissionLedger::new(2);
         let mut model: std::collections::HashMap<String, (u32, f64)> = Default::default();
-        for (op, comp, cpu, usage) in ops {
-            let name = format!("c{comp}");
+        let ops = rng.uniform_u64(1, 60);
+        for _ in 0..ops {
+            let op = rng.uniform_u64(0, 2);
+            let name = format!("c{}", rng.uniform_u64(0, 8));
+            let cpu = rng.uniform_u64(0, 2) as u32;
+            let usage = rng.uniform_range(0.01, 0.5);
             if op == 0 {
                 match ledger.reserve(&name, cpu, usage) {
                     Ok(()) => {
-                        prop_assert!(!model.contains_key(&name));
+                        assert!(!model.contains_key(&name), "case {case}");
                         model.insert(name, (cpu, usage));
                     }
-                    Err(_) => prop_assert!(model.contains_key(&name)),
+                    Err(_) => assert!(model.contains_key(&name), "case {case}"),
                 }
             } else {
                 let released = ledger.release(&name);
-                prop_assert_eq!(released.is_some(), model.remove(&name).is_some());
+                assert_eq!(
+                    released.is_some(),
+                    model.remove(&name).is_some(),
+                    "case {case}"
+                );
             }
             for c in 0..2u32 {
-                let expect: f64 = model.values().filter(|(mc, _)| *mc == c).map(|(_, u)| u).sum();
-                prop_assert!((ledger.utilization(c) - expect).abs() < 1e-9);
+                let expect: f64 = model
+                    .values()
+                    .filter(|(mc, _)| *mc == c)
+                    .map(|(_, u)| u)
+                    .sum();
+                assert!((ledger.utilization(c) - expect).abs() < 1e-9, "case {case}");
             }
-            prop_assert_eq!(ledger.len(), model.len());
+            assert_eq!(ledger.len(), model.len(), "case {case}");
         }
     }
+}
 
-    /// Liu–Layland bound: decreasing in n, bounded by (ln 2, 1].
-    #[test]
-    fn rm_bound_laws(n in 1usize..200) {
+/// Liu–Layland bound: decreasing in n, bounded by (ln 2, 1].
+#[test]
+fn rm_bound_laws() {
+    for n in 1usize..200 {
         let b = RmBoundResolver::bound(n);
-        prop_assert!(b > std::f64::consts::LN_2 - 1e-9);
-        prop_assert!(b <= 1.0 + 1e-9);
-        prop_assert!(RmBoundResolver::bound(n + 1) <= b + 1e-12);
+        assert!(b > std::f64::consts::LN_2 - 1e-9);
+        assert!(b <= 1.0 + 1e-9);
+        assert!(RmBoundResolver::bound(n + 1) <= b + 1e-12);
     }
 }

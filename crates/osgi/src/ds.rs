@@ -274,9 +274,7 @@ impl DsComponent {
                     "1..1" => Cardinality::Mandatory,
                     "0..n" => Cardinality::Multiple,
                     "1..n" => Cardinality::AtLeastOne,
-                    other => {
-                        return Err(DsXmlError(format!("unknown cardinality `{other}`")))
-                    }
+                    other => return Err(DsXmlError(format!("unknown cardinality `{other}`"))),
                 });
             }
             if let Some(policy) = reference.attr("policy") {
@@ -458,9 +456,10 @@ fn candidates(reference: &DsReference, fw: &Framework) -> Vec<ServiceRef> {
 }
 
 fn references_satisfiable(component: &DsComponent, fw: &Framework) -> bool {
-    component.references.iter().all(|r| {
-        r.cardinality.satisfied_by_zero() || !candidates(r, fw).is_empty()
-    })
+    component
+        .references
+        .iter()
+        .all(|r| r.cardinality.satisfied_by_zero() || !candidates(r, fw).is_empty())
 }
 
 fn activate(managed: &mut Managed, fw: &mut Framework) {
@@ -487,8 +486,11 @@ fn activate(managed: &mut Managed, fw: &mut Framework) {
         if let Some(service) = instance.provided_service() {
             let mut props = managed.component.properties.clone();
             props.insert("component.name", managed.component.name.as_str());
-            managed.registration =
-                Some(fw.registry_mut().register(&[interface.as_str()], service, props));
+            managed.registration = Some(fw.registry_mut().register(
+                &[interface.as_str()],
+                service,
+                props,
+            ));
         }
     }
     managed.instance = Some(instance);
@@ -613,9 +615,9 @@ mod tests {
         assert_eq!(probe.borrow().activations, 0);
 
         // The dependency arrives.
-        let log_id = fw
-            .registry_mut()
-            .register(&["log.Service"], Rc::new("logger"), Properties::new());
+        let log_id =
+            fw.registry_mut()
+                .register(&["log.Service"], Rc::new("logger"), Properties::new());
         scr.process(&mut fw);
         assert_eq!(scr.state("user"), Some(DsState::Active));
         assert_eq!(probe.borrow().activations, 1);
@@ -721,8 +723,7 @@ mod tests {
             &mut fw,
             probe_component(
                 probe.clone(),
-                DsReference::mandatory("log", "log.Service")
-                    .with_policy(BindingPolicy::Dynamic),
+                DsReference::mandatory("log", "log.Service").with_policy(BindingPolicy::Dynamic),
             ),
         );
         assert_eq!(scr.bound_to("user", "log"), vec![first]);
@@ -752,10 +753,7 @@ mod tests {
                      cardinality="0..1" policy="dynamic"
                      target="(kind=disk)"/>
         </scr:component>"#;
-        let c = DsComponent::from_xml(xml, || {
-            Box::new(ProbeInstance(Rc::default()))
-        })
-        .unwrap();
+        let c = DsComponent::from_xml(xml, || Box::new(ProbeInstance(Rc::default()))).unwrap();
         assert_eq!(c.name, "logger");
         assert_eq!(c.provides.as_deref(), Some("log.Service"));
         assert_eq!(c.references.len(), 1);
@@ -785,9 +783,9 @@ mod tests {
     fn scr_xml_rejects_malformed_documents() {
         let mk = |xml: &str| DsComponent::from_xml(xml, || Box::new(ProbeInstance(Rc::default())));
         for bad in [
-            "<scr:component/>",                         // no name
-            "<other name=\"x\"/>",                      // wrong root
-            "<scr:component name=\"x\"><service/></scr:component>", // no provide
+            "<scr:component/>",                                                 // no name
+            "<other name=\"x\"/>",                                              // wrong root
+            "<scr:component name=\"x\"><service/></scr:component>",             // no provide
             r#"<scr:component name="x"><reference name="r"/></scr:component>"#, // no interface
             r#"<scr:component name="x"><reference name="r" interface="i" cardinality="2..3"/></scr:component>"#,
             r#"<scr:component name="x"><reference name="r" interface="i" policy="magic"/></scr:component>"#,
@@ -803,11 +801,8 @@ mod tests {
         let mut fw = Framework::new();
         let mut scr = ScrRuntime::new();
         for i in 0..3 {
-            fw.registry_mut().register(
-                &["sink.Service"],
-                Rc::new(i),
-                Properties::new(),
-            );
+            fw.registry_mut()
+                .register(&["sink.Service"], Rc::new(i), Properties::new());
         }
         let probe: Rc<RefCell<Probe>> = Rc::default();
         scr.add_component(

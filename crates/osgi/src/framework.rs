@@ -454,8 +454,7 @@ impl Framework {
         self.bundles
             .iter()
             .find(|(_, b)| {
-                b.state != BundleState::Uninstalled
-                    && b.manifest.symbolic_name == symbolic_name
+                b.state != BundleState::Uninstalled && b.manifest.symbolic_name == symbolic_name
             })
             .map(|(id, _)| BundleId(*id))
     }
@@ -607,7 +606,13 @@ mod tests {
             .collect();
         assert_eq!(
             kinds,
-            vec![K::Installed, K::Resolved, K::Started, K::Stopped, K::Uninstalled]
+            vec![
+                K::Installed,
+                K::Resolved,
+                K::Started,
+                K::Stopped,
+                K::Uninstalled
+            ]
         );
     }
 
@@ -628,16 +633,16 @@ mod tests {
         let mut fw = Framework::new();
         let consumer = fw
             .install(
-                manifest("consumer").imports(
-                    "lib.api",
-                    VersionRange::at_least(Version::new(1, 0, 0)),
-                ),
+                manifest("consumer")
+                    .imports("lib.api", VersionRange::at_least(Version::new(1, 0, 0))),
                 Box::new(NoopActivator),
             )
             .unwrap();
         let err = fw.start(consumer).unwrap_err();
-        assert!(matches!(err, FrameworkError::UnresolvedImports { ref missing, .. }
-            if missing == &vec!["lib.api".to_string()]));
+        assert!(
+            matches!(err, FrameworkError::UnresolvedImports { ref missing, .. }
+            if missing == &vec!["lib.api".to_string()])
+        );
         let producer = fw
             .install(
                 manifest("producer").exports("lib.api", Version::new(1, 2, 0)),
@@ -663,8 +668,7 @@ mod tests {
         .unwrap();
         let consumer = fw
             .install(
-                manifest("consumer")
-                    .imports("lib.api", "[1.0,2.0)".parse().unwrap()),
+                manifest("consumer").imports("lib.api", "[1.0,2.0)".parse().unwrap()),
                 Box::new(NoopActivator),
             )
             .unwrap();
@@ -766,8 +770,12 @@ mod tests {
             .install(manifest("c"), Box::new(CountingActivator(counts.clone())))
             .unwrap();
         fw.start(id).unwrap();
-        fw.update(id, manifest("c2"), Box::new(CountingActivator(counts.clone())))
-            .unwrap();
+        fw.update(
+            id,
+            manifest("c2"),
+            Box::new(CountingActivator(counts.clone())),
+        )
+        .unwrap();
         assert_eq!(*counts.borrow(), (1, 1));
         assert_eq!(fw.bundle_state(id), Some(BundleState::Installed));
         assert_eq!(fw.symbolic_name(id), Some("c2"));
@@ -791,7 +799,9 @@ mod tests {
     #[test]
     fn bundle_lookup_by_name() {
         let mut fw = Framework::new();
-        let id = fw.install(manifest("find.me"), Box::new(NoopActivator)).unwrap();
+        let id = fw
+            .install(manifest("find.me"), Box::new(NoopActivator))
+            .unwrap();
         assert_eq!(fw.bundle_by_name("find.me"), Some(id));
         assert_eq!(fw.bundle_by_name("nope"), None);
         fw.uninstall(id).unwrap();

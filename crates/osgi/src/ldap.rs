@@ -255,9 +255,7 @@ impl Filter {
             Filter::Or(fs) => fs.iter().any(|f| f.matches(props)),
             Filter::Not(f) => !f.matches(props),
             Filter::Present(attr) => props.get(attr).is_some(),
-            Filter::Equal(attr, value) => {
-                match_value(props.get(attr), |v| cmp_eq(v, value))
-            }
+            Filter::Equal(attr, value) => match_value(props.get(attr), |v| cmp_eq(v, value)),
             Filter::Approx(attr, value) => match_value(props.get(attr), |v| {
                 normalize(&display(v)) == normalize(value)
             }),
@@ -368,9 +366,7 @@ fn cmp_eq(v: &PropValue, literal: &str) -> bool {
             .trim()
             .parse::<f64>()
             .is_ok_and(|y| (y - x).abs() <= f64::EPSILON * x.abs().max(1.0)),
-        PropValue::Bool(b) => literal
-            .trim()
-            .parse::<bool>() == Ok(*b),
+        PropValue::Bool(b) => literal.trim().parse::<bool>() == Ok(*b),
         PropValue::List(_) => unreachable!("lists unwrapped by match_value"),
     }
 }
@@ -379,11 +375,7 @@ fn cmp_eq(v: &PropValue, literal: &str) -> bool {
 /// the literal.
 fn cmp_ord(v: &PropValue, literal: &str, less: bool) -> bool {
     let ord = match v {
-        PropValue::Int(i) => literal
-            .trim()
-            .parse::<i64>()
-            .ok()
-            .map(|x| i.cmp(&x)),
+        PropValue::Int(i) => literal.trim().parse::<i64>().ok().map(|x| i.cmp(&x)),
         PropValue::Float(x) => literal
             .trim()
             .parse::<f64>()
@@ -531,7 +523,10 @@ impl<'a> Parser<'a> {
         let (pieces, had_star) = self.parse_value()?;
         match op {
             Op::Approx => Ok(Filter::Approx(attr, join_plain(&pieces, self, had_star)?)),
-            Op::Ge => Ok(Filter::GreaterEq(attr, join_plain(&pieces, self, had_star)?)),
+            Op::Ge => Ok(Filter::GreaterEq(
+                attr,
+                join_plain(&pieces, self, had_star)?,
+            )),
             Op::Le => Ok(Filter::LessEq(attr, join_plain(&pieces, self, had_star)?)),
             Op::Eq => {
                 if !had_star {
@@ -597,13 +592,8 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'\\') => {
                     self.bump();
-                    let escaped = self
-                        .bump()
-                        .ok_or_else(|| self.error("dangling escape"))?;
-                    pieces
-                        .last_mut()
-                        .expect("nonempty")
-                        .push(escaped as char);
+                    let escaped = self.bump().ok_or_else(|| self.error("dangling escape"))?;
+                    pieces.last_mut().expect("nonempty").push(escaped as char);
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar.
@@ -688,7 +678,10 @@ mod tests {
         check("(|(name=display)(name=nope))", false);
         check("(!(name=display))", true);
         check("(!(name=camera))", false);
-        check("(&(|(name=camera)(name=display))(!(service.ranking>=10)))", true);
+        check(
+            "(&(|(name=camera)(name=display))(!(service.ranking>=10)))",
+            true,
+        );
     }
 
     #[test]

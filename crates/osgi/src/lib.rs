@@ -46,9 +46,13 @@ pub mod registry;
 pub mod tracker;
 pub mod version;
 
-pub use event::{BundleEvent, BundleEventKind, BundleId, FrameworkEvent, ServiceEvent, ServiceEventKind};
-pub use framework::{BundleActivator, BundleContext, BundleState, Framework, FrameworkError, NoopActivator};
-pub use ldap::{Filter, Properties, PropValue};
+pub use event::{
+    BundleEvent, BundleEventKind, BundleId, FrameworkEvent, ServiceEvent, ServiceEventKind,
+};
+pub use framework::{
+    BundleActivator, BundleContext, BundleState, Framework, FrameworkError, NoopActivator,
+};
+pub use ldap::{Filter, PropValue, Properties};
 pub use manifest::BundleManifest;
 pub use registry::{ServiceId, ServiceRef, ServiceRegistry};
 pub use tracker::{ServiceTracker, TrackerEvent};

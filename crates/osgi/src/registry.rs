@@ -11,7 +11,7 @@
 //! `Rc<dyn Any>` and handed out as cheap clones.
 
 use crate::event::{ServiceEvent, ServiceEventKind};
-use crate::ldap::{Filter, Properties, PropValue};
+use crate::ldap::{Filter, PropValue, Properties};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -331,7 +331,10 @@ mod tests {
         let mut r = reg();
         let id = r.register(&["a.B", "a.C"], Rc::new(()), Properties::new());
         let props = r.properties(id).unwrap();
-        assert_eq!(props.get(SERVICE_ID), Some(&PropValue::Int(id.raw() as i64)));
+        assert_eq!(
+            props.get(SERVICE_ID),
+            Some(&PropValue::Int(id.raw() as i64))
+        );
         assert_eq!(props.get(SERVICE_RANKING), Some(&PropValue::Int(0)));
         let f = Filter::parse("(objectclass=a.C)").unwrap();
         assert!(f.matches(props));
@@ -340,11 +343,7 @@ mod tests {
     #[test]
     fn filter_narrows_results() {
         let mut r = reg();
-        r.register(
-            &["x"],
-            Rc::new(()),
-            Properties::new().with("kind", "good"),
-        );
+        r.register(&["x"], Rc::new(()), Properties::new().with("kind", "good"));
         r.register(&["x"], Rc::new(()), Properties::new().with("kind", "bad"));
         let f = Filter::parse("(kind=good)").unwrap();
         assert_eq!(r.find("x", Some(&f)).len(), 1);
@@ -402,10 +401,7 @@ mod tests {
         let events = r.drain_events();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, ServiceEventKind::Modified);
-        assert_eq!(
-            r.properties(id).unwrap().get("v"),
-            Some(&PropValue::Int(2))
-        );
+        assert_eq!(r.properties(id).unwrap().get("v"), Some(&PropValue::Int(2)));
         // Standard keys survive the replacement.
         assert!(r.properties(id).unwrap().get(SERVICE_ID).is_some());
     }

@@ -163,8 +163,8 @@ mod tests {
     #[test]
     fn filter_gates_tracking_and_property_changes_retrack() {
         let mut fw = fw();
-        let mut tracker = ServiceTracker::new("log.Service")
-            .with_filter(Filter::parse("(level=error)").unwrap());
+        let mut tracker =
+            ServiceTracker::new("log.Service").with_filter(Filter::parse("(level=error)").unwrap());
         let a = fw.registry_mut().register(
             &["log.Service"],
             Rc::new(1u8),
@@ -187,13 +187,12 @@ mod tests {
     fn modifications_inside_the_match_are_reported() {
         let mut fw = fw();
         let mut tracker = ServiceTracker::new("x");
-        let a = fw.registry_mut().register(
-            &["x"],
-            Rc::new(()),
-            Properties::new().with("v", 1),
-        );
+        let a = fw
+            .registry_mut()
+            .register(&["x"], Rc::new(()), Properties::new().with("v", 1));
         tracker.poll(&fw);
-        fw.registry_mut().set_properties(a, Properties::new().with("v", 2));
+        fw.registry_mut()
+            .set_properties(a, Properties::new().with("v", 2));
         let events = tracker.poll(&fw);
         assert_eq!(events.len(), 1);
         assert!(matches!(events[0], TrackerEvent::Modified(_)));

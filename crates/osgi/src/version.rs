@@ -27,7 +27,11 @@ impl ParseVersionError {
 
 impl fmt::Display for ParseVersionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid version syntax `{}`: {}", self.input, self.reason)
+        write!(
+            f,
+            "invalid version syntax `{}`: {}",
+            self.input, self.reason
+        )
     }
 }
 
@@ -320,7 +324,10 @@ mod tests {
 
     #[test]
     fn range_display() {
-        assert_eq!("[1.0,2.0)".parse::<VersionRange>().unwrap().to_string(), "[1.0.0,2.0.0)");
+        assert_eq!(
+            "[1.0,2.0)".parse::<VersionRange>().unwrap().to_string(),
+            "[1.0.0,2.0.0)"
+        );
         assert_eq!("1.5".parse::<VersionRange>().unwrap().to_string(), "1.5.0");
     }
 }

@@ -1,149 +1,233 @@
 //! Property-based tests for the OSGi substrate: LDAP filter grammar
 //! roundtrips, version ordering laws, and registry selection invariants.
+//!
+//! Cases are generated from the in-repo seeded [`SimRng`] (no external
+//! property-testing crate).
 
 use osgi::ldap::{Filter, PropValue, Properties};
 use osgi::registry::ServiceRegistry;
 use osgi::version::{Version, VersionRange};
-use proptest::prelude::*;
+use rtos::rng::SimRng;
 use std::rc::Rc;
+
+const CASES: usize = 128;
 
 // ---------------------------------------------------------------------
 // Generators
 // ---------------------------------------------------------------------
 
-fn attr_name() -> impl Strategy<Value = String> {
-    "[a-zA-Z][a-zA-Z0-9._-]{0,12}"
+fn string_from(rng: &mut SimRng, first: &[u8], rest: &[u8], min: usize, max: usize) -> String {
+    let len = rng.uniform_u64(min as u64, max as u64 + 1) as usize;
+    (0..len)
+        .map(|i| {
+            let set = if i == 0 { first } else { rest };
+            set[rng.uniform_u64(0, set.len() as u64) as usize] as char
+        })
+        .collect()
+}
+
+const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+const ALNUM_EXT: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-";
+
+fn attr_name(rng: &mut SimRng) -> String {
+    string_from(rng, ALPHA, ALNUM_EXT, 1, 13)
 }
 
 /// Values may contain filter metacharacters; Display must escape them.
-fn attr_value() -> impl Strategy<Value = String> {
-    "[ -~]{0,16}"
+fn attr_value(rng: &mut SimRng, min: usize, max: usize) -> String {
+    let len = rng.uniform_u64(min as u64, max as u64 + 1) as usize;
+    // All printable ASCII, including `(`, `)`, `*`, `\`.
+    (0..len)
+        .map(|_| rng.uniform_u64(0x20, 0x7F) as u8 as char)
+        .collect()
 }
 
-fn leaf_filter() -> impl Strategy<Value = Filter> {
-    prop_oneof![
-        (attr_name(), attr_value()).prop_map(|(a, v)| Filter::Equal(a, v)),
-        (attr_name(), attr_value()).prop_map(|(a, v)| Filter::Approx(a, v)),
-        (attr_name(), attr_value()).prop_map(|(a, v)| Filter::GreaterEq(a, v)),
-        (attr_name(), attr_value()).prop_map(|(a, v)| Filter::LessEq(a, v)),
-        attr_name().prop_map(Filter::Present),
-        (
-            attr_name(),
-            proptest::option::of(attr_value().prop_filter("nonempty", |s| !s.is_empty())),
-            proptest::collection::vec(
-                attr_value().prop_filter("nonempty", |s| !s.is_empty()),
-                0..3
-            ),
-            proptest::option::of(attr_value().prop_filter("nonempty", |s| !s.is_empty())),
-        )
-            .prop_filter_map(
-                "fully-empty substring canonicalizes to a presence test",
-                |(attr, initial, any, final_)| {
-                    (initial.is_some() || !any.is_empty() || final_.is_some()).then_some(
-                        Filter::Substring {
-                            attr,
-                            initial,
-                            any,
-                            final_,
-                        },
-                    )
+fn nonempty_value(rng: &mut SimRng) -> String {
+    attr_value(rng, 1, 8)
+}
+
+fn leaf_filter(rng: &mut SimRng) -> Filter {
+    match rng.uniform_u64(0, 6) {
+        0 => Filter::Equal(attr_name(rng), attr_value(rng, 0, 16)),
+        1 => Filter::Approx(attr_name(rng), attr_value(rng, 0, 16)),
+        2 => Filter::GreaterEq(attr_name(rng), attr_value(rng, 0, 16)),
+        3 => Filter::LessEq(attr_name(rng), attr_value(rng, 0, 16)),
+        4 => Filter::Present(attr_name(rng)),
+        _ => {
+            // A substring with at least one nonempty part (a fully-empty
+            // substring canonicalizes to a presence test).
+            loop {
+                let initial = rng.chance(0.5).then(|| nonempty_value(rng));
+                let any: Vec<String> = (0..rng.uniform_u64(0, 3))
+                    .map(|_| nonempty_value(rng))
+                    .collect();
+                let final_ = rng.chance(0.5).then(|| nonempty_value(rng));
+                if initial.is_some() || !any.is_empty() || final_.is_some() {
+                    return Filter::Substring {
+                        attr: attr_name(rng),
+                        initial,
+                        any,
+                        final_,
+                    };
                 }
-            ),
-    ]
+            }
+        }
+    }
 }
 
-fn filter_tree() -> impl Strategy<Value = Filter> {
-    leaf_filter().prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(Filter::And),
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(Filter::Or),
-            inner.prop_map(|f| Filter::Not(Box::new(f))),
-        ]
-    })
+fn filter_tree(rng: &mut SimRng, depth: usize) -> Filter {
+    if depth == 0 || rng.chance(0.4) {
+        return leaf_filter(rng);
+    }
+    match rng.uniform_u64(0, 3) {
+        0 => Filter::And(
+            (0..rng.uniform_u64(0, 4))
+                .map(|_| filter_tree(rng, depth - 1))
+                .collect(),
+        ),
+        1 => Filter::Or(
+            (0..rng.uniform_u64(0, 4))
+                .map(|_| filter_tree(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Filter::Not(Box::new(filter_tree(rng, depth - 1))),
+    }
 }
 
-fn version() -> impl Strategy<Value = Version> {
-    (0u32..100, 0u32..100, 0u32..100, "[a-z0-9]{0,6}").prop_map(|(ma, mi, mc, q)| Version {
-        major: ma,
-        minor: mi,
-        micro: mc,
-        qualifier: q,
-    })
+fn version(rng: &mut SimRng) -> Version {
+    Version {
+        major: rng.uniform_u64(0, 100) as u32,
+        minor: rng.uniform_u64(0, 100) as u32,
+        micro: rng.uniform_u64(0, 100) as u32,
+        qualifier: string_from(
+            rng,
+            b"abcdefghijklmnopqrstuvwxyz0123456789",
+            b"abcdefghijklmnopqrstuvwxyz0123456789",
+            0,
+            6,
+        ),
+    }
 }
 
-proptest! {
-    /// Every filter the AST can express prints to a string the parser
-    /// reads back to the identical AST.
-    #[test]
-    fn filter_display_parse_roundtrip(f in filter_tree()) {
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+/// Every filter the AST can express prints to a string the parser reads
+/// back to the identical AST.
+#[test]
+fn filter_display_parse_roundtrip() {
+    let mut rng = SimRng::from_seed(0xF117);
+    for case in 0..CASES {
+        let f = filter_tree(&mut rng, 3);
         let printed = f.to_string();
         let reparsed = Filter::parse(&printed)
-            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
-        prop_assert_eq!(f, reparsed);
+            .unwrap_or_else(|e| panic!("case {case}: reparse of `{printed}` failed: {e}"));
+        assert_eq!(f, reparsed, "case {case}");
     }
+}
 
-    /// Parsing never panics on arbitrary input.
-    #[test]
-    fn filter_parse_never_panics(s in "[ -~]{0,40}") {
+/// Parsing never panics on arbitrary input.
+#[test]
+fn filter_parse_never_panics() {
+    let mut rng = SimRng::from_seed(0x9A21C);
+    for _ in 0..CASES {
+        let s = attr_value(&mut rng, 0, 40);
         let _ = Filter::parse(&s);
     }
+}
 
-    /// Semantic sanity: a generated filter evaluates identically before and
-    /// after a print/parse cycle, over arbitrary property sets.
-    #[test]
-    fn filter_semantics_survive_roundtrip(
-        f in filter_tree(),
-        props in proptest::collection::vec(("[a-z]{1,6}", "[ -~]{0,8}"), 0..6),
-    ) {
-        let dict: Properties = props
-            .into_iter()
-            .map(|(k, v)| (k, PropValue::Str(v)))
+/// Semantic sanity: a generated filter evaluates identically before and
+/// after a print/parse cycle, over arbitrary property sets.
+#[test]
+fn filter_semantics_survive_roundtrip() {
+    let mut rng = SimRng::from_seed(0x5E3A);
+    for case in 0..CASES {
+        let f = filter_tree(&mut rng, 3);
+        let dict: Properties = (0..rng.uniform_u64(0, 6))
+            .map(|_| {
+                (
+                    string_from(
+                        &mut rng,
+                        b"abcdefghijklmnopqrstuvwxyz",
+                        b"abcdefghijklmnopqrstuvwxyz",
+                        1,
+                        6,
+                    ),
+                    PropValue::Str(attr_value(&mut rng, 0, 8)),
+                )
+            })
             .collect();
         let reparsed = Filter::parse(&f.to_string()).expect("roundtrip parse");
-        prop_assert_eq!(f.matches(&dict), reparsed.matches(&dict));
+        assert_eq!(f.matches(&dict), reparsed.matches(&dict), "case {case}");
     }
+}
 
-    /// Version display/parse roundtrip.
-    #[test]
-    fn version_display_parse_roundtrip(v in version()) {
+/// Version display/parse roundtrip.
+#[test]
+fn version_display_parse_roundtrip() {
+    let mut rng = SimRng::from_seed(0x7E51);
+    for case in 0..CASES {
+        let v = version(&mut rng);
         let reparsed: Version = v.to_string().parse().expect("reparse");
-        prop_assert_eq!(v, reparsed);
+        assert_eq!(v, reparsed, "case {case}");
     }
+}
 
-    /// Version ordering is total and consistent with segment ordering.
-    #[test]
-    fn version_ordering_laws(a in version(), b in version()) {
-        use std::cmp::Ordering;
+/// Version ordering is total and consistent with segment ordering.
+#[test]
+fn version_ordering_laws() {
+    use std::cmp::Ordering;
+    let mut rng = SimRng::from_seed(0x03D3);
+    for case in 0..CASES {
+        let a = version(&mut rng);
+        let b = version(&mut rng);
         match a.cmp(&b) {
-            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
-            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
-            Ordering::Equal => prop_assert_eq!(&a, &b),
+            Ordering::Less => assert_eq!(b.cmp(&a), Ordering::Greater, "case {case}"),
+            Ordering::Greater => assert_eq!(b.cmp(&a), Ordering::Less, "case {case}"),
+            Ordering::Equal => assert_eq!(&a, &b, "case {case}"),
         }
         if a.major != b.major {
-            prop_assert_eq!(a.major.cmp(&b.major), a.cmp(&b));
+            assert_eq!(a.major.cmp(&b.major), a.cmp(&b), "case {case}");
         }
     }
+}
 
-    /// Range membership agrees with the endpoints' ordering.
-    #[test]
-    fn range_membership_consistent(lo in version(), hi in version(), probe in version()) {
-        prop_assume!(lo <= hi);
+/// Range membership agrees with the endpoints' ordering.
+#[test]
+fn range_membership_consistent() {
+    let mut rng = SimRng::from_seed(0x2A46E);
+    let mut checked = 0;
+    while checked < CASES {
+        let lo = version(&mut rng);
+        let hi = version(&mut rng);
+        let probe = version(&mut rng);
+        if lo > hi {
+            continue;
+        }
+        checked += 1;
         let range = VersionRange {
             floor: lo.clone(),
             floor_inclusive: true,
             ceiling: Some(hi.clone()),
             ceiling_inclusive: true,
         };
-        prop_assert_eq!(range.includes(&probe), lo <= probe && probe <= hi);
+        assert_eq!(range.includes(&probe), lo <= probe && probe <= hi);
         // Displayed form parses back to something with identical membership.
         let reparsed: VersionRange = range.to_string().parse().expect("range reparse");
-        prop_assert_eq!(reparsed.includes(&probe), range.includes(&probe));
+        assert_eq!(reparsed.includes(&probe), range.includes(&probe));
     }
+}
 
-    /// Registry ranking selection: find_one always returns the maximum by
-    /// (ranking desc, id asc) among matching services.
-    #[test]
-    fn registry_selection_order(rankings in proptest::collection::vec(-100i64..100, 1..12)) {
+/// Registry ranking selection: find_one always returns the maximum by
+/// (ranking desc, id asc) among matching services.
+#[test]
+fn registry_selection_order() {
+    let mut rng = SimRng::from_seed(0x8E6);
+    for case in 0..CASES {
+        let rankings: Vec<i64> = (0..rng.uniform_u64(1, 12))
+            .map(|_| rng.uniform_u64(0, 200) as i64 - 100)
+            .collect();
         let mut reg = ServiceRegistry::new();
         let ids: Vec<_> = rankings
             .iter()
@@ -156,22 +240,23 @@ proptest! {
             })
             .collect();
         let found = reg.find("svc", None);
-        prop_assert_eq!(found.len(), rankings.len());
+        assert_eq!(found.len(), rankings.len(), "case {case}");
         // Verify the full sort order.
         for pair in found.windows(2) {
             let (a, b) = (&pair[0], &pair[1]);
-            prop_assert!(
+            assert!(
                 a.ranking() > b.ranking()
-                    || (a.ranking() == b.ranking() && a.id().raw() < b.id().raw())
+                    || (a.ranking() == b.ranking() && a.id().raw() < b.id().raw()),
+                "case {case}"
             );
         }
         // find_one is the head.
         let best = reg.find_one("svc", None).expect("nonempty");
-        prop_assert_eq!(best.id(), found[0].id());
+        assert_eq!(best.id(), found[0].id(), "case {case}");
         // Unregister everything; registry drains.
         for id in ids {
-            prop_assert!(reg.unregister(id));
+            assert!(reg.unregister(id), "case {case}");
         }
-        prop_assert!(reg.is_empty());
+        assert!(reg.is_empty(), "case {case}");
     }
 }

@@ -21,8 +21,8 @@
 //! latency tracking.
 
 use crate::error::KernelError;
-use crate::latency::{LatencyStats, LoadMode, TimerJitterModel, TimerMode};
 use crate::fifo::FifoRegistry;
+use crate::latency::{LatencyStats, LoadMode, TimerJitterModel, TimerMode};
 use crate::mailbox::MailboxRegistry;
 use crate::rng::SimRng;
 use crate::shm::ShmRegistry;
@@ -30,6 +30,7 @@ use crate::task::{
     Domain, ObjName, Priority, ReleasePolicy, TaskBody, TaskConfig, TaskId, TaskState,
 };
 use crate::time::{LatencyNs, SimDuration, SimTime};
+use crate::trace::{EventSink, KernelEvent, TraceRing, TraceSubscriber};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -98,33 +99,6 @@ impl KernelConfig {
 impl Default for KernelConfig {
     fn default() -> Self {
         KernelConfig::new(0)
-    }
-}
-
-/// A single entry in the kernel trace.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// When the event happened.
-    pub time: SimTime,
-    /// Human-readable description.
-    pub what: String,
-}
-
-#[derive(Debug, Default)]
-struct Trace {
-    capacity: usize,
-    events: Vec<TraceEvent>,
-}
-
-impl Trace {
-    fn push(&mut self, time: SimTime, what: String) {
-        if self.capacity == 0 {
-            return;
-        }
-        if self.events.len() == self.capacity {
-            self.events.remove(0);
-        }
-        self.events.push(TraceEvent { time, what });
     }
 }
 
@@ -237,7 +211,7 @@ pub struct Kernel {
     mailboxes: MailboxRegistry,
     fifos: FifoRegistry,
     rng: SimRng,
-    trace: Trace,
+    trace: EventSink<KernelEvent>,
     counters: SchedCounters,
     /// Aperiodic tasks to release when a mailbox receives a message.
     wakeups: Vec<(ObjName, TaskId)>,
@@ -259,10 +233,7 @@ impl Kernel {
         let rng = SimRng::from_seed(cfg.seed);
         let cpus = (0..cfg.cpus).map(|_| Cpu::default()).collect();
         Kernel {
-            trace: Trace {
-                capacity: cfg.trace_capacity,
-                events: Vec::new(),
-            },
+            trace: EventSink::new(cfg.trace_capacity),
             rng,
             cpus,
             cfg,
@@ -298,7 +269,7 @@ impl Kernel {
     /// Switches the load regime mid-run (scenario support).
     pub fn set_load_mode(&mut self, mode: LoadMode) {
         self.cfg.load_mode = mode;
-        self.trace_push(format!("load mode -> {mode}"));
+        self.emit(KernelEvent::LoadModeChanged { mode });
     }
 
     /// Shared-memory registry (read access).
@@ -336,13 +307,19 @@ impl Kernel {
         self.counters
     }
 
-    /// The trace buffer contents, oldest first.
-    pub fn trace(&self) -> &[TraceEvent] {
-        &self.trace.events
+    /// The trace ring buffer: typed [`KernelEvent`]s, oldest first.
+    pub fn trace(&self) -> &TraceRing<KernelEvent> {
+        self.trace.ring()
     }
 
-    fn trace_push(&mut self, what: String) {
-        self.trace.push(self.now, what);
+    /// Attaches a live tap that sees every kernel event at emission time,
+    /// before ring eviction (and even with a zero-capacity ring).
+    pub fn add_trace_subscriber(&mut self, subscriber: Box<dyn TraceSubscriber<KernelEvent>>) {
+        self.trace.subscribe(subscriber);
+    }
+
+    fn emit(&mut self, event: KernelEvent) {
+        self.trace.emit(self.now, event);
     }
 
     // ------------------------------------------------------------------
@@ -369,7 +346,11 @@ impl Kernel {
         let id = TaskId(self.next_task_id);
         self.next_task_id += 1;
         self.names.insert(cfg.name.clone(), id);
-        self.trace_push(format!("create task `{}`", cfg.name));
+        self.emit(KernelEvent::TaskCreated {
+            task: cfg.name.clone(),
+            cpu: cfg.cpu,
+            priority: cfg.priority,
+        });
         self.tasks.insert(
             id,
             Task {
@@ -449,7 +430,7 @@ impl Kernel {
         let release = task.cfg.release;
         let name = task.cfg.name.clone();
         self.run_hook(id, Hook::Start);
-        self.trace_push(format!("start task `{name}`"));
+        self.emit(KernelEvent::TaskStarted { task: name });
         if let ReleasePolicy::Periodic { period } = release {
             let ideal = self.now + period;
             self.schedule_release(id, ideal);
@@ -476,7 +457,10 @@ impl Kernel {
                 // Takes effect at cycle end: the Finish handler checks state.
                 task.state = TaskState::Suspended;
                 let name = task.cfg.name.clone();
-                self.trace_push(format!("suspend task `{name}` (running; effective at cycle end)"));
+                self.emit(KernelEvent::TaskSuspended {
+                    task: name,
+                    deferred: true,
+                });
                 Ok(())
             }
             TaskState::Ready => {
@@ -486,13 +470,19 @@ impl Kernel {
                 let cpu = task.cfg.cpu;
                 let name = task.cfg.name.clone();
                 self.remove_from_ready(cpu, id);
-                self.trace_push(format!("suspend task `{name}`"));
+                self.emit(KernelEvent::TaskSuspended {
+                    task: name,
+                    deferred: false,
+                });
                 Ok(())
             }
             TaskState::Waiting => {
                 task.state = TaskState::Suspended;
                 let name = task.cfg.name.clone();
-                self.trace_push(format!("suspend task `{name}`"));
+                self.emit(KernelEvent::TaskSuspended {
+                    task: name,
+                    deferred: false,
+                });
                 Ok(())
             }
         }
@@ -515,7 +505,7 @@ impl Kernel {
         task.state = TaskState::Waiting;
         let release = task.cfg.release;
         let name = task.cfg.name.clone();
-        self.trace_push(format!("resume task `{name}`"));
+        self.emit(KernelEvent::TaskResumed { task: name });
         if let ReleasePolicy::Periodic { period } = release {
             let ideal = self.now + period;
             self.schedule_release(id, ideal);
@@ -551,7 +541,7 @@ impl Kernel {
             self.cpus[cpu as usize].running = None;
             self.try_dispatch(cpu);
         }
-        self.trace_push(format!("delete task `{name}`"));
+        self.emit(KernelEvent::TaskDeleted { task: name });
         Ok(())
     }
 
@@ -581,7 +571,9 @@ impl Kernel {
                 // semantics.
                 let t = self.tasks.get_mut(&id).expect("present");
                 t.overruns += 1;
+                let name = t.cfg.name.clone();
                 self.counters.overruns += 1;
+                self.emit(KernelEvent::Overrun { task: name });
                 Ok(())
             }
             other => Err(KernelError::InvalidState {
@@ -631,7 +623,7 @@ impl Kernel {
     /// Releases every wakeup-bound waiting task whose mailbox has pending
     /// messages.
     fn service_wakeups(&mut self) {
-        let due: Vec<TaskId> = self
+        let due: Vec<(ObjName, TaskId)> = self
             .wakeups
             .iter()
             .filter(|(mbx, task)| {
@@ -641,9 +633,17 @@ impl Kernel {
                     .unwrap_or(false)
                     && self.tasks.get(task).map(|t| t.state) == Some(TaskState::Waiting)
             })
-            .map(|(_, t)| *t)
+            .map(|(mbx, t)| (mbx.clone(), *t))
             .collect();
-        for task in due {
+        for (mailbox, task) in due {
+            if self.trace.is_enabled() {
+                if let Some(name) = self.tasks.get(&task).map(|t| t.cfg.name.clone()) {
+                    self.emit(KernelEvent::MailboxWake {
+                        mailbox,
+                        task: name,
+                    });
+                }
+            }
             let ideal = self.now;
             self.push_event(self.now, Event::Release { task, ideal });
         }
@@ -735,7 +735,10 @@ impl Kernel {
     }
 
     fn schedule_release(&mut self, id: TaskId, ideal: SimTime) {
-        let error: LatencyNs = self.cfg.timer.sample_error(&mut self.rng, self.cfg.load_mode);
+        let error: LatencyNs = self
+            .cfg
+            .timer
+            .sample_error(&mut self.rng, self.cfg.load_mode);
         let actual = ideal.offset(error);
         self.push_event(actual, Event::Release { task: id, ideal });
     }
@@ -799,9 +802,13 @@ impl Kernel {
                 task.pending_ideal = Some(ideal);
                 let cpu = task.cfg.cpu;
                 let prio = task.cfg.priority;
+                let name = self.trace.is_enabled().then(|| task.cfg.name.clone());
                 self.seq += 1;
                 let seq = self.seq;
                 self.cpus[cpu as usize].ready.push(Reverse((prio, seq, id)));
+                if let Some(task) = name {
+                    self.emit(KernelEvent::Release { task, ideal });
+                }
                 if let Some(next) = reschedule {
                     self.schedule_release(id, next);
                 }
@@ -810,6 +817,10 @@ impl Kernel {
             TaskState::Ready | TaskState::Running => {
                 task.overruns += 1;
                 self.counters.overruns += 1;
+                let name = self.trace.is_enabled().then(|| task.cfg.name.clone());
+                if let Some(task) = name {
+                    self.emit(KernelEvent::Overrun { task });
+                }
                 if let Some(next) = reschedule {
                     self.schedule_release(id, next);
                 }
@@ -834,6 +845,7 @@ impl Kernel {
         task.cycles += 1;
         task.remaining = SimDuration::ZERO;
         task.run_gen += 1;
+        let mut deadline_missed = None;
         if task.cfg.track_latency {
             if let Some(ideal) = task.pending_ideal {
                 let response = self.now.signed_delta(ideal);
@@ -841,6 +853,9 @@ impl Kernel {
                 if let ReleasePolicy::Periodic { period } = task.cfg.release {
                     if response > period.as_nanos() as i64 {
                         task.deadline_misses += 1;
+                        if self.trace.is_enabled() {
+                            deadline_missed = Some((task.cfg.name.clone(), response));
+                        }
                     }
                 }
             }
@@ -855,6 +870,9 @@ impl Kernel {
         // now effective: stay Suspended, no further releases are queued.
         self.account_busy(cpu, domain, slice);
         self.cpus[cpu as usize].running = None;
+        if let Some((task, response)) = deadline_missed {
+            self.emit(KernelEvent::DeadlineMiss { task, response });
+        }
         if rerelease {
             let ideal = self.now;
             self.push_event(self.now, Event::Release { task: id, ideal });
@@ -870,14 +888,19 @@ impl Kernel {
             return;
         }
         let cpu = task.cfg.cpu;
+        let prio = task.cfg.priority;
+        let name = self.trace.is_enabled().then(|| task.cfg.name.clone());
         // Rotate only if an equal-priority peer is waiting; more urgent peers
         // would already have preempted and less urgent ones must keep waiting.
         let head_prio = self.cpus[cpu as usize]
             .ready
             .peek()
             .map(|Reverse((p, _, _))| *p);
-        if head_prio == Some(task.cfg.priority) {
+        if head_prio == Some(prio) {
             self.counters.timeslices += 1;
+            if let Some(task) = name {
+                self.emit(KernelEvent::Timeslice { task, cpu });
+            }
             self.preempt_running(cpu);
             self.try_dispatch(cpu);
         }
@@ -889,7 +912,10 @@ impl Kernel {
         let Some(running_id) = self.cpus[cpu as usize].running.take() else {
             return;
         };
-        let task = self.tasks.get_mut(&running_id).expect("running task exists");
+        let task = self
+            .tasks
+            .get_mut(&running_id)
+            .expect("running task exists");
         let progressed = self.now.duration_since(task.slice_start);
         task.cpu_time += progressed;
         let domain = task.cfg.domain;
@@ -938,6 +964,10 @@ impl Kernel {
                 let running_prio = self.tasks[&running_id].cfg.priority;
                 if head_prio.preempts(running_prio) {
                     self.counters.preemptions += 1;
+                    if self.trace.is_enabled() {
+                        let task = self.tasks[&running_id].cfg.name.clone();
+                        self.emit(KernelEvent::Preempt { task, cpu });
+                    }
                     self.preempt_running(cpu);
                     continue; // re-evaluate with the CPU now free
                 }
@@ -980,21 +1010,35 @@ impl Kernel {
             } else {
                 // Fresh cycle: record latency, run the body, charge its cost.
                 self.counters.dispatches += 1;
-                if task.cfg.track_latency {
-                    if let Some(ideal) = task.pending_ideal {
-                        let latency = self.now.signed_delta(ideal);
-                        task.stats.record(latency);
-                    }
+                let latency = task
+                    .pending_ideal
+                    .map(|ideal| self.now.signed_delta(ideal))
+                    .unwrap_or(0);
+                if task.cfg.track_latency && task.pending_ideal.is_some() {
+                    task.stats.record(latency);
                 }
                 let base = task.cfg.base_cost;
                 let budget = task.cfg.exec_budget;
+                if self.trace.is_enabled() {
+                    let task = self.tasks[&head_id].cfg.name.clone();
+                    self.emit(KernelEvent::Dispatch { task, cpu, latency });
+                }
                 let charged = self.run_body_cycle(head_id);
                 let mut exec = base + charged;
                 if let Some(budget) = budget {
                     if exec > budget {
+                        let demanded = exec;
                         exec = budget;
                         let task = self.tasks.get_mut(&head_id).expect("still exists");
                         task.budget_overruns += 1;
+                        if self.trace.is_enabled() {
+                            let task = self.tasks[&head_id].cfg.name.clone();
+                            self.emit(KernelEvent::BudgetClamp {
+                                task,
+                                demanded,
+                                budget,
+                            });
+                        }
                     }
                 }
                 exec
@@ -1104,7 +1148,7 @@ pub struct TaskCtx<'a> {
     mailboxes: &'a mut MailboxRegistry,
     fifos: &'a mut FifoRegistry,
     rng: &'a mut SimRng,
-    trace: &'a mut Trace,
+    trace: &'a mut EventSink<KernelEvent>,
     shm_op_cost: SimDuration,
     mbx_op_cost: SimDuration,
 }
@@ -1223,9 +1267,15 @@ impl TaskCtx<'_> {
         self.fifos.get(name, max)
     }
 
-    /// Appends a line to the kernel trace.
+    /// Appends a line to the kernel trace (a [`KernelEvent::UserLog`]).
     pub fn log(&mut self, what: impl Into<String>) {
-        self.trace.push(self.now, format!("[{}] {}", self.name, what.into()));
+        if self.trace.is_enabled() {
+            let event = KernelEvent::UserLog {
+                task: self.name.clone(),
+                message: what.into(),
+            };
+            self.trace.emit(self.now, event);
+        }
     }
 }
 
@@ -1463,8 +1513,8 @@ mod tests {
         k.shm_mut()
             .alloc("data", crate::shm::DataType::Integer, 1)
             .unwrap();
-        let prod_cfg = TaskConfig::periodic("prod", Priority(1), SimDuration::from_millis(1))
-            .unwrap();
+        let prod_cfg =
+            TaskConfig::periodic("prod", Priority(1), SimDuration::from_millis(1)).unwrap();
         let prod = k
             .create_task(
                 prod_cfg,
@@ -1476,8 +1526,8 @@ mod tests {
             .unwrap();
         let seen: Rc<RefCell<Vec<i32>>> = Rc::default();
         let s = seen.clone();
-        let cons_cfg = TaskConfig::periodic("cons", Priority(2), SimDuration::from_millis(4))
-            .unwrap();
+        let cons_cfg =
+            TaskConfig::periodic("cons", Priority(2), SimDuration::from_millis(4)).unwrap();
         let cons = k
             .create_task(
                 cons_cfg,
@@ -1524,10 +1574,53 @@ mod tests {
         k.start_task(id).unwrap();
         k.run_for(SimDuration::from_millis(2));
         k.delete_task(id).unwrap();
-        let text: Vec<&str> = k.trace().iter().map(|e| e.what.as_str()).collect();
+        let text: Vec<String> = k.trace().iter().map(|e| e.event.to_string()).collect();
         assert!(text.iter().any(|s| s.contains("create task `tick`")));
         assert!(text.iter().any(|s| s.contains("start task `tick`")));
         assert!(text.iter().any(|s| s.contains("delete task `tick`")));
+        // Typed events are also matchable structurally.
+        assert!(k.trace().iter().any(
+            |e| matches!(&e.event, KernelEvent::Dispatch { task, .. } if task.as_str() == "tick")
+        ));
+        assert!(k
+            .trace()
+            .iter()
+            .any(|e| matches!(&e.event, KernelEvent::Release { .. })));
+    }
+
+    #[test]
+    fn trace_subscriber_sees_all_events_despite_tiny_ring() {
+        use crate::trace::CountingSubscriber;
+        use std::cell::Cell;
+
+        struct SharedCount(Rc<Cell<u64>>);
+        impl TraceSubscriber<KernelEvent> for SharedCount {
+            fn on_event(&mut self, _time: SimTime, _event: &KernelEvent) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+
+        let mut k = Kernel::new(
+            KernelConfig::new(13)
+                .with_timer(TimerJitterModel::ideal())
+                .with_trace(2),
+        );
+        let count = Rc::new(Cell::new(0));
+        k.add_trace_subscriber(Box::new(SharedCount(count.clone())));
+        let _ = CountingSubscriber::new(); // exercised in trace unit tests
+        let cfg = TaskConfig::periodic("tick", Priority(2), SimDuration::from_millis(1)).unwrap();
+        let id = k.create_task(cfg, Box::new(IdleBody)).unwrap();
+        k.start_task(id).unwrap();
+        k.run_for(SimDuration::from_millis(5));
+        k.delete_task(id).unwrap();
+        // The ring held only 2 events but the tap saw the whole stream.
+        assert_eq!(k.trace().len(), 2);
+        assert_eq!(count.get(), k.trace().total_recorded());
+        assert!(count.get() > 10);
+        assert_eq!(
+            k.trace().dropped(),
+            k.trace().total_recorded() - k.trace().len() as u64
+        );
     }
 
     #[test]

@@ -358,8 +358,16 @@ mod tests {
             s.record(model.sample_error(&mut rng, LoadMode::Light));
         }
         // Paper (pure RTAI, light): avg −633.8, avedev 3682, min −25436, max 23798.
-        assert!((-2_500.0..=500.0).contains(&s.average()), "avg {}", s.average());
-        assert!((3_000.0..=4_500.0).contains(&s.avedev()), "avedev {}", s.avedev());
+        assert!(
+            (-2_500.0..=500.0).contains(&s.average()),
+            "avg {}",
+            s.average()
+        );
+        assert!(
+            (3_000.0..=4_500.0).contains(&s.avedev()),
+            "avedev {}",
+            s.avedev()
+        );
         assert!(s.min().unwrap() < -12_000, "min {:?}", s.min());
         assert!(s.max().unwrap() > 12_000, "max {:?}", s.max());
     }
@@ -373,7 +381,11 @@ mod tests {
             s.record(model.sample_error(&mut rng, LoadMode::Stress));
         }
         // Paper (pure RTAI, stress): avg −21184, avedev 385, min −25233, max −18834.
-        assert!((-22_500.0..=-19_500.0).contains(&s.average()), "avg {}", s.average());
+        assert!(
+            (-22_500.0..=-19_500.0).contains(&s.average()),
+            "avg {}",
+            s.average()
+        );
         assert!(s.avedev() < 800.0, "avedev {}", s.avedev());
         assert!(s.max().unwrap() < 0, "max {:?}", s.max());
     }
@@ -396,6 +408,10 @@ mod tests {
         for _ in 0..20_000 {
             s.record(model.sample_error(&mut rng, LoadMode::Light));
         }
-        assert!(s.average() > 0.0, "oneshot should pay programming cost, avg {}", s.average());
+        assert!(
+            s.average() > 0.0,
+            "oneshot should pay programming cost, avg {}",
+            s.average()
+        );
     }
 }

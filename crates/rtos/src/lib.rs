@@ -43,7 +43,8 @@
 //! kernel.start_task(task)?;
 //! kernel.run_for(SimDuration::from_secs(1));
 //! let stats = kernel.task_stats(task).unwrap();
-//! assert_eq!(stats.count(), 1000);
+//! // Timer jitter may push the final release just past the horizon.
+//! assert!((999..=1000).contains(&stats.count()));
 //! # Ok(())
 //! # }
 //! ```
@@ -59,9 +60,11 @@ pub mod rng;
 pub mod shm;
 pub mod task;
 pub mod time;
+pub mod trace;
 
 pub use error::{IpcError, KernelError, NameError};
 pub use kernel::{Kernel, KernelConfig, TaskCtx};
 pub use latency::{LatencyStats, LoadMode, TimerJitterModel, TimerMode};
 pub use task::{ObjName, Priority, TaskBody, TaskConfig, TaskId, TaskState};
 pub use time::{LatencyNs, SimDuration, SimTime};
+pub use trace::{EventSink, KernelEvent, Timestamped, TraceRing, TraceSubscriber};

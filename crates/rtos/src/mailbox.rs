@@ -100,7 +100,8 @@ impl MailboxRegistry {
             }),
             Some(_) => Ok(()), // idempotent attach
             None => {
-                self.boxes.insert(name.clone(), Mailbox::new(name, capacity));
+                self.boxes
+                    .insert(name.clone(), Mailbox::new(name, capacity));
                 Ok(())
             }
         }
@@ -127,10 +128,7 @@ impl MailboxRegistry {
     /// [`IpcError::NotFound`] if no such mailbox exists.
     pub fn send(&mut self, name: &str, msg: &[u8]) -> Result<bool, IpcError> {
         let name = ObjName::new(name).map_err(IpcError::BadName)?;
-        let mb = self
-            .boxes
-            .get_mut(&name)
-            .ok_or(IpcError::NotFound(name))?;
+        let mb = self.boxes.get_mut(&name).ok_or(IpcError::NotFound(name))?;
         if mb.queue.len() >= mb.capacity {
             mb.rejected += 1;
             return Ok(false);
@@ -147,10 +145,7 @@ impl MailboxRegistry {
     /// [`IpcError::NotFound`] if no such mailbox exists.
     pub fn recv(&mut self, name: &str) -> Result<Option<Vec<u8>>, IpcError> {
         let name = ObjName::new(name).map_err(IpcError::BadName)?;
-        let mb = self
-            .boxes
-            .get_mut(&name)
-            .ok_or(IpcError::NotFound(name))?;
+        let mb = self.boxes.get_mut(&name).ok_or(IpcError::NotFound(name))?;
         let msg = mb.queue.pop_front();
         if msg.is_some() {
             mb.received += 1;

@@ -2,16 +2,27 @@
 //!
 //! Everything stochastic in the kernel (timer drift, dispatch jitter, load
 //! bursts) draws from one seeded generator so that a whole experiment is
-//! reproducible from a single `--seed` value. `rand` 0.8 ships only uniform
-//! sampling offline, so the Gaussian sampler (Box–Muller) lives here.
+//! reproducible from a single `--seed` value. The generator is an in-repo
+//! xoshiro256++ (seeded through SplitMix64) so the simulator builds with no
+//! external crates; the Gaussian sampler (Box–Muller) lives here too.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Seeded random source used by the kernel and the latency model.
-#[derive(Debug)]
+///
+/// Implements xoshiro256++ 1.0 (Blackman & Vigna). The state is expanded
+/// from the seed with SplitMix64, the standard recommendation, so that
+/// nearby seeds still yield uncorrelated streams.
+#[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second output of the Box–Muller transform.
     spare_gaussian: Option<f64>,
 }
@@ -19,15 +30,35 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             spare_gaussian: None,
         }
     }
 
-    /// Uniform sample in `[0, 1)`.
+    /// Next raw 64-bit output of the generator.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -41,9 +72,23 @@ impl SimRng {
     }
 
     /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Rejection sampling over the largest multiple of `span` to keep
+        // the draw exactly uniform (a bare modulo would bias small values).
+        let rem = (u64::MAX % span + 1) % span; // 2^64 mod span
+        let zone = u64::MAX - rem;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return lo + v % span;
+            }
+        }
     }
 
     /// Bernoulli trial with probability `p`.
@@ -109,6 +154,15 @@ mod tests {
     }
 
     #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut rng = SimRng::from_seed(123);
+        for _ in 0..10_000 {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
     fn gaussian_moments_are_plausible() {
         let mut rng = SimRng::from_seed(7);
         let n = 40_000;
@@ -143,5 +197,15 @@ mod tests {
             let y = rng.uniform_u64(10, 20);
             assert!((10..20).contains(&y));
         }
+    }
+
+    #[test]
+    fn uniform_u64_covers_range() {
+        let mut rng = SimRng::from_seed(17);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.uniform_u64(0, 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
     }
 }

@@ -30,10 +30,7 @@ impl ObjName {
             return Err(NameError::new(name, "name exceeds 6 characters"));
         }
         if !name.bytes().all(|b| b.is_ascii_alphanumeric()) {
-            return Err(NameError::new(
-                name,
-                "name must be ASCII alphanumeric",
-            ));
+            return Err(NameError::new(name, "name must be ASCII alphanumeric"));
         }
         Ok(ObjName(name))
     }

@@ -1,11 +1,17 @@
 //! Property-based tests of the kernel's core invariants: determinism,
 //! statistics laws, priority isolation, and budget accounting.
+//!
+//! Cases are generated from the in-repo seeded [`SimRng`] (no external
+//! property-testing crate), so every run explores the same corpus and a
+//! failure reproduces from the case index alone.
 
-use proptest::prelude::*;
 use rtos::kernel::{Kernel, KernelConfig};
 use rtos::latency::{LatencyStats, LoadMode, TimerJitterModel, TimerMode};
+use rtos::rng::SimRng;
 use rtos::task::{IdleBody, Priority, TaskConfig};
 use rtos::time::SimDuration;
+
+const CASES: usize = 64;
 
 fn ideal_kernel(seed: u64, cpus: u32) -> Kernel {
     Kernel::new(
@@ -15,51 +21,81 @@ fn ideal_kernel(seed: u64, cpus: u32) -> Kernel {
     )
 }
 
-proptest! {
-    /// AVEDEV is non-negative, at most the full range, and min ≤ avg ≤ max.
-    #[test]
-    fn stats_laws(samples in proptest::collection::vec(-1_000_000i64..1_000_000, 1..200)) {
+fn sample_i64(rng: &mut SimRng, lo: i64, hi: i64) -> i64 {
+    lo + rng.uniform_u64(0, (hi - lo) as u64) as i64
+}
+
+/// AVEDEV is non-negative, at most the full range, and min ≤ avg ≤ max.
+#[test]
+fn stats_laws() {
+    let mut rng = SimRng::from_seed(0xA11CE);
+    for case in 0..CASES {
+        let len = rng.uniform_u64(1, 200) as usize;
+        let samples: Vec<i64> = (0..len)
+            .map(|_| sample_i64(&mut rng, -1_000_000, 1_000_000))
+            .collect();
         let mut s = LatencyStats::new();
         for &x in &samples {
             s.record(x);
         }
         let (min, max) = (s.min().unwrap(), s.max().unwrap());
-        prop_assert!(min as f64 <= s.average() + 1e-9);
-        prop_assert!(s.average() <= max as f64 + 1e-9);
-        prop_assert!(s.avedev() >= 0.0);
-        prop_assert!(s.avedev() <= (max - min) as f64 + 1e-9);
-        prop_assert_eq!(s.count(), samples.len());
+        assert!(min as f64 <= s.average() + 1e-9, "case {case}");
+        assert!(s.average() <= max as f64 + 1e-9, "case {case}");
+        assert!(s.avedev() >= 0.0, "case {case}");
+        assert!(s.avedev() <= (max - min) as f64 + 1e-9, "case {case}");
+        assert_eq!(s.count(), samples.len(), "case {case}");
         // Percentile endpoints are the order statistics.
-        prop_assert_eq!(s.percentile(0.0), Some(min));
-        prop_assert_eq!(s.percentile(100.0), Some(max));
+        assert_eq!(s.percentile(0.0), Some(min), "case {case}");
+        assert_eq!(s.percentile(100.0), Some(max), "case {case}");
         // Histograms conserve mass.
         let h = s.histogram(min, max + 1, 7);
-        prop_assert_eq!(h.iter().sum::<usize>(), samples.len());
+        assert_eq!(h.iter().sum::<usize>(), samples.len(), "case {case}");
     }
+}
 
-    /// Merging recorders equals recording the concatenation.
-    #[test]
-    fn stats_merge_is_concat(
-        a in proptest::collection::vec(-1_000i64..1_000, 0..50),
-        b in proptest::collection::vec(-1_000i64..1_000, 0..50),
-    ) {
+/// Merging recorders equals recording the concatenation.
+#[test]
+fn stats_merge_is_concat() {
+    let mut rng = SimRng::from_seed(0xB0B);
+    for case in 0..CASES {
+        let a: Vec<i64> = (0..rng.uniform_u64(0, 50))
+            .map(|_| sample_i64(&mut rng, -1_000, 1_000))
+            .collect();
+        let b: Vec<i64> = (0..rng.uniform_u64(0, 50))
+            .map(|_| sample_i64(&mut rng, -1_000, 1_000))
+            .collect();
         let mut left = LatencyStats::new();
-        for &x in &a { left.record(x); }
+        for &x in &a {
+            left.record(x);
+        }
         let mut right = LatencyStats::new();
-        for &x in &b { right.record(x); }
+        for &x in &b {
+            right.record(x);
+        }
         left.merge(&right);
         let mut all = LatencyStats::new();
-        for &x in a.iter().chain(b.iter()) { all.record(x); }
-        prop_assert_eq!(left.count(), all.count());
-        prop_assert_eq!(left.min(), all.min());
-        prop_assert_eq!(left.max(), all.max());
-        prop_assert!((left.average() - all.average()).abs() < 1e-9);
+        for &x in a.iter().chain(b.iter()) {
+            all.record(x);
+        }
+        assert_eq!(left.count(), all.count(), "case {case}");
+        assert_eq!(left.min(), all.min(), "case {case}");
+        assert_eq!(left.max(), all.max(), "case {case}");
+        assert!((left.average() - all.average()).abs() < 1e-9, "case {case}");
     }
+}
 
-    /// The calibrated model is deterministic per seed: two kernels with the
-    /// same configuration produce bit-identical latency streams.
-    #[test]
-    fn kernel_determinism(seed in 0u64..1_000, load in prop_oneof![Just(LoadMode::Light), Just(LoadMode::Stress)]) {
+/// The calibrated model is deterministic per seed: two kernels with the
+/// same configuration produce bit-identical latency streams.
+#[test]
+fn kernel_determinism() {
+    let mut rng = SimRng::from_seed(0xDE7);
+    for case in 0..24 {
+        let seed = rng.uniform_u64(0, 1_000);
+        let load = if rng.chance(0.5) {
+            LoadMode::Light
+        } else {
+            LoadMode::Stress
+        };
         let run = |seed| {
             let mut k = Kernel::new(
                 KernelConfig::new(seed)
@@ -74,17 +110,22 @@ proptest! {
             k.run_for(SimDuration::from_millis(50));
             k.task_stats(t).unwrap().samples().to_vec()
         };
-        prop_assert_eq!(run(seed), run(seed));
+        assert_eq!(run(seed), run(seed), "case {case}");
     }
+}
 
-    /// Priority isolation: with an ideal timer, a strictly-highest-priority
-    /// task is never delayed, whatever mix of lower-priority tasks runs.
-    #[test]
-    fn highest_priority_never_delayed(
-        others in proptest::collection::vec((2u8..20, 1u64..5, 50u64..2_000), 0..5),
-    ) {
+/// Priority isolation: with an ideal timer, a strictly-highest-priority
+/// task is never delayed, whatever mix of lower-priority tasks runs.
+#[test]
+fn highest_priority_never_delayed() {
+    let mut rng = SimRng::from_seed(0x1507);
+    for case in 0..32 {
         let mut k = ideal_kernel(3, 1);
-        for (i, &(prio, period_ms, cost_us)) in others.iter().enumerate() {
+        let others = rng.uniform_u64(0, 5);
+        for i in 0..others {
+            let prio = rng.uniform_u64(2, 20) as u8;
+            let period_ms = rng.uniform_u64(1, 5);
+            let cost_us = rng.uniform_u64(50, 2_000);
             let cfg = TaskConfig::periodic(
                 &format!("low{i:02}"),
                 Priority(prio),
@@ -103,14 +144,19 @@ proptest! {
         k.start_task(top).unwrap();
         k.run_for(SimDuration::from_millis(100));
         let stats = k.task_stats(top).unwrap();
-        prop_assert!(stats.count() > 0);
-        prop_assert_eq!(stats.max().unwrap(), 0, "top task delayed");
+        assert!(stats.count() > 0, "case {case}");
+        assert_eq!(stats.max().unwrap(), 0, "case {case}: top task delayed");
     }
+}
 
-    /// CPU time accounting: RT + Linux busy fractions never exceed 1 per
-    /// CPU, and a single task's cycle count matches elapsed/period.
-    #[test]
-    fn utilization_accounting(cost_us in 10u64..900, seed in 0u64..50) {
+/// CPU time accounting: RT + Linux busy fractions never exceed 1 per
+/// CPU, and a single task's cycle count matches elapsed/period.
+#[test]
+fn utilization_accounting() {
+    let mut rng = SimRng::from_seed(0xACC7);
+    for case in 0..32 {
+        let cost_us = rng.uniform_u64(10, 900);
+        let seed = rng.uniform_u64(0, 50);
         let mut k = ideal_kernel(seed, 1);
         let cfg = TaskConfig::periodic("tick", Priority(2), SimDuration::from_millis(1))
             .unwrap()
@@ -120,19 +166,29 @@ proptest! {
         k.run_for(SimDuration::from_millis(200));
         let rt_util = k.cpu_rt_utilization(0);
         let linux_util = k.cpu_linux_utilization(0);
-        prop_assert!(rt_util + linux_util <= 1.0 + 1e-9);
+        assert!(rt_util + linux_util <= 1.0 + 1e-9, "case {case}");
         // Expected utilization ≈ cost/period (+ the 1 µs default floor is
         // included in base_cost here, so exact).
         let expected = cost_us as f64 / 1_000.0;
-        prop_assert!((rt_util - expected).abs() < 0.02, "util {rt_util} vs {expected}");
+        assert!(
+            (rt_util - expected).abs() < 0.02,
+            "case {case}: util {rt_util} vs {expected}"
+        );
         let cycles = k.task_cycles(t).unwrap();
-        prop_assert!((198..=200).contains(&cycles), "cycles {cycles}");
+        assert!(
+            (198..=200).contains(&cycles),
+            "case {case}: cycles {cycles}"
+        );
     }
+}
 
-    /// Suspend/resume conserves work: total cycles after a suspend window
-    /// equal active-time / period, regardless of when the suspend happens.
-    #[test]
-    fn suspend_conserves_cycles(suspend_at_ms in 5u64..50) {
+/// Suspend/resume conserves work: total cycles after a suspend window
+/// equal active-time / period, regardless of when the suspend happens.
+#[test]
+fn suspend_conserves_cycles() {
+    let mut rng = SimRng::from_seed(0x5105);
+    for case in 0..32 {
+        let suspend_at_ms = rng.uniform_u64(5, 50);
         let mut k = ideal_kernel(9, 1);
         let cfg = TaskConfig::periodic("tick", Priority(2), SimDuration::from_millis(1))
             .unwrap()
@@ -144,22 +200,46 @@ proptest! {
         k.run_for(SimDuration::from_millis(30));
         let frozen = k.task_cycles(t).unwrap();
         // At most one in-flight cycle completes after the suspend call.
-        prop_assert!(frozen <= suspend_at_ms, "frozen {frozen}");
-        prop_assert!(frozen + 1 >= suspend_at_ms, "frozen {frozen}");
+        assert!(frozen <= suspend_at_ms, "case {case}: frozen {frozen}");
+        assert!(frozen + 1 >= suspend_at_ms, "case {case}: frozen {frozen}");
         k.resume_task(t).unwrap();
         k.run_for(SimDuration::from_millis(20));
         let total = k.task_cycles(t).unwrap();
-        prop_assert!((19..=20).contains(&(total - frozen)), "resumed {}", total - frozen);
+        assert!(
+            (19..=20).contains(&(total - frozen)),
+            "case {case}: resumed {}",
+            total - frozen
+        );
     }
+}
 
-    /// Names are exclusive while alive and reusable after deletion.
-    #[test]
-    fn task_name_exclusivity(name in "[a-z][a-z0-9]{0,5}") {
+/// Names are exclusive while alive and reusable after deletion.
+#[test]
+fn task_name_exclusivity() {
+    let mut rng = SimRng::from_seed(0x8A8E);
+    for case in 0..32 {
+        let len = rng.uniform_u64(1, 7) as usize;
+        let name: String = (0..len)
+            .map(|i| {
+                let set: &[u8] = if i == 0 {
+                    b"abcdefghijklmnopqrstuvwxyz"
+                } else {
+                    b"abcdefghijklmnopqrstuvwxyz0123456789"
+                };
+                set[rng.uniform_u64(0, set.len() as u64) as usize] as char
+            })
+            .collect();
         let mut k = ideal_kernel(1, 1);
         let cfg = TaskConfig::periodic(&name, Priority(2), SimDuration::from_millis(1)).unwrap();
         let t = k.create_task(cfg.clone(), Box::new(IdleBody)).unwrap();
-        prop_assert!(k.create_task(cfg.clone(), Box::new(IdleBody)).is_err());
+        assert!(
+            k.create_task(cfg.clone(), Box::new(IdleBody)).is_err(),
+            "case {case}"
+        );
         k.delete_task(t).unwrap();
-        prop_assert!(k.create_task(cfg, Box::new(IdleBody)).is_ok());
+        assert!(
+            k.create_task(cfg, Box::new(IdleBody)).is_ok(),
+            "case {case}"
+        );
     }
 }

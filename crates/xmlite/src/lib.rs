@@ -91,7 +91,8 @@ impl Element {
 
     /// Child elements whose local name equals `name`.
     pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
-        self.child_elements().filter(move |e| e.local_name() == name)
+        self.child_elements()
+            .filter(move |e| e.local_name() == name)
     }
 
     /// The first child element with the given local name.
@@ -357,7 +358,8 @@ fn decode_entities(raw: &str) -> Result<String, String> {
                 let code = u32::from_str_radix(&entity[2..], 16)
                     .map_err(|_| format!("bad numeric entity `&{entity};`"))?;
                 out.push(
-                    char::from_u32(code).ok_or_else(|| format!("invalid codepoint `&{entity};`"))?,
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid codepoint `&{entity};`"))?,
                 );
             }
             _ if entity.starts_with('#') => {
@@ -365,7 +367,8 @@ fn decode_entities(raw: &str) -> Result<String, String> {
                     .parse::<u32>()
                     .map_err(|_| format!("bad numeric entity `&{entity};`"))?;
                 out.push(
-                    char::from_u32(code).ok_or_else(|| format!("invalid codepoint `&{entity};`"))?,
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid codepoint `&{entity};`"))?,
                 );
             }
             _ => return Err(format!("unknown entity `&{entity};`")),

@@ -19,11 +19,9 @@
 //!
 //! Run with: `cargo run --example adaptive_control`
 
-use drcom::drcr::ComponentProvider;
-use drcom::prelude::*;
 use drcom::resolve::{Decision, ResolvingService};
 use drcom::view::{ComponentInfo, SystemView};
-use rtos::kernel::KernelConfig;
+use drt::prelude::*;
 use std::rc::Rc;
 
 /// A site policy: CPU 0 may not be booked beyond a fixed fraction.
@@ -43,7 +41,10 @@ impl ResolvingService for SiteCap {
         if u <= self.cap + 1e-9 {
             Decision::Admit
         } else {
-            Decision::Reject(format!("site policy caps CPU 0 at {:.0}%", self.cap * 100.0))
+            Decision::Reject(format!(
+                "site policy caps CPU 0 at {:.0}%",
+                self.cap * 100.0
+            ))
         }
     }
 }
@@ -204,7 +205,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("   {}", states(&rt));
 
     println!("\nDRCR decision log:");
-    for d in rt.drcr().decisions() {
+    for d in rt.drcr().decisions_text() {
         println!("   {d}");
     }
     Ok(())

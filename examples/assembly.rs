@@ -5,9 +5,7 @@
 //! Run with: `cargo run --example assembly`
 
 use drcom::adl::Assembly;
-use drcom::drcr::ComponentProvider;
-use drcom::prelude::*;
-use rtos::kernel::KernelConfig;
+use drt::prelude::*;
 
 fn stage(name: &str, input: Option<&str>, output: Option<&str>, hz: u32) -> ComponentProvider {
     let mut b = ComponentDescriptor::builder(name)
@@ -84,6 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     deployed.undeploy(&mut rt)?;
-    println!("\nundeployed; components remaining: {:?}", rt.drcr().component_names());
+    println!(
+        "\nundeployed; components remaining: {:?}",
+        rt.drcr().component_names()
+    );
     Ok(())
 }

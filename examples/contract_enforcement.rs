@@ -8,11 +8,8 @@
 //!
 //! Run with: `cargo run --example contract_enforcement`
 
-use drcom::drcr::ComponentProvider;
 use drcom::enforce::{ContractMonitor, EnforcementAction, EnforcementPolicy};
-use drcom::prelude::*;
-use rtos::kernel::KernelConfig;
-use rtos::latency::TimerJitterModel;
+use drt::prelude::*;
 
 /// Claims 10% of the CPU, actually burns ~60%.
 fn liar() -> ComponentProvider {

@@ -6,10 +6,7 @@
 //!
 //! Run with: `cargo run --example event_pipeline`
 
-use drcom::drcr::ComponentProvider;
-use drcom::prelude::*;
-use rtos::kernel::KernelConfig;
-use rtos::latency::TimerJitterModel;
+use drt::prelude::*;
 
 fn detector() -> ComponentProvider {
     let d = ComponentDescriptor::builder("detect")

@@ -5,10 +5,7 @@
 //! Run with: `cargo run --example mode_switching`
 
 use drcom::adapt::{AdaptationManager, GracefulDegradation};
-use drcom::drcr::ComponentProvider;
-use drcom::prelude::*;
-use rtos::kernel::KernelConfig;
-use rtos::latency::TimerJitterModel;
+use drt::prelude::*;
 
 const CAMERA_XML: &str = r#"<drt:component name="cam" desc="moded camera"
     type="periodic" cpuusage="0.55">
@@ -85,7 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     report(&rt, "heavy left; after adaptation");
 
     println!("\nDRCR decision log:");
-    for d in rt.drcr().decisions() {
+    for d in rt.drcr().decisions_text() {
         println!("  {d}");
     }
     Ok(())

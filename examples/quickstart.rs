@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use drcom::drcr::ComponentProvider;
-use drcom::prelude::*;
-use rtos::kernel::KernelConfig;
+use drt::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Boot the split container: an RTAI-like kernel underneath, an

@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --example smart_camera`
 
-use drcom::drcr::ComponentProvider;
-use drcom::prelude::*;
-use rtos::kernel::KernelConfig;
+use drt::prelude::*;
 
 /// The descriptor from the paper's Figure 2 (ASCII quotes; `xysize` is fed
 /// back by the tracker, so the tracker declares it as an outport).

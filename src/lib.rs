@@ -25,3 +25,22 @@
 pub use drcom;
 pub use osgi;
 pub use rtos;
+
+/// One-stop re-exports for applications, examples and tests: the runtime
+/// and its control surface, component building blocks, the typed
+/// observability layer, and the kernel configuration types.
+pub mod prelude {
+    pub use drcom::descriptor::ComponentDescriptor;
+    pub use drcom::drcr::{ComponentProvider, Drcr};
+    pub use drcom::hybrid::{FnLogic, RtIo, RtLogic};
+    pub use drcom::lifecycle::ComponentState;
+    pub use drcom::manage::{ComponentControl, ManagementReply, RtComponentManagement};
+    pub use drcom::model::{PortInterface, PropertyValue, BASE_MODE};
+    pub use drcom::obs::{BridgeEvent, DrcrEvent, MetricsReport};
+    pub use drcom::runtime::DrtRuntime;
+    pub use rtos::kernel::KernelConfig;
+    pub use rtos::latency::TimerJitterModel;
+    pub use rtos::shm::DataType;
+    pub use rtos::time::{SimDuration, SimTime};
+    pub use rtos::trace::KernelEvent;
+}

@@ -4,14 +4,11 @@
 //! management service — the exact shape of an "application specific
 //! adaptation manager" deployed as an ordinary service component.
 
-use drcom::drcr::ComponentProvider;
 use drcom::manage::{ManagementHandle, MANAGEMENT_SERVICE};
-use drcom::prelude::*;
+use drt::prelude::*;
 use osgi::ds::{BindingPolicy, DsComponent, DsReference, DsState, ScrRuntime};
 use osgi::ldap::Filter;
 use osgi::tracker::{ServiceTracker, TrackerEvent};
-use rtos::kernel::KernelConfig;
-use rtos::latency::TimerJitterModel;
 use std::any::Any;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -40,7 +37,9 @@ impl osgi::ds::DsInstance for Supervisor {
     fn bind(&mut self, reference: &str, service: Rc<dyn Any>) {
         if reference == "target" {
             if let Ok(handle) = service.downcast::<ManagementHandle>() {
-                self.bound.borrow_mut().push(handle.0.component_name().to_string());
+                self.bound
+                    .borrow_mut()
+                    .push(handle.0.component_name().to_string());
                 self.mgmt = Some(handle.0.clone());
             }
         }
@@ -82,7 +81,8 @@ fn ds_component_supervises_a_drcom_component() {
 
     // Deploy the RT component: its management service satisfies the DS
     // reference; the supervisor activates and suspends it.
-    rt.install_component("demo.calc", rt_component("calc")).unwrap();
+    rt.install_component("demo.calc", rt_component("calc"))
+        .unwrap();
     scr.process(rt.framework_mut());
     rt.process();
     assert_eq!(scr.state("superv"), Some(DsState::Active));
@@ -107,12 +107,13 @@ fn ds_supervisor_survives_rt_component_churn() {
         })
     })
     .requires(
-        DsReference::mandatory("target", MANAGEMENT_SERVICE)
-            .with_policy(BindingPolicy::Dynamic),
+        DsReference::mandatory("target", MANAGEMENT_SERVICE).with_policy(BindingPolicy::Dynamic),
     );
     scr.add_component(rt.framework_mut(), supervisor);
 
-    let bundle = rt.install_component("demo.calc", rt_component("calc")).unwrap();
+    let bundle = rt
+        .install_component("demo.calc", rt_component("calc"))
+        .unwrap();
     scr.process(rt.framework_mut());
     rt.process();
     assert_eq!(scr.state("superv"), Some(DsState::Active));

@@ -2,10 +2,7 @@
 //! full event chain: arrival ordering, cascade on departure, automatic
 //! re-activation, and the integrity of the DRCR's global view throughout.
 
-use drcom::drcr::ComponentProvider;
-use drcom::prelude::*;
-use rtos::kernel::KernelConfig;
-use rtos::latency::TimerJitterModel;
+use drt::prelude::*;
 
 fn runtime() -> DrtRuntime {
     DrtRuntime::new(KernelConfig::new(11).with_timer(TimerJitterModel::ideal()))
@@ -45,13 +42,15 @@ fn disp() -> ComponentProvider {
 fn scenario_forward_consumer_first() {
     let mut rt = runtime();
     rt.install_component("demo.disp", disp()).unwrap();
-    assert_eq!(rt.component_state("disp"), Some(ComponentState::Unsatisfied));
-    // The decision log explains *why*.
-    assert!(rt
-        .drcr()
-        .decisions()
-        .iter()
-        .any(|d| d.contains("no provider")));
+    assert_eq!(
+        rt.component_state("disp"),
+        Some(ComponentState::Unsatisfied)
+    );
+    // The typed event log explains *why*.
+    assert!(rt.drcr().events_for("disp").any(|e| matches!(
+        &e.event,
+        DrcrEvent::WiringUnsatisfied { missing, .. } if missing.contains("no provider")
+    )));
 
     rt.install_component("demo.calc", calc()).unwrap();
     assert_eq!(rt.component_state("calc"), Some(ComponentState::Active));
@@ -68,8 +67,15 @@ fn scenario_reverse_provider_departs_and_returns() {
     // Departure: the DRCR gets notified and consults its resolving services
     // again; disp is found unsatisfied and disabled (paper §4.3).
     rt.stop_bundle(calc_bundle).unwrap();
-    assert_eq!(rt.component_state("calc"), None, "calc removed with its bundle");
-    assert_eq!(rt.component_state("disp"), Some(ComponentState::Unsatisfied));
+    assert_eq!(
+        rt.component_state("calc"),
+        None,
+        "calc removed with its bundle"
+    );
+    assert_eq!(
+        rt.component_state("disp"),
+        Some(ComponentState::Unsatisfied)
+    );
 
     // The RT side is really gone: no tasks, no channels, no reservations.
     assert!(rt.kernel().task_by_name("calc").is_none());
@@ -106,7 +112,10 @@ fn repeated_churn_never_leaks() {
     for _ in 0..10 {
         rt.advance(SimDuration::from_millis(10));
         rt.stop_bundle(calc_bundle).unwrap();
-        assert_eq!(rt.component_state("disp"), Some(ComponentState::Unsatisfied));
+        assert_eq!(
+            rt.component_state("disp"),
+            Some(ComponentState::Unsatisfied)
+        );
         rt.start_bundle(calc_bundle).unwrap();
         assert_eq!(rt.component_state("disp"), Some(ComponentState::Active));
     }
@@ -130,7 +139,10 @@ fn uninstall_behaves_like_stop_for_the_drcr() {
     rt.install_component("demo.disp", disp()).unwrap();
     rt.uninstall_bundle(calc_bundle).unwrap();
     assert_eq!(rt.component_state("calc"), None);
-    assert_eq!(rt.component_state("disp"), Some(ComponentState::Unsatisfied));
+    assert_eq!(
+        rt.component_state("disp"),
+        Some(ComponentState::Unsatisfied)
+    );
     // A fresh bundle with the same component name can be installed again.
     rt.install_component("demo.calc2", calc()).unwrap();
     assert_eq!(rt.component_state("disp"), Some(ComponentState::Active));

@@ -1,10 +1,7 @@
 //! Event-driven (aperiodic) components: released by mailbox arrivals or
 //! explicit triggers rather than the hardware timer.
 
-use drcom::drcr::ComponentProvider;
-use drcom::prelude::*;
-use rtos::kernel::KernelConfig;
-use rtos::latency::TimerJitterModel;
+use drt::prelude::*;
 
 fn runtime() -> DrtRuntime {
     DrtRuntime::new(KernelConfig::new(71).with_timer(TimerJitterModel::ideal()))
@@ -88,7 +85,11 @@ fn external_posts_wake_the_handler() {
         rt.advance(SimDuration::from_millis(1));
     }
     let after = rt.kernel().task_cycles(task).unwrap();
-    assert!(after >= before + 3, "handler ran {} extra cycles", after - before);
+    assert!(
+        after >= before + 3,
+        "handler ran {} extra cycles",
+        after - before
+    );
 }
 
 #[test]
@@ -111,7 +112,11 @@ fn manual_trigger_releases_one_cycle() {
     .unwrap();
     let task = rt.drcr().task_of("job").unwrap();
     rt.advance(SimDuration::from_millis(50));
-    assert_eq!(rt.kernel().task_cycles(task).unwrap(), 0, "no spontaneous runs");
+    assert_eq!(
+        rt.kernel().task_cycles(task).unwrap(),
+        0,
+        "no spontaneous runs"
+    );
     rt.trigger_component("job").unwrap();
     rt.advance(SimDuration::from_millis(10));
     assert_eq!(rt.kernel().task_cycles(task).unwrap(), 1);

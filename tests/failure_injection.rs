@@ -2,13 +2,10 @@
 //! silently or leakily, when components misbehave at deployment or run
 //! time.
 
-use drcom::drcr::ComponentProvider;
-use drcom::prelude::*;
+use drt::prelude::*;
 use osgi::framework::{BundleActivator, BundleContext, FrameworkError};
 use osgi::manifest::BundleManifest;
 use osgi::version::Version;
-use rtos::kernel::KernelConfig;
-use rtos::latency::TimerJitterModel;
 
 fn runtime() -> DrtRuntime {
     DrtRuntime::new(KernelConfig::new(77).with_timer(TimerJitterModel::ideal()))
@@ -38,10 +35,8 @@ fn malformed_descriptors_fail_before_deployment() {
         "<not-even-xml",
     ] {
         assert!(
-            ComponentProvider::from_xml(bad_xml, || Box::new(FnLogic(
-                |_io: &mut RtIo<'_, '_>| {}
-            )))
-            .is_err(),
+            ComponentProvider::from_xml(bad_xml, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {})))
+                .is_err(),
             "{bad_xml}"
         );
     }
@@ -58,7 +53,8 @@ impl BundleActivator for PanickyActivator {
 #[test]
 fn failed_activator_leaves_system_consistent() {
     let mut rt = runtime();
-    rt.install_component("demo.good", simple("good", 0.1)).unwrap();
+    rt.install_component("demo.good", simple("good", 0.1))
+        .unwrap();
     let bad = rt
         .framework_mut()
         .install(
@@ -77,15 +73,17 @@ fn failed_activator_leaves_system_consistent() {
 #[test]
 fn duplicate_component_names_are_refused_loudly() {
     let mut rt = runtime();
-    rt.install_component("demo.one", simple("calc", 0.1)).unwrap();
+    rt.install_component("demo.one", simple("calc", 0.1))
+        .unwrap();
     // A second bundle shipping the same component name: the DRCR refuses
     // the registration (names are globally unique, §2.3) and logs it.
-    rt.install_component("demo.two", simple("calc", 0.2)).unwrap();
+    rt.install_component("demo.two", simple("calc", 0.2))
+        .unwrap();
     assert!(rt
         .drcr()
-        .decisions()
+        .events()
         .iter()
-        .any(|d| d.contains("registration refused")));
+        .any(|e| matches!(e.event, DrcrEvent::RegistrationRefused { .. })));
     // Exactly one `calc`, with the first bundle's claim.
     assert_eq!(rt.drcr().ledger().reservation("calc"), Some((0, 0.1)));
 }
@@ -112,26 +110,30 @@ fn channel_shape_conflicts_roll_back_cleanly() {
     )
     .unwrap();
     // Activation failed...
-    assert_eq!(rt.component_state("prod"), Some(ComponentState::Unsatisfied));
-    assert!(rt
-        .drcr()
-        .decisions()
-        .iter()
-        .any(|d| d.contains("failed to activate") || d.contains("activation of")));
+    assert_eq!(
+        rt.component_state("prod"),
+        Some(ComponentState::Unsatisfied)
+    );
+    assert!(rt.drcr().events_for("prod").any(|e| matches!(
+        e.event,
+        DrcrEvent::Rollback { .. } | DrcrEvent::ActivationFailed { .. }
+    )));
     // ...and rolled back: no task, no stray chan2 segment, no reservation.
     assert!(rt.kernel().task_by_name("prod").is_none());
     assert!(rt.kernel().shm().get("chan2").is_none());
     assert!(rt.drcr().ledger().is_empty());
     // Freeing the conflicting object and re-resolving recovers.
     rt.kernel_mut().shm_mut().free("chan").unwrap();
-    rt.install_component("demo.nudge", simple("nudge", 0.01)).unwrap();
+    rt.install_component("demo.nudge", simple("nudge", 0.01))
+        .unwrap();
     assert_eq!(rt.component_state("prod"), Some(ComponentState::Active));
 }
 
 #[test]
 fn command_mailbox_overflow_is_reported_not_lost() {
     let mut rt = runtime();
-    rt.install_component("demo.calc", simple("calc", 0.1)).unwrap();
+    rt.install_component("demo.calc", simple("calc", 0.1))
+        .unwrap();
     let mgmt = rt.management("calc").unwrap();
     // The command mailbox holds 16; the RT task never runs (we do not
     // advance time), so the 17th command must be rejected.
@@ -157,7 +159,9 @@ fn command_mailbox_overflow_is_reported_not_lost() {
 #[test]
 fn management_calls_on_dead_components_error_cleanly() {
     let mut rt = runtime();
-    let bundle = rt.install_component("demo.calc", simple("calc", 0.1)).unwrap();
+    let bundle = rt
+        .install_component("demo.calc", simple("calc", 0.1))
+        .unwrap();
     let mgmt = rt.management("calc").unwrap();
     rt.stop_bundle(bundle).unwrap();
     // The handle outlived its component: every operation fails with a
@@ -171,7 +175,8 @@ fn management_calls_on_dead_components_error_cleanly() {
 #[test]
 fn reply_mailbox_overflow_drops_replies_not_the_task() {
     let mut rt = runtime();
-    rt.install_component("demo.calc", simple("calc", 0.1)).unwrap();
+    rt.install_component("demo.calc", simple("calc", 0.1))
+        .unwrap();
     let mgmt = rt.management("calc").unwrap();
     // 16 status requests fit the command box; the RT side answers all of
     // them in one cycle, overflowing the 16-slot reply box is impossible
@@ -211,9 +216,17 @@ fn overload_admission_explains_every_rejection() {
     assert_eq!(active, 3);
     let rejections = rt
         .drcr()
-        .decisions()
-        .iter()
-        .filter(|d| d.contains("rejected by internal resolver"))
+        .admission_verdicts()
+        .filter(|e| {
+            matches!(
+                e.event,
+                DrcrEvent::AdmissionVerdict {
+                    internal: true,
+                    admitted: false,
+                    ..
+                }
+            )
+        })
         .count();
     assert!(rejections >= 5, "rejections {rejections}");
 }

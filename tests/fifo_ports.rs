@@ -1,10 +1,7 @@
 //! FIFO (byte-stream) ports end to end: the `RTAI.FIFO` extension carried
 //! through descriptor, wiring, activation and the hybrid I/O layer.
 
-use drcom::drcr::ComponentProvider;
-use drcom::prelude::*;
-use rtos::kernel::KernelConfig;
-use rtos::latency::TimerJitterModel;
+use drt::prelude::*;
 
 fn runtime() -> DrtRuntime {
     DrtRuntime::new(KernelConfig::new(91).with_timer(TimerJitterModel::ideal()))
@@ -58,7 +55,11 @@ fn fifo_ports_stream_bytes_between_components() {
     let fifo = kernel.fifos().lookup("logs").unwrap();
     // 200 cycles/s × 6 bytes ≈ 1200 bytes through the stream; the drain at
     // 20 Hz pulls 32 bytes per read until empty, so nearly all flow through.
-    assert!(fifo.written_bytes() >= 1100, "wrote {}", fifo.written_bytes());
+    assert!(
+        fifo.written_bytes() >= 1100,
+        "wrote {}",
+        fifo.written_bytes()
+    );
     assert!(
         fifo.read_bytes() + 64 >= fifo.written_bytes(),
         "drained {} of {}",
@@ -90,12 +91,14 @@ fn fifo_shape_mismatch_is_functionally_incompatible() {
             .unwrap(),
     )
     .unwrap();
-    assert_eq!(rt.component_state("drain"), Some(ComponentState::Unsatisfied));
-    assert!(rt
-        .drcr()
-        .decisions()
-        .iter()
-        .any(|d| d.contains("incompatible")));
+    assert_eq!(
+        rt.component_state("drain"),
+        Some(ComponentState::Unsatisfied)
+    );
+    assert!(rt.drcr().events().iter().any(|e| matches!(
+        &e.event,
+        DrcrEvent::WiringUnsatisfied { missing, .. } if missing.contains("incompatible")
+    )));
 }
 
 #[test]

@@ -3,16 +3,14 @@
 //! the RT kernel, and management reached through LDAP-filtered registry
 //! lookups — the whole Figure 3 stack in one place.
 
-use drcom::drcr::{ComponentProvider, PROP_COMPONENT_NAME};
+use drcom::drcr::PROP_COMPONENT_NAME;
 use drcom::manage::{ManagementHandle, MANAGEMENT_SERVICE};
-use drcom::prelude::*;
 use drcom::resolve::{ResolverHandle, RESOLVER_SERVICE};
+use drt::prelude::*;
 use osgi::framework::{BundleActivator, BundleContext, NoopActivator};
 use osgi::ldap::{Filter, Properties};
 use osgi::manifest::BundleManifest;
 use osgi::version::{Version, VersionRange};
-use rtos::kernel::KernelConfig;
-use rtos::latency::TimerJitterModel;
 use std::rc::Rc;
 
 fn runtime() -> DrtRuntime {
@@ -48,9 +46,11 @@ fn mailbox_ports_connect_components() {
     rt.install_component(
         "demo.cons",
         ComponentProvider::from_xml(CONSUMER_XML, || {
-            Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
-                while let Ok(Some(_msg)) = io.read("stream") {}
-            }))
+            Box::new(FnLogic(
+                |io: &mut RtIo<'_, '_>| {
+                    while let Ok(Some(_msg)) = io.read("stream") {}
+                },
+            ))
         })
         .unwrap(),
     )
@@ -61,7 +61,11 @@ fn mailbox_ports_connect_components() {
     let kernel = rt.kernel();
     let mbx = kernel.mailboxes().get("stream").unwrap();
     assert!(mbx.sent_count() > 150, "sent {}", mbx.sent_count());
-    assert!(mbx.received_count() > 150, "received {}", mbx.received_count());
+    assert!(
+        mbx.received_count() > 150,
+        "received {}",
+        mbx.received_count()
+    );
 }
 
 #[test]
@@ -95,7 +99,10 @@ fn management_services_are_ldap_discoverable() {
     // publishes the contract as service properties.
     let f = Filter::parse("(drt.cpuusage<=0.05)").unwrap();
     assert_eq!(
-        rt.framework().registry().find(MANAGEMENT_SERVICE, Some(&f)).len(),
+        rt.framework()
+            .registry()
+            .find(MANAGEMENT_SERVICE, Some(&f))
+            .len(),
         3
     );
 }
@@ -117,7 +124,11 @@ fn management_service_disappears_with_its_component() {
     assert!(rt.management("tmp").is_some());
     rt.stop_bundle(bundle).unwrap();
     assert!(rt.management("tmp").is_none());
-    assert!(rt.framework().registry().find(MANAGEMENT_SERVICE, None).is_empty());
+    assert!(rt
+        .framework()
+        .registry()
+        .find(MANAGEMENT_SERVICE, None)
+        .is_empty());
 }
 
 /// A bundle that registers a resolving service from its activator — the
@@ -161,7 +172,10 @@ fn resolver_bundle_lifecycle_gates_admissions() {
         ComponentProvider::new(d, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {}))),
     )
     .unwrap();
-    assert_eq!(rt.component_state("calc"), Some(ComponentState::Unsatisfied));
+    assert_eq!(
+        rt.component_state("calc"),
+        Some(ComponentState::Unsatisfied)
+    );
 
     // Stopping the policy bundle removes the veto; the DRCR re-resolves on
     // the Unregistering event.

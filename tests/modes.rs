@@ -1,11 +1,7 @@
 //! Integration tests for operating modes: alternate declared contracts
 //! switched at run time under full DRCR admission control.
 
-use drcom::drcr::ComponentProvider;
-use drcom::model::BASE_MODE;
-use drcom::prelude::*;
-use rtos::kernel::KernelConfig;
-use rtos::latency::TimerJitterModel;
+use drt::prelude::*;
 
 fn runtime() -> DrtRuntime {
     DrtRuntime::new(KernelConfig::new(55).with_timer(TimerJitterModel::ideal()))
@@ -125,15 +121,20 @@ fn mode_switch_changes_rate_and_claim() {
 fn unaffordable_mode_switch_leaves_component_unsatisfied_not_overcommitted() {
     let mut rt = runtime();
     rt.install_component("demo.cam", moded_camera()).unwrap();
-    let filler_bundle = rt.install_component("demo.fill", filler("fill", 0.40)).unwrap();
+    let filler_bundle = rt
+        .install_component("demo.fill", filler("fill", 0.40))
+        .unwrap();
     // cam 0.5 + fill 0.4 = 0.9 fits. Burst mode wants 0.8: 0.8 + 0.4 > 1.
     rt.switch_mode("cam", "burst").unwrap();
     assert_eq!(rt.component_state("cam"), Some(ComponentState::Unsatisfied));
-    assert!(rt
-        .drcr()
-        .decisions()
-        .iter()
-        .any(|d| d.contains("rejected by internal resolver")));
+    assert!(rt.drcr().admission_verdicts().any(|e| matches!(
+        e.event,
+        DrcrEvent::AdmissionVerdict {
+            internal: true,
+            admitted: false,
+            ..
+        }
+    )));
     // The CPU was never overcommitted.
     assert!(rt.drcr().ledger().utilization(0) <= 1.0);
     // Freeing capacity lets the burst mode in automatically.

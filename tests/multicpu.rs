@@ -2,11 +2,8 @@
 //! admission independence, and cross-CPU pipelines. (The paper's testbed is
 //! a duo-core laptop; Figure 2 pins the camera with `runoncup="0"`.)
 
-use drcom::drcr::ComponentProvider;
-use drcom::prelude::*;
 use drcom::resolve::RmBoundResolver;
-use rtos::kernel::KernelConfig;
-use rtos::latency::TimerJitterModel;
+use drt::prelude::*;
 
 fn runtime(cpus: u32) -> DrtRuntime {
     DrtRuntime::new(
@@ -66,15 +63,18 @@ fn descriptor_cpu_placement_reaches_the_kernel() {
 #[test]
 fn a_cpu_that_does_not_exist_fails_activation_cleanly() {
     let mut rt = runtime(1);
-    rt.install_component("d.ghost", pinned("ghost", 5, 0.1)).unwrap();
+    rt.install_component("d.ghost", pinned("ghost", 5, 0.1))
+        .unwrap();
     // Registered but unactivatable: the kernel refuses CPU 5, the DRCR
     // rolls back and logs it.
-    assert_eq!(rt.component_state("ghost"), Some(ComponentState::Unsatisfied));
-    assert!(rt
-        .drcr()
-        .decisions()
-        .iter()
-        .any(|d| d.contains("activation of `ghost` failed") || d.contains("failed to activate")));
+    assert_eq!(
+        rt.component_state("ghost"),
+        Some(ComponentState::Unsatisfied)
+    );
+    assert!(rt.drcr().events_for("ghost").any(|e| matches!(
+        e.event,
+        DrcrEvent::ActivationFailed { .. } | DrcrEvent::Rollback { .. }
+    )));
     assert!(rt.drcr().ledger().is_empty());
 }
 

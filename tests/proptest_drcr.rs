@@ -2,6 +2,9 @@
 //! of deployment, departure, suspension, mode switches and time must never
 //! break the executive's global invariants.
 //!
+//! Cases are generated from the in-repo seeded `SimRng` (no external
+//! property-testing crate).
+//!
 //! The invariants checked after every operation:
 //!
 //! 1. **Ledger ↔ lifecycle**: a component holds a reservation iff its
@@ -16,11 +19,8 @@
 //! 5. **No leaks**: with no components registered, the kernel has no SHM
 //!    segments and no mailboxes.
 
-use drcom::drcr::ComponentProvider;
-use drcom::prelude::*;
-use proptest::prelude::*;
-use rtos::kernel::KernelConfig;
-use rtos::latency::TimerJitterModel;
+use drt::prelude::*;
+use rtos::rng::SimRng;
 use rtos::task::TaskState;
 
 #[derive(Debug, Clone)]
@@ -37,19 +37,19 @@ enum Op {
     Advance(u8),
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::InstallSource),
-        Just(Op::InstallSink),
-        Just(Op::InstallModed),
-        Just(Op::StopSource),
-        Just(Op::StopSink),
-        Just(Op::StopModed),
-        any::<u8>().prop_map(Op::SuspendAny),
-        any::<u8>().prop_map(Op::ResumeAny),
-        any::<bool>().prop_map(Op::SwitchModed),
-        (1u8..20).prop_map(Op::Advance),
-    ]
+fn gen_op(rng: &mut SimRng) -> Op {
+    match rng.uniform_u64(0, 10) {
+        0 => Op::InstallSource,
+        1 => Op::InstallSink,
+        2 => Op::InstallModed,
+        3 => Op::StopSource,
+        4 => Op::StopSink,
+        5 => Op::StopModed,
+        6 => Op::SuspendAny(rng.next_u64() as u8),
+        7 => Op::ResumeAny(rng.next_u64() as u8),
+        8 => Op::SwitchModed(rng.chance(0.5)),
+        _ => Op::Advance(rng.uniform_u64(1, 20) as u8),
+    }
 }
 
 fn source() -> ComponentProvider {
@@ -90,7 +90,7 @@ fn moded() -> ComponentProvider {
     ComponentProvider::new(d, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {})))
 }
 
-fn check_invariants(rt: &DrtRuntime) -> Result<(), TestCaseError> {
+fn check_invariants(rt: &DrtRuntime, case: usize) {
     let drcr = rt.drcr();
     let names = drcr.component_names();
     // 1 + 2: ledger and kernel agree with lifecycle states.
@@ -99,16 +99,19 @@ fn check_invariants(rt: &DrtRuntime) -> Result<(), TestCaseError> {
         let reservation = drcr.ledger().reservation(name);
         let task = drcr.task_of(name);
         if state.holds_admission() {
-            prop_assert!(reservation.is_some(), "`{name}` {state} without reservation");
+            assert!(
+                reservation.is_some(),
+                "case {case}: `{name}` {state} without reservation"
+            );
             let claim = drcr.descriptor_of(name).unwrap().cpu_usage.fraction();
             let (_, reserved) = reservation.unwrap();
-            prop_assert!(
+            assert!(
                 (reserved - claim).abs() < 1e-9,
-                "`{name}` reserved {reserved} vs claim {claim}"
+                "case {case}: `{name}` reserved {reserved} vs claim {claim}"
             );
             let task = task.expect("admitted components have tasks");
             let kstate = rt.kernel().task_state(task);
-            prop_assert!(
+            assert!(
                 matches!(
                     kstate,
                     Some(
@@ -118,48 +121,50 @@ fn check_invariants(rt: &DrtRuntime) -> Result<(), TestCaseError> {
                             | TaskState::Suspended
                     )
                 ),
-                "`{name}` task in {kstate:?}"
+                "case {case}: `{name}` task in {kstate:?}"
             );
         } else {
-            prop_assert!(reservation.is_none(), "`{name}` {state} holds a reservation");
-            prop_assert!(task.is_none(), "`{name}` {state} holds a task");
+            assert!(
+                reservation.is_none(),
+                "case {case}: `{name}` {state} holds a reservation"
+            );
+            assert!(task.is_none(), "case {case}: `{name}` {state} holds a task");
         }
     }
     // 3: never overcommitted.
-    prop_assert!(
+    assert!(
         drcr.ledger().utilization(0) <= 1.0 + 1e-9,
-        "CPU 0 overcommitted: {}",
+        "case {case}: CPU 0 overcommitted: {}",
         drcr.ledger().utilization(0)
     );
     // 4: active consumers are fed.
     if drcr.state_of("snk") == Some(ComponentState::Active) {
-        prop_assert_eq!(
+        assert_eq!(
             drcr.state_of("src"),
             Some(ComponentState::Active),
-            "sink active without an active source"
+            "case {case}: sink active without an active source"
         );
     }
     // 5: no leaks once everything is gone.
     if names.is_empty() {
-        prop_assert!(rt.kernel().shm().is_empty(), "leaked SHM");
-        prop_assert!(rt.kernel().mailboxes().is_empty(), "leaked mailboxes");
+        assert!(rt.kernel().shm().is_empty(), "case {case}: leaked SHM");
+        assert!(
+            rt.kernel().mailboxes().is_empty(),
+            "case {case}: leaked mailboxes"
+        );
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 64,
-        ..ProptestConfig::default()
-    })]
-
-    #[test]
-    fn drcr_invariants_hold_under_random_operations(ops in proptest::collection::vec(op(), 1..60)) {
-        let mut rt = DrtRuntime::new(
-            KernelConfig::new(9).with_timer(TimerJitterModel::ideal()),
-        );
+#[test]
+fn drcr_invariants_hold_under_random_operations() {
+    let mut rng = SimRng::from_seed(0xD6C6);
+    for case in 0..64 {
+        let mut rt = DrtRuntime::new(KernelConfig::new(9).with_timer(TimerJitterModel::ideal()));
         let mut bundles: std::collections::HashMap<&str, osgi::event::BundleId> =
             Default::default();
+        let ops: Vec<Op> = (0..rng.uniform_u64(1, 60))
+            .map(|_| gen_op(&mut rng))
+            .collect();
         for op in ops {
             match op {
                 Op::InstallSource => {
@@ -201,10 +206,9 @@ proptest! {
                         let name = names[pick as usize % names.len()].clone();
                         // Only legal from Active; illegal attempts must
                         // error, not corrupt.
-                        let was_active =
-                            rt.component_state(&name) == Some(ComponentState::Active);
+                        let was_active = rt.component_state(&name) == Some(ComponentState::Active);
                         let result = rt.suspend_component(&name);
-                        prop_assert_eq!(result.is_ok(), was_active);
+                        assert_eq!(result.is_ok(), was_active, "case {case}");
                     }
                 }
                 Op::ResumeAny(pick) => {
@@ -214,7 +218,7 @@ proptest! {
                         let was_suspended =
                             rt.component_state(&name) == Some(ComponentState::Suspended);
                         let result = rt.resume_component(&name);
-                        prop_assert_eq!(result.is_ok(), was_suspended);
+                        assert_eq!(result.is_ok(), was_suspended, "case {case}");
                     }
                 }
                 Op::SwitchModed(cheap) => {
@@ -227,12 +231,12 @@ proptest! {
                     rt.advance(SimDuration::from_millis(u64::from(ms)));
                 }
             }
-            check_invariants(&rt)?;
+            check_invariants(&rt, case);
         }
         // Teardown: everything uninstalls cleanly.
         for (_, b) in bundles {
             rt.uninstall_bundle(b).unwrap();
         }
-        check_invariants(&rt)?;
+        check_invariants(&rt, case);
     }
 }

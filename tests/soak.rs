@@ -4,11 +4,11 @@
 //! and leak-free throughout.
 
 use drcom::adapt::{AdaptationManager, GracefulDegradation};
-use drcom::drcr::{ComponentProvider, Drcr};
+
 use drcom::enforce::{ContractMonitor, EnforcementPolicy};
-use drcom::prelude::*;
-use rtos::kernel::{Kernel, KernelConfig};
-use rtos::latency::{LoadMode, TimerJitterModel};
+use drt::prelude::*;
+use rtos::kernel::Kernel;
+use rtos::latency::LoadMode;
 use rtos::load::apply_load;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -42,8 +42,8 @@ fn everything_at_once_stays_consistent() {
     apply_load(&mut rt.kernel_mut(), LoadMode::Stress, 2).unwrap();
 
     let mut monitor = ContractMonitor::new(EnforcementPolicy::default());
-    let mut manager = AdaptationManager::new()
-        .with_policy(Box::new(GracefulDegradation::new(0, 0.2, 0.85)));
+    let mut manager =
+        AdaptationManager::new().with_policy(Box::new(GracefulDegradation::new(0, 0.2, 0.85)));
 
     let mut bundles = Vec::new();
     for round in 0..30u64 {
@@ -74,11 +74,19 @@ fn everything_at_once_stays_consistent() {
         let util = rt.drcr().ledger().utilization(0);
         assert!(util <= 1.0 + 1e-9, "round {round}: overcommitted {util}");
         let names = rt.drcr().component_names();
-        assert!(names.len() <= 6, "round {round}: {} components", names.len());
+        assert!(
+            names.len() <= 6,
+            "round {round}: {} components",
+            names.len()
+        );
         for n in &names {
             let state = rt.component_state(n).unwrap();
             let has_task = rt.drcr().task_of(n).is_some();
-            assert_eq!(state.holds_admission(), has_task, "round {round}: `{n}` {state}");
+            assert_eq!(
+                state.holds_admission(),
+                has_task,
+                "round {round}: `{n}` {state}"
+            );
         }
     }
 
@@ -131,6 +139,8 @@ fn drcr_works_embedded_without_the_bundle_path() {
     let task = drcr.borrow().task_of("inline").unwrap();
     assert!(kernel.borrow().task_cycles(task).unwrap() >= 9);
     // Direct removal tears down cleanly.
-    drcr.borrow_mut().remove_component("inline", &mut fw).unwrap();
+    drcr.borrow_mut()
+        .remove_component("inline", &mut fw)
+        .unwrap();
     assert!(kernel.borrow().task_by_name("inline").is_none());
 }

@@ -32,29 +32,51 @@ fn all_four_cells_have_the_papers_shape() {
 
     // Light mode: small negative bias, wide spread, two-sided extrema.
     for row in [hrc_l, pure_l] {
-        assert!((-3_000.0..=0.0).contains(&row.1), "{}: avg {}", row.0, row.1);
-        assert!((3_000.0..=4_500.0).contains(&row.2), "{}: avedev {}", row.0, row.2);
+        assert!(
+            (-3_000.0..=0.0).contains(&row.1),
+            "{}: avg {}",
+            row.0,
+            row.1
+        );
+        assert!(
+            (3_000.0..=4_500.0).contains(&row.2),
+            "{}: avedev {}",
+            row.0,
+            row.2
+        );
         assert!(row.3 < -10_000, "{}: min {}", row.0, row.3);
         assert!(row.4 > 10_000, "{}: max {}", row.0, row.4);
     }
 
     // Stress mode: strongly early mean, collapsed deviation, all-negative.
     for row in [hrc_s, pure_s] {
-        assert!((-22_500.0..=-20_000.0).contains(&row.1), "{}: avg {}", row.0, row.1);
+        assert!(
+            (-22_500.0..=-20_000.0).contains(&row.1),
+            "{}: avg {}",
+            row.0,
+            row.1
+        );
         assert!(row.2 < 600.0, "{}: avedev {}", row.0, row.2);
         assert!(row.4 < 0, "{}: max {}", row.0, row.4);
     }
 
     // The paper's headline: HRC ≈ pure RTAI in both modes.
     assert!((hrc_l.1 - pure_l.1).abs() < pure_l.2, "light delta too big");
-    assert!((hrc_s.1 - pure_s.1).abs() < 3.0 * pure_s.2, "stress delta too big");
+    assert!(
+        (hrc_s.1 - pure_s.1).abs() < 3.0 * pure_s.2,
+        "stress delta too big"
+    );
 
     // Stress tightens deviation by an order of magnitude (3760 -> ~350).
     assert!(pure_l.2 / pure_s.2 > 5.0, "deviation collapse factor");
 
     // Everything bounded within ~30 us.
     for row in &rows {
-        assert!(row.3.abs() < 30_000 && row.4.abs() < 30_000, "{} unbounded", row.0);
+        assert!(
+            row.3.abs() < 30_000 && row.4.abs() < 30_000,
+            "{} unbounded",
+            row.0
+        );
     }
 }
 
