@@ -1,0 +1,357 @@
+//! Resolver scale benchmark: incremental vs naive-reference constraint
+//! resolution on a ~1k-component hub/consumer topology with churn.
+//!
+//! Topology: `HUBS` provider components (`h00`..) each export one shared
+//! channel (`p00`..); `CONSUMERS` consumer components (`c0000`..) each
+//! import one hub channel round-robin. Consumers are installed *first*, so
+//! they pile up Unsatisfied and every subsequent resolve round has a large
+//! activation frontier — the worst case for the naive full-rescan
+//! resolver. Churn then stops and restarts hub 0, cascading ~1/HUBS of the
+//! consumer population each cycle.
+//!
+//! Both resolution strategies run the identical scenario; the benchmark
+//! asserts their `DrcrEvent` streams are byte-identical and reports the
+//! wiring-work counters side by side.
+//!
+//! Usage:
+//!   cargo run --release -p bench --bin resolve_scale            # full, writes BENCH_resolve.json
+//!   cargo run --release -p bench --bin resolve_scale -- --smoke # small run, stdout only
+//!   cargo run --release -p bench --bin resolve_scale -- --check # also assert speedup + ceilings
+//!
+//! `--smoke --check` is the CI configuration: fast, deterministic, and it
+//! fails the build if the incremental resolver regresses (extra graph
+//! builds, extra sweeps, or a diverging event stream).
+
+use drcom::drcr::{ComponentProvider, ResolutionStrategy};
+use drcom::obs::{DrcrEvent, MetricsReport, TraceSubscriber};
+use drcom::prelude::*;
+use drcom::resolve::AlwaysAdmit;
+use rtos::kernel::KernelConfig;
+use rtos::latency::TimerJitterModel;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Scenario shape. Full mode is the ISSUE's n=1000 configuration; smoke
+/// mode is a scaled-down copy for CI.
+struct Params {
+    hubs: usize,
+    consumers: usize,
+    churn_cycles: usize,
+}
+
+impl Params {
+    fn full() -> Self {
+        Params {
+            hubs: 10,
+            consumers: 990,
+            churn_cycles: 5,
+        }
+    }
+
+    fn smoke() -> Self {
+        Params {
+            hubs: 8,
+            consumers: 192,
+            churn_cycles: 3,
+        }
+    }
+
+    fn components(&self) -> usize {
+        self.hubs + self.consumers
+    }
+}
+
+/// Counter ceilings asserted in `--check` mode, with ~25% headroom over
+/// the measured values so legitimate scenario tweaks don't trip them.
+/// Measured (smoke): incremental checks=46978, sweeps=225, rebuilds=339;
+/// naive graph_builds=47962. Measured (full): incremental checks=1056324,
+/// sweeps=1040, rebuilds=1528; naive graph_builds=1064748.
+struct Ceilings {
+    incremental_checks: u64,
+    incremental_sweeps: u64,
+    view_rebuilds: u64,
+}
+
+impl Ceilings {
+    fn for_mode(smoke: bool) -> Self {
+        if smoke {
+            Ceilings {
+                incremental_checks: 60_000,
+                incremental_sweeps: 300,
+                view_rebuilds: 450,
+            }
+        } else {
+            Ceilings {
+                incremental_checks: 1_300_000,
+                incremental_sweeps: 1_300,
+                view_rebuilds: 2_000,
+            }
+        }
+    }
+}
+
+struct Collector(Rc<RefCell<Vec<(SimTime, DrcrEvent)>>>);
+
+impl TraceSubscriber<DrcrEvent> for Collector {
+    fn on_event(&mut self, time: SimTime, event: &DrcrEvent) {
+        self.0.borrow_mut().push((time, event.clone()));
+    }
+}
+
+fn hub_provider(j: usize) -> ComponentProvider {
+    let descriptor = ComponentDescriptor::builder(&format!("h{j:02}"))
+        .description("hub provider")
+        .periodic(100, 0, 2)
+        .cpu_usage(0.001)
+        .outport(
+            &format!("p{j:02}"),
+            PortInterface::Shm,
+            DataType::Integer,
+            1,
+        )
+        .build()
+        .expect("hub descriptor");
+    ComponentProvider::new(descriptor, || {
+        Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {}))
+    })
+}
+
+fn consumer_provider(i: usize, hubs: usize) -> ComponentProvider {
+    let descriptor = ComponentDescriptor::builder(&format!("c{i:04}"))
+        .description("fan-in consumer")
+        .periodic(50, (i % 4) as u32, 5)
+        .cpu_usage(0.0005)
+        .inport(
+            &format!("p{:02}", i % hubs),
+            PortInterface::Shm,
+            DataType::Integer,
+            1,
+        )
+        .build()
+        .expect("consumer descriptor");
+    ComponentProvider::new(descriptor, || {
+        Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {}))
+    })
+}
+
+/// Per-strategy outcome: the full event stream plus the wiring-work
+/// counters the comparison is about.
+struct RunStats {
+    events: Vec<(SimTime, DrcrEvent)>,
+    wiring_checks: u64,
+    graph_builds: u64,
+    resolve_rounds: u64,
+    deactivation_sweeps: u64,
+    view_rebuilds: u64,
+}
+
+fn counter(report: &MetricsReport, name: &str) -> u64 {
+    report
+        .counters()
+        .iter()
+        .find(|(k, _)| k == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+fn histogram_sum(report: &MetricsReport, name: &str) -> u64 {
+    report
+        .histograms()
+        .iter()
+        .find(|(k, _)| k == name)
+        .map_or(0, |(_, h)| h.sum())
+}
+
+fn run(strategy: ResolutionStrategy, params: &Params) -> RunStats {
+    let mut rt = DrtRuntime::with_resolver(
+        KernelConfig::new(4).with_timer(TimerJitterModel::ideal()),
+        Box::new(AlwaysAdmit),
+    );
+    rt.set_resolution_strategy(strategy);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    rt.drcr_mut()
+        .add_event_subscriber(Box::new(Collector(log.clone())));
+
+    // Consumers first: each install triggers a resolve round over an
+    // ever-growing Unsatisfied population with no providers yet.
+    for i in 0..params.consumers {
+        rt.install_component(
+            &format!("bundle.c{i:04}"),
+            consumer_provider(i, params.hubs),
+        )
+        .expect("install consumer");
+    }
+    // Hubs next: each arrival activates its whole consumer cohort.
+    let mut hub_bundles = Vec::with_capacity(params.hubs);
+    for j in 0..params.hubs {
+        let b = rt
+            .install_component(&format!("bundle.h{j:02}"), hub_provider(j))
+            .expect("install hub");
+        hub_bundles.push(b);
+    }
+    // Churn: hub 0 flaps, cascading its cohort down and back up.
+    for _ in 0..params.churn_cycles {
+        rt.stop_bundle(hub_bundles[0]).expect("stop hub");
+        rt.start_bundle(hub_bundles[0]).expect("restart hub");
+    }
+
+    let report = rt.metrics_report();
+    let events = log.borrow().clone();
+    RunStats {
+        events,
+        wiring_checks: counter(&report, "drcr.wiring.checks"),
+        graph_builds: counter(&report, "drcr.wiring.graph_builds"),
+        resolve_rounds: counter(&report, "drcr.resolve.rounds"),
+        deactivation_sweeps: histogram_sum(&report, "drcr.resolve.sweeps"),
+        view_rebuilds: counter(&report, "drcr.view.rebuilds"),
+    }
+}
+
+/// Renders an event stream to one canonical string (used for the
+/// byte-identity comparison and the event-count report).
+fn render(events: &[(SimTime, DrcrEvent)]) -> String {
+    let mut out = String::new();
+    for (t, e) in events {
+        out.push_str(&format!("[{}] {e}\n", t.as_nanos()));
+    }
+    out
+}
+
+fn stats_json(s: &RunStats) -> String {
+    format!(
+        concat!(
+            "{{\"wiring_checks\": {}, \"graph_builds\": {}, ",
+            "\"resolve_rounds\": {}, \"deactivation_sweeps\": {}, ",
+            "\"view_rebuilds\": {}}}"
+        ),
+        s.wiring_checks, s.graph_builds, s.resolve_rounds, s.deactivation_sweeps, s.view_rebuilds
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let params = if smoke {
+        Params::smoke()
+    } else {
+        Params::full()
+    };
+
+    println!(
+        "resolve_scale: {} components ({} hubs x {} consumers), {} churn cycles, mode={}",
+        params.components(),
+        params.hubs,
+        params.consumers,
+        params.churn_cycles,
+        if smoke { "smoke" } else { "full" },
+    );
+
+    let incremental = run(ResolutionStrategy::Incremental, &params);
+    let naive = run(ResolutionStrategy::NaiveReference, &params);
+
+    let inc_rendered = render(&incremental.events);
+    let naive_rendered = render(&naive.events);
+    let events_identical =
+        incremental.events == naive.events && inc_rendered.as_bytes() == naive_rendered.as_bytes();
+
+    // The naive resolver builds one WiringGraph per constraint check; the
+    // incremental resolver builds none, so compare builds against builds
+    // (floored at 1) for the headline ratio.
+    let ratio = naive.graph_builds as f64 / incremental.graph_builds.max(1) as f64;
+
+    println!();
+    println!("                         incremental      naive-reference");
+    println!(
+        "  wiring checks      {:>13} {:>20}",
+        incremental.wiring_checks, naive.wiring_checks
+    );
+    println!(
+        "  graph builds       {:>13} {:>20}",
+        incremental.graph_builds, naive.graph_builds
+    );
+    println!(
+        "  resolve rounds     {:>13} {:>20}",
+        incremental.resolve_rounds, naive.resolve_rounds
+    );
+    println!(
+        "  deactivation sweeps{:>13} {:>20}",
+        incremental.deactivation_sweeps, naive.deactivation_sweeps
+    );
+    println!(
+        "  view rebuilds      {:>13} {:>20}",
+        incremental.view_rebuilds, naive.view_rebuilds
+    );
+    println!();
+    println!(
+        "  events: {} vs {} (identical: {})",
+        incremental.events.len(),
+        naive.events.len(),
+        events_identical
+    );
+    println!("  graph-build reduction: {ratio:.1}x");
+
+    if check {
+        let ceilings = Ceilings::for_mode(smoke);
+        assert!(
+            events_identical,
+            "event streams diverged between strategies"
+        );
+        assert_eq!(
+            incremental.graph_builds, 0,
+            "incremental resolver built wiring graphs"
+        );
+        assert!(
+            ratio >= 10.0,
+            "graph-build reduction {ratio:.1}x below the 10x target"
+        );
+        assert!(
+            incremental.wiring_checks <= ceilings.incremental_checks,
+            "incremental wiring checks {} exceed ceiling {}",
+            incremental.wiring_checks,
+            ceilings.incremental_checks
+        );
+        assert!(
+            incremental.deactivation_sweeps <= ceilings.incremental_sweeps,
+            "deactivation sweeps {} exceed ceiling {}",
+            incremental.deactivation_sweeps,
+            ceilings.incremental_sweeps
+        );
+        assert!(
+            incremental.view_rebuilds <= ceilings.view_rebuilds,
+            "view rebuilds {} exceed ceiling {}",
+            incremental.view_rebuilds,
+            ceilings.view_rebuilds
+        );
+        println!("  check: PASS");
+    }
+
+    if !smoke {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"resolve_scale\",\n",
+                "  \"components\": {},\n",
+                "  \"hubs\": {},\n",
+                "  \"consumers\": {},\n",
+                "  \"churn_cycles\": {},\n",
+                "  \"events_identical\": {},\n",
+                "  \"event_count\": {},\n",
+                "  \"graph_build_reduction\": {:.1},\n",
+                "  \"incremental\": {},\n",
+                "  \"naive_reference\": {}\n",
+                "}}\n"
+            ),
+            params.components(),
+            params.hubs,
+            params.consumers,
+            params.churn_cycles,
+            events_identical,
+            incremental.events.len(),
+            ratio,
+            stats_json(&incremental),
+            stats_json(&naive),
+        );
+        std::fs::write("BENCH_resolve.json", &json).expect("write BENCH_resolve.json");
+        println!("  wrote BENCH_resolve.json");
+    }
+}

@@ -173,7 +173,7 @@ impl AdaptationPolicy for LoadShedding {
                 // *runtime* pressure; we still track the reserved number so
                 // the walk terminates deterministically.
                 pressure -= c.cpu_usage;
-                commands.push(AdaptationCommand::Suspend(c.name.clone()));
+                commands.push(AdaptationCommand::Suspend(c.name.to_string()));
             }
         } else if pressure < self.low_watermark {
             // Restore most-important suspended components while room lasts.
@@ -185,7 +185,7 @@ impl AdaptationPolicy for LoadShedding {
                 .collect();
             suspended.sort_by_key(|c| std::cmp::Reverse(ctx.importance_of(&c.name)));
             for c in suspended {
-                commands.push(AdaptationCommand::Resume(c.name.clone()));
+                commands.push(AdaptationCommand::Resume(c.name.to_string()));
             }
         }
         commands
@@ -257,7 +257,7 @@ impl AdaptationPolicy for GracefulDegradation {
                 let mode = ctx.modes_of(&c.name)[0].clone();
                 relief += c.cpu_usage; // upper bound on what the switch frees
                 commands.push(AdaptationCommand::SwitchMode {
-                    component: c.name.clone(),
+                    component: c.name.to_string(),
                     mode,
                 });
             }
@@ -273,7 +273,7 @@ impl AdaptationPolicy for GracefulDegradation {
             degraded.sort_by_key(|c| std::cmp::Reverse(ctx.importance_of(&c.name)));
             for c in degraded {
                 commands.push(AdaptationCommand::SwitchMode {
-                    component: c.name.clone(),
+                    component: c.name.to_string(),
                     mode: crate::model::BASE_MODE.to_string(),
                 });
             }
@@ -325,28 +325,30 @@ impl AdaptationManager {
     /// Stops at the first command that fails, reporting it; commands
     /// already applied stay applied.
     pub fn run_once(&mut self, rt: &mut DrtRuntime) -> Result<Vec<AdaptationCommand>, DrcrError> {
-        let names = rt.drcr().component_names();
-        let ctx = AdaptationContext {
-            view: rt.drcr().system_view(),
-            importance: names
-                .iter()
-                .map(|name| (name.clone(), component_importance(rt, name)))
-                .collect(),
-            modes: names
-                .iter()
-                .map(|name| {
-                    let declared = rt
-                        .drcr()
-                        .descriptor_of(name)
-                        .map(|d| d.modes.iter().map(|m| m.name.clone()).collect())
-                        .unwrap_or_default();
-                    let current = rt
-                        .drcr()
-                        .current_mode(name)
-                        .unwrap_or_else(|| crate::model::BASE_MODE.to_string());
-                    (name.clone(), declared, current)
-                })
-                .collect(),
+        let ctx = {
+            let drcr = rt.drcr();
+            let names = drcr.component_names();
+            AdaptationContext {
+                view: drcr.system_view(),
+                importance: names
+                    .iter()
+                    .map(|name| (name.clone(), component_importance(&drcr, name)))
+                    .collect(),
+                modes: names
+                    .iter()
+                    .map(|name| {
+                        let declared = drcr
+                            .descriptor_ref(name)
+                            .map(|d| d.modes.iter().map(|m| m.name.clone()).collect())
+                            .unwrap_or_default();
+                        let current = drcr
+                            .current_mode_ref(name)
+                            .unwrap_or(crate::model::BASE_MODE)
+                            .to_string();
+                        (name.clone(), declared, current)
+                    })
+                    .collect(),
+            }
         };
         let mut applied = Vec::new();
         for policy in &mut self.policies {
@@ -386,11 +388,10 @@ impl Default for AdaptationManager {
 
 /// Reads a component's `importance` descriptor property from the DRCR view
 /// (0 when absent).
-fn component_importance(rt: &DrtRuntime, name: &str) -> i64 {
+fn component_importance(drcr: &crate::drcr::Drcr, name: &str) -> i64 {
     // Importance is declared in the descriptor; the DRCR does not interpret
     // it — adaptation is deliberately outside the executive's core.
-    rt.drcr()
-        .descriptor_of(name)
+    drcr.descriptor_ref(name)
         .and_then(|d| match d.property("importance") {
             Some(PropertyValue::Integer(i)) => Some(*i),
             _ => None,
@@ -483,7 +484,7 @@ mod tests {
                 .iter()
                 .filter(|c| c.state == ComponentState::Active)
                 .map(|c| AdaptationCommand::SetProperty {
-                    component: c.name.clone(),
+                    component: c.name.to_string(),
                     name: "gain".into(),
                     value: PropertyValue::Float(0.5),
                 })

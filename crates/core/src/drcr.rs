@@ -37,7 +37,7 @@ use crate::resolve::{
     Decision, ResolverHandle, ResolvingService, UtilizationResolver, RESOLVER_SERVICE,
 };
 use crate::view::{ComponentInfo, SystemView};
-use crate::wiring::WiringGraph;
+use crate::wiring::{MissingPort, PortIndex, WiringGraph};
 use osgi::event::{BundleId, FrameworkEvent, ServiceEventKind};
 use osgi::framework::Framework;
 use osgi::ldap::{PropValue, Properties};
@@ -45,8 +45,9 @@ use osgi::registry::ServiceId;
 use rtos::kernel::Kernel;
 use rtos::task::{TaskConfig, TaskId};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::ops::Bound;
 use std::rc::{Rc, Weak};
 
 /// Service-registry interface name under which component bundles publish
@@ -60,6 +61,23 @@ pub const PROP_COMPONENT_NAME: &str = "drt.name";
 /// Capacity of the executive's event rings; older events are dropped
 /// (counted, and still delivered to live subscribers first).
 const EVENT_RING_CAPACITY: usize = 10_000;
+
+/// How the executive checks functional constraints during resolution.
+///
+/// Both strategies produce byte-identical [`DrcrEvent`] streams; they differ
+/// only in work done (visible through the `drcr.wiring.*` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResolutionStrategy {
+    /// The default: a persistent [`PortIndex`] maintained across
+    /// deploy/undeploy/state transitions, plus a deactivation sweep driven
+    /// by a dirty-set seeded from the changed component's consumers.
+    #[default]
+    Incremental,
+    /// The pre-index behaviour, kept as a differential-testing reference
+    /// and benchmark baseline: rebuild a [`WiringGraph`] for every check
+    /// and re-scan every running component every sweep.
+    NaiveReference,
+}
 
 /// A deployable component: validated descriptor plus the factory producing
 /// its real-time logic.
@@ -138,7 +156,7 @@ struct ComponentRecord {
 /// handle is what management services capture. See the [module docs](self).
 pub struct Drcr {
     kernel: Rc<RefCell<Kernel>>,
-    components: BTreeMap<String, ComponentRecord>,
+    components: BTreeMap<Rc<str>, ComponentRecord>,
     ledger: AdmissionLedger,
     internal: Box<dyn ResolvingService>,
     bridge: BridgeMode,
@@ -153,6 +171,17 @@ pub struct Drcr {
     next_chan: u32,
     next_token: u32,
     dirty: bool,
+    strategy: ResolutionStrategy,
+    /// Persistent wiring index, kept in sync with registrations and
+    /// `provides_outputs` transitions.
+    port_index: PortIndex,
+    /// Running components whose wiring may have broken since they were
+    /// last checked (seeded from departed providers' consumers).
+    wiring_dirty: BTreeSet<Rc<str>>,
+    /// Cached global view, valid while `view_dirty` is false.
+    view_cache: SystemView,
+    /// Set by every transition that changes the view's contents.
+    view_dirty: bool,
     self_ref: Weak<RefCell<Drcr>>,
 }
 
@@ -194,6 +223,11 @@ impl Drcr {
             next_chan: 0,
             next_token: 0,
             dirty: false,
+            strategy: ResolutionStrategy::default(),
+            port_index: PortIndex::new(),
+            wiring_dirty: BTreeSet::new(),
+            view_cache: SystemView::new(cpu_count, Vec::new()),
+            view_dirty: false,
             self_ref: Weak::new(),
         }));
         drcr.borrow_mut().self_ref = Rc::downgrade(&drcr);
@@ -213,6 +247,13 @@ impl Drcr {
         self.enforce_budgets = on;
     }
 
+    /// Selects how functional constraints are checked during resolution
+    /// (differential-testing and benchmarking hook; the default is
+    /// [`ResolutionStrategy::Incremental`]).
+    pub fn set_resolution_strategy(&mut self, strategy: ResolutionStrategy) {
+        self.strategy = strategy;
+    }
+
     // ------------------------------------------------------------------
     // Registration
     // ------------------------------------------------------------------
@@ -230,9 +271,9 @@ impl Drcr {
         factory: Rc<dyn Fn() -> Box<dyn RtLogic>>,
         bundle: Option<BundleId>,
     ) -> Result<(), DrcrError> {
-        let name = descriptor.name.to_string();
-        if self.components.contains_key(&name) {
-            return Err(DrcrError::DuplicateComponent(name));
+        let id: Rc<str> = Rc::from(descriptor.name.as_str());
+        if self.components.contains_key(&*id) {
+            return Err(DrcrError::DuplicateComponent(id.to_string()));
         }
         let initial = if descriptor.enabled {
             ComponentState::Unsatisfied
@@ -240,13 +281,17 @@ impl Drcr {
             ComponentState::Disabled
         };
         self.record_transition(
-            &name,
+            &id,
             ComponentState::Installed,
             initial,
             "descriptor registered",
         );
+        // A fresh registration starts inactive in the index; it cannot break
+        // any running consumer (it only *adds* a provider), so no dirty-set
+        // seeding is needed here.
+        self.port_index.insert(&id, &descriptor);
         self.components.insert(
-            name.clone(),
+            id.clone(),
             ComponentRecord {
                 base_descriptor: descriptor.clone(),
                 descriptor,
@@ -262,7 +307,10 @@ impl Drcr {
                 reply_buffer: HashMap::new(),
             },
         );
-        self.note(DrcrEvent::Registered { component: name });
+        self.note(DrcrEvent::Registered {
+            component: id.to_string(),
+        });
+        self.view_dirty = true;
         self.dirty = true;
         Ok(())
     }
@@ -282,7 +330,13 @@ impl Drcr {
         } else {
             self.record_transition(name, state, ComponentState::Destroyed, "component removed");
         }
-        self.components.remove(name);
+        if let Some(rec) = self.components.remove(name) {
+            // Mode switches preserve ports, so either descriptor describes
+            // the indexed entries.
+            self.port_index.remove(name, &rec.descriptor);
+        }
+        self.wiring_dirty.remove(name);
+        self.view_dirty = true;
         self.dirty = true;
         Ok(())
     }
@@ -298,7 +352,7 @@ impl Drcr {
 
     /// Names of all registered components, sorted.
     pub fn component_names(&self) -> Vec<String> {
-        self.components.keys().cloned().collect()
+        self.components.keys().map(|k| k.to_string()).collect()
     }
 
     /// The providers chosen for a component's inports at activation.
@@ -384,21 +438,42 @@ impl Drcr {
     }
 
     /// Snapshot of the global real-time context.
+    ///
+    /// Served from the executive's cached view when it is current (the
+    /// common case); rebuilt on demand after an invalidating transition.
     pub fn system_view(&self) -> SystemView {
-        SystemView {
-            cpu_count: self.ledger.cpu_count(),
-            components: self
-                .components
-                .values()
-                .map(|r| {
-                    ComponentInfo::from_contract(
-                        r.descriptor.name.as_str(),
+        if self.view_dirty {
+            self.build_view()
+        } else {
+            self.view_cache.clone()
+        }
+    }
+
+    /// Builds a fresh view from the component table. Interned names are
+    /// shared with the table, so a rebuild allocates only the list itself.
+    fn build_view(&self) -> SystemView {
+        SystemView::new(
+            self.ledger.cpu_count(),
+            self.components
+                .iter()
+                .map(|(id, r)| {
+                    ComponentInfo::from_contract_interned(
+                        id.clone(),
                         r.state,
                         &r.descriptor.task,
                         r.descriptor.cpu_usage.fraction(),
                     )
                 })
                 .collect(),
+        )
+    }
+
+    /// Re-derives the cached view if a transition invalidated it.
+    fn refresh_view(&mut self) {
+        if self.view_dirty {
+            self.view_cache = self.build_view();
+            self.view_dirty = false;
+            self.metrics.count("drcr.view.rebuilds", 1);
         }
     }
 
@@ -412,14 +487,26 @@ impl Drcr {
         self.components.get(name).and_then(|r| r.bundle)
     }
 
-    /// A copy of a component's declared contract.
+    /// A copy of a component's declared contract. Prefer
+    /// [`Drcr::descriptor_ref`] when a borrow suffices.
     pub fn descriptor_of(&self, name: &str) -> Option<ComponentDescriptor> {
-        self.components.get(name).map(|r| r.descriptor.clone())
+        self.descriptor_ref(name).cloned()
     }
 
-    /// The operating mode a component currently runs under.
+    /// The contract currently in force (mode-substituted), borrowed.
+    pub fn descriptor_ref(&self, name: &str) -> Option<&ComponentDescriptor> {
+        self.components.get(name).map(|r| &r.descriptor)
+    }
+
+    /// The operating mode a component currently runs under. Prefer
+    /// [`Drcr::current_mode_ref`] when a borrow suffices.
     pub fn current_mode(&self, name: &str) -> Option<String> {
-        self.components.get(name).map(|r| r.current_mode.clone())
+        self.current_mode_ref(name).map(str::to_string)
+    }
+
+    /// The current operating-mode name, borrowed.
+    pub fn current_mode_ref(&self, name: &str) -> Option<&str> {
+        self.components.get(name).map(|r| r.current_mode.as_str())
     }
 
     /// Releases one cycle of an aperiodic component (the manual trigger;
@@ -497,6 +584,14 @@ impl Drcr {
         let rec = self.components.get_mut(name).expect("present");
         rec.descriptor = rec.base_descriptor.with_mode(&mode);
         rec.current_mode = mode_name.to_string();
+        // A mode substitutes frequency/priority/claim, never ports — the
+        // wiring index stays valid across the switch.
+        debug_assert!(
+            rec.descriptor.inports == rec.base_descriptor.inports
+                && rec.descriptor.outports == rec.base_descriptor.outports,
+            "mode substitution must preserve ports"
+        );
+        self.view_dirty = true;
         self.note(DrcrEvent::ModeSwitch {
             component: name.to_string(),
             mode: mode_name.to_string(),
@@ -569,6 +664,7 @@ impl Drcr {
         self.resolve_round += 1;
         let round = self.resolve_round;
         self.note(DrcrEvent::ResolveRoundStarted { round });
+        self.refresh_view();
         let mut activations: u32 = 0;
         let mut deactivations: u32 = 0;
         let mut sweeps: u64 = 0;
@@ -578,45 +674,66 @@ impl Drcr {
 
             // Deactivation sweep: running components whose functional
             // constraints broke fall back to Unsatisfied.
-            let running: Vec<String> = self
-                .components
-                .iter()
-                .filter(|(_, r)| r.state.holds_admission())
-                .map(|(n, _)| n.clone())
-                .collect();
-            for name in running {
-                let missing = {
-                    let rec = &self.components[&name];
-                    if rec.descriptor.inports.is_empty() {
-                        continue;
-                    }
-                    let entries: Vec<_> = self
+            match self.strategy {
+                ResolutionStrategy::NaiveReference => {
+                    // Reference behaviour: re-check every running component.
+                    self.wiring_dirty.clear();
+                    let running: Vec<Rc<str>> = self
                         .components
-                        .values()
-                        .map(|r| (&r.descriptor, r.state))
-                        .collect();
-                    let graph = WiringGraph::new(entries);
-                    graph.check_functional(&rec.descriptor, &[]).err()
-                };
-                if let Some(missing) = missing {
-                    let reason = missing
                         .iter()
-                        .map(|m| m.to_string())
-                        .collect::<Vec<_>>()
-                        .join("; ");
-                    self.note(DrcrEvent::CascadeDeactivation {
-                        component: name.clone(),
-                        reason: reason.clone(),
-                    });
-                    self.metrics.count("drcr.cascades", 1);
-                    let _ = self.deactivate(&name, fw, ComponentState::Unsatisfied, &reason);
-                    deactivations += 1;
-                    changed = true;
+                        .filter(|(_, r)| r.state.holds_admission())
+                        .map(|(n, _)| n.clone())
+                        .collect();
+                    for name in running {
+                        if self.cascade_check(&name, fw) {
+                            deactivations += 1;
+                            changed = true;
+                        }
+                    }
+                }
+                ResolutionStrategy::Incremental => {
+                    // Only components whose providers departed since their
+                    // last check can have broken: at every prior fixpoint
+                    // all running components were satisfied, and no other
+                    // transition turns a satisfied check into a failing one.
+                    //
+                    // Walk the dirty set with a strictly ascending cursor
+                    // instead of draining it up front. A cascade seeds the
+                    // consumers of the component it just deactivated; the
+                    // full-scan reference visits those *this* sweep when
+                    // they sort after the current position and *next* sweep
+                    // when they sort before it. The cursor reproduces that
+                    // order exactly, keeping event streams byte-identical.
+                    let mut cursor: Option<Rc<str>> = None;
+                    loop {
+                        let next = match &cursor {
+                            None => self.wiring_dirty.iter().next().cloned(),
+                            Some(c) => self
+                                .wiring_dirty
+                                .range::<str, _>((Bound::Excluded(&**c), Bound::Unbounded))
+                                .next()
+                                .cloned(),
+                        };
+                        let Some(name) = next else { break };
+                        self.wiring_dirty.remove(&*name);
+                        cursor = Some(name.clone());
+                        if !self
+                            .components
+                            .get(&*name)
+                            .is_some_and(|r| r.state.holds_admission())
+                        {
+                            continue;
+                        }
+                        if self.cascade_check(&name, fw) {
+                            deactivations += 1;
+                            changed = true;
+                        }
+                    }
                 }
             }
 
             // Activation sweep.
-            let waiting: Vec<String> = self
+            let waiting: Vec<Rc<str>> = self
                 .components
                 .iter()
                 .filter(|(_, r)| r.state == ComponentState::Unsatisfied)
@@ -630,7 +747,7 @@ impl Drcr {
                     }
                     Ok(false) => {}
                     Err(err) => self.note(DrcrEvent::ActivationFailed {
-                        component: name.clone(),
+                        component: name.to_string(),
                         reason: err.to_string(),
                     }),
                 }
@@ -669,12 +786,63 @@ impl Drcr {
         self.update_admission_gauges();
     }
 
+    /// Checks one component's functional constraints under the active
+    /// strategy, counting the work in the `drcr.wiring.*` metrics.
+    fn check_wiring(
+        &mut self,
+        name: &str,
+        assume_active: &[Rc<str>],
+    ) -> Result<Vec<(String, String)>, Vec<MissingPort>> {
+        self.metrics.count("drcr.wiring.checks", 1);
+        let rec = &self.components[name];
+        match self.strategy {
+            ResolutionStrategy::Incremental => self
+                .port_index
+                .check_functional(&rec.descriptor, assume_active),
+            ResolutionStrategy::NaiveReference => {
+                let entries: Vec<_> = self
+                    .components
+                    .values()
+                    .map(|r| (&r.descriptor, r.state))
+                    .collect();
+                let graph = WiringGraph::new(entries);
+                let result = graph.check_functional(&rec.descriptor, assume_active);
+                self.metrics.count("drcr.wiring.graph_builds", 1);
+                result
+            }
+        }
+    }
+
+    /// Re-checks one running component during the deactivation sweep,
+    /// cascading it back to `Unsatisfied` when its wiring broke. Returns
+    /// `true` when it cascaded.
+    fn cascade_check(&mut self, name: &Rc<str>, fw: &mut Framework) -> bool {
+        if self.components[&**name].descriptor.inports.is_empty() {
+            return false;
+        }
+        let Err(missing) = self.check_wiring(name, &[]) else {
+            return false;
+        };
+        let reason = missing
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        self.note(DrcrEvent::CascadeDeactivation {
+            component: name.to_string(),
+            reason: reason.clone(),
+        });
+        self.metrics.count("drcr.cascades", 1);
+        let _ = self.deactivate(name, fw, ComponentState::Unsatisfied, &reason);
+        true
+    }
+
     /// Optimistic group activation: finds the largest set of unsatisfied
     /// components that are functionally consistent *assuming each other
     /// active* (greatest fixpoint), admission-checks them, and activates
     /// the whole group. Returns the number of components activated.
     fn try_activate_group(&mut self, fw: &mut Framework) -> u32 {
-        let mut assume: Vec<String> = self
+        let mut assume: Vec<Rc<str>> = self
             .components
             .iter()
             .filter(|(_, r)| r.state == ComponentState::Unsatisfied)
@@ -686,21 +854,13 @@ impl Drcr {
         // Strike out members whose constraints fail even under the
         // assumption, until stable.
         loop {
-            let entries: Vec<_> = self
-                .components
-                .values()
-                .map(|r| (&r.descriptor, r.state))
-                .collect();
-            let graph = WiringGraph::new(entries);
             let before = assume.len();
-            let keep: Vec<String> = assume
-                .iter()
-                .filter(|name| {
-                    let rec = &self.components[name.as_str()];
-                    graph.check_functional(&rec.descriptor, &assume).is_ok()
-                })
-                .cloned()
-                .collect();
+            let mut keep: Vec<Rc<str>> = Vec::with_capacity(before);
+            for name in &assume {
+                if self.check_wiring(name, &assume).is_ok() {
+                    keep.push(name.clone());
+                }
+            }
             assume = keep;
             if assume.len() == before {
                 break;
@@ -713,19 +873,19 @@ impl Drcr {
         // Admission for every member, against the view as members join.
         for name in &assume {
             let candidate = {
-                let rec = &self.components[name.as_str()];
-                ComponentInfo::from_contract(
-                    rec.descriptor.name.as_str(),
+                let rec = &self.components[&**name];
+                ComponentInfo::from_contract_interned(
+                    name.clone(),
                     rec.state,
                     &rec.descriptor.task,
                     rec.descriptor.cpu_usage.fraction(),
                 )
             };
-            let view = self.system_view();
-            if let Decision::Reject(reason) = self.internal.admit(&candidate, &view) {
+            self.refresh_view();
+            if let Decision::Reject(reason) = self.internal.admit(&candidate, &self.view_cache) {
                 let resolver = self.internal.name().to_string();
                 self.note(DrcrEvent::GroupAbandoned {
-                    component: name.clone(),
+                    component: name.to_string(),
                     resolver,
                     internal: true,
                     reason,
@@ -737,10 +897,10 @@ impl Drcr {
                 let Some(handle) = fw.registry().get::<ResolverHandle>(service_ref.id()) else {
                     continue;
                 };
-                if let Decision::Reject(reason) = handle.0.admit(&candidate, &view) {
+                if let Decision::Reject(reason) = handle.0.admit(&candidate, &self.view_cache) {
                     let resolver = handle.0.name().to_string();
                     self.note(DrcrEvent::GroupAbandoned {
-                        component: name.clone(),
+                        component: name.to_string(),
                         resolver,
                         internal: false,
                         reason,
@@ -751,27 +911,18 @@ impl Drcr {
             }
         }
         self.note(DrcrEvent::GroupCoActivation {
-            members: assume.clone(),
+            members: assume.iter().map(|s| s.to_string()).collect(),
         });
         let mut activated: u32 = 0;
         for name in assume.clone() {
-            let providers = {
-                let rec = &self.components[&name];
-                let entries: Vec<_> = self
-                    .components
-                    .values()
-                    .map(|r| (&r.descriptor, r.state))
-                    .collect();
-                let graph = WiringGraph::new(entries);
-                match graph.check_functional(&rec.descriptor, &assume) {
-                    Ok(p) => p,
-                    Err(_) => continue,
-                }
+            let providers = match self.check_wiring(&name, &assume) {
+                Ok(p) => p,
+                Err(_) => continue,
             };
             match self.activate(&name, fw, providers) {
                 Ok(()) => activated += 1,
                 Err(err) => self.note(DrcrEvent::ActivationFailed {
-                    component: name.clone(),
+                    component: name.to_string(),
                     reason: format!("group member failed to activate: {err}"),
                 }),
             }
@@ -780,47 +931,38 @@ impl Drcr {
     }
 
     /// Attempts one activation; `Ok(true)` when the component went active.
-    fn try_activate(&mut self, name: &str, fw: &mut Framework) -> Result<bool, DrcrError> {
+    fn try_activate(&mut self, name: &Rc<str>, fw: &mut Framework) -> Result<bool, DrcrError> {
+        if !self.components.contains_key(&**name) {
+            return Err(DrcrError::NoSuchComponent(name.to_string()));
+        }
         // Functional constraints (strict: providers must be Active now).
-        let providers = {
-            let rec = self
-                .components
-                .get(name)
-                .ok_or_else(|| DrcrError::NoSuchComponent(name.to_string()))?;
-            let entries: Vec<_> = self
-                .components
-                .values()
-                .map(|r| (&r.descriptor, r.state))
-                .collect();
-            let graph = WiringGraph::new(entries);
-            match graph.check_functional(&rec.descriptor, &[]) {
-                Ok(p) => p,
-                Err(missing) => {
-                    self.note(DrcrEvent::WiringUnsatisfied {
-                        component: name.to_string(),
-                        missing: missing
-                            .iter()
-                            .map(|m| m.to_string())
-                            .collect::<Vec<_>>()
-                            .join("; "),
-                    });
-                    return Ok(false);
-                }
+        let providers = match self.check_wiring(name, &[]) {
+            Ok(p) => p,
+            Err(missing) => {
+                self.note(DrcrEvent::WiringUnsatisfied {
+                    component: name.to_string(),
+                    missing: missing
+                        .iter()
+                        .map(|m| m.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                });
+                return Ok(false);
             }
         };
 
         // Non-functional constraints: internal + every customized resolver.
         let candidate = {
-            let rec = &self.components[name];
-            ComponentInfo::from_contract(
-                rec.descriptor.name.as_str(),
+            let rec = &self.components[&**name];
+            ComponentInfo::from_contract_interned(
+                name.clone(),
                 rec.state,
                 &rec.descriptor.task,
                 rec.descriptor.cpu_usage.fraction(),
             )
         };
-        let view = self.system_view();
-        let verdict = self.internal.admit(&candidate, &view);
+        self.refresh_view();
+        let verdict = self.internal.admit(&candidate, &self.view_cache);
         let resolver = self.internal.name().to_string();
         let rejected = matches!(verdict, Decision::Reject(_));
         self.note(DrcrEvent::AdmissionVerdict {
@@ -841,7 +983,7 @@ impl Drcr {
             let Some(handle) = fw.registry().get::<ResolverHandle>(service_ref.id()) else {
                 continue;
             };
-            let verdict = handle.0.admit(&candidate, &view);
+            let verdict = handle.0.admit(&candidate, &self.view_cache);
             let resolver = handle.0.name().to_string();
             let rejected = matches!(verdict, Decision::Reject(_));
             self.note(DrcrEvent::AdmissionVerdict {
@@ -1077,6 +1219,10 @@ impl Drcr {
         rec.reply_mbx = reply_mbx;
         rec.providers = providers;
         rec.state = ComponentState::Active;
+        // A newly active provider can only *satisfy* consumers, never break
+        // one, so activation updates the index without dirty-set seeding.
+        self.port_index.set_active(name, true);
+        self.view_dirty = true;
         self.record_transition(
             name,
             from_state,
@@ -1159,6 +1305,15 @@ impl Drcr {
         rec.providers.clear();
         rec.reply_buffer.clear();
         rec.state = to;
+        self.port_index.set_active(name, false);
+        self.view_dirty = true;
+        // Seed the deactivation dirty-set: only consumers of this
+        // component's channels can have lost their provider.
+        for port in &descriptor.outports {
+            for consumer in self.port_index.consumers_of(port.name.as_str()) {
+                self.wiring_dirty.insert(consumer.clone());
+            }
+        }
         self.record_transition(name, from_state, to, reason);
         self.note(DrcrEvent::Deactivated {
             component: name.to_string(),
@@ -1195,13 +1350,23 @@ impl Drcr {
         let task = rec.task.expect("active component has a task");
         self.kernel.borrow_mut().suspend_task(task)?;
         self.components.get_mut(name).expect("present").state = ComponentState::Suspended;
+        self.port_index.set_active(name, false);
+        self.view_dirty = true;
+        // A suspended provider stops feeding its consumers: seed them into
+        // the dirty set and re-resolve. A component consuming its own
+        // outport seeds itself here, which is required — it no longer
+        // provides its own input.
+        for port in &self.components[name].descriptor.outports {
+            for consumer in self.port_index.consumers_of(port.name.as_str()) {
+                self.wiring_dirty.insert(consumer.clone());
+            }
+        }
         self.record_transition(
             name,
             ComponentState::Active,
             ComponentState::Suspended,
             "management suspend",
         );
-        // A suspended provider stops feeding its consumers: re-resolve.
         self.dirty = true;
         Ok(())
     }
@@ -1226,6 +1391,8 @@ impl Drcr {
         let task = rec.task.expect("suspended component keeps its task");
         self.kernel.borrow_mut().resume_task(task)?;
         self.components.get_mut(name).expect("present").state = ComponentState::Active;
+        self.port_index.set_active(name, true);
+        self.view_dirty = true;
         self.record_transition(
             name,
             ComponentState::Suspended,
@@ -1250,6 +1417,7 @@ impl Drcr {
             self.deactivate(name, fw, ComponentState::Disabled, "management disable")?;
         } else if state.can_transition(ComponentState::Disabled) {
             self.components.get_mut(name).expect("present").state = ComponentState::Disabled;
+            self.view_dirty = true;
             self.record_transition(name, state, ComponentState::Disabled, "management disable");
         } else {
             return Err(DrcrError::IllegalTransition {
@@ -1280,6 +1448,7 @@ impl Drcr {
             });
         }
         self.components.get_mut(name).expect("present").state = ComponentState::Unsatisfied;
+        self.view_dirty = true;
         self.record_transition(
             name,
             state,
@@ -1512,7 +1681,7 @@ impl RtComponentManagement for DrcrManagement {
         drcr.drain_replies(&self.component)?;
         Ok(drcr
             .components
-            .get_mut(&self.component)
+            .get_mut(self.component.as_str())
             .and_then(|r| r.reply_buffer.remove(&token.0)))
     }
 }

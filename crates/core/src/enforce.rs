@@ -126,6 +126,10 @@ impl ContractMonitor {
         let now = rt.kernel().now();
         let mut fresh = Vec::new();
         let names = rt.drcr().component_names();
+        // One snapshot for the whole sweep: the claimed fractions it is
+        // read for cannot change from the suspend/disable actions applied
+        // mid-loop.
+        let view = rt.drcr().system_view();
         for name in names {
             if rt.component_state(&name) != Some(ComponentState::Active) {
                 self.samples.remove(&name);
@@ -136,7 +140,6 @@ impl ContractMonitor {
                 let Some(task) = drcr.task_of(&name) else {
                     continue;
                 };
-                let view = drcr.system_view();
                 let claimed = view.component(&name).map(|c| c.cpu_usage).unwrap_or(1.0);
                 (task, claimed)
             };

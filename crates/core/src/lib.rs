@@ -85,7 +85,9 @@ pub use adapt::{
 };
 pub use adl::{AdlError, Assembly, DeployedAssembly};
 pub use descriptor::{ComponentDescriptor, DescriptorBuilder};
-pub use drcr::{ComponentProvider, Drcr, COMPONENT_SERVICE, PROP_COMPONENT_NAME};
+pub use drcr::{
+    ComponentProvider, Drcr, ResolutionStrategy, COMPONENT_SERVICE, PROP_COMPONENT_NAME,
+};
 pub use enforce::{ContractMonitor, EnforcementAction, EnforcementPolicy, Violation};
 pub use error::{DescriptorError, DrcrError};
 pub use hybrid::{BridgeMode, FnLogic, RtIo, RtLogic};

@@ -91,7 +91,7 @@ impl fmt::Debug for ResolverHandle {
 ///     priority: 2,
 ///     period_ns: Some(1_000_000),
 /// };
-/// let view = SystemView { cpu_count: 1, components: vec![candidate.clone()] };
+/// let view = SystemView::new(1, vec![candidate.clone()]);
 /// assert!(resolver.admit(&candidate, &view).is_admit());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -303,10 +303,7 @@ mod tests {
     }
 
     fn view(components: Vec<ComponentInfo>) -> SystemView {
-        SystemView {
-            cpu_count: 2,
-            components,
-        }
+        SystemView::new(2, components)
     }
 
     #[test]

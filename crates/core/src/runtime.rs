@@ -169,6 +169,12 @@ impl DrtRuntime {
         self.drcr.borrow_mut()
     }
 
+    /// Selects how the executive checks functional constraints
+    /// (differential-testing and benchmarking hook).
+    pub fn set_resolution_strategy(&mut self, strategy: crate::drcr::ResolutionStrategy) {
+        self.drcr.borrow_mut().set_resolution_strategy(strategy);
+    }
+
     /// Installs and starts a bundle carrying one declarative component,
     /// then lets the DRCR resolve.
     ///

@@ -9,12 +9,14 @@
 
 use crate::lifecycle::ComponentState;
 use crate::model::TaskSpec;
+use std::cell::OnceCell;
+use std::rc::Rc;
 
 /// Declared contract + current state of one component, as resolvers see it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ComponentInfo {
-    /// Component name.
-    pub name: String,
+    /// Component name (interned; cheap to clone between snapshots).
+    pub name: Rc<str>,
     /// Current lifecycle state.
     pub state: ComponentState,
     /// CPU the task is pinned to.
@@ -35,8 +37,19 @@ impl ComponentInfo {
         task: &TaskSpec,
         cpu_usage: f64,
     ) -> Self {
+        Self::from_contract_interned(Rc::from(name), state, task, cpu_usage)
+    }
+
+    /// Like [`ComponentInfo::from_contract`] but reusing an already-interned
+    /// name, so snapshot rebuilds allocate nothing per component.
+    pub fn from_contract_interned(
+        name: Rc<str>,
+        state: ComponentState,
+        task: &TaskSpec,
+        cpu_usage: f64,
+    ) -> Self {
         ComponentInfo {
-            name: name.to_string(),
+            name,
             state,
             cpu: task.cpu(),
             cpu_usage,
@@ -51,20 +64,51 @@ impl ComponentInfo {
     }
 }
 
+/// Per-CPU admission totals derived from the component list, computed once
+/// per snapshot on first use.
+#[derive(Debug, Clone, Default)]
+struct CpuTotals {
+    utilization: f64,
+    periodic: usize,
+}
+
 /// Snapshot of the whole real-time context at one resolution point.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Per-CPU aggregates ([`SystemView::utilization`],
+/// [`SystemView::periodic_count`]) are computed lazily on first query and
+/// cached for the lifetime of the snapshot, so admission checks that probe
+/// the same CPU repeatedly pay the component walk once. The cache follows
+/// the snapshot-value semantics: mutate `components` only before the first
+/// aggregate query (the DRCR never mutates a published view; it rebuilds).
+#[derive(Debug, Clone, Default)]
 pub struct SystemView {
     /// Number of CPUs on the kernel.
     pub cpu_count: u32,
     /// Every registered component (all states, including the candidate
     /// under consideration).
     pub components: Vec<ComponentInfo>,
+    totals: OnceCell<Vec<CpuTotals>>,
+}
+
+impl PartialEq for SystemView {
+    fn eq(&self, other: &Self) -> bool {
+        self.cpu_count == other.cpu_count && self.components == other.components
+    }
 }
 
 impl SystemView {
+    /// Builds a snapshot from a component list.
+    pub fn new(cpu_count: u32, components: Vec<ComponentInfo>) -> Self {
+        SystemView {
+            cpu_count,
+            components,
+            totals: OnceCell::new(),
+        }
+    }
+
     /// Looks up a component by name.
     pub fn component(&self, name: &str) -> Option<&ComponentInfo> {
-        self.components.iter().find(|c| c.name == name)
+        self.components.iter().find(|c| &*c.name == name)
     }
 
     /// Components currently holding an admission reservation on `cpu`
@@ -75,14 +119,50 @@ impl SystemView {
             .filter(move |c| c.cpu == cpu && c.state.holds_admission())
     }
 
+    /// One pass over the component list, accumulating per-CPU admission
+    /// totals in list order (so float summation order matches a direct
+    /// filtered sum over the same list).
+    fn totals(&self) -> &[CpuTotals] {
+        self.totals.get_or_init(|| {
+            let mut width = self.cpu_count as usize;
+            for c in &self.components {
+                width = width.max(c.cpu as usize + 1);
+            }
+            // Seed each accumulator with -0.0, the identity `Sum for f64`
+            // uses, so the cached total is bit-identical to a direct
+            // `admitted_on(cpu).map(..).sum()` — including the empty case,
+            // which sums to -0.0.
+            let mut totals = vec![
+                CpuTotals {
+                    utilization: -0.0,
+                    periodic: 0,
+                };
+                width
+            ];
+            for c in &self.components {
+                if !c.state.holds_admission() {
+                    continue;
+                }
+                let slot = &mut totals[c.cpu as usize];
+                slot.utilization += c.cpu_usage;
+                if c.is_periodic() {
+                    slot.periodic += 1;
+                }
+            }
+            totals
+        })
+    }
+
     /// Total claimed CPU fraction reserved on `cpu`.
     pub fn utilization(&self, cpu: u32) -> f64 {
-        self.admitted_on(cpu).map(|c| c.cpu_usage).sum()
+        self.totals()
+            .get(cpu as usize)
+            .map_or(-0.0, |t| t.utilization)
     }
 
     /// Number of admitted periodic components on `cpu`.
     pub fn periodic_count(&self, cpu: u32) -> usize {
-        self.admitted_on(cpu).filter(|c| c.is_periodic()).count()
+        self.totals().get(cpu as usize).map_or(0, |t| t.periodic)
     }
 }
 
@@ -124,20 +204,56 @@ mod tests {
 
     #[test]
     fn utilization_counts_only_admission_holders_on_cpu() {
-        let view = SystemView {
-            cpu_count: 2,
-            components: vec![
+        let view = SystemView::new(
+            2,
+            vec![
                 info("a", ComponentState::Active, 0, 0.3),
                 info("b", ComponentState::Suspended, 0, 0.2),
                 info("c", ComponentState::Unsatisfied, 0, 0.4),
                 info("d", ComponentState::Active, 1, 0.5),
             ],
-        };
+        );
         assert!((view.utilization(0) - 0.5).abs() < 1e-9);
         assert!((view.utilization(1) - 0.5).abs() < 1e-9);
         assert_eq!(view.periodic_count(0), 2);
         assert_eq!(view.admitted_on(0).count(), 2);
         assert!(view.component("c").is_some());
         assert!(view.component("zz").is_none());
+    }
+
+    #[test]
+    fn cached_totals_match_direct_sums() {
+        let view = SystemView::new(
+            3,
+            vec![
+                info("a", ComponentState::Active, 0, 0.125),
+                info("b", ComponentState::Active, 0, 0.25),
+                info("c", ComponentState::Suspended, 2, 0.0625),
+                info("d", ComponentState::Unsatisfied, 2, 0.5),
+            ],
+        );
+        for cpu in 0..3 {
+            let direct: f64 = view.admitted_on(cpu).map(|c| c.cpu_usage).sum();
+            // Bit-identical, not just approximately equal: both sums add
+            // the same values in the same (list) order.
+            assert_eq!(view.utilization(cpu).to_bits(), direct.to_bits());
+            assert_eq!(
+                view.periodic_count(cpu),
+                view.admitted_on(cpu).filter(|c| c.is_periodic()).count()
+            );
+        }
+        // CPUs beyond the table read as empty.
+        assert_eq!(view.utilization(7), 0.0);
+        assert_eq!(view.periodic_count(7), 0);
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_the_totals_cache() {
+        let a = SystemView::new(1, vec![info("a", ComponentState::Active, 0, 0.5)]);
+        let b = a.clone();
+        // Prime only one side's cache; equality is still value equality.
+        assert!((a.utilization(0) - 0.5).abs() < 1e-9);
+        assert_eq!(a, b);
+        assert!((b.utilization(0) - 0.5).abs() < 1e-9);
     }
 }

@@ -11,8 +11,10 @@
 
 use crate::descriptor::ComponentDescriptor;
 use crate::lifecycle::ComponentState;
-use std::collections::BTreeMap;
+use crate::model::PortSpec;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::rc::Rc;
 
 /// Why an inport is unsatisfied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,7 +94,7 @@ impl<'a> WiringGraph<'a> {
     pub fn check_functional(
         &self,
         candidate: &ComponentDescriptor,
-        assume_active: &[String],
+        assume_active: &[Rc<str>],
     ) -> Result<Vec<(String, String)>, Vec<MissingPort>> {
         let mut providers = Vec::new();
         let mut missing = Vec::new();
@@ -115,7 +117,7 @@ impl<'a> WiringGraph<'a> {
                     continue;
                 }
                 let active = state.provides_outputs()
-                    || assume_active.iter().any(|n| n == desc.name.as_str());
+                    || assume_active.iter().any(|n| &**n == desc.name.as_str());
                 if active {
                     chosen = Some(desc.name.to_string());
                     best = None;
@@ -199,6 +201,196 @@ impl<'a> WiringGraph<'a> {
             }
         }
         map
+    }
+}
+
+/// One provider entry in the [`PortIndex`]: a component's outport under a
+/// given channel name, plus whether that component currently provides
+/// outputs (i.e. is `Active`).
+#[derive(Debug, Clone)]
+struct ProviderEntry {
+    component: Rc<str>,
+    port: PortSpec,
+    active: bool,
+}
+
+/// A persistent index over the port topology, maintained incrementally by
+/// the DRCR instead of rebuilding a [`WiringGraph`] per candidate per sweep.
+///
+/// Three maps:
+///
+/// * `providers`: outport (channel) name → provider entries, **sorted by
+///   component name**. Port names are unique within a component (validated
+///   by the descriptor), so there is at most one entry per component per
+///   channel — the sorted entry list therefore reproduces exactly the
+///   provider scan order of [`WiringGraph::check_functional`], which walks
+///   all components in sorted-name order and takes the first outport whose
+///   name matches the inport.
+/// * `consumers`: inport name → components declaring that inport. Used to
+///   seed the deactivation dirty-set: when a provider stops providing, only
+///   the consumers of its channels can newly break. This is a superset of
+///   the truly-affected set (shape-incompatible consumers are included);
+///   re-checking a still-satisfied consumer is harmless and emits nothing.
+/// * `outports_of`: component name → its outport names, so state flips are
+///   O(outports · log) without the caller passing the descriptor back in.
+///
+/// Invalidation rules (all maintained by the DRCR):
+///
+/// * [`PortIndex::insert`] on component registration (entries start
+///   inactive — freshly registered components are `Unsatisfied`/`Disabled`).
+/// * [`PortIndex::remove`] on component removal.
+/// * [`PortIndex::set_active`] on exactly the transitions that change
+///   [`ComponentState::provides_outputs`]: activation and resume (→ true),
+///   deactivation and suspension (→ false). Mode switches never touch the
+///   index: a mode substitutes frequency/priority/claim, never ports.
+#[derive(Debug, Default)]
+pub struct PortIndex {
+    providers: HashMap<String, Vec<ProviderEntry>>,
+    consumers: HashMap<String, BTreeSet<Rc<str>>>,
+    outports_of: HashMap<String, Vec<String>>,
+}
+
+impl PortIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indexes a newly registered component. Entries start inactive; flip
+    /// them with [`PortIndex::set_active`] when the component activates.
+    pub fn insert(&mut self, id: &Rc<str>, descriptor: &ComponentDescriptor) {
+        debug_assert_eq!(&**id, descriptor.name.as_str());
+        let mut outs = Vec::with_capacity(descriptor.outports.len());
+        for port in &descriptor.outports {
+            let entries = self.providers.entry(port.name.to_string()).or_default();
+            match entries.binary_search_by(|e| (*e.component).cmp(id)) {
+                Ok(_) => debug_assert!(false, "component `{id}` indexed twice"),
+                Err(pos) => entries.insert(
+                    pos,
+                    ProviderEntry {
+                        component: id.clone(),
+                        port: port.clone(),
+                        active: false,
+                    },
+                ),
+            }
+            outs.push(port.name.to_string());
+        }
+        if !outs.is_empty() {
+            self.outports_of.insert(id.to_string(), outs);
+        }
+        for port in &descriptor.inports {
+            self.consumers
+                .entry(port.name.to_string())
+                .or_default()
+                .insert(id.clone());
+        }
+    }
+
+    /// Drops a removed component's entries.
+    pub fn remove(&mut self, name: &str, descriptor: &ComponentDescriptor) {
+        for port in &descriptor.outports {
+            if let Some(entries) = self.providers.get_mut(port.name.as_str()) {
+                entries.retain(|e| &*e.component != name);
+                if entries.is_empty() {
+                    self.providers.remove(port.name.as_str());
+                }
+            }
+        }
+        self.outports_of.remove(name);
+        for port in &descriptor.inports {
+            if let Some(set) = self.consumers.get_mut(port.name.as_str()) {
+                set.remove(name);
+                if set.is_empty() {
+                    self.consumers.remove(port.name.as_str());
+                }
+            }
+        }
+    }
+
+    /// Flips the providing flag of all of `name`'s outports. Call on every
+    /// transition that changes [`ComponentState::provides_outputs`].
+    pub fn set_active(&mut self, name: &str, active: bool) {
+        let Some(outs) = self.outports_of.get(name) else {
+            return;
+        };
+        for channel in outs {
+            if let Some(entries) = self.providers.get_mut(channel) {
+                if let Ok(pos) = entries.binary_search_by(|e| (*e.component).cmp(name)) {
+                    entries[pos].active = active;
+                }
+            }
+        }
+    }
+
+    /// Components declaring an inport named `channel` — the candidates to
+    /// re-check when a provider of `channel` stops providing. Sorted.
+    pub fn consumers_of(&self, channel: &str) -> impl Iterator<Item = &Rc<str>> {
+        self.consumers.get(channel).into_iter().flatten()
+    }
+
+    /// Checks the functional constraints of `candidate` against the index.
+    ///
+    /// Exactly equivalent to [`WiringGraph::check_functional`] over the same
+    /// components and states — same chosen providers, same diagnoses in the
+    /// same order — but O(providers-per-port) per inport instead of
+    /// O(components).
+    ///
+    /// # Errors
+    ///
+    /// The list of unsatisfied inports, each with its reason.
+    pub fn check_functional(
+        &self,
+        candidate: &ComponentDescriptor,
+        assume_active: &[Rc<str>],
+    ) -> Result<Vec<(String, String)>, Vec<MissingPort>> {
+        let mut providers = Vec::new();
+        let mut missing = Vec::new();
+        for inport in &candidate.inports {
+            let mut best: Option<MissingReason> = Some(MissingReason::NoProvider);
+            let mut chosen: Option<String> = None;
+            let entries = self
+                .providers
+                .get(inport.name.as_str())
+                .map(Vec::as_slice)
+                .unwrap_or_default();
+            for entry in entries {
+                if *entry.component == *candidate.name.as_str() {
+                    continue;
+                }
+                if !entry.port.compatible_with(inport) {
+                    if matches!(best, Some(MissingReason::NoProvider)) {
+                        best = Some(MissingReason::IncompatibleProvider {
+                            provider: entry.component.to_string(),
+                        });
+                    }
+                    continue;
+                }
+                let active = entry.active || assume_active.iter().any(|n| **n == *entry.component);
+                if active {
+                    chosen = Some(entry.component.to_string());
+                    best = None;
+                    break;
+                }
+                best = Some(MissingReason::ProviderInactive {
+                    provider: entry.component.to_string(),
+                });
+            }
+            match (chosen, best) {
+                (Some(provider), _) => providers.push((inport.name.to_string(), provider)),
+                (None, Some(reason)) => missing.push(MissingPort {
+                    component: candidate.name.to_string(),
+                    port: inport.name.to_string(),
+                    reason,
+                }),
+                (None, None) => unreachable!("either chosen or a reason"),
+            }
+        }
+        if missing.is_empty() {
+            Ok(providers)
+        } else {
+            Err(missing)
+        }
     }
 }
 
@@ -360,5 +552,103 @@ mod tests {
             (&d, ComponentState::Unsatisfied),
         ]);
         assert!(g.check_functional(&d, &[]).is_err());
+    }
+
+    fn index_of(entries: &[(&ComponentDescriptor, bool)]) -> PortIndex {
+        let mut idx = PortIndex::new();
+        for (desc, active) in entries {
+            let id: Rc<str> = Rc::from(desc.name.as_str());
+            idx.insert(&id, desc);
+            idx.set_active(&id, *active);
+        }
+        idx
+    }
+
+    #[test]
+    fn index_matches_graph_on_every_state_combination() {
+        let c = calc();
+        let backup = ComponentDescriptor::builder("calc2")
+            .periodic(1000, 0, 3)
+            .outport("latdat", PortInterface::Shm, DataType::Integer, 4)
+            .build()
+            .unwrap();
+        let bad = ComponentDescriptor::builder("badpro")
+            .periodic(10, 0, 2)
+            .outport("latdat", PortInterface::Shm, DataType::Byte, 4)
+            .build()
+            .unwrap();
+        let d = disp();
+        let descs = [&bad, &c, &backup, &d];
+        let assume: Vec<Rc<str>> = vec!["calc2".into()];
+        // Exhaust all active/inactive combinations of the three providers
+        // and assert index and graph agree on result AND diagnosis order.
+        for mask in 0..8u32 {
+            let act = |i: u32| mask & (1 << i) != 0;
+            let states = [act(0), act(1), act(2), false];
+            let graph = WiringGraph::new(
+                descs
+                    .iter()
+                    .zip(states)
+                    .map(|(desc, a)| {
+                        (
+                            *desc,
+                            if a {
+                                ComponentState::Active
+                            } else {
+                                ComponentState::Unsatisfied
+                            },
+                        )
+                    })
+                    .collect(),
+            );
+            let idx = index_of(&descs.iter().copied().zip(states).collect::<Vec<_>>());
+            for assume_active in [&[][..], &assume[..]] {
+                assert_eq!(
+                    idx.check_functional(&d, assume_active),
+                    graph.check_functional(&d, assume_active),
+                    "mask {mask:03b}, assume {assume_active:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_tracks_removal_and_reactivation() {
+        let c = calc();
+        let d = disp();
+        let mut idx = index_of(&[(&c, true), (&d, false)]);
+        assert_eq!(
+            idx.check_functional(&d, &[]).unwrap(),
+            vec![("latdat".to_string(), "calc".to_string())]
+        );
+        idx.set_active("calc", false);
+        let missing = idx.check_functional(&d, &[]).unwrap_err();
+        assert_eq!(
+            missing[0].reason,
+            MissingReason::ProviderInactive {
+                provider: "calc".into()
+            }
+        );
+        idx.remove("calc", &c);
+        let missing = idx.check_functional(&d, &[]).unwrap_err();
+        assert_eq!(missing[0].reason, MissingReason::NoProvider);
+        // Consumers stay registered until removed themselves.
+        let consumers: Vec<_> = idx.consumers_of("latdat").collect();
+        assert_eq!(consumers.len(), 1);
+        assert_eq!(&**consumers[0], "disp");
+        idx.remove("disp", &d);
+        assert_eq!(idx.consumers_of("latdat").count(), 0);
+    }
+
+    #[test]
+    fn index_ignores_self_feeding() {
+        let selfloop = ComponentDescriptor::builder("loop")
+            .periodic(10, 0, 2)
+            .outport("chan", PortInterface::Shm, DataType::Byte, 1)
+            .inport("chan2", PortInterface::Shm, DataType::Byte, 1)
+            .build()
+            .unwrap();
+        let idx = index_of(&[(&selfloop, true)]);
+        assert!(idx.check_functional(&selfloop, &[]).is_err());
     }
 }

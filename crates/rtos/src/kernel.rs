@@ -32,7 +32,7 @@ use crate::task::{
 use crate::time::{LatencyNs, SimDuration, SimTime};
 use crate::trace::{EventSink, KernelEvent, TraceRing, TraceSubscriber};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// Static configuration of a [`Kernel`].
 #[derive(Debug, Clone)]
@@ -213,8 +213,10 @@ pub struct Kernel {
     rng: SimRng,
     trace: EventSink<KernelEvent>,
     counters: SchedCounters,
-    /// Aperiodic tasks to release when a mailbox receives a message.
-    wakeups: Vec<(ObjName, TaskId)>,
+    /// Aperiodic tasks to release when a mailbox receives a message,
+    /// indexed by mailbox name (bind/unbind are O(log + bindings-per-box)
+    /// instead of a linear scan of every binding).
+    wakeups: BTreeMap<ObjName, Vec<TaskId>>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -247,7 +249,7 @@ impl Kernel {
             mailboxes: MailboxRegistry::new(),
             fifos: FifoRegistry::new(),
             counters: SchedCounters::default(),
-            wakeups: Vec::new(),
+            wakeups: BTreeMap::new(),
         }
     }
 
@@ -535,7 +537,7 @@ impl Kernel {
         task.run_gen += 1; // cancels any in-flight Finish/Timeslice
         task.body = None;
         self.names.remove(&name);
-        self.wakeups.retain(|(_, t)| *t != id);
+        self.drop_wakeup_bindings(id);
         self.remove_from_ready(cpu, id);
         if self.cpus[cpu as usize].running == Some(id) {
             self.cpus[cpu as usize].running = None;
@@ -595,15 +597,23 @@ impl Kernel {
             return Err(KernelError::NoSuchTask(task));
         }
         let name = ObjName::new(mailbox)?;
-        if !self.wakeups.iter().any(|(n, t)| *n == name && *t == task) {
-            self.wakeups.push((name, task));
+        let bound = self.wakeups.entry(name).or_default();
+        if !bound.contains(&task) {
+            bound.push(task);
         }
         Ok(())
     }
 
     /// Removes all mailbox wakeups bound to `task`.
     pub fn unbind_mailbox_wakeups(&mut self, task: TaskId) {
-        self.wakeups.retain(|(_, t)| *t != task);
+        self.drop_wakeup_bindings(task);
+    }
+
+    fn drop_wakeup_bindings(&mut self, task: TaskId) {
+        self.wakeups.retain(|_, bound| {
+            bound.retain(|t| *t != task);
+            !bound.is_empty()
+        });
     }
 
     /// Posts a message into a mailbox from the non-RT side, waking any
@@ -626,14 +636,16 @@ impl Kernel {
         let due: Vec<(ObjName, TaskId)> = self
             .wakeups
             .iter()
-            .filter(|(mbx, task)| {
+            .filter(|(mbx, _)| {
+                // Skip mailboxes without pending messages wholesale.
                 self.mailboxes
                     .get(mbx.as_str())
                     .map(|m| !m.is_empty())
                     .unwrap_or(false)
-                    && self.tasks.get(task).map(|t| t.state) == Some(TaskState::Waiting)
             })
-            .map(|(mbx, t)| (mbx.clone(), *t))
+            .flat_map(|(mbx, bound)| bound.iter().map(move |t| (mbx, *t)))
+            .filter(|(_, task)| self.tasks.get(task).map(|t| t.state) == Some(TaskState::Waiting))
+            .map(|(mbx, t)| (mbx.clone(), t))
             .collect();
         for (mailbox, task) in due {
             if self.trace.is_enabled() {

@@ -155,6 +155,213 @@ fn check_invariants(rt: &DrtRuntime, case: usize) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Differential property: the incremental resolver (port index + dirty-set
+// deactivation sweep + cached view) must be observationally identical to
+// the naive reference re-resolver — same states, same chosen providers,
+// same ledger, and a byte-identical DrcrEvent stream — under arbitrary
+// deploy/undeploy/suspend/resume/mode-switch interleavings.
+// ---------------------------------------------------------------------
+
+struct Collector(std::rc::Rc<std::cell::RefCell<Vec<(SimTime, DrcrEvent)>>>);
+
+impl drcom::obs::TraceSubscriber<DrcrEvent> for Collector {
+    fn on_event(&mut self, time: SimTime, event: &DrcrEvent) {
+        self.0.borrow_mut().push((time, event.clone()));
+    }
+}
+
+fn tap(rt: &DrtRuntime) -> std::rc::Rc<std::cell::RefCell<Vec<(SimTime, DrcrEvent)>>> {
+    let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    rt.drcr_mut()
+        .add_event_subscriber(Box::new(Collector(log.clone())));
+    log
+}
+
+/// A deeper topology than the invariant test: `src`/`alt` both provide
+/// `chan`; `rly` consumes `chan` and provides `chan2`; `fan` consumes
+/// `chan2` (two-level cascades); `mod` is moded. Claims sum past the 1.0
+/// cap so admission rejections (and their view-derived reason strings) are
+/// exercised too.
+fn diff_component(name: &str) -> ComponentProvider {
+    let builder = ComponentDescriptor::builder(name);
+    let d = match name {
+        "src" => builder.periodic(100, 0, 2).cpu_usage(0.3).outport(
+            "chan",
+            PortInterface::Shm,
+            DataType::Integer,
+            1,
+        ),
+        "alt" => builder.periodic(100, 0, 3).cpu_usage(0.25).outport(
+            "chan",
+            PortInterface::Shm,
+            DataType::Integer,
+            1,
+        ),
+        "snk" => builder.periodic(50, 0, 4).cpu_usage(0.2).inport(
+            "chan",
+            PortInterface::Shm,
+            DataType::Integer,
+            1,
+        ),
+        "rly" => builder
+            .periodic(50, 0, 4)
+            .cpu_usage(0.15)
+            .inport("chan", PortInterface::Shm, DataType::Integer, 1)
+            .outport("chan2", PortInterface::Shm, DataType::Integer, 1),
+        "fan" => builder.periodic(20, 0, 5).cpu_usage(0.45).inport(
+            "chan2",
+            PortInterface::Shm,
+            DataType::Integer,
+            1,
+        ),
+        "mod" => builder
+            .periodic(200, 0, 3)
+            .cpu_usage(0.4)
+            .mode("cheap", 20, 0.05, 3),
+        other => panic!("unknown diff component {other}"),
+    }
+    .build()
+    .unwrap();
+    ComponentProvider::new(d, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {})))
+}
+
+const DIFF_NAMES: [&str; 6] = ["src", "alt", "snk", "rly", "fan", "mod"];
+
+fn assert_lockstep(
+    case: usize,
+    step: usize,
+    inc: &DrtRuntime,
+    naive: &DrtRuntime,
+    inc_log: &std::cell::RefCell<Vec<(SimTime, DrcrEvent)>>,
+    naive_log: &std::cell::RefCell<Vec<(SimTime, DrcrEvent)>>,
+) {
+    let (di, dn) = (inc.drcr(), naive.drcr());
+    assert_eq!(
+        di.component_names(),
+        dn.component_names(),
+        "case {case} step {step}: registered sets diverged"
+    );
+    for name in di.component_names() {
+        assert_eq!(
+            di.state_of(&name),
+            dn.state_of(&name),
+            "case {case} step {step}: `{name}` state diverged"
+        );
+        assert_eq!(
+            di.providers_of(&name),
+            dn.providers_of(&name),
+            "case {case} step {step}: `{name}` providers diverged"
+        );
+        assert_eq!(
+            di.current_mode(&name),
+            dn.current_mode(&name),
+            "case {case} step {step}: `{name}` mode diverged"
+        );
+    }
+    for cpu in 0..di.ledger().cpu_count() {
+        assert_eq!(
+            di.ledger().utilization(cpu).to_bits(),
+            dn.ledger().utilization(cpu).to_bits(),
+            "case {case} step {step}: cpu {cpu} reservation diverged"
+        );
+    }
+    assert_eq!(
+        *inc_log.borrow(),
+        *naive_log.borrow(),
+        "case {case} step {step}: event streams diverged"
+    );
+}
+
+#[test]
+fn incremental_resolver_matches_naive_reference() {
+    let mut rng = SimRng::from_seed(0x1DC5);
+    for case in 0..24 {
+        let mut inc = DrtRuntime::new(KernelConfig::new(2).with_timer(TimerJitterModel::ideal()));
+        let mut naive = DrtRuntime::new(KernelConfig::new(2).with_timer(TimerJitterModel::ideal()));
+        naive.set_resolution_strategy(drcom::ResolutionStrategy::NaiveReference);
+        let inc_log = tap(&inc);
+        let naive_log = tap(&naive);
+        let mut inc_bundles: std::collections::HashMap<&str, osgi::event::BundleId> =
+            Default::default();
+        let mut naive_bundles: std::collections::HashMap<&str, osgi::event::BundleId> =
+            Default::default();
+        let steps = rng.uniform_u64(4, 50);
+        for step in 0..steps as usize {
+            let pick = DIFF_NAMES[rng.uniform_u64(0, DIFF_NAMES.len() as u64) as usize];
+            match rng.uniform_u64(0, 6) {
+                0 | 1 => {
+                    // Install or uninstall `pick`, whichever applies.
+                    if let Some(b) = inc_bundles.remove(pick) {
+                        inc.uninstall_bundle(b).unwrap();
+                        naive
+                            .uninstall_bundle(naive_bundles.remove(pick).unwrap())
+                            .unwrap();
+                    } else {
+                        let bundle_id = format!("b.{pick}");
+                        inc_bundles.insert(
+                            pick,
+                            inc.install_component(&bundle_id, diff_component(pick))
+                                .unwrap(),
+                        );
+                        naive_bundles.insert(
+                            pick,
+                            naive
+                                .install_component(&bundle_id, diff_component(pick))
+                                .unwrap(),
+                        );
+                    }
+                }
+                2 => {
+                    let a = inc.suspend_component(pick);
+                    let b = naive.suspend_component(pick);
+                    assert_eq!(a.is_ok(), b.is_ok(), "case {case} step {step}: suspend");
+                }
+                3 => {
+                    let a = inc.resume_component(pick);
+                    let b = naive.resume_component(pick);
+                    assert_eq!(a.is_ok(), b.is_ok(), "case {case} step {step}: resume");
+                }
+                4 => {
+                    if inc.component_state("mod").is_some() {
+                        let mode = if rng.chance(0.5) {
+                            "cheap"
+                        } else {
+                            drcom::BASE_MODE
+                        };
+                        inc.switch_mode("mod", mode).unwrap();
+                        naive.switch_mode("mod", mode).unwrap();
+                    }
+                }
+                _ => {
+                    let ms = rng.uniform_u64(1, 15);
+                    inc.advance(SimDuration::from_millis(ms));
+                    naive.advance(SimDuration::from_millis(ms));
+                }
+            }
+            assert_lockstep(case, step, &inc, &naive, &inc_log, &naive_log);
+        }
+        // Teardown stays in lockstep too.
+        for (name, b) in inc_bundles {
+            inc.uninstall_bundle(b).unwrap();
+            naive
+                .uninstall_bundle(naive_bundles.remove(name).unwrap())
+                .unwrap();
+        }
+        assert_lockstep(case, usize::MAX, &inc, &naive, &inc_log, &naive_log);
+        // The whole point: the incremental run did strictly less wiring
+        // work while producing the identical observable history.
+        let inc_checks = inc.drcr().metrics().counter("drcr.wiring.checks");
+        let naive_builds = naive.drcr().metrics().counter("drcr.wiring.graph_builds");
+        let inc_builds = inc.drcr().metrics().counter("drcr.wiring.graph_builds");
+        assert_eq!(inc_builds, 0, "case {case}: incremental built a graph");
+        assert!(
+            inc_checks <= naive.drcr().metrics().counter("drcr.wiring.checks"),
+            "case {case}: incremental checked more than the reference ({inc_checks} > {naive_builds})"
+        );
+    }
+}
+
 #[test]
 fn drcr_invariants_hold_under_random_operations() {
     let mut rng = SimRng::from_seed(0xD6C6);
