@@ -36,6 +36,7 @@ use crate::obs::{
 use crate::resolve::{
     Decision, ResolverHandle, ResolvingService, UtilizationResolver, RESOLVER_SERVICE,
 };
+use crate::supervise::{FaultDecision, SupervisionConfig, Supervisor};
 use crate::view::{ComponentInfo, SystemView};
 use crate::wiring::{MissingPort, PortIndex, WiringGraph};
 use osgi::event::{BundleId, FrameworkEvent, ServiceEventKind};
@@ -43,7 +44,8 @@ use osgi::framework::Framework;
 use osgi::ldap::{PropValue, Properties};
 use osgi::registry::ServiceId;
 use rtos::kernel::Kernel;
-use rtos::task::{TaskConfig, TaskId};
+use rtos::task::{TaskConfig, TaskId, TaskState};
+use rtos::time::SimDuration;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -182,6 +184,8 @@ pub struct Drcr {
     view_cache: SystemView,
     /// Set by every transition that changes the view's contents.
     view_dirty: bool,
+    /// Restart/quarantine bookkeeping for faulted components.
+    supervisor: Supervisor,
     self_ref: Weak<RefCell<Drcr>>,
 }
 
@@ -228,6 +232,7 @@ impl Drcr {
             wiring_dirty: BTreeSet::new(),
             view_cache: SystemView::new(cpu_count, Vec::new()),
             view_dirty: false,
+            supervisor: Supervisor::new(),
             self_ref: Weak::new(),
         }));
         drcr.borrow_mut().self_ref = Rc::downgrade(&drcr);
@@ -252,6 +257,25 @@ impl Drcr {
     /// [`ResolutionStrategy::Incremental`]).
     pub fn set_resolution_strategy(&mut self, strategy: ResolutionStrategy) {
         self.strategy = strategy;
+    }
+
+    /// Sets the supervision config applied to components that have no
+    /// per-component config (the default is fail-stop:
+    /// [`crate::supervise::RestartPolicy::Never`]).
+    pub fn set_default_supervision(&mut self, config: SupervisionConfig) {
+        self.supervisor.set_default(config);
+    }
+
+    /// Sets one component's supervision config (restart policy plus
+    /// optional flap-quarantine window). Takes effect at its next fault.
+    pub fn set_supervision(&mut self, name: &str, config: SupervisionConfig) {
+        self.supervisor.set_config(name, config);
+    }
+
+    /// Whether the supervisor has quarantined `name` (the component also
+    /// shows as [`ComponentState::Disabled`]; re-enable clears it).
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        self.supervisor.is_quarantined(name)
     }
 
     // ------------------------------------------------------------------
@@ -336,6 +360,7 @@ impl Drcr {
             self.port_index.remove(name, &rec.descriptor);
         }
         self.wiring_dirty.remove(name);
+        self.supervisor.clear(name);
         self.view_dirty = true;
         self.dirty = true;
         Ok(())
@@ -613,6 +638,7 @@ impl Drcr {
     /// framework for component state changes; these notifications can
     /// trigger re-configuration activities".
     pub fn process(&mut self, fw: &mut Framework) {
+        self.supervise(fw);
         for event in fw.drain_events() {
             let FrameworkEvent::Service(e) = event else {
                 continue;
@@ -656,6 +682,99 @@ impl Drcr {
         if self.dirty {
             self.dirty = false;
             self.resolve_all(fw);
+        }
+    }
+
+    /// Polls the kernel for component tasks parked in
+    /// [`TaskState::Faulted`] and applies each component's restart policy:
+    /// quarantine (→ `Disabled`, reservation released) or restart
+    /// (→ `Unsatisfied`, re-admitted through normal resolution, after the
+    /// backoff delay if any). Also releases backoff holds whose virtual-time
+    /// deadline has passed. Runs at the top of every [`Drcr::process`], so
+    /// fault reaction latency is one management-poll period.
+    fn supervise(&mut self, fw: &mut Framework) {
+        let now = self.kernel.borrow().now();
+        // Collect first: `note` and `deactivate` need the kernel un-borrowed.
+        let faulted: Vec<(Rc<str>, String, u64)> = {
+            let kernel = self.kernel.borrow();
+            self.components
+                .iter()
+                .filter_map(|(name, rec)| {
+                    let task = rec.task?;
+                    if kernel.task_state(task) != Some(TaskState::Faulted) {
+                        return None;
+                    }
+                    let cause = kernel
+                        .task_fault_cause(task)
+                        .unwrap_or("unknown cause")
+                        .to_string();
+                    let total = kernel.task_faults(task).unwrap_or(1);
+                    Some((name.clone(), cause, total))
+                })
+                .collect()
+        };
+        for (name, cause, total) in faulted {
+            self.note(DrcrEvent::ComponentFault {
+                component: name.to_string(),
+                cause: cause.clone(),
+                total_faults: total,
+            });
+            self.metrics.count("drcr.supervision.faults", 1);
+            match self.supervisor.on_fault(&name, now) {
+                FaultDecision::Quarantine { reason } => {
+                    let reason = format!("fault ({cause}); {reason}");
+                    let _ = self.deactivate(&name, fw, ComponentState::Disabled, &reason);
+                    self.note(DrcrEvent::Quarantined {
+                        component: name.to_string(),
+                        reason,
+                    });
+                    self.metrics.count("drcr.supervision.quarantines", 1);
+                }
+                FaultDecision::Restart { attempt, delay } => {
+                    let _ = self.deactivate(
+                        &name,
+                        fw,
+                        ComponentState::Unsatisfied,
+                        &format!("fault ({cause}); restart #{attempt}"),
+                    );
+                    self.note(DrcrEvent::RestartScheduled {
+                        component: name.to_string(),
+                        attempt,
+                        delay_ns: delay.as_nanos(),
+                    });
+                    self.metrics.count("drcr.supervision.restarts", 1);
+                    if delay == SimDuration::ZERO {
+                        // Deactivation marked the executive dirty; the next
+                        // resolve pass re-admits the component.
+                        self.note(DrcrEvent::RestartAttempt {
+                            component: name.to_string(),
+                            attempt,
+                        });
+                    } else {
+                        self.metrics.observe(
+                            "drcr.supervision.backoff_ns",
+                            delay.as_nanos(),
+                            Histogram::latency_ns,
+                        );
+                        self.supervisor.hold(name.clone(), now + delay, attempt);
+                    }
+                }
+            }
+        }
+        for (name, attempt) in self.supervisor.release_expired(now) {
+            // The component may have been removed, disabled or manually
+            // re-activated while the hold was pending.
+            if self
+                .components
+                .get(&*name)
+                .is_some_and(|r| r.state == ComponentState::Unsatisfied)
+            {
+                self.note(DrcrEvent::RestartAttempt {
+                    component: name.to_string(),
+                    attempt,
+                });
+                self.dirty = true;
+            }
         }
     }
 
@@ -732,11 +851,14 @@ impl Drcr {
                 }
             }
 
-            // Activation sweep.
+            // Activation sweep. Components behind a backoff hold stay out
+            // until the supervisor releases them.
             let waiting: Vec<Rc<str>> = self
                 .components
                 .iter()
-                .filter(|(_, r)| r.state == ComponentState::Unsatisfied)
+                .filter(|(n, r)| {
+                    r.state == ComponentState::Unsatisfied && !self.supervisor.is_held(n)
+                })
                 .map(|(n, _)| n.clone())
                 .collect();
             for name in waiting {
@@ -845,7 +967,7 @@ impl Drcr {
         let mut assume: Vec<Rc<str>> = self
             .components
             .iter()
-            .filter(|(_, r)| r.state == ComponentState::Unsatisfied)
+            .filter(|(n, r)| r.state == ComponentState::Unsatisfied && !self.supervisor.is_held(n))
             .map(|(n, _)| n.clone())
             .collect();
         if assume.len() < 2 {
@@ -1430,6 +1552,48 @@ impl Drcr {
         Ok(())
     }
 
+    /// Quarantines a component through the supervisor: it falls to
+    /// `Disabled` (reservation released, consumers cascaded) and is marked
+    /// so [`Drcr::is_quarantined`] reports it, with a [`DrcrEvent::Quarantined`]
+    /// event and the `supervision.quarantines` counter. This is the single
+    /// reaction path shared by fault supervision and contract enforcement
+    /// (a quarantine is a disable with a recorded cause).
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError::NoSuchComponent`] / illegal transitions.
+    pub fn quarantine_component(
+        &mut self,
+        name: &str,
+        fw: &mut Framework,
+        reason: &str,
+    ) -> Result<(), DrcrError> {
+        let state = self
+            .state_of(name)
+            .ok_or_else(|| DrcrError::NoSuchComponent(name.to_string()))?;
+        if state.holds_admission() {
+            self.deactivate(name, fw, ComponentState::Disabled, reason)?;
+        } else if state.can_transition(ComponentState::Disabled) {
+            self.components.get_mut(name).expect("present").state = ComponentState::Disabled;
+            self.view_dirty = true;
+            self.record_transition(name, state, ComponentState::Disabled, reason);
+        } else {
+            return Err(DrcrError::IllegalTransition {
+                component: name.to_string(),
+                from: state,
+                to: ComponentState::Disabled,
+            });
+        }
+        self.supervisor.quarantine(name);
+        self.note(DrcrEvent::Quarantined {
+            component: name.to_string(),
+            reason: reason.to_string(),
+        });
+        self.metrics.count("drcr.supervision.quarantines", 1);
+        self.dirty = true;
+        Ok(())
+    }
+
     /// Re-enables a disabled component (the descriptor's
     /// `enableRTComponent` method).
     ///
@@ -1448,6 +1612,9 @@ impl Drcr {
             });
         }
         self.components.get_mut(name).expect("present").state = ComponentState::Unsatisfied;
+        // Operator re-enable grants a fresh slate: quarantine flag, restart
+        // budget and fault window all reset.
+        self.supervisor.reset(name);
         self.view_dirty = true;
         self.record_transition(
             name,

@@ -35,7 +35,9 @@ pub enum EnforcementAction {
     /// Suspend the component (reservation kept; an operator decides).
     Suspend,
     /// Disable the component (reservation released; stays out until
-    /// re-enabled).
+    /// re-enabled). Routed through the supervisor as a permanent
+    /// quarantine, so enforcement and fault supervision share one reaction
+    /// path and one event/metric vocabulary.
     Disable,
 }
 
@@ -168,7 +170,12 @@ impl ContractMonitor {
                 match self.policy.action {
                     EnforcementAction::Log => {}
                     EnforcementAction::Suspend => rt.suspend_component(&name)?,
-                    EnforcementAction::Disable => rt.disable_component(&name)?,
+                    EnforcementAction::Disable => rt.quarantine_component(
+                        &name,
+                        &format!(
+                            "contract violation: observed {observed:.3} > claimed {claimed:.3}"
+                        ),
+                    )?,
                 }
                 self.violations.push(violation.clone());
                 fresh.push(violation);
@@ -268,6 +275,12 @@ mod tests {
         monitor.check(&mut rt).unwrap();
         assert_eq!(rt.component_state("liar"), Some(ComponentState::Disabled));
         assert!(rt.drcr().ledger().is_empty());
+        // Disable is routed through the supervisor as a quarantine.
+        assert!(rt.drcr().is_quarantined("liar"));
+        // Operator re-enable clears the quarantine and re-admits.
+        rt.enable_component("liar").unwrap();
+        assert!(!rt.drcr().is_quarantined("liar"));
+        assert_eq!(rt.component_state("liar"), Some(ComponentState::Active));
     }
 
     #[test]

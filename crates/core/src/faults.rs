@@ -1,0 +1,326 @@
+//! Deterministic fault injection for robustness testing and benchmarks.
+//!
+//! A [`FaultPlan`] declares exactly which faults fire at which task cycles:
+//! panics (caught and contained by the kernel), execution-time spikes,
+//! corrupted or dropped port payloads, and bridge stalls (a long busy
+//! period that delays management-command servicing). Plans are either
+//! written out fault by fault ([`FaultPlan::at`]) or generated from a seed
+//! ([`FaultPlan::storm`]); both are pure functions of their inputs, so two
+//! runs of the same scenario inject byte-identical fault sequences — the
+//! property the `fault_storm` benchmark and the failure-injection tests
+//! rely on to assert recovery behaviour.
+//!
+//! [`FaultInjector`] wraps any [`RtLogic`] and executes the plan from
+//! inside the component, exactly where real defects live. Injections are
+//! tallied in a host-side [`InjectionLog`] shared across restarts of the
+//! component (factories wrap each fresh instance), which deliberately
+//! survives the kernel's faulted-cycle rollback: the log records what was
+//! *injected*, the kernel trace records what *escaped*.
+
+use crate::hybrid::{RtIo, RtLogic};
+use crate::model::PropertyValue;
+use rtos::rng::SimRng;
+use rtos::time::SimDuration;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// One injectable fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic out of the cycle body (the kernel contains it, rolls back the
+    /// cycle's port writes and parks the task in `Faulted`).
+    Panic,
+    /// Charge extra CPU time before the functional routine (a budget/
+    /// deadline stressor).
+    Spike(SimDuration),
+    /// Overwrite an outport with deterministic garbage after the
+    /// functional routine ran (a data-integrity stressor for consumers).
+    CorruptPort {
+        /// The outport to poison.
+        port: String,
+        /// Payload length in bytes (must match the port shape for SHM).
+        bytes: usize,
+    },
+    /// Skip the functional routine entirely this cycle: consumers see
+    /// stale state (SHM) or no message (mailbox/FIFO).
+    DropCycle,
+    /// Charge a long busy period *after* the functional routine, delaying
+    /// the end-of-cycle management pump — pending bridge commands stall.
+    BridgeStall(SimDuration),
+}
+
+/// A deterministic schedule of faults keyed on task cycle number.
+///
+/// Cycle numbers restart from zero when the supervisor restarts a
+/// component (each restart is a fresh task), so a plan with an early panic
+/// models a *wedged* component that faults again after every restart;
+/// factories that stop wrapping after the first instance model a
+/// *transient* fault that a restart clears.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: BTreeMap<u64, Vec<FaultKind>>,
+}
+
+impl FaultPlan {
+    /// An empty plan; `seed` drives corruption payloads.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: BTreeMap::new(),
+        }
+    }
+
+    /// Adds one fault at one cycle (chainable; multiple faults on the same
+    /// cycle fire in insertion order, panics always last).
+    pub fn at(mut self, cycle: u64, kind: FaultKind) -> Self {
+        self.faults.entry(cycle).or_default().push(kind);
+        self
+    }
+
+    /// Generates a random-but-deterministic plan over `horizon` cycles:
+    /// each kind fires with its given per-cycle probability. Same inputs,
+    /// same plan — always.
+    pub fn storm(seed: u64, horizon: u64, rates: &StormRates) -> Self {
+        let mut rng = SimRng::from_seed(seed);
+        let mut plan = FaultPlan::new(seed);
+        for cycle in 0..horizon {
+            if rng.chance(rates.spike) {
+                let extra = SimDuration::from_nanos(
+                    rng.uniform_u64(rates.spike_ns.0.max(1), rates.spike_ns.1.max(2)),
+                );
+                plan = plan.at(cycle, FaultKind::Spike(extra));
+            }
+            if rng.chance(rates.drop) {
+                plan = plan.at(cycle, FaultKind::DropCycle);
+            }
+            if let Some((port, bytes)) = &rates.corrupt_port {
+                if rng.chance(rates.corrupt) {
+                    plan = plan.at(
+                        cycle,
+                        FaultKind::CorruptPort {
+                            port: port.clone(),
+                            bytes: *bytes,
+                        },
+                    );
+                }
+            }
+            if rng.chance(rates.stall) {
+                let dur = SimDuration::from_nanos(
+                    rng.uniform_u64(rates.stall_ns.0.max(1), rates.stall_ns.1.max(2)),
+                );
+                plan = plan.at(cycle, FaultKind::BridgeStall(dur));
+            }
+            if rng.chance(rates.panic) {
+                plan = plan.at(cycle, FaultKind::Panic);
+            }
+        }
+        plan
+    }
+
+    /// The faults declared for one cycle.
+    pub fn faults_at(&self, cycle: u64) -> &[FaultKind] {
+        self.faults.get(&cycle).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Total declared faults.
+    pub fn total(&self) -> usize {
+        self.faults.values().map(Vec::len).sum()
+    }
+
+    /// Cycles that carry at least one fault, ascending.
+    pub fn cycles(&self) -> impl Iterator<Item = u64> + '_ {
+        self.faults.keys().copied()
+    }
+}
+
+/// Per-cycle probabilities and magnitudes for [`FaultPlan::storm`].
+#[derive(Debug, Clone)]
+pub struct StormRates {
+    /// Probability of a panic per cycle.
+    pub panic: f64,
+    /// Probability of an execution-time spike per cycle.
+    pub spike: f64,
+    /// Spike magnitude range in nanoseconds (uniform).
+    pub spike_ns: (u64, u64),
+    /// Probability of a dropped cycle.
+    pub drop: f64,
+    /// Probability of a corrupted outport payload.
+    pub corrupt: f64,
+    /// Which outport to corrupt, and the payload length.
+    pub corrupt_port: Option<(String, usize)>,
+    /// Probability of a bridge stall per cycle.
+    pub stall: f64,
+    /// Stall duration range in nanoseconds (uniform).
+    pub stall_ns: (u64, u64),
+}
+
+impl Default for StormRates {
+    fn default() -> Self {
+        StormRates {
+            panic: 0.0,
+            spike: 0.0,
+            spike_ns: (10_000, 100_000),
+            drop: 0.0,
+            corrupt: 0.0,
+            corrupt_port: None,
+            stall: 0.0,
+            stall_ns: (100_000, 1_000_000),
+        }
+    }
+}
+
+/// Host-side tally of injected faults, shared (via `Rc`) across every
+/// instance a component factory produces. Survives the kernel's
+/// faulted-cycle rollback by construction — it lives outside the kernel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InjectionLog {
+    /// Panics injected.
+    pub panics: u64,
+    /// Execution-time spikes injected.
+    pub spikes: u64,
+    /// Corrupted payloads written.
+    pub corruptions: u64,
+    /// Cycles dropped.
+    pub drops: u64,
+    /// Bridge stalls injected.
+    pub stalls: u64,
+    /// Logic instances wrapped (1 + number of restarts reaching the body).
+    pub instances: u64,
+}
+
+impl InjectionLog {
+    /// A fresh shared log.
+    pub fn shared() -> Rc<RefCell<InjectionLog>> {
+        Rc::new(RefCell::new(InjectionLog::default()))
+    }
+
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.panics + self.spikes + self.corruptions + self.drops + self.stalls
+    }
+}
+
+/// Wraps an [`RtLogic`] and executes a [`FaultPlan`] around it. See the
+/// [module docs](self).
+pub struct FaultInjector {
+    inner: Box<dyn RtLogic>,
+    plan: Rc<FaultPlan>,
+    log: Rc<RefCell<InjectionLog>>,
+    rng: SimRng,
+}
+
+impl FaultInjector {
+    /// Wraps `inner`; corruption payloads derive from the plan's seed, so
+    /// every instance of the same plan injects identical bytes.
+    pub fn wrap(
+        plan: Rc<FaultPlan>,
+        log: Rc<RefCell<InjectionLog>>,
+        inner: Box<dyn RtLogic>,
+    ) -> Box<dyn RtLogic> {
+        log.borrow_mut().instances += 1;
+        let rng = SimRng::from_seed(plan.seed ^ 0x5EED_FA17);
+        Box::new(FaultInjector {
+            inner,
+            plan,
+            log,
+            rng,
+        })
+    }
+}
+
+impl RtLogic for FaultInjector {
+    fn on_init(&mut self, io: &mut RtIo<'_, '_>) {
+        self.inner.on_init(io);
+    }
+
+    fn on_cycle(&mut self, io: &mut RtIo<'_, '_>) {
+        let cycle = io.cycle();
+        let faults = self.plan.faults_at(cycle).to_vec();
+        let mut run_inner = true;
+        for fault in &faults {
+            match fault {
+                FaultKind::Spike(extra) => {
+                    self.log.borrow_mut().spikes += 1;
+                    io.compute(*extra);
+                }
+                FaultKind::DropCycle => {
+                    self.log.borrow_mut().drops += 1;
+                    run_inner = false;
+                }
+                _ => {}
+            }
+        }
+        if run_inner {
+            self.inner.on_cycle(io);
+        }
+        for fault in &faults {
+            match fault {
+                FaultKind::CorruptPort { port, bytes } => {
+                    self.log.borrow_mut().corruptions += 1;
+                    let garbage: Vec<u8> = (0..*bytes).map(|_| self.rng.next_u64() as u8).collect();
+                    let _ = io.write(port, &garbage);
+                }
+                FaultKind::BridgeStall(dur) => {
+                    self.log.borrow_mut().stalls += 1;
+                    io.compute(*dur);
+                }
+                _ => {}
+            }
+        }
+        // Panics last: spikes and corruption already landed, and the panic
+        // unwinds out through the kernel's containment.
+        if faults.contains(&FaultKind::Panic) {
+            self.log.borrow_mut().panics += 1;
+            panic!("injected fault at cycle {cycle}");
+        }
+    }
+
+    fn on_property_changed(&mut self, name: &str, value: &PropertyValue) {
+        self.inner.on_property_changed(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_plans_answer_per_cycle_lookups() {
+        let plan = FaultPlan::new(7)
+            .at(3, FaultKind::Panic)
+            .at(3, FaultKind::Spike(SimDuration::from_micros(10)))
+            .at(9, FaultKind::DropCycle);
+        assert_eq!(plan.total(), 3);
+        assert_eq!(plan.faults_at(3).len(), 2);
+        assert_eq!(plan.faults_at(9), &[FaultKind::DropCycle]);
+        assert!(plan.faults_at(4).is_empty());
+        assert_eq!(plan.cycles().collect::<Vec<_>>(), vec![3, 9]);
+    }
+
+    #[test]
+    fn storms_are_deterministic_in_the_seed() {
+        let rates = StormRates {
+            panic: 0.01,
+            spike: 0.05,
+            drop: 0.02,
+            corrupt: 0.03,
+            corrupt_port: Some(("outdat".into(), 4)),
+            stall: 0.01,
+            ..StormRates::default()
+        };
+        let a = FaultPlan::storm(0xABCD, 2_000, &rates);
+        let b = FaultPlan::storm(0xABCD, 2_000, &rates);
+        let c = FaultPlan::storm(0xABCE, 2_000, &rates);
+        assert_eq!(a.faults, b.faults);
+        assert_ne!(a.faults, c.faults);
+        assert!(a.total() > 0, "storm injected nothing");
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let plan = FaultPlan::storm(1, 10_000, &StormRates::default());
+        assert_eq!(plan.total(), 0);
+    }
+}

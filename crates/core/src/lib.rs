@@ -69,6 +69,7 @@ pub mod descriptor;
 pub mod drcr;
 pub mod enforce;
 pub mod error;
+pub mod faults;
 pub mod hybrid;
 pub mod lifecycle;
 pub mod manage;
@@ -76,6 +77,7 @@ pub mod model;
 pub mod obs;
 pub mod resolve;
 pub mod runtime;
+pub mod supervise;
 pub mod view;
 pub mod wiring;
 pub mod xml;
@@ -90,6 +92,7 @@ pub use drcr::{
 };
 pub use enforce::{ContractMonitor, EnforcementAction, EnforcementPolicy, Violation};
 pub use error::{DescriptorError, DrcrError};
+pub use faults::{FaultInjector, FaultKind, FaultPlan, InjectionLog, StormRates};
 pub use hybrid::{BridgeMode, FnLogic, RtIo, RtLogic};
 pub use lifecycle::ComponentState;
 pub use manage::{
@@ -101,6 +104,7 @@ pub use model::{
 pub use obs::{BridgeEvent, DrcrEvent, Histogram, MetricsRegistry, MetricsReport};
 pub use resolve::{Decision, ResolvingService, RESOLVER_SERVICE};
 pub use runtime::{DrcomActivator, DrtRuntime};
+pub use supervise::{FaultDecision, QuarantineRule, RestartPolicy, SupervisionConfig};
 pub use view::{ComponentInfo, SystemView};
 
 /// Convenience re-exports for examples and downstream code.
@@ -113,6 +117,7 @@ pub mod prelude {
     pub use crate::model::{PortInterface, PropertyValue};
     pub use crate::obs::{BridgeEvent, DrcrEvent, MetricsReport};
     pub use crate::runtime::DrtRuntime;
+    pub use crate::supervise::{RestartPolicy, SupervisionConfig};
     pub use rtos::shm::DataType;
     pub use rtos::time::{SimDuration, SimTime};
 }

@@ -132,6 +132,42 @@ pub enum DrcrEvent {
         /// The mode's CPU claim.
         cpu_usage: f64,
     },
+    /// An active component's RT task panicked; the kernel contained it and
+    /// the supervisor is about to rule.
+    ComponentFault {
+        /// The faulted component.
+        component: String,
+        /// The rendered panic payload.
+        cause: String,
+        /// Lifetime fault count of the task instance.
+        total_faults: u64,
+    },
+    /// The supervisor granted a restart attempt (delay 0 for immediate
+    /// policies; a backoff delay otherwise).
+    RestartScheduled {
+        /// The component.
+        component: String,
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Virtual-time delay before the attempt runs.
+        delay_ns: u64,
+    },
+    /// A scheduled restart attempt was released to constraint resolution.
+    RestartAttempt {
+        /// The component.
+        component: String,
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// The supervisor quarantined the component: it falls to `Disabled`,
+    /// its reservation is released, and resolution ignores it until an
+    /// operator re-enables it.
+    Quarantined {
+        /// The component.
+        component: String,
+        /// Why (fail-stop, budget exhausted, flap window, enforcement).
+        reason: String,
+    },
 }
 
 impl fmt::Display for DrcrEvent {
@@ -219,6 +255,28 @@ impl fmt::Display for DrcrEvent {
                 f,
                 "`{component}` contract re-written for mode `{mode}` (freq {frequency_hz} Hz, claim {cpu_usage:.3})"
             ),
+            DrcrEvent::ComponentFault {
+                component,
+                cause,
+                total_faults,
+            } => write!(
+                f,
+                "fault in `{component}`: {cause} (fault #{total_faults})"
+            ),
+            DrcrEvent::RestartScheduled {
+                component,
+                attempt,
+                delay_ns,
+            } => write!(
+                f,
+                "restart #{attempt} of `{component}` scheduled in {delay_ns} ns"
+            ),
+            DrcrEvent::RestartAttempt { component, attempt } => {
+                write!(f, "restart #{attempt} of `{component}` released")
+            }
+            DrcrEvent::Quarantined { component, reason } => {
+                write!(f, "quarantined `{component}`: {reason}")
+            }
         }
     }
 }
@@ -236,7 +294,11 @@ impl DrcrEvent {
             | DrcrEvent::ActivationFailed { component, .. }
             | DrcrEvent::Rollback { component, .. }
             | DrcrEvent::Deactivated { component, .. }
-            | DrcrEvent::ModeSwitch { component, .. } => Some(component),
+            | DrcrEvent::ModeSwitch { component, .. }
+            | DrcrEvent::ComponentFault { component, .. }
+            | DrcrEvent::RestartScheduled { component, .. }
+            | DrcrEvent::RestartAttempt { component, .. }
+            | DrcrEvent::Quarantined { component, .. } => Some(component),
             _ => None,
         }
     }

@@ -175,6 +175,31 @@ impl DrtRuntime {
         self.drcr.borrow_mut().set_resolution_strategy(strategy);
     }
 
+    /// Sets one component's supervision config (restart policy plus
+    /// optional flap-quarantine window); see [`crate::supervise`].
+    pub fn set_supervision(&mut self, name: &str, config: crate::supervise::SupervisionConfig) {
+        self.drcr.borrow_mut().set_supervision(name, config);
+    }
+
+    /// Sets the supervision config applied to components without their own.
+    pub fn set_default_supervision(&mut self, config: crate::supervise::SupervisionConfig) {
+        self.drcr.borrow_mut().set_default_supervision(config);
+    }
+
+    /// Quarantines a component through the supervisor (the shared reaction
+    /// path of fault supervision and contract enforcement) and re-resolves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DrcrError`] from the underlying disable.
+    pub fn quarantine_component(&mut self, name: &str, reason: &str) -> Result<(), DrcrError> {
+        self.drcr
+            .borrow_mut()
+            .quarantine_component(name, &mut self.framework, reason)?;
+        self.process();
+        Ok(())
+    }
+
     /// Installs and starts a bundle carrying one declarative component,
     /// then lets the DRCR resolve.
     ///

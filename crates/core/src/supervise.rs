@@ -1,0 +1,425 @@
+//! Fault supervision policy for the DRCR executive.
+//!
+//! The kernel contains a panicking component the instant it happens (the
+//! task parks in `Faulted`, its partial port writes rolled back); this
+//! module decides what the executive does *next*. Each component carries a
+//! [`RestartPolicy`] — never restart, restart immediately up to a budget,
+//! or restart with exponential backoff — plus an optional sliding-window
+//! [`QuarantineRule`] that overrides any policy when a component faults too
+//! often (a flapping component is worse than a dead one: every restart
+//! cascades its consumers down and back up).
+//!
+//! The supervisor holds only bookkeeping: fault timestamps, restart
+//! counters and backoff deadlines, all in virtual kernel time so every
+//! decision is deterministic and replayable. The mechanics — tearing the
+//! component down, releasing its admission, cascading consumers, rewiring
+//! on re-activation — stay in [`crate::drcr::Drcr`], which polls the kernel
+//! for faulted tasks at the top of every `process` call and consults this
+//! module for the verdict. Quarantine maps onto the existing `Disabled`
+//! lifecycle state (no seventh state): the reservation is released and the
+//! component is ignored by resolution until an operator re-enables it,
+//! which also resets its supervision counters.
+
+use rtos::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+/// What the executive does when a component's RT task faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartPolicy {
+    /// Fail-stop (the default): the first fault quarantines the component.
+    #[default]
+    Never,
+    /// Re-admit through normal resolution right away, at most `max_restarts`
+    /// times over the component's lifetime; the next fault quarantines.
+    Immediate {
+        /// Total restart budget before quarantine.
+        max_restarts: u32,
+    },
+    /// Re-admit after an exponentially growing delay in virtual time:
+    /// attempt *n* waits `initial * factor^(n-1)`, capped at `cap`.
+    Backoff {
+        /// Delay before the first restart attempt.
+        initial: SimDuration,
+        /// Multiplier applied per subsequent attempt.
+        factor: u32,
+        /// Upper bound on the delay.
+        cap: SimDuration,
+        /// Total restart budget before quarantine.
+        max_restarts: u32,
+    },
+}
+
+/// Sliding-window flap detector: `max_faults` faults within `window`
+/// quarantine the component regardless of its restart policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineRule {
+    /// Width of the sliding window (virtual time).
+    pub window: SimDuration,
+    /// Faults tolerated inside one window before quarantine.
+    pub max_faults: u32,
+}
+
+/// Per-component supervision configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SupervisionConfig {
+    /// The restart policy.
+    pub policy: RestartPolicy,
+    /// Optional flap detector layered over the policy.
+    pub quarantine: Option<QuarantineRule>,
+}
+
+impl SupervisionConfig {
+    /// Fail-stop: quarantine on the first fault (the default).
+    pub fn never() -> Self {
+        SupervisionConfig::default()
+    }
+
+    /// Immediate restarts up to a budget.
+    pub fn immediate(max_restarts: u32) -> Self {
+        SupervisionConfig {
+            policy: RestartPolicy::Immediate { max_restarts },
+            quarantine: None,
+        }
+    }
+
+    /// Exponential backoff restarts up to a budget.
+    pub fn backoff(initial: SimDuration, factor: u32, cap: SimDuration, max_restarts: u32) -> Self {
+        SupervisionConfig {
+            policy: RestartPolicy::Backoff {
+                initial,
+                factor,
+                cap,
+                max_restarts,
+            },
+            quarantine: None,
+        }
+    }
+
+    /// Layers a sliding-window flap detector over the policy.
+    pub fn with_quarantine(mut self, window: SimDuration, max_faults: u32) -> Self {
+        self.quarantine = Some(QuarantineRule { window, max_faults });
+        self
+    }
+}
+
+/// The supervisor's verdict on one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Disable the component and release its reservation; it stays out
+    /// until an operator re-enables it.
+    Quarantine {
+        /// Why (policy exhausted, flap window tripped, or fail-stop).
+        reason: String,
+    },
+    /// Deactivate to `Unsatisfied` and re-admit after `delay` (zero for
+    /// immediate policies).
+    Restart {
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Virtual-time delay before the attempt is released to resolution.
+        delay: SimDuration,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    /// `None` means the supervisor default applies.
+    config: Option<SupervisionConfig>,
+    /// Lifetime restart attempts consumed.
+    restarts: u32,
+    /// Fault instants, pruned to the quarantine window.
+    fault_times: VecDeque<SimTime>,
+    /// Pending backoff: (deadline, attempt number).
+    hold: Option<(SimTime, u32)>,
+    quarantined: bool,
+}
+
+/// Deterministic supervision bookkeeping for all components. See the
+/// [module docs](self).
+#[derive(Debug, Default)]
+pub(crate) struct Supervisor {
+    default_config: SupervisionConfig,
+    entries: BTreeMap<Rc<str>, Entry>,
+}
+
+impl Supervisor {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the config applied to components without their own.
+    pub(crate) fn set_default(&mut self, config: SupervisionConfig) {
+        self.default_config = config;
+    }
+
+    /// Sets one component's config.
+    pub(crate) fn set_config(&mut self, name: &str, config: SupervisionConfig) {
+        self.entries.entry(Rc::from(name)).or_default().config = Some(config);
+    }
+
+    /// The config in force for `name`.
+    pub(crate) fn config_of(&self, name: &str) -> SupervisionConfig {
+        self.entries
+            .get(name)
+            .and_then(|e| e.config)
+            .unwrap_or(self.default_config)
+    }
+
+    /// Records one fault at `now` and rules on it.
+    pub(crate) fn on_fault(&mut self, name: &Rc<str>, now: SimTime) -> FaultDecision {
+        let config = self.config_of(name);
+        let entry = self.entries.entry(name.clone()).or_default();
+        entry.hold = None;
+        entry.fault_times.push_back(now);
+        if let Some(rule) = config.quarantine {
+            while let Some(&front) = entry.fault_times.front() {
+                if now.duration_since(front) > rule.window {
+                    entry.fault_times.pop_front();
+                } else {
+                    break;
+                }
+            }
+            if entry.fault_times.len() as u32 >= rule.max_faults {
+                entry.quarantined = true;
+                return FaultDecision::Quarantine {
+                    reason: format!(
+                        "{} faults within {} ns window",
+                        entry.fault_times.len(),
+                        rule.window.as_nanos()
+                    ),
+                };
+            }
+        }
+        match config.policy {
+            RestartPolicy::Never => {
+                entry.quarantined = true;
+                FaultDecision::Quarantine {
+                    reason: "restart policy Never".to_string(),
+                }
+            }
+            RestartPolicy::Immediate { max_restarts } => {
+                if entry.restarts >= max_restarts {
+                    entry.quarantined = true;
+                    FaultDecision::Quarantine {
+                        reason: format!("restart budget exhausted ({max_restarts})"),
+                    }
+                } else {
+                    entry.restarts += 1;
+                    FaultDecision::Restart {
+                        attempt: entry.restarts,
+                        delay: SimDuration::ZERO,
+                    }
+                }
+            }
+            RestartPolicy::Backoff {
+                initial,
+                factor,
+                cap,
+                max_restarts,
+            } => {
+                if entry.restarts >= max_restarts {
+                    entry.quarantined = true;
+                    FaultDecision::Quarantine {
+                        reason: format!("restart budget exhausted ({max_restarts})"),
+                    }
+                } else {
+                    let mut delay_ns = initial.as_nanos().max(1);
+                    let cap_ns = cap.as_nanos().max(1);
+                    for _ in 0..entry.restarts {
+                        delay_ns = delay_ns.saturating_mul(factor.max(1) as u64).min(cap_ns);
+                    }
+                    entry.restarts += 1;
+                    FaultDecision::Restart {
+                        attempt: entry.restarts,
+                        delay: SimDuration::from_nanos(delay_ns.min(cap_ns)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parks a component behind a backoff deadline; resolution skips it
+    /// until [`Supervisor::release_expired`] frees it.
+    pub(crate) fn hold(&mut self, name: Rc<str>, deadline: SimTime, attempt: u32) {
+        self.entries.entry(name).or_default().hold = Some((deadline, attempt));
+    }
+
+    /// True while a backoff hold is pending (expiry is only observed by
+    /// [`Supervisor::release_expired`], keeping resolution deterministic).
+    pub(crate) fn is_held(&self, name: &str) -> bool {
+        self.entries.get(name).is_some_and(|e| e.hold.is_some())
+    }
+
+    /// Releases every hold whose deadline has passed, in name order.
+    pub(crate) fn release_expired(&mut self, now: SimTime) -> Vec<(Rc<str>, u32)> {
+        let mut released = Vec::new();
+        for (name, entry) in &mut self.entries {
+            if let Some((deadline, attempt)) = entry.hold {
+                if deadline <= now {
+                    entry.hold = None;
+                    released.push((name.clone(), attempt));
+                }
+            }
+        }
+        released
+    }
+
+    /// Marks a component quarantined without a fault (the enforcement
+    /// path routes `Disable` actions here).
+    pub(crate) fn quarantine(&mut self, name: &str) {
+        let entry = self.entries.entry(Rc::from(name)).or_default();
+        entry.quarantined = true;
+        entry.hold = None;
+    }
+
+    /// Whether the component sits in quarantine.
+    pub(crate) fn is_quarantined(&self, name: &str) -> bool {
+        self.entries.get(name).is_some_and(|e| e.quarantined)
+    }
+
+    /// Fresh slate on operator re-enable: counters, window and quarantine
+    /// flag all clear (the configured policy is kept).
+    pub(crate) fn reset(&mut self, name: &str) {
+        if let Some(entry) = self.entries.get_mut(name) {
+            entry.restarts = 0;
+            entry.fault_times.clear();
+            entry.hold = None;
+            entry.quarantined = false;
+        }
+    }
+
+    /// Drops all state for a removed component.
+    pub(crate) fn clear(&mut self, name: &str) {
+        self.entries.remove(name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn default_policy_is_fail_stop() {
+        let mut s = Supervisor::new();
+        let name: Rc<str> = Rc::from("calc");
+        assert_eq!(
+            s.on_fault(&name, t(1)),
+            FaultDecision::Quarantine {
+                reason: "restart policy Never".into()
+            }
+        );
+        assert!(s.is_quarantined("calc"));
+    }
+
+    #[test]
+    fn immediate_policy_exhausts_its_budget() {
+        let mut s = Supervisor::new();
+        let name: Rc<str> = Rc::from("calc");
+        s.set_config("calc", SupervisionConfig::immediate(2));
+        assert_eq!(
+            s.on_fault(&name, t(1)),
+            FaultDecision::Restart {
+                attempt: 1,
+                delay: SimDuration::ZERO
+            }
+        );
+        assert_eq!(
+            s.on_fault(&name, t(2)),
+            FaultDecision::Restart {
+                attempt: 2,
+                delay: SimDuration::ZERO
+            }
+        );
+        assert!(matches!(
+            s.on_fault(&name, t(3)),
+            FaultDecision::Quarantine { .. }
+        ));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let mut s = Supervisor::new();
+        let name: Rc<str> = Rc::from("calc");
+        s.set_config(
+            "calc",
+            SupervisionConfig::backoff(
+                SimDuration::from_millis(10),
+                2,
+                SimDuration::from_millis(35),
+                4,
+            ),
+        );
+        let delays: Vec<u64> = (0..4)
+            .map(|i| match s.on_fault(&name, t(i)) {
+                FaultDecision::Restart { delay, .. } => delay.as_nanos() / 1_000_000,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(delays, vec![10, 20, 35, 35]);
+        assert!(matches!(
+            s.on_fault(&name, t(9)),
+            FaultDecision::Quarantine { .. }
+        ));
+    }
+
+    #[test]
+    fn sliding_window_overrides_policy() {
+        let mut s = Supervisor::new();
+        let name: Rc<str> = Rc::from("calc");
+        s.set_config(
+            "calc",
+            SupervisionConfig::immediate(100).with_quarantine(SimDuration::from_millis(50), 3),
+        );
+        assert!(matches!(
+            s.on_fault(&name, t(0)),
+            FaultDecision::Restart { .. }
+        ));
+        assert!(matches!(
+            s.on_fault(&name, t(10)),
+            FaultDecision::Restart { .. }
+        ));
+        // Third fault inside the 50 ms window trips the detector.
+        assert!(matches!(
+            s.on_fault(&name, t(20)),
+            FaultDecision::Quarantine { .. }
+        ));
+    }
+
+    #[test]
+    fn spaced_faults_slide_out_of_the_window() {
+        let mut s = Supervisor::new();
+        let name: Rc<str> = Rc::from("calc");
+        s.set_config(
+            "calc",
+            SupervisionConfig::immediate(100).with_quarantine(SimDuration::from_millis(50), 3),
+        );
+        for i in 0..6 {
+            // 60 ms apart: at most two faults ever share a window.
+            assert!(
+                matches!(s.on_fault(&name, t(i * 60)), FaultDecision::Restart { .. }),
+                "fault {i} should restart"
+            );
+        }
+    }
+
+    #[test]
+    fn holds_release_in_order_and_reset_clears_everything() {
+        let mut s = Supervisor::new();
+        s.hold(Rc::from("b"), t(20), 1);
+        s.hold(Rc::from("a"), t(10), 2);
+        assert!(s.is_held("a") && s.is_held("b"));
+        assert!(s.release_expired(t(5)).is_empty());
+        let freed = s.release_expired(t(15));
+        assert_eq!(freed.len(), 1);
+        assert_eq!(&*freed[0].0, "a");
+        assert_eq!(freed[0].1, 2);
+        assert!(!s.is_held("a") && s.is_held("b"));
+        s.reset("b");
+        assert!(!s.is_held("b"));
+    }
+}

@@ -157,6 +157,22 @@ impl FifoRegistry {
         Ok(out)
     }
 
+    /// Reverses one [`FifoRegistry::put`]: truncates the accepted bytes off
+    /// the tail and un-counts them (and the truncation, if the write was
+    /// partial). Only called by the kernel when rolling back a faulted
+    /// cycle; the tail bytes are necessarily the journaled ones because
+    /// body execution is atomic at the dispatch instant.
+    pub(crate) fn undo_put(&mut self, name: &ObjName, accepted: usize, truncated: bool) {
+        if let Some(fifo) = self.fifos.get_mut(name) {
+            let keep = fifo.buffer.len().saturating_sub(accepted);
+            fifo.buffer.truncate(keep);
+            fifo.written = fifo.written.saturating_sub(accepted as u64);
+            if truncated {
+                fifo.truncated_writes = fifo.truncated_writes.saturating_sub(1);
+            }
+        }
+    }
+
     /// Looks up a FIFO by name.
     pub fn lookup(&self, name: &str) -> Option<&Fifo> {
         let name = ObjName::new(name).ok()?;

@@ -143,6 +143,10 @@ struct Task {
     body: Option<Box<dyn TaskBody>>,
     /// Ideal release time of the cycle currently queued/running.
     pending_ideal: Option<SimTime>,
+    /// First ideal release of the periodic grid (set at start). Resuming
+    /// re-anchors on `grid_anchor + k·period` so a suspend/resume pair
+    /// never shifts the task's release phase.
+    grid_anchor: SimTime,
     /// Remaining execution when preempted mid-cycle.
     remaining: SimDuration,
     /// Dispatch generation; cancels stale Finish/Timeslice events.
@@ -156,6 +160,10 @@ struct Task {
     cycles: u64,
     overruns: u64,
     budget_overruns: u64,
+    /// Hook panics contained by the kernel (lifetime count).
+    faults: u64,
+    /// Rendered payload of the most recent contained panic.
+    fault_cause: Option<String>,
     cpu_time: SimDuration,
     stats: LatencyStats,
     /// Response time (release → finish) samples, when tracking is on.
@@ -195,6 +203,8 @@ pub struct SchedCounters {
     pub timeslices: u64,
     /// Releases discarded because the previous cycle had not finished.
     pub overruns: u64,
+    /// Body panics contained by the kernel (tasks parked in `Faulted`).
+    pub faults: u64,
 }
 
 /// The simulated real-time kernel. See the [module docs](self).
@@ -360,6 +370,7 @@ impl Kernel {
                 state: TaskState::Dormant,
                 body: Some(body),
                 pending_ideal: None,
+                grid_anchor: SimTime::ZERO,
                 remaining: SimDuration::ZERO,
                 run_gen: 0,
                 quantum_armed: false,
@@ -368,6 +379,8 @@ impl Kernel {
                 cycles: 0,
                 overruns: 0,
                 budget_overruns: 0,
+                faults: 0,
+                fault_cause: None,
                 cpu_time: SimDuration::ZERO,
                 stats: LatencyStats::new(),
                 response_stats: LatencyStats::new(),
@@ -431,10 +444,18 @@ impl Kernel {
         task.state = TaskState::Waiting;
         let release = task.cfg.release;
         let name = task.cfg.name.clone();
-        self.run_hook(id, Hook::Start);
+        let outcome = self.run_hook(id, Hook::Start);
+        if outcome.faulted {
+            // `on_start` panicked: the task is parked in `Faulted` and its
+            // release chain is never begun.
+            return Ok(());
+        }
         self.emit(KernelEvent::TaskStarted { task: name });
         if let ReleasePolicy::Periodic { period } = release {
             let ideal = self.now + period;
+            if let Some(task) = self.tasks.get_mut(&id) {
+                task.grid_anchor = ideal;
+            }
             self.schedule_release(id, ideal);
         }
         Ok(())
@@ -449,11 +470,13 @@ impl Kernel {
     pub fn suspend_task(&mut self, id: TaskId) -> Result<(), KernelError> {
         let task = self.tasks.get_mut(&id).ok_or(KernelError::NoSuchTask(id))?;
         match task.state {
-            TaskState::Deleted | TaskState::Dormant => Err(KernelError::InvalidState {
-                task: id,
-                operation: "suspend",
-                state: task.state,
-            }),
+            TaskState::Deleted | TaskState::Dormant | TaskState::Faulted => {
+                Err(KernelError::InvalidState {
+                    task: id,
+                    operation: "suspend",
+                    state: task.state,
+                })
+            }
             TaskState::Suspended => Ok(()),
             TaskState::Running => {
                 // Takes effect at cycle end: the Finish handler checks state.
@@ -490,7 +513,11 @@ impl Kernel {
         }
     }
 
-    /// Resumes a suspended task, restarting its periodic grid from now.
+    /// Resumes a suspended task. Periodic tasks rejoin their original
+    /// release grid: the next release is the first grid point
+    /// `start + k·period` strictly after now, so a suspend/resume pair (or
+    /// a supervisor restart built on it) preserves the declared phase
+    /// instead of shifting the grid to "now + period".
     ///
     /// # Errors
     ///
@@ -506,10 +533,11 @@ impl Kernel {
         }
         task.state = TaskState::Waiting;
         let release = task.cfg.release;
+        let anchor = task.grid_anchor;
         let name = task.cfg.name.clone();
         self.emit(KernelEvent::TaskResumed { task: name });
         if let ReleasePolicy::Periodic { period } = release {
-            let ideal = self.now + period;
+            let ideal = next_grid_point(anchor, period, self.now);
             self.schedule_release(id, ideal);
         }
         Ok(())
@@ -687,6 +715,16 @@ impl Kernel {
         self.tasks.get(&id).map(|t| t.budget_overruns)
     }
 
+    /// Hook panics the kernel contained for this task.
+    pub fn task_faults(&self, id: TaskId) -> Option<u64> {
+        self.tasks.get(&id).map(|t| t.faults)
+    }
+
+    /// Rendered payload of the task's most recent contained panic, if any.
+    pub fn task_fault_cause(&self, id: TaskId) -> Option<&str> {
+        self.tasks.get(&id).and_then(|t| t.fault_cause.as_deref())
+    }
+
     /// Total CPU time the task has consumed.
     pub fn task_cpu_time(&self, id: TaskId) -> Option<SimDuration> {
         self.tasks.get(&id).map(|t| t.cpu_time)
@@ -804,7 +842,10 @@ impl Kernel {
         // Schedule the next periodic release first so the grid never stalls
         // (suspended/deleted tasks break the chain deliberately).
         let reschedule = match (task.state, task.cfg.release) {
-            (TaskState::Deleted | TaskState::Suspended | TaskState::Dormant, _) => None,
+            (
+                TaskState::Deleted | TaskState::Suspended | TaskState::Dormant | TaskState::Faulted,
+                _,
+            ) => None,
             (_, ReleasePolicy::Periodic { period }) => Some(ideal + period),
             (_, ReleasePolicy::Aperiodic) => None,
         };
@@ -837,7 +878,7 @@ impl Kernel {
                     self.schedule_release(id, next);
                 }
             }
-            TaskState::Suspended | TaskState::Dormant | TaskState::Deleted => {
+            TaskState::Suspended | TaskState::Dormant | TaskState::Deleted | TaskState::Faulted => {
                 // Release discarded; chain intentionally broken.
             }
         }
@@ -1035,8 +1076,22 @@ impl Kernel {
                     let task = self.tasks[&head_id].cfg.name.clone();
                     self.emit(KernelEvent::Dispatch { task, cpu, latency });
                 }
-                let charged = self.run_body_cycle(head_id);
-                let mut exec = base + charged;
+                let outcome = self.run_body_cycle(head_id);
+                if outcome.faulted {
+                    // The body panicked at the dispatch instant: the unwind
+                    // was contained, partial port writes rolled back, and
+                    // the task parked in `Faulted` by `run_hook`. The cycle
+                    // never consumes virtual CPU time; free the CPU and
+                    // look at the next ready task.
+                    let task = self.tasks.get_mut(&head_id).expect("still exists");
+                    task.pending_ideal = None;
+                    task.remaining = SimDuration::ZERO;
+                    task.run_gen += 1;
+                    task.quantum_armed = false;
+                    self.cpus[cpu as usize].running = None;
+                    continue;
+                }
+                let mut exec = base + outcome.charged;
                 if let Some(budget) = budget {
                     if exec > budget {
                         let demanded = exec;
@@ -1081,62 +1136,193 @@ impl Kernel {
         }
     }
 
-    /// Runs the task body's `on_cycle`, returning the CPU time it charged.
-    fn run_body_cycle(&mut self, id: TaskId) -> SimDuration {
-        let charged = self.run_hook(id, Hook::Cycle);
-        // The body may have sent into wakeup-bound mailboxes.
-        if !self.wakeups.is_empty() {
+    /// Runs the task body's `on_cycle`, returning the CPU time it charged
+    /// and whether the body panicked out of the hook.
+    fn run_body_cycle(&mut self, id: TaskId) -> HookOutcome {
+        let outcome = self.run_hook(id, Hook::Cycle);
+        // The body may have sent into wakeup-bound mailboxes — but a
+        // faulted cycle's sends were rolled back, so nothing to service.
+        if !outcome.faulted && !self.wakeups.is_empty() {
             self.service_wakeups();
         }
-        charged
+        outcome
     }
 
-    fn run_hook(&mut self, id: TaskId, hook: Hook) -> SimDuration {
+    /// Dispatches one body hook under fault containment.
+    ///
+    /// The hook runs inside `catch_unwind`; every mutating port operation
+    /// the body performs is journaled by [`TaskCtx`], and on a panic the
+    /// journal is replayed in reverse so the faulting cycle's partial
+    /// writes are never published (reads/receives are *not* undone —
+    /// consumed input is at-most-once, like a crash after a real dequeue).
+    /// The task is parked in [`TaskState::Faulted`] (except on the stop
+    /// hook, where deletion proceeds regardless) and a
+    /// [`KernelEvent::TaskFault`] is emitted.
+    fn run_hook(&mut self, id: TaskId, hook: Hook) -> HookOutcome {
         let Some(task) = self.tasks.get_mut(&id) else {
-            return SimDuration::ZERO;
+            return HookOutcome::default();
         };
         let Some(mut body) = task.body.take() else {
-            return SimDuration::ZERO;
+            return HookOutcome::default();
         };
         let name = task.cfg.name.clone();
         let cycle = task.cycles;
         let started = task.started;
-        if hook == Hook::Start {
+        if hook == Hook::Start || hook == Hook::Cycle {
             task.started = true;
         }
-        let mut ctx = TaskCtx {
-            now: self.now,
-            task: id,
-            name,
-            cycle,
-            charged: SimDuration::ZERO,
-            shm: &mut self.shm,
-            mailboxes: &mut self.mailboxes,
-            fifos: &mut self.fifos,
-            rng: &mut self.rng,
-            trace: &mut self.trace,
-            shm_op_cost: self.cfg.shm_op_cost,
-            mbx_op_cost: self.cfg.mbx_op_cost,
+        let mut journal: Vec<UndoEntry> = Vec::new();
+        let result = {
+            let mut ctx = TaskCtx {
+                now: self.now,
+                task: id,
+                name: name.clone(),
+                cycle,
+                charged: SimDuration::ZERO,
+                journal: &mut journal,
+                shm: &mut self.shm,
+                mailboxes: &mut self.mailboxes,
+                fifos: &mut self.fifos,
+                rng: &mut self.rng,
+                trace: &mut self.trace,
+                shm_op_cost: self.cfg.shm_op_cost,
+                mbx_op_cost: self.cfg.mbx_op_cost,
+            };
+            catch_unwind_quietly(move || {
+                match hook {
+                    Hook::Start => body.on_start(&mut ctx),
+                    Hook::Cycle => {
+                        if !started {
+                            body.on_start(&mut ctx);
+                        }
+                        body.on_cycle(&mut ctx)
+                    }
+                    Hook::Stop => body.on_stop(&mut ctx),
+                }
+                (body, ctx.charged)
+            })
         };
-        match hook {
-            Hook::Start => body.on_start(&mut ctx),
-            Hook::Cycle => {
-                if !started {
-                    body.on_start(&mut ctx);
-                    if let Some(t) = self.tasks.get_mut(&id) {
-                        t.started = true;
+        match result {
+            Ok((body, charged)) => {
+                if let Some(task) = self.tasks.get_mut(&id) {
+                    task.body = Some(body);
+                }
+                HookOutcome {
+                    charged,
+                    faulted: false,
+                }
+            }
+            Err(payload) => {
+                // Reverse-replay the journal: later writes are undone first
+                // so overlapping operations restore the pre-cycle image.
+                for entry in journal.drain(..).rev() {
+                    match entry {
+                        UndoEntry::ShmWrite { name, prior } => self.shm.undo_write(&name, &prior),
+                        UndoEntry::MailboxSend { name, accepted } => {
+                            self.mailboxes.undo_send(&name, accepted)
+                        }
+                        UndoEntry::FifoPut {
+                            name,
+                            accepted,
+                            truncated,
+                        } => self.fifos.undo_put(&name, accepted, truncated),
                     }
                 }
-                body.on_cycle(&mut ctx)
+                let cause = render_panic(payload.as_ref());
+                if let Some(task) = self.tasks.get_mut(&id) {
+                    // The body went down with the unwind; the task can
+                    // never run again, only be deleted.
+                    task.faults += 1;
+                    task.fault_cause = Some(cause.clone());
+                    if hook != Hook::Stop {
+                        task.state = TaskState::Faulted;
+                    }
+                }
+                self.counters.faults += 1;
+                self.emit(KernelEvent::TaskFault {
+                    task: name,
+                    cycle,
+                    cause,
+                });
+                HookOutcome {
+                    charged: SimDuration::ZERO,
+                    faulted: true,
+                }
             }
-            Hook::Stop => body.on_stop(&mut ctx),
         }
-        let charged = ctx.charged;
-        if let Some(task) = self.tasks.get_mut(&id) {
-            task.body = Some(body);
-        }
-        charged
     }
+}
+
+/// First grid point `anchor + k·period` strictly after `now` (`k ≥ 0`).
+fn next_grid_point(anchor: SimTime, period: SimDuration, now: SimTime) -> SimTime {
+    if now < anchor {
+        return anchor;
+    }
+    let p = period.as_nanos().max(1);
+    let k = now.duration_since(anchor).as_nanos() / p + 1;
+    anchor + SimDuration::from_nanos(k * p)
+}
+
+/// Renders a caught panic payload to readable text.
+fn render_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+std::thread_local! {
+    /// True while this thread is inside the kernel's contained hook call;
+    /// the global panic hook stays silent so an *injected* fault does not
+    /// spam stderr (real, uncontained panics still print).
+    static SUPPRESS_PANIC_REPORT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static QUIET_HOOK: std::sync::Once = std::sync::Once::new();
+
+/// `catch_unwind` with the default panic report suppressed for the
+/// duration of the call. The replacement hook chains to the previous one
+/// and is installed once per process; the suppression flag is thread-local
+/// so parallel test threads never silence each other.
+fn catch_unwind_quietly<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn std::any::Any + Send>> {
+    QUIET_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_REPORT.with(std::cell::Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+    SUPPRESS_PANIC_REPORT.with(|flag| flag.set(true));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    SUPPRESS_PANIC_REPORT.with(|flag| flag.set(false));
+    result
+}
+
+/// What one hook dispatch produced: the charged CPU time, and whether the
+/// body panicked (in which case nothing was charged or published).
+#[derive(Debug, Default, Clone, Copy)]
+struct HookOutcome {
+    charged: SimDuration,
+    faulted: bool,
+}
+
+/// One reversible port mutation recorded while a body hook runs.
+#[derive(Debug)]
+enum UndoEntry {
+    /// A successful SHM write; `prior` is the pre-write segment image.
+    ShmWrite { name: ObjName, prior: Vec<u8> },
+    /// A mailbox send attempt (`accepted == false` counted a rejection).
+    MailboxSend { name: ObjName, accepted: bool },
+    /// A FIFO append that took `accepted` bytes.
+    FifoPut {
+        name: ObjName,
+        accepted: usize,
+        truncated: bool,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1156,6 +1342,9 @@ pub struct TaskCtx<'a> {
     name: ObjName,
     cycle: u64,
     charged: SimDuration,
+    /// Reversible-mutation log for fault containment; replayed in reverse
+    /// by [`Kernel::run_hook`] when the body panics.
+    journal: &'a mut Vec<UndoEntry>,
     shm: &'a mut ShmRegistry,
     mailboxes: &'a mut MailboxRegistry,
     fifos: &'a mut FifoRegistry,
@@ -1223,7 +1412,15 @@ impl TaskCtx<'_> {
     /// Propagates [`crate::error::IpcError`] from the registry.
     pub fn shm_write(&mut self, name: &str, buf: &[u8]) -> Result<(), crate::error::IpcError> {
         self.charged += self.shm_op_cost;
-        self.shm.write(name, buf)
+        let obj = ObjName::new(name).map_err(crate::error::IpcError::BadName)?;
+        let prior = self.shm.peek(&obj);
+        let result = self.shm.write(name, buf);
+        if result.is_ok() {
+            if let Some(prior) = prior {
+                self.journal.push(UndoEntry::ShmWrite { name: obj, prior });
+            }
+        }
+        result
     }
 
     /// Reads a whole shared-memory segment; charges the SHM op cost.
@@ -1243,7 +1440,15 @@ impl TaskCtx<'_> {
     /// Propagates [`crate::error::IpcError`] from the registry.
     pub fn mailbox_send(&mut self, name: &str, msg: &[u8]) -> Result<bool, crate::error::IpcError> {
         self.charged += self.mbx_op_cost;
-        self.mailboxes.send(name, msg)
+        let obj = ObjName::new(name).map_err(crate::error::IpcError::BadName)?;
+        let result = self.mailboxes.send(name, msg);
+        if let Ok(accepted) = result {
+            self.journal.push(UndoEntry::MailboxSend {
+                name: obj,
+                accepted,
+            });
+        }
+        result
     }
 
     /// Non-blocking mailbox receive; charges the mailbox op cost (polling an
@@ -1265,7 +1470,16 @@ impl TaskCtx<'_> {
     /// Propagates [`crate::error::IpcError`] from the registry.
     pub fn fifo_put(&mut self, name: &str, data: &[u8]) -> Result<usize, crate::error::IpcError> {
         self.charged += self.mbx_op_cost;
-        self.fifos.put(name, data)
+        let obj = ObjName::new(name).map_err(crate::error::IpcError::BadName)?;
+        let result = self.fifos.put(name, data);
+        if let Ok(accepted) = result {
+            self.journal.push(UndoEntry::FifoPut {
+                name: obj,
+                accepted,
+                truncated: accepted < data.len(),
+            });
+        }
+        result
     }
 
     /// Non-blocking FIFO drain of up to `max` bytes; charges the mailbox
@@ -1294,6 +1508,7 @@ impl TaskCtx<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shm::DataType;
     use crate::task::{FnBody, IdleBody};
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -1731,5 +1946,167 @@ mod tests {
         k.run_for(SimDuration::from_millis(20));
         // Task on CPU 1 never queues behind the busy CPU 0 task.
         assert_eq!(k.task_stats(b).unwrap().max().unwrap(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault containment
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn panicking_body_faults_task_without_disturbing_peers() {
+        let mut k = Kernel::new(
+            KernelConfig::new(21)
+                .with_timer(TimerJitterModel::ideal())
+                .with_trace(64),
+        );
+        let bad_cfg = TaskConfig::periodic("bad", Priority(2), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_micros(10));
+        let bad = k
+            .create_task(
+                bad_cfg,
+                Box::new(FnBody(|ctx: &mut TaskCtx<'_>| {
+                    if ctx.cycle() == 3 {
+                        panic!("injected fault");
+                    }
+                })),
+            )
+            .unwrap();
+        let good_cfg = TaskConfig::periodic("good", Priority(5), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_micros(10));
+        let good = k.create_task(good_cfg, Box::new(IdleBody)).unwrap();
+        k.start_task(bad).unwrap();
+        k.start_task(good).unwrap();
+        k.run_for(SimDuration::from_millis(10) + SimDuration::from_micros(500));
+        assert_eq!(k.task_state(bad), Some(TaskState::Faulted));
+        assert_eq!(k.task_cycles(bad), Some(3), "faulting cycle not counted");
+        assert_eq!(k.task_faults(bad), Some(1));
+        assert_eq!(k.task_fault_cause(bad), Some("injected fault"));
+        assert_eq!(k.counters().faults, 1);
+        // The peer on the same CPU kept its full grid.
+        assert_eq!(k.task_cycles(good), Some(10));
+        let fault_events: Vec<String> = k
+            .trace()
+            .iter()
+            .filter(|e| matches!(e.event, KernelEvent::TaskFault { .. }))
+            .map(|e| e.event.to_string())
+            .collect();
+        assert_eq!(fault_events, vec!["fault `bad` at cycle 3: injected fault"]);
+    }
+
+    #[test]
+    fn faulted_cycle_rolls_back_partial_port_writes() {
+        let mut k = quiet_kernel(22);
+        k.shm_mut().alloc("seg", DataType::Integer, 1).unwrap();
+        k.mailboxes_mut().create("outbox", 4).unwrap();
+        k.fifos_mut().create("stream", 16).unwrap();
+        let cfg = TaskConfig::periodic("wrt", Priority(2), SimDuration::from_millis(1)).unwrap();
+        let id = k
+            .create_task(
+                cfg,
+                Box::new(FnBody(|ctx: &mut TaskCtx<'_>| {
+                    let value = (ctx.cycle() as i32 + 1).to_le_bytes();
+                    ctx.shm_write("seg", &value).unwrap();
+                    ctx.mailbox_send("outbox", &value).unwrap();
+                    ctx.fifo_put("stream", &value).unwrap();
+                    if ctx.cycle() == 2 {
+                        panic!("mid-cycle crash");
+                    }
+                })),
+            )
+            .unwrap();
+        k.start_task(id).unwrap();
+        k.run_for(SimDuration::from_millis(5));
+        assert_eq!(k.task_state(id), Some(TaskState::Faulted));
+        // Cycles 0 and 1 published; cycle 2's writes were rolled back.
+        assert_eq!(k.shm().get("seg").unwrap().write_count(), 2);
+        assert_eq!(k.shm_mut().read("seg").unwrap(), 2i32.to_le_bytes());
+        let mbx = k.mailboxes().get("outbox").unwrap();
+        assert_eq!(mbx.len(), 2);
+        assert_eq!(mbx.sent_count(), 2);
+        let fifo = k.fifos().lookup("stream").unwrap();
+        assert_eq!(fifo.written_bytes(), 8);
+        assert_eq!(fifo.len(), 8);
+    }
+
+    #[test]
+    fn panic_in_on_start_parks_the_task_before_any_release() {
+        struct BadStart;
+        impl TaskBody for BadStart {
+            fn on_start(&mut self, _ctx: &mut TaskCtx<'_>) {
+                panic!("bad start");
+            }
+            fn on_cycle(&mut self, _ctx: &mut TaskCtx<'_>) {}
+        }
+        let mut k = quiet_kernel(23);
+        let cfg = TaskConfig::periodic("boom", Priority(2), SimDuration::from_millis(1)).unwrap();
+        let id = k.create_task(cfg, Box::new(BadStart)).unwrap();
+        k.start_task(id).unwrap();
+        assert_eq!(k.task_state(id), Some(TaskState::Faulted));
+        k.run_for(SimDuration::from_millis(5));
+        assert_eq!(k.task_cycles(id), Some(0));
+        assert_eq!(k.task_fault_cause(id), Some("bad start"));
+    }
+
+    #[test]
+    fn faulted_task_rejects_suspend_but_deletes_cleanly() {
+        let mut k = quiet_kernel(24);
+        let cfg = TaskConfig::periodic("flaky", Priority(2), SimDuration::from_millis(1)).unwrap();
+        let id = k
+            .create_task(
+                cfg,
+                Box::new(FnBody(|_ctx: &mut TaskCtx<'_>| panic!("die"))),
+            )
+            .unwrap();
+        k.start_task(id).unwrap();
+        k.run_for(SimDuration::from_millis(3));
+        assert_eq!(k.task_state(id), Some(TaskState::Faulted));
+        assert!(matches!(
+            k.suspend_task(id),
+            Err(KernelError::InvalidState { .. })
+        ));
+        assert!(matches!(
+            k.resume_task(id),
+            Err(KernelError::InvalidState { .. })
+        ));
+        // Supervisors recover by deleting and re-creating the task.
+        k.delete_task(id).unwrap();
+        assert_eq!(k.task_state(id), Some(TaskState::Deleted));
+        assert_eq!(k.task_by_name("flaky"), None);
+        k.run_for(SimDuration::from_millis(3));
+        assert_eq!(k.task_cycles(id), Some(0));
+    }
+
+    #[test]
+    fn resume_rejoins_the_declared_release_grid() {
+        let mut k = quiet_kernel(25);
+        let cfg = TaskConfig::periodic("tick", Priority(2), SimDuration::from_millis(1))
+            .unwrap()
+            .with_base_cost(SimDuration::from_micros(10));
+        let times: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let t2 = times.clone();
+        let id = k
+            .create_task(
+                cfg,
+                Box::new(FnBody(move |ctx: &mut TaskCtx<'_>| {
+                    t2.borrow_mut().push(ctx.now().as_nanos());
+                })),
+            )
+            .unwrap();
+        k.start_task(id).unwrap();
+        // Suspend off-grid at 2.3 ms, resume off-grid at 4.7 ms.
+        k.run_for(SimDuration::from_micros(2300));
+        k.suspend_task(id).unwrap();
+        k.run_for(SimDuration::from_micros(2400));
+        k.resume_task(id).unwrap();
+        k.run_for(SimDuration::from_millis(5));
+        let times = times.borrow();
+        assert!(times.len() >= 6, "releases: {times:?}");
+        for &t in times.iter() {
+            assert_eq!(t % 1_000_000, 0, "off-grid release at {t} ns: {times:?}");
+        }
+        // First post-resume release is the next grid point after 4.7 ms.
+        assert_eq!(times[2], 5_000_000, "{times:?}");
     }
 }

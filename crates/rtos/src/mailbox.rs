@@ -153,6 +153,23 @@ impl MailboxRegistry {
         Ok(msg)
     }
 
+    /// Reverses one [`MailboxRegistry::send`] outcome: pops the newest
+    /// queued message when the send was accepted, or un-counts the
+    /// rejection otherwise. Only called by the kernel when rolling back a
+    /// faulted cycle; the newest message is necessarily the journaled one
+    /// because body execution is atomic at the dispatch instant.
+    pub(crate) fn undo_send(&mut self, name: &ObjName, accepted: bool) {
+        if let Some(mb) = self.boxes.get_mut(name) {
+            if accepted {
+                if mb.queue.pop_back().is_some() {
+                    mb.sent = mb.sent.saturating_sub(1);
+                }
+            } else {
+                mb.rejected = mb.rejected.saturating_sub(1);
+            }
+        }
+    }
+
     /// Looks up a mailbox by name.
     pub fn get(&self, name: &str) -> Option<&Mailbox> {
         let name = ObjName::new(name).ok()?;

@@ -219,6 +219,25 @@ impl ShmRegistry {
         Ok(seg.data.clone())
     }
 
+    /// Clones a segment's current bytes without counting a read. Used by
+    /// the kernel's fault-containment journal to snapshot the pre-write
+    /// image before a body write goes through.
+    pub(crate) fn peek(&self, name: &ObjName) -> Option<Vec<u8>> {
+        self.segments.get(name).map(|seg| seg.data.clone())
+    }
+
+    /// Reverses one successful [`ShmRegistry::write`]: restores the
+    /// snapshot taken by [`ShmRegistry::peek`] and un-counts the write.
+    /// Only called by the kernel when rolling back a faulted cycle.
+    pub(crate) fn undo_write(&mut self, name: &ObjName, prior: &[u8]) {
+        if let Some(seg) = self.segments.get_mut(name) {
+            if seg.data.len() == prior.len() {
+                seg.data.copy_from_slice(prior);
+                seg.writes = seg.writes.saturating_sub(1);
+            }
+        }
+    }
+
     /// Looks up a segment by name.
     pub fn get(&self, name: &str) -> Option<&ShmSegment> {
         let name = ObjName::new(name).ok()?;

@@ -131,6 +131,9 @@ pub enum TaskState {
     Running,
     /// Suspended by management action; releases are discarded.
     Suspended,
+    /// The body panicked out of a hook; the task is parked until deleted.
+    /// Releases are discarded and the scheduler never dispatches it again.
+    Faulted,
     /// Deleted; the id is dead.
     Deleted,
 }

@@ -108,6 +108,17 @@ pub enum KernelEvent {
         /// The budget it was clamped to.
         budget: SimDuration,
     },
+    /// A task body panicked out of a hook; the kernel contained the unwind,
+    /// rolled back the cycle's partial port writes and parked the task in
+    /// `Faulted`.
+    TaskFault {
+        /// Task name.
+        task: ObjName,
+        /// Zero-based cycle index of the faulting cycle.
+        cycle: u64,
+        /// The panic payload, rendered to text.
+        cause: String,
+    },
     /// A mailbox message released a wakeup-bound aperiodic task.
     MailboxWake {
         /// The mailbox that received the message.
@@ -182,6 +193,9 @@ impl fmt::Display for KernelEvent {
                 demanded.as_nanos(),
                 budget.as_nanos()
             ),
+            KernelEvent::TaskFault { task, cycle, cause } => {
+                write!(f, "fault `{task}` at cycle {cycle}: {cause}")
+            }
             KernelEvent::MailboxWake { mailbox, task } => {
                 write!(f, "mailbox `{mailbox}` wakes `{task}`")
             }

@@ -32,12 +32,14 @@ pub use rtos;
 pub mod prelude {
     pub use drcom::descriptor::ComponentDescriptor;
     pub use drcom::drcr::{ComponentProvider, Drcr};
+    pub use drcom::faults::{FaultInjector, FaultKind, FaultPlan, InjectionLog, StormRates};
     pub use drcom::hybrid::{FnLogic, RtIo, RtLogic};
     pub use drcom::lifecycle::ComponentState;
     pub use drcom::manage::{ComponentControl, ManagementReply, RtComponentManagement};
     pub use drcom::model::{PortInterface, PropertyValue, BASE_MODE};
     pub use drcom::obs::{BridgeEvent, DrcrEvent, MetricsReport};
     pub use drcom::runtime::DrtRuntime;
+    pub use drcom::supervise::{QuarantineRule, RestartPolicy, SupervisionConfig};
     pub use rtos::kernel::KernelConfig;
     pub use rtos::latency::TimerJitterModel;
     pub use rtos::shm::DataType;

@@ -6,6 +6,8 @@ use drt::prelude::*;
 use osgi::framework::{BundleActivator, BundleContext, FrameworkError};
 use osgi::manifest::BundleManifest;
 use osgi::version::Version;
+use std::cell::Cell;
+use std::rc::Rc;
 
 fn runtime() -> DrtRuntime {
     DrtRuntime::new(KernelConfig::new(77).with_timer(TimerJitterModel::ideal()))
@@ -229,4 +231,258 @@ fn overload_admission_explains_every_rejection() {
         })
         .count();
     assert!(rejections >= 5, "rejections {rejections}");
+}
+
+// ---------------------------------------------------------------------
+// Runtime faults: panics out of RT cycle bodies must be contained the
+// same cycle, reported through typed events, and answered by the
+// supervision policy — quarantine by default, restart under Backoff,
+// flap-detection quarantine for wedged components.
+// ---------------------------------------------------------------------
+
+/// A component whose logic panics at `panic_cycle` on every instance
+/// (a *wedged* component: restarting it never helps).
+fn wedged(name: &str, panic_cycle: u64) -> ComponentProvider {
+    let d = ComponentDescriptor::builder(name)
+        .periodic(100, 0, 3)
+        .cpu_usage(0.1)
+        .build()
+        .unwrap();
+    ComponentProvider::new(d, move || {
+        Box::new(FnLogic(move |io: &mut RtIo<'_, '_>| {
+            if io.cycle() == panic_cycle {
+                panic!("wedged at cycle {panic_cycle}");
+            }
+        }))
+    })
+}
+
+#[test]
+fn panicking_component_is_quarantined_by_default() {
+    let mut rt = runtime();
+    rt.install_component("demo.victim", wedged("victim", 2))
+        .unwrap();
+    rt.install_component("demo.good", simple("good", 0.1))
+        .unwrap();
+    assert_eq!(rt.component_state("victim"), Some(ComponentState::Active));
+    rt.advance(SimDuration::from_millis(100));
+    // Fail-stop default: the panicking component is quarantined…
+    assert_eq!(rt.component_state("victim"), Some(ComponentState::Disabled));
+    assert!(rt.drcr().is_quarantined("victim"));
+    // …its task and reservation are gone, the neighbour is untouched.
+    assert!(rt.drcr().task_of("victim").is_none());
+    assert!(rt.drcr().ledger().reservation("victim").is_none());
+    assert_eq!(rt.component_state("good"), Some(ComponentState::Active));
+    // The whole story is in the typed event stream.
+    assert!(rt.drcr().events_for("victim").any(|e| matches!(
+        &e.event,
+        DrcrEvent::ComponentFault { cause, .. } if cause.contains("wedged at cycle 2")
+    )));
+    assert!(rt
+        .drcr()
+        .events_for("victim")
+        .any(|e| matches!(e.event, DrcrEvent::Quarantined { .. })));
+    // Quarantine is not a death sentence: an operator re-enable grants a
+    // fresh slate and the component re-admits (and will fault again —
+    // it is wedged — but that is the operator's call).
+    rt.enable_component("victim").unwrap();
+    assert!(!rt.drcr().is_quarantined("victim"));
+    assert_eq!(rt.component_state("victim"), Some(ComponentState::Active));
+}
+
+#[test]
+fn transient_provider_fault_recovers_under_backoff_and_rewires() {
+    let mut rt = runtime();
+    // Provider of `chan` that panics once, on its first instance only: a
+    // transient fault that a restart clears.
+    let instances = Rc::new(Cell::new(0u32));
+    let counter = instances.clone();
+    let d = ComponentDescriptor::builder("src")
+        .periodic(100, 0, 2)
+        .cpu_usage(0.2)
+        .outport("chan", PortInterface::Shm, DataType::Integer, 1)
+        .build()
+        .unwrap();
+    let provider = ComponentProvider::new(d, move || {
+        counter.set(counter.get() + 1);
+        let first = counter.get() == 1;
+        Box::new(FnLogic(move |io: &mut RtIo<'_, '_>| {
+            if first && io.cycle() == 2 {
+                panic!("transient glitch");
+            }
+            let _ = io.write("chan", &7i32.to_le_bytes());
+        }))
+    });
+    let sink = {
+        let d = ComponentDescriptor::builder("snk")
+            .periodic(50, 0, 4)
+            .cpu_usage(0.1)
+            .inport("chan", PortInterface::Shm, DataType::Integer, 1)
+            .build()
+            .unwrap();
+        ComponentProvider::new(d, || {
+            Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+                let _ = io.read("chan");
+            }))
+        })
+    };
+    rt.set_supervision(
+        "src",
+        SupervisionConfig::backoff(
+            SimDuration::from_millis(20),
+            2,
+            SimDuration::from_millis(80),
+            3,
+        ),
+    );
+    rt.install_component("demo.src", provider).unwrap();
+    rt.install_component("demo.snk", sink).unwrap();
+    assert_eq!(rt.component_state("snk"), Some(ComponentState::Active));
+    // The provider panics at ~20 ms; detection happens at the next
+    // management poll (the end of this advance).
+    rt.advance(SimDuration::from_millis(50));
+    assert_eq!(rt.component_state("src"), Some(ComponentState::Unsatisfied));
+    // The consumer cascade-deactivated cleanly: no dangling wiring into a
+    // dead provider, no leaked reservations.
+    assert_eq!(rt.component_state("snk"), Some(ComponentState::Unsatisfied));
+    assert!(rt.drcr().ledger().is_empty());
+    assert!(rt.drcr().events_for("src").any(|e| matches!(
+        e.event,
+        DrcrEvent::RestartScheduled {
+            attempt: 1,
+            delay_ns: 20_000_000,
+            ..
+        }
+    )));
+    // Within the backoff window nothing restarts.
+    rt.advance(SimDuration::from_millis(5));
+    assert_eq!(rt.component_state("src"), Some(ComponentState::Unsatisfied));
+    // Once the delay expires the supervisor releases the hold, the
+    // resolver re-admits the fresh instance, and the consumer rewires.
+    rt.advance(SimDuration::from_millis(30));
+    assert!(rt
+        .drcr()
+        .events_for("src")
+        .any(|e| matches!(e.event, DrcrEvent::RestartAttempt { attempt: 1, .. })));
+    assert_eq!(rt.component_state("src"), Some(ComponentState::Active));
+    assert_eq!(rt.component_state("snk"), Some(ComponentState::Active));
+    assert_eq!(
+        rt.drcr().providers_of("snk").unwrap(),
+        &[("chan".to_string(), "src".to_string())]
+    );
+    assert_eq!(instances.get(), 2, "restart built a fresh logic instance");
+    // And the recovered instance stays up.
+    rt.advance(SimDuration::from_millis(100));
+    assert_eq!(rt.component_state("src"), Some(ComponentState::Active));
+    assert!(!rt.drcr().is_quarantined("src"));
+}
+
+#[test]
+fn wedged_component_flaps_into_sliding_window_quarantine() {
+    let mut rt = runtime();
+    // The injector panics the body at cycle 0 of *every* instance; the
+    // shared log survives restarts and counts what was injected.
+    let plan = Rc::new(FaultPlan::new(11).at(0, FaultKind::Panic));
+    let log = InjectionLog::shared();
+    let d = ComponentDescriptor::builder("flappy")
+        .periodic(100, 0, 3)
+        .cpu_usage(0.1)
+        .build()
+        .unwrap();
+    let provider = ComponentProvider::new(d, {
+        let (plan, log) = (plan.clone(), log.clone());
+        move || {
+            FaultInjector::wrap(
+                plan.clone(),
+                log.clone(),
+                Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {})),
+            )
+        }
+    });
+    // A generous restart budget, but a flap detector that gives up after
+    // 3 faults inside one second.
+    rt.set_supervision(
+        "flappy",
+        SupervisionConfig::immediate(100).with_quarantine(SimDuration::from_secs(1), 3),
+    );
+    rt.install_component("demo.flappy", provider).unwrap();
+    for _ in 0..6 {
+        rt.advance(SimDuration::from_millis(50));
+        if rt.drcr().is_quarantined("flappy") {
+            break;
+        }
+    }
+    // The window overrode the per-restart budget.
+    assert!(rt.drcr().is_quarantined("flappy"));
+    assert_eq!(rt.component_state("flappy"), Some(ComponentState::Disabled));
+    assert!(rt.drcr().ledger().is_empty());
+    assert!(rt.drcr().events_for("flappy").any(|e| matches!(
+        &e.event,
+        DrcrEvent::Quarantined { reason, .. } if reason.contains("within")
+    )));
+    // 3 instances ran, each injected exactly one panic.
+    assert_eq!(log.borrow().instances, 3);
+    assert_eq!(log.borrow().panics, 3);
+    // 2 restarts were attempted before the window tripped.
+    assert_eq!(
+        rt.drcr()
+            .events_for("flappy")
+            .filter(|e| matches!(e.event, DrcrEvent::RestartAttempt { .. }))
+            .count(),
+        2
+    );
+}
+
+struct Collector(Rc<std::cell::RefCell<Vec<(SimTime, DrcrEvent)>>>);
+
+impl drt::drcom::obs::TraceSubscriber<DrcrEvent> for Collector {
+    fn on_event(&mut self, time: SimTime, event: &DrcrEvent) {
+        self.0.borrow_mut().push((time, event.clone()));
+    }
+}
+
+#[test]
+fn fault_reaction_is_resolution_strategy_independent() {
+    // The same faulty scenario under the incremental resolver and the
+    // naive reference must produce byte-identical DrcrEvent streams —
+    // supervision is part of the executive's observable contract.
+    let build = |naive: bool| {
+        let mut rt = runtime();
+        if naive {
+            rt.set_resolution_strategy(drt::drcom::ResolutionStrategy::NaiveReference);
+        }
+        let log = Rc::new(std::cell::RefCell::new(Vec::new()));
+        rt.drcr_mut()
+            .add_event_subscriber(Box::new(Collector(log.clone())));
+        rt.set_supervision(
+            "victim",
+            SupervisionConfig::backoff(
+                SimDuration::from_millis(10),
+                2,
+                SimDuration::from_millis(40),
+                2,
+            )
+            .with_quarantine(SimDuration::from_secs(1), 4),
+        );
+        rt.install_component("demo.victim", wedged("victim", 1))
+            .unwrap();
+        rt.install_component("demo.good", simple("good", 0.1))
+            .unwrap();
+        for _ in 0..8 {
+            rt.advance(SimDuration::from_millis(25));
+        }
+        (rt, log)
+    };
+    let (inc, inc_log) = build(false);
+    let (naive, naive_log) = build(true);
+    assert_eq!(
+        inc.component_state("victim"),
+        naive.component_state("victim")
+    );
+    assert!(!inc_log.borrow().is_empty());
+    assert_eq!(*inc_log.borrow(), *naive_log.borrow());
+    // The wedged victim exhausted its restart budget in both worlds.
+    assert!(inc.drcr().is_quarantined("victim"));
+    assert!(naive.drcr().is_quarantined("victim"));
+    assert_eq!(inc.component_state("good"), Some(ComponentState::Active));
 }
