@@ -32,7 +32,7 @@ use drcom::faults::{FaultInjector, FaultPlan, InjectionLog, StormRates};
 use drcom::obs::{DrcrEvent, MetricsReport, TraceSubscriber};
 use drcom::prelude::*;
 use drcom::supervise::SupervisionConfig;
-use rtos::kernel::KernelConfig;
+use rtos::kernel::{KernelConfig, SchedCounters};
 use rtos::latency::TimerJitterModel;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -146,6 +146,7 @@ struct RunStats {
     recoveries: u64,
     leaked_reservations: u64,
     wedge_quarantined: bool,
+    sched: SchedCounters,
 }
 
 fn counter(report: &MetricsReport, name: &str) -> u64 {
@@ -308,6 +309,7 @@ fn run(params: &Params) -> RunStats {
         drcr.is_quarantined("zz") && drcr.state_of("zz") == Some(ComponentState::Disabled);
     drop(drcr);
 
+    let sched = rt.kernel().counters();
     let report = rt.metrics_report();
     let injected = injection.borrow().clone();
     RunStats {
@@ -325,6 +327,7 @@ fn run(params: &Params) -> RunStats {
         recoveries,
         leaked_reservations: leaked,
         wedge_quarantined,
+        sched,
     }
 }
 
@@ -382,6 +385,14 @@ fn main() {
         "  hygiene: {} leaked reservations, wedge quarantined: {}",
         stats.leaked_reservations, stats.wedge_quarantined,
     );
+    println!(
+        "  kernel: {} dispatches, {} preemptions, {} overruns, {} faults, {} deadline misses",
+        stats.sched.dispatches,
+        stats.sched.preemptions,
+        stats.sched.overruns,
+        stats.sched.faults,
+        stats.sched.deadline_misses,
+    );
 
     if check {
         let ceilings = Ceilings::for_mode(smoke);
@@ -410,12 +421,18 @@ fn main() {
             stats.max_recovery_cycles,
             ceilings.max_recovery_cycles
         );
-        // Same seed, same storm, same stream — byte for byte.
+        // Same seed, same storm, same stream — byte for byte — and the
+        // scheduler counters (including the lazily-pruned ready queue's
+        // dispatch/preemption totals) must come out identical too.
         let again = run(&params);
         assert_eq!(
             render(&stats.events).as_bytes(),
             render(&again.events).as_bytes(),
             "fault storm is not deterministic"
+        );
+        assert_eq!(
+            stats.sched, again.sched,
+            "scheduler counters diverged between identical runs"
         );
         println!("  check: PASS");
     }

@@ -18,6 +18,8 @@ pub enum LedgerError {
     AlreadyReserved(String),
     /// The CPU does not exist.
     NoSuchCpu(u32),
+    /// The usage claim is not a finite fraction in `(0, 1]`.
+    InvalidUsage(f64),
 }
 
 impl fmt::Display for LedgerError {
@@ -27,6 +29,9 @@ impl fmt::Display for LedgerError {
                 write!(f, "component `{name}` already holds a reservation")
             }
             LedgerError::NoSuchCpu(cpu) => write!(f, "no CPU {cpu}"),
+            LedgerError::InvalidUsage(usage) => {
+                write!(f, "usage claim {usage} outside (0, 1]")
+            }
         }
     }
 }
@@ -58,10 +63,19 @@ impl AdmissionLedger {
     ///
     /// # Errors
     ///
-    /// [`LedgerError::AlreadyReserved`] / [`LedgerError::NoSuchCpu`].
+    /// [`LedgerError::AlreadyReserved`] / [`LedgerError::NoSuchCpu`] /
+    /// [`LedgerError::InvalidUsage`].
     pub fn reserve(&mut self, component: &str, cpu: u32, usage: f64) -> Result<(), LedgerError> {
         if cpu >= self.cpu_count {
             return Err(LedgerError::NoSuchCpu(cpu));
+        }
+        // Same range `CpuUsage` enforces at parse time. Pluggable resolvers
+        // feed this path too, and a single NaN reservation would poison
+        // every later `utilization()` sum (NaN propagates, and every
+        // `hypothetical > cap` comparison against NaN is false — everything
+        // would be admitted from then on).
+        if !usage.is_finite() || usage <= 0.0 || usage > 1.0 {
+            return Err(LedgerError::InvalidUsage(usage));
         }
         if self.reservations.contains_key(component) {
             return Err(LedgerError::AlreadyReserved(component.to_string()));
@@ -141,6 +155,33 @@ mod tests {
     fn bad_cpu_rejected() {
         let mut l = AdmissionLedger::new(1);
         assert_eq!(l.reserve("calc", 1, 0.1), Err(LedgerError::NoSuchCpu(1)));
+    }
+
+    #[test]
+    fn invalid_usage_rejected_before_it_poisons_sums() {
+        let mut l = AdmissionLedger::new(1);
+        l.reserve("good", 0, 0.5).unwrap();
+        for bad in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.1,
+            0.0,
+            1.0 + 1e-9,
+        ] {
+            let err = l.reserve("evil", 0, bad).unwrap_err();
+            assert!(
+                matches!(err, LedgerError::InvalidUsage(_)),
+                "usage {bad} gave {err:?}"
+            );
+        }
+        // The boundary itself is a legal full-CPU claim.
+        let mut full = AdmissionLedger::new(1);
+        full.reserve("whole", 0, 1.0).unwrap();
+        // Sums stay finite and correct after the rejections.
+        assert!((l.utilization(0) - 0.5).abs() < 1e-9);
+        assert!(l.utilization(0).is_finite());
+        assert_eq!(l.len(), 1);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crate::obs::{
 use crate::resolve::{
     Decision, ResolverHandle, ResolvingService, UtilizationResolver, RESOLVER_SERVICE,
 };
+use crate::rta::{RtaParams, RtaResolver};
 use crate::supervise::{FaultDecision, SupervisionConfig, Supervisor};
 use crate::view::{ComponentInfo, SystemView};
 use crate::wiring::{MissingPort, PortIndex, WiringGraph};
@@ -64,10 +65,15 @@ pub const PROP_COMPONENT_NAME: &str = "drt.name";
 /// (counted, and still delivered to live subscribers first).
 const EVENT_RING_CAPACITY: usize = 10_000;
 
-/// How the executive checks functional constraints during resolution.
+/// How the executive checks constraints during resolution.
 ///
-/// Both strategies produce byte-identical [`DrcrEvent`] streams; they differ
-/// only in work done (visible through the `drcr.wiring.*` counters).
+/// `Incremental` and `NaiveReference` produce byte-identical [`DrcrEvent`]
+/// streams; they differ only in work done (visible through the
+/// `drcr.wiring.*` counters). `ResponseTime` keeps the incremental wiring
+/// machinery but swaps the *non-functional* half: the internal resolver is
+/// replaced by exact response-time analysis ([`crate::rta`]), so its event
+/// stream legitimately differs (different admission verdicts, plus
+/// [`DrcrEvent::AdmissionAnalysis`] evidence events).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ResolutionStrategy {
     /// The default: a persistent [`PortIndex`] maintained across
@@ -79,6 +85,10 @@ pub enum ResolutionStrategy {
     /// and benchmark baseline: rebuild a [`WiringGraph`] for every check
     /// and re-scan every running component every sweep.
     NaiveReference,
+    /// Incremental wiring + schedulability-aware admission: internal
+    /// verdicts come from per-CPU fixed-priority response-time analysis
+    /// instead of the configured utilization resolver.
+    ResponseTime,
 }
 
 /// A deployable component: validated descriptor plus the factory producing
@@ -186,6 +196,9 @@ pub struct Drcr {
     view_dirty: bool,
     /// Restart/quarantine bookkeeping for faulted components.
     supervisor: Supervisor,
+    /// Response-time analyst ruling internal admission under
+    /// [`ResolutionStrategy::ResponseTime`].
+    rta: RtaResolver,
     self_ref: Weak<RefCell<Drcr>>,
 }
 
@@ -233,6 +246,7 @@ impl Drcr {
             view_cache: SystemView::new(cpu_count, Vec::new()),
             view_dirty: false,
             supervisor: Supervisor::new(),
+            rta: RtaResolver::default(),
             self_ref: Weak::new(),
         }));
         drcr.borrow_mut().self_ref = Rc::downgrade(&drcr);
@@ -257,6 +271,13 @@ impl Drcr {
     /// [`ResolutionStrategy::Incremental`]).
     pub fn set_resolution_strategy(&mut self, strategy: ResolutionStrategy) {
         self.strategy = strategy;
+    }
+
+    /// Tunes the response-time analysis backing
+    /// [`ResolutionStrategy::ResponseTime`] (container overhead and
+    /// blocking term; the defaults model this kernel's cost constants).
+    pub fn set_rta_params(&mut self, params: RtaParams) {
+        self.rta = RtaResolver::new(params);
     }
 
     /// Sets the supervision config applied to components that have no
@@ -810,7 +831,7 @@ impl Drcr {
                         }
                     }
                 }
-                ResolutionStrategy::Incremental => {
+                ResolutionStrategy::Incremental | ResolutionStrategy::ResponseTime => {
                     // Only components whose providers departed since their
                     // last check can have broken: at every prior fixpoint
                     // all running components were satisfied, and no other
@@ -918,7 +939,7 @@ impl Drcr {
         self.metrics.count("drcr.wiring.checks", 1);
         let rec = &self.components[name];
         match self.strategy {
-            ResolutionStrategy::Incremental => self
+            ResolutionStrategy::Incremental | ResolutionStrategy::ResponseTime => self
                 .port_index
                 .check_functional(&rec.descriptor, assume_active),
             ResolutionStrategy::NaiveReference => {
@@ -931,6 +952,52 @@ impl Drcr {
                 let result = graph.check_functional(&rec.descriptor, assume_active);
                 self.metrics.count("drcr.wiring.graph_builds", 1);
                 result
+            }
+        }
+    }
+
+    /// The internal non-functional verdict on one candidate under the
+    /// active strategy: the configured resolving service, or exact
+    /// response-time analysis under [`ResolutionStrategy::ResponseTime`].
+    /// Callers must [`Drcr::refresh_view`] first. Returns the ruling
+    /// resolver's name with the decision; an RTA ruling also emits a
+    /// [`DrcrEvent::AdmissionAnalysis`] evidence event and feeds the
+    /// candidate's computed WCRT into the `drcr.admission.wcrt_ns`
+    /// histogram.
+    fn internal_admit(&mut self, candidate: &ComponentInfo) -> (String, Decision) {
+        self.metrics.count("drcr.admission.checks", 1);
+        match self.strategy {
+            ResolutionStrategy::Incremental | ResolutionStrategy::NaiveReference => (
+                self.internal.name().to_string(),
+                self.internal.admit(candidate, &self.view_cache),
+            ),
+            ResolutionStrategy::ResponseTime => {
+                let analysis = self.rta.analyze(candidate, &self.view_cache);
+                if let Some(wcrt) = analysis.wcrt_of(&candidate.name) {
+                    self.metrics
+                        .observe("drcr.admission.wcrt_ns", wcrt, Histogram::latency_ns);
+                }
+                let decision = if analysis.schedulable {
+                    Decision::Admit
+                } else {
+                    Decision::Reject(
+                        analysis
+                            .reason
+                            .clone()
+                            .unwrap_or_else(|| "RTA: unschedulable".to_string()),
+                    )
+                };
+                self.note(DrcrEvent::AdmissionAnalysis {
+                    component: candidate.name.to_string(),
+                    cpu: analysis.cpu,
+                    schedulable: analysis.schedulable,
+                    wcrts: analysis
+                        .wcrts
+                        .into_iter()
+                        .map(|w| (w.name, w.wcrt_ns, w.deadline_ns))
+                        .collect(),
+                });
+                (self.rta.name().to_string(), decision)
             }
         }
     }
@@ -1004,8 +1071,8 @@ impl Drcr {
                 )
             };
             self.refresh_view();
-            if let Decision::Reject(reason) = self.internal.admit(&candidate, &self.view_cache) {
-                let resolver = self.internal.name().to_string();
+            let (resolver, verdict) = self.internal_admit(&candidate);
+            if let Decision::Reject(reason) = verdict {
                 self.note(DrcrEvent::GroupAbandoned {
                     component: name.to_string(),
                     resolver,
@@ -1084,8 +1151,7 @@ impl Drcr {
             )
         };
         self.refresh_view();
-        let verdict = self.internal.admit(&candidate, &self.view_cache);
-        let resolver = self.internal.name().to_string();
+        let (resolver, verdict) = self.internal_admit(&candidate);
         let rejected = matches!(verdict, Decision::Reject(_));
         self.note(DrcrEvent::AdmissionVerdict {
             component: name.to_string(),
@@ -1643,11 +1709,14 @@ impl Drcr {
             | Command::QueryStatus { token }
             | Command::Ping { token } => Some(*token),
         };
+        let frame = command
+            .encode()
+            .map_err(|e| DrcrError::Management(e.to_string()))?;
         let (queued, depth, now) = {
             let mut kernel = self.kernel.borrow_mut();
             let queued = kernel
                 .mailboxes_mut()
-                .send(&cmd_mbx, &command.encode())
+                .send(&cmd_mbx, &frame)
                 .map_err(|e| DrcrError::Management(e.to_string()))?;
             let depth = kernel.mailboxes().get(&cmd_mbx).map_or(0, |m| m.len());
             (queued, depth, kernel.now())

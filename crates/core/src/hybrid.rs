@@ -95,12 +95,23 @@ impl std::error::Error for ProtoError {}
 // Wire format
 // ---------------------------------------------------------------------
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), ProtoError> {
+    // The length prefix is a u16; a longer string must be rejected here, not
+    // truncated — `s.len() as u16` would wrap and emit a frame whose prefix
+    // disagrees with its payload.
+    let len = u16::try_from(s.len()).map_err(|_| {
+        ProtoError(format!(
+            "string of {} bytes exceeds the {}-byte wire limit",
+            s.len(),
+            u16::MAX
+        ))
+    })?;
+    out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(s.as_bytes());
+    Ok(())
 }
 
-fn put_value(out: &mut Vec<u8>, v: &PropertyValue) {
+fn put_value(out: &mut Vec<u8>, v: &PropertyValue) -> Result<(), ProtoError> {
     match v {
         PropertyValue::Integer(i) => {
             out.push(1);
@@ -112,13 +123,14 @@ fn put_value(out: &mut Vec<u8>, v: &PropertyValue) {
         }
         PropertyValue::Text(s) => {
             out.push(3);
-            put_str(out, s);
+            put_str(out, s)?;
         }
         PropertyValue::Boolean(b) => {
             out.push(4);
             out.push(u8::from(*b));
         }
     }
+    Ok(())
 }
 
 struct Reader<'a> {
@@ -208,18 +220,22 @@ impl<'a> Reader<'a> {
 
 impl Command {
     /// Encodes the command for the mailbox.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] when a string field exceeds the u16 length prefix.
+    pub fn encode(&self) -> Result<Vec<u8>, ProtoError> {
         let mut out = Vec::new();
         match self {
             Command::SetProperty { name, value } => {
                 out.push(3);
-                put_str(&mut out, name);
-                put_value(&mut out, value);
+                put_str(&mut out, name)?;
+                put_value(&mut out, value)?;
             }
             Command::GetProperty { token, name } => {
                 out.push(4);
                 out.extend_from_slice(&token.to_le_bytes());
-                put_str(&mut out, name);
+                put_str(&mut out, name)?;
             }
             Command::QueryStatus { token } => {
                 out.push(5);
@@ -230,7 +246,7 @@ impl Command {
                 out.extend_from_slice(&token.to_le_bytes());
             }
         }
-        out
+        Ok(out)
     }
 
     /// Decodes a command from the mailbox.
@@ -260,17 +276,21 @@ impl Command {
 
 impl Reply {
     /// Encodes the reply for the mailbox.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] when a string field exceeds the u16 length prefix.
+    pub fn encode(&self) -> Result<Vec<u8>, ProtoError> {
         let mut out = Vec::new();
         match self {
             Reply::Property { token, name, value } => {
                 out.push(1);
                 out.extend_from_slice(&token.to_le_bytes());
-                put_str(&mut out, name);
+                put_str(&mut out, name)?;
                 match value {
                     Some(v) => {
                         out.push(1);
-                        put_value(&mut out, v);
+                        put_value(&mut out, v)?;
                     }
                     None => out.push(0),
                 }
@@ -290,7 +310,7 @@ impl Reply {
                 out.extend_from_slice(&token.to_le_bytes());
             }
         }
-        out
+        Ok(out)
     }
 
     /// Decodes a reply from the mailbox.
@@ -471,9 +491,17 @@ impl HybridRtBody {
                 Command::Ping { token } => Some(Reply::Pong { token }),
             };
             if let (Some(reply), Some(rmbx)) = (reply, reply_mbx.as_deref()) {
-                // Non-blocking: a full reply mailbox drops the reply; the
-                // manager will re-poll.
-                let _ = ctx.mailbox_send(rmbx, &reply.encode());
+                match reply.encode() {
+                    // Non-blocking: a full reply mailbox drops the reply;
+                    // the manager will re-poll.
+                    Ok(bytes) => {
+                        let _ = ctx.mailbox_send(rmbx, &bytes);
+                    }
+                    // A reply can carry an oversized descriptor-installed
+                    // Text property; dropping it (manager times out) beats
+                    // posting a corrupt frame.
+                    Err(_) => ctx.log("dropped unencodable management reply"),
+                }
             }
         }
         if let BridgeMode::SyncBlocking(timeout) = self.bridge {
@@ -700,7 +728,7 @@ mod tests {
             },
         ];
         for cmd in cmds {
-            let bytes = cmd.encode();
+            let bytes = cmd.encode().unwrap();
             assert_eq!(Command::decode(&bytes).unwrap(), cmd);
         }
     }
@@ -726,7 +754,7 @@ mod tests {
             Reply::Pong { token: 4 },
         ];
         for reply in replies {
-            let bytes = reply.encode();
+            let bytes = reply.encode().unwrap();
             let decoded = Reply::decode(&bytes).unwrap();
             assert_eq!(decoded, reply);
             assert_eq!(decoded.token(), reply.token());
@@ -738,15 +766,59 @@ mod tests {
         assert!(Command::decode(&[]).is_err());
         assert!(Command::decode(&[99]).is_err());
         assert!(Command::decode(&[5, 1]).is_err()); // truncated token
-        let mut ok = Command::Ping { token: 1 }.encode();
+        let mut ok = Command::Ping { token: 1 }.encode().unwrap();
         ok.push(0); // trailing byte
         assert!(Command::decode(&ok).is_err());
         assert!(Reply::decode(&[77]).is_err());
         // Bad value tag inside SetProperty.
         let mut bad = vec![3];
-        put_str(&mut bad, "x");
+        put_str(&mut bad, "x").unwrap();
         bad.push(9);
         assert!(Command::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn oversized_strings_rejected_at_encode() {
+        // 65535 bytes is the largest encodable string; 65536 must fail
+        // rather than wrap the u16 length prefix to 0.
+        let at_limit = "x".repeat(usize::from(u16::MAX));
+        let over = "x".repeat(usize::from(u16::MAX) + 1);
+
+        let cmd = Command::GetProperty {
+            token: 1,
+            name: at_limit.clone(),
+        };
+        let bytes = cmd.encode().unwrap();
+        assert_eq!(Command::decode(&bytes).unwrap(), cmd);
+
+        let cmd = Command::GetProperty {
+            token: 1,
+            name: over.clone(),
+        };
+        assert!(cmd.encode().is_err());
+
+        // Oversized payloads nested inside a value are caught too.
+        let cmd = Command::SetProperty {
+            name: "blob".into(),
+            value: PropertyValue::Text(over.clone()),
+        };
+        let err = cmd.encode().unwrap_err();
+        assert!(err.to_string().contains("65536"), "{err}");
+
+        let reply = Reply::Property {
+            token: 2,
+            name: "blob".into(),
+            value: Some(PropertyValue::Text(at_limit)),
+        };
+        let bytes = reply.encode().unwrap();
+        assert_eq!(Reply::decode(&bytes).unwrap(), reply);
+
+        let reply = Reply::Property {
+            token: 2,
+            name: over,
+            value: None,
+        };
+        assert!(reply.encode().is_err());
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub mod manage;
 pub mod model;
 pub mod obs;
 pub mod resolve;
+pub mod rta;
 pub mod runtime;
 pub mod supervise;
 pub mod view;
@@ -103,6 +104,7 @@ pub use model::{
 };
 pub use obs::{BridgeEvent, DrcrEvent, Histogram, MetricsRegistry, MetricsReport};
 pub use resolve::{Decision, ResolvingService, RESOLVER_SERVICE};
+pub use rta::{RtaAnalysis, RtaParams, RtaResolver, TaskWcrt};
 pub use runtime::{DrcomActivator, DrtRuntime};
 pub use supervise::{FaultDecision, QuarantineRule, RestartPolicy, SupervisionConfig};
 pub use view::{ComponentInfo, SystemView};

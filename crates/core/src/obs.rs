@@ -62,6 +62,23 @@ pub enum DrcrEvent {
         /// Rejection reason (empty on admission).
         reason: String,
     },
+    /// The response-time analysis behind an internal admission verdict:
+    /// the computed worst-case response times of the hypothetical task set
+    /// (candidate included). Emitted only under
+    /// [`ResolutionStrategy::ResponseTime`](crate::drcr::ResolutionStrategy),
+    /// immediately before the corresponding
+    /// [`DrcrEvent::AdmissionVerdict`].
+    AdmissionAnalysis {
+        /// The candidate component.
+        component: String,
+        /// The CPU analysed.
+        cpu: u32,
+        /// Whether every task met its implicit deadline.
+        schedulable: bool,
+        /// `(task, wcrt_ns, deadline_ns)` per analysed task, priority
+        /// order; empty when the aperiodic utilization fallback ruled.
+        wcrts: Vec<(String, u64, u64)>,
+    },
     /// Functional constraints unsatisfied: the component stays waiting.
     WiringUnsatisfied {
         /// The component.
@@ -207,6 +224,27 @@ impl fmt::Display for DrcrEvent {
                     )
                 }
             }
+            DrcrEvent::AdmissionAnalysis {
+                component,
+                cpu,
+                schedulable,
+                wcrts,
+            } => {
+                let verdict = if *schedulable {
+                    "schedulable"
+                } else {
+                    "unschedulable"
+                };
+                write!(
+                    f,
+                    "RTA for `{component}` on CPU {cpu}: {verdict} ({} tasks",
+                    wcrts.len()
+                )?;
+                if let Some(worst) = wcrts.iter().map(|(_, w, _)| *w).max() {
+                    write!(f, ", worst WCRT {worst} ns")?;
+                }
+                write!(f, ")")
+            }
             DrcrEvent::WiringUnsatisfied { component, missing } => {
                 write!(f, "`{component}` stays unsatisfied: {missing}")
             }
@@ -287,6 +325,7 @@ impl DrcrEvent {
         match self {
             DrcrEvent::Registered { component }
             | DrcrEvent::AdmissionVerdict { component, .. }
+            | DrcrEvent::AdmissionAnalysis { component, .. }
             | DrcrEvent::WiringUnsatisfied { component, .. }
             | DrcrEvent::CascadeDeactivation { component, .. }
             | DrcrEvent::GroupAbandoned { component, .. }

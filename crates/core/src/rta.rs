@@ -1,0 +1,491 @@
+//! Response-time analysis (RTA): exact fixed-priority admission.
+//!
+//! The paper (§2.2) requires that "the resource budget should be enforced by
+//! a central scheme", and §2.3 makes the admission *policy* pluggable via
+//! customized resolving services. The built-in
+//! [`UtilizationResolver`](crate::resolve::UtilizationResolver) is such a
+//! policy, but a bare per-CPU utilization cap is the wrong shape for
+//! fixed-priority scheduling: it **over-admits** (a low-priority task can
+//! miss every deadline under a total utilization well below the cap) and
+//! **under-admits** (harmonic task sets are schedulable right up to
+//! utilization 1, far above any safe cap).
+//!
+//! [`RtaResolver`] replaces the cap with the exact test: per CPU, compute
+//! every task's worst-case response time under preemptive fixed-priority
+//! scheduling and admit only when each stays within its period (implicit
+//! deadline). The WCET budget of a component is its declared claim,
+//! `cpuusage × period`, inflated by the container's per-cycle overhead; the
+//! standard recurrence
+//!
+//! ```text
+//! R(i) = B + C(i) + Σ over j in hep(i) of ceil(R(i) / T(j)) · C(j)
+//! ```
+//!
+//! iterates to a fixpoint, where `hep(i)` are the tasks on the same CPU with
+//! higher **or equal** priority (the kernel breaks priority ties FIFO and
+//! round-robins among peers, so an equal-priority job can be delayed by peer
+//! jobs released inside its response window — counting them in the ceiling
+//! interference term is the safe over-approximation), and `B` is a blocking
+//! term covering the hybrid bridge's end-of-cycle command poll (§3.2): a
+//! lower-priority task that has begun draining its command mailbox finishes
+//! the pump before the scheduler runs anything else in a real RTAI
+//! deployment, so one full pump of a bridge mailbox is charged to every
+//! response time. See `DESIGN.md` for the constants' derivation.
+//!
+//! Aperiodic components carry no period, so the exact analysis is undefined
+//! for them; like [`RmBoundResolver`](crate::resolve::RmBoundResolver), the
+//! resolver falls back to the necessary condition (utilization ≤ 1) whenever
+//! the CPU hosts any aperiodic claim.
+
+use crate::resolve::{Decision, ResolvingService};
+use crate::view::{ComponentInfo, SystemView};
+use std::fmt;
+
+/// Slack used for float comparisons, matching the built-in resolvers.
+const EPS: f64 = 1e-9;
+
+/// Fixpoint-iteration cap; the recurrence is strictly increasing until it
+/// converges or exceeds the deadline, so this only guards pathological sets.
+const MAX_ITERS: u32 = 100_000;
+
+/// Cost-model constants for [`RtaParams::default`]. They mirror the
+/// simulator's defaults (see `rtos::kernel::KernelConfig` and
+/// `crate::hybrid::HybridRtBody`); a deployment with different kernel costs
+/// should construct its own [`RtaParams`].
+mod cost {
+    /// Fixed per-cycle dispatch cost (`TaskConfig::base_cost` default).
+    pub const BASE_NS: u64 = 1_000;
+    /// Worst-case port-table indirection (`compute_about(350)` samples in
+    /// `[175, 525)`).
+    pub const INDIRECTION_NS: u64 = 525;
+    /// One mailbox operation (`KernelConfig::mbx_op_cost` default) — the
+    /// empty end-of-cycle command poll every bridged task pays.
+    pub const MBX_OP_NS: u64 = 180;
+    /// Handling one queued management command beyond the mailbox ops.
+    pub const CMD_HANDLE_NS: u64 = 250;
+    /// Bridge command-mailbox capacity (the DRCR creates them 16 deep).
+    pub const CMD_MBX_DEPTH: u64 = 16;
+}
+
+/// Tuning constants of the analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtaParams {
+    /// Per-cycle container overhead added to every task's WCET budget, in
+    /// nanoseconds: the declared claim covers the component's *logic*, not
+    /// the dispatch cost, port-table indirection and empty command poll the
+    /// container adds around it.
+    pub overhead_ns: u64,
+    /// Blocking term added to every response time, in nanoseconds: the
+    /// longest end-of-cycle command pump a lower-priority task can be
+    /// committed to when a higher-priority job is released.
+    pub blocking_ns: u64,
+}
+
+impl Default for RtaParams {
+    /// Conservative defaults derived from the simulator's cost model:
+    /// overhead = base cost + worst-case indirection + one empty poll;
+    /// blocking = one full pump of a 16-deep command mailbox, each command
+    /// costing a receive, its handling, and a reply send.
+    fn default() -> Self {
+        RtaParams {
+            overhead_ns: cost::BASE_NS + cost::INDIRECTION_NS + cost::MBX_OP_NS,
+            blocking_ns: cost::CMD_MBX_DEPTH
+                * (cost::MBX_OP_NS + cost::CMD_HANDLE_NS + cost::MBX_OP_NS),
+        }
+    }
+}
+
+impl RtaParams {
+    /// The pure textbook analysis: no container overhead, no blocking term.
+    /// Useful for boundary cases (a single task claiming exactly 100% is
+    /// schedulable only when nothing is charged around it) and for
+    /// comparing against hand-computed recurrences.
+    pub fn exact() -> Self {
+        RtaParams {
+            overhead_ns: 0,
+            blocking_ns: 0,
+        }
+    }
+}
+
+/// One task's computed worst-case response time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskWcrt {
+    /// Component name.
+    pub name: String,
+    /// Fixed priority (lower is more urgent).
+    pub priority: u8,
+    /// WCET budget used: `ceil(cpuusage × period) + overhead`.
+    pub wcet_ns: u64,
+    /// The computed response time. When `ok` is false this is the first
+    /// recurrence value past the deadline (evidence, not a fixpoint).
+    pub wcrt_ns: u64,
+    /// Implicit deadline (the period).
+    pub deadline_ns: u64,
+    /// `wcrt_ns <= deadline_ns`.
+    pub ok: bool,
+}
+
+/// Result of analysing one hypothetical task set (candidate included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtaAnalysis {
+    /// The CPU analysed.
+    pub cpu: u32,
+    /// Whether every task (existing and candidate) meets its deadline.
+    pub schedulable: bool,
+    /// Per-task response times, priority order (empty on the aperiodic
+    /// utilization fallback).
+    pub wcrts: Vec<TaskWcrt>,
+    /// Why the set is unschedulable, when it is.
+    pub reason: Option<String>,
+}
+
+impl RtaAnalysis {
+    /// The computed WCRT of one task, when the exact analysis ran.
+    pub fn wcrt_of(&self, name: &str) -> Option<u64> {
+        self.wcrts
+            .iter()
+            .find(|w| w.name == name)
+            .map(|w| w.wcrt_ns)
+    }
+}
+
+/// The RTA resolving service. Selectable as the executive's internal policy
+/// via [`ResolutionStrategy::ResponseTime`](crate::drcr::ResolutionStrategy)
+/// or registrable as a customized resolving service (paper §2.3) like any
+/// other [`ResolvingService`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RtaResolver {
+    params: RtaParams,
+}
+
+impl fmt::Display for RtaResolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "response-time (overhead {} ns, blocking {} ns)",
+            self.params.overhead_ns, self.params.blocking_ns
+        )
+    }
+}
+
+/// Internal task model fed to the recurrence.
+struct TaskModel {
+    name: String,
+    priority: u8,
+    period_ns: u64,
+    wcet_ns: u64,
+}
+
+impl RtaResolver {
+    /// A resolver with explicit parameters.
+    pub fn new(params: RtaParams) -> Self {
+        RtaResolver { params }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> RtaParams {
+        self.params
+    }
+
+    /// Runs the full analysis for the candidate's CPU: the hypothetical
+    /// task set is every admission holder on that CPU plus the candidate.
+    ///
+    /// Existing tasks are re-analysed too — a candidate with a more urgent
+    /// priority steals cycles from everything below it, so admitting it may
+    /// break an already-admitted contract even when its own response time
+    /// fits.
+    pub fn analyze(&self, candidate: &ComponentInfo, view: &SystemView) -> RtaAnalysis {
+        let cpu = candidate.cpu;
+        if !candidate.cpu_usage.is_finite()
+            || candidate.cpu_usage <= 0.0
+            || candidate.cpu_usage > 1.0
+        {
+            return RtaAnalysis {
+                cpu,
+                schedulable: false,
+                wcrts: Vec::new(),
+                reason: Some(format!(
+                    "RTA: invalid cpuusage claim {} (must be finite, in (0, 1])",
+                    candidate.cpu_usage
+                )),
+            };
+        }
+
+        // Aperiodic claims have no period: fall back to the necessary
+        // utilization condition for the whole CPU.
+        let aperiodic_present =
+            !candidate.is_periodic() || view.admitted_sorted(cpu).any(|c| !c.is_periodic());
+        if aperiodic_present {
+            let u = view.utilization(cpu) + candidate.cpu_usage;
+            let schedulable = u <= 1.0 + EPS;
+            return RtaAnalysis {
+                cpu,
+                schedulable,
+                wcrts: Vec::new(),
+                reason: (!schedulable).then(|| {
+                    format!("RTA (aperiodic fallback): utilization {u:.3} > 1 on CPU {cpu}")
+                }),
+            };
+        }
+
+        // Hypothetical set: admission holders on the CPU (already sorted by
+        // priority, list order within ties) plus the candidate, placed last
+        // among its priority peers — it arrives last, FIFO.
+        let mut models: Vec<TaskModel> = view
+            .admitted_sorted(cpu)
+            .filter(|c| *c.name != *candidate.name)
+            .map(|c| self.model_of(c))
+            .collect();
+        let insert_at = models
+            .iter()
+            .position(|m| m.priority > candidate.priority)
+            .unwrap_or(models.len());
+        models.insert(insert_at, self.model_of(candidate));
+
+        let mut wcrts = Vec::with_capacity(models.len());
+        let mut reason = None;
+        for (i, task) in models.iter().enumerate() {
+            let hep: Vec<(u64, u64)> = models
+                .iter()
+                .enumerate()
+                .filter(|(j, other)| *j != i && other.priority <= task.priority)
+                .map(|(_, other)| (other.period_ns, other.wcet_ns))
+                .collect();
+            let (wcrt_ns, ok) =
+                response_time(task.wcet_ns, self.params.blocking_ns, &hep, task.period_ns);
+            if !ok && reason.is_none() {
+                reason = Some(format!(
+                    "RTA: `{}` would miss its deadline on CPU {cpu}: response {} ns > period {} ns",
+                    task.name, wcrt_ns, task.period_ns
+                ));
+            }
+            wcrts.push(TaskWcrt {
+                name: task.name.clone(),
+                priority: task.priority,
+                wcet_ns: task.wcet_ns,
+                wcrt_ns,
+                deadline_ns: task.period_ns,
+                ok,
+            });
+        }
+        RtaAnalysis {
+            cpu,
+            schedulable: reason.is_none(),
+            wcrts,
+            reason,
+        }
+    }
+
+    fn model_of(&self, c: &ComponentInfo) -> TaskModel {
+        let period_ns = c.period_ns.expect("periodic component");
+        let claim_ns = (c.cpu_usage * period_ns as f64).ceil() as u64;
+        TaskModel {
+            name: c.name.to_string(),
+            priority: c.priority,
+            period_ns,
+            wcet_ns: claim_ns + self.params.overhead_ns,
+        }
+    }
+}
+
+impl ResolvingService for RtaResolver {
+    fn name(&self) -> &str {
+        "response-time"
+    }
+
+    fn admit(&self, candidate: &ComponentInfo, view: &SystemView) -> Decision {
+        let analysis = self.analyze(candidate, view);
+        if analysis.schedulable {
+            Decision::Admit
+        } else {
+            Decision::Reject(
+                analysis
+                    .reason
+                    .unwrap_or_else(|| "RTA: unschedulable".to_string()),
+            )
+        }
+    }
+}
+
+/// The fixpoint iteration for one task. Returns the fixpoint and `true`,
+/// or, when the recurrence exceeds the deadline (or fails to converge),
+/// the first offending value and `false`.
+fn response_time(wcet: u64, blocking: u64, hep: &[(u64, u64)], deadline: u64) -> (u64, bool) {
+    let base = blocking as u128 + wcet as u128;
+    let mut r = base;
+    for _ in 0..MAX_ITERS {
+        if r > deadline as u128 {
+            return (clamp_u64(r), false);
+        }
+        let mut next = base;
+        for &(period, c) in hep {
+            let jobs = r.div_ceil(period.max(1) as u128);
+            next += jobs * c as u128;
+        }
+        if next == r {
+            return (clamp_u64(r), true);
+        }
+        r = next;
+    }
+    (clamp_u64(r), false)
+}
+
+fn clamp_u64(v: u128) -> u64 {
+    v.min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifecycle::ComponentState;
+
+    fn comp(
+        name: &str,
+        state: ComponentState,
+        usage: f64,
+        prio: u8,
+        period_ms: u64,
+    ) -> ComponentInfo {
+        ComponentInfo {
+            name: name.into(),
+            state,
+            cpu: 0,
+            cpu_usage: usage,
+            priority: prio,
+            period_ns: Some(period_ms * 1_000_000),
+        }
+    }
+
+    fn aper(name: &str, state: ComponentState, usage: f64, prio: u8) -> ComponentInfo {
+        ComponentInfo {
+            name: name.into(),
+            state,
+            cpu: 0,
+            cpu_usage: usage,
+            priority: prio,
+            period_ns: None,
+        }
+    }
+
+    #[test]
+    fn textbook_recurrence_matches_hand_computation() {
+        // C=2.2ms T=8ms under a C=3ms T=5ms interferer:
+        // R0 = 2.2 -> 2.2 + 1*3 = 5.2 -> 2.2 + 2*3 = 8.2 > 8: miss.
+        let (r, ok) = response_time(2_200_000, 0, &[(5_000_000, 3_000_000)], 8_000_000);
+        assert!(!ok);
+        assert_eq!(r, 8_200_000);
+        // C=2ms fits: R = 2 + 1*3 = 5 -> fixpoint.
+        let (r, ok) = response_time(2_000_000, 0, &[(5_000_000, 3_000_000)], 8_000_000);
+        assert!(ok);
+        assert_eq!(r, 5_000_000);
+    }
+
+    #[test]
+    fn blocking_term_is_charged() {
+        // Alone, C=5 fits a 10 deadline; with blocking 6 it does not.
+        let (_, ok) = response_time(5, 0, &[], 10);
+        assert!(ok);
+        let (r, ok) = response_time(5, 6, &[], 10);
+        assert!(!ok);
+        assert_eq!(r, 11);
+    }
+
+    #[test]
+    fn full_utilization_single_task_admitted_under_exact_params() {
+        let rta = RtaResolver::new(RtaParams::exact());
+        let candidate = comp("solo", ComponentState::Unsatisfied, 1.0, 3, 10);
+        let view = SystemView::new(1, vec![candidate.clone()]);
+        assert!(rta.admit(&candidate, &view).is_admit());
+        let analysis = rta.analyze(&candidate, &view);
+        assert_eq!(analysis.wcrt_of("solo"), Some(10_000_000));
+    }
+
+    #[test]
+    fn full_utilization_single_task_rejected_once_overhead_counts() {
+        // The claim covers only the logic; with container overhead added a
+        // 100% claim no longer fits its period.
+        let rta = RtaResolver::default();
+        let candidate = comp("solo", ComponentState::Unsatisfied, 1.0, 3, 10);
+        let view = SystemView::new(1, vec![candidate.clone()]);
+        let analysis = rta.analyze(&candidate, &view);
+        assert!(!analysis.schedulable);
+        assert!(analysis.reason.as_deref().unwrap_or("").contains("solo"));
+    }
+
+    #[test]
+    fn harmonic_set_admitted_beyond_any_safe_cap() {
+        // 0.96 total utilization over harmonic periods: exact analysis
+        // admits, any cap at or below 0.9 would reject the tail.
+        let existing: Vec<ComponentInfo> = (0..4)
+            .map(|i| comp(&format!("f{i}"), ComponentState::Active, 0.08, 1, 5))
+            .chain((0..4).map(|i| comp(&format!("m{i}"), ComponentState::Active, 0.08, 2, 10)))
+            .chain((0..3).map(|i| comp(&format!("s{i}"), ComponentState::Active, 0.08, 3, 20)))
+            .collect();
+        let candidate = comp("s3", ComponentState::Unsatisfied, 0.08, 3, 20);
+        let mut all = existing;
+        all.push(candidate.clone());
+        let view = SystemView::new(1, all);
+        let rta = RtaResolver::default();
+        let analysis = rta.analyze(&candidate, &view);
+        assert!(analysis.schedulable, "{:?}", analysis.reason);
+        assert_eq!(analysis.wcrts.len(), 12);
+        // The lowest-priority tasks see nearly the whole hyperperiod load.
+        let worst = analysis.wcrts.iter().map(|w| w.wcrt_ns).max().unwrap();
+        assert!(worst > 19_000_000 && worst <= 20_000_000, "worst {worst}");
+    }
+
+    #[test]
+    fn candidate_breaking_an_existing_task_is_rejected() {
+        // The candidate itself fits, but it preempts the incumbent below it
+        // into a miss: admission must re-check the whole CPU.
+        let incumbent = comp("low", ComponentState::Active, 0.4, 5, 10);
+        let candidate = comp("hp", ComponentState::Unsatisfied, 0.65, 1, 10);
+        let view = SystemView::new(1, vec![incumbent, candidate.clone()]);
+        let rta = RtaResolver::new(RtaParams::exact());
+        let analysis = rta.analyze(&candidate, &view);
+        assert!(!analysis.schedulable);
+        assert!(analysis.reason.as_deref().unwrap().contains("`low`"));
+        // The candidate's own response time is fine.
+        let own = analysis.wcrts.iter().find(|w| w.name == "hp").unwrap();
+        assert!(own.ok);
+    }
+
+    #[test]
+    fn aperiodic_candidate_falls_back_to_utilization() {
+        let rta = RtaResolver::default();
+        let existing = comp("p", ComponentState::Active, 0.5, 2, 10);
+        let ok = aper("evt", ComponentState::Unsatisfied, 0.4, 4);
+        let view = SystemView::new(1, vec![existing.clone(), ok.clone()]);
+        assert!(rta.admit(&ok, &view).is_admit());
+        let hog = aper("hog", ComponentState::Unsatisfied, 0.6, 4);
+        let view = SystemView::new(1, vec![existing, hog.clone()]);
+        let d = rta.admit(&hog, &view);
+        assert!(!d.is_admit());
+        assert!(d.to_string().contains("aperiodic fallback"), "{d}");
+    }
+
+    #[test]
+    fn invalid_claims_rejected_not_propagated() {
+        let rta = RtaResolver::default();
+        let view = SystemView::new(1, vec![]);
+        for bad in [f64::NAN, f64::INFINITY, -0.25, 0.0, 1.5] {
+            let mut c = comp("bad", ComponentState::Unsatisfied, 0.5, 2, 10);
+            c.cpu_usage = bad;
+            assert!(!rta.admit(&c, &view).is_admit(), "claim {bad} admitted");
+        }
+    }
+
+    #[test]
+    fn analysis_is_deterministic_and_display_renders() {
+        let candidate = comp("a", ComponentState::Unsatisfied, 0.3, 2, 10);
+        let view = SystemView::new(1, vec![candidate.clone()]);
+        let rta = RtaResolver::default();
+        assert_eq!(
+            rta.analyze(&candidate, &view),
+            rta.analyze(&candidate, &view)
+        );
+        assert!(rta.to_string().contains("response-time"));
+        assert_eq!(rta.name(), "response-time");
+    }
+}

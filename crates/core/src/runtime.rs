@@ -175,6 +175,13 @@ impl DrtRuntime {
         self.drcr.borrow_mut().set_resolution_strategy(strategy);
     }
 
+    /// Tunes the response-time analysis backing
+    /// [`ResolutionStrategy::ResponseTime`](crate::drcr::ResolutionStrategy);
+    /// see [`crate::rta::RtaParams`].
+    pub fn set_rta_params(&mut self, params: crate::rta::RtaParams) {
+        self.drcr.borrow_mut().set_rta_params(params);
+    }
+
     /// Sets one component's supervision config (restart policy plus
     /// optional flap-quarantine window); see [`crate::supervise`].
     pub fn set_supervision(&mut self, name: &str, config: crate::supervise::SupervisionConfig) {

@@ -88,6 +88,7 @@ pub struct SystemView {
     /// under consideration).
     pub components: Vec<ComponentInfo>,
     totals: OnceCell<Vec<CpuTotals>>,
+    admitted_index: OnceCell<Vec<Vec<usize>>>,
 }
 
 impl PartialEq for SystemView {
@@ -103,6 +104,7 @@ impl SystemView {
             cpu_count,
             components,
             totals: OnceCell::new(),
+            admitted_index: OnceCell::new(),
         }
     }
 
@@ -151,6 +153,42 @@ impl SystemView {
             }
             totals
         })
+    }
+
+    /// Per-CPU index of admission holders sorted by priority (stable: list
+    /// order within a priority class), computed once per snapshot on first
+    /// use. Response-time analysis walks a CPU's admitted task set once per
+    /// admission check; caching the sorted index here makes that walk share
+    /// the snapshot-lifetime invalidation discipline of the utilization
+    /// totals — a stale view can never feed the recurrence.
+    fn admitted_index(&self) -> &[Vec<usize>] {
+        self.admitted_index.get_or_init(|| {
+            let mut width = self.cpu_count as usize;
+            for c in &self.components {
+                width = width.max(c.cpu as usize + 1);
+            }
+            let mut index = vec![Vec::new(); width];
+            for (i, c) in self.components.iter().enumerate() {
+                if c.state.holds_admission() {
+                    index[c.cpu as usize].push(i);
+                }
+            }
+            for slots in &mut index {
+                slots.sort_by_key(|&i| self.components[i].priority);
+            }
+            index
+        })
+    }
+
+    /// Components holding an admission reservation on `cpu`, most urgent
+    /// (lowest priority value) first; ties keep component-list order.
+    pub fn admitted_sorted(&self, cpu: u32) -> impl Iterator<Item = &ComponentInfo> {
+        self.admitted_index()
+            .get(cpu as usize)
+            .map(|slots| slots.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(|&i| &self.components[i])
     }
 
     /// Total claimed CPU fraction reserved on `cpu`.
@@ -245,6 +283,34 @@ mod tests {
         // CPUs beyond the table read as empty.
         assert_eq!(view.utilization(7), 0.0);
         assert_eq!(view.periodic_count(7), 0);
+    }
+
+    #[test]
+    fn admitted_sorted_orders_by_priority_stable() {
+        let mk = |name: &str, state, cpu, prio| ComponentInfo {
+            name: name.into(),
+            state,
+            cpu,
+            cpu_usage: 0.1,
+            priority: prio,
+            period_ns: Some(1_000_000),
+        };
+        let view = SystemView::new(
+            2,
+            vec![
+                mk("late-urgent", ComponentState::Active, 0, 1),
+                mk("slack-a", ComponentState::Active, 0, 5),
+                mk("ghost", ComponentState::Unsatisfied, 0, 0),
+                mk("slack-b", ComponentState::Suspended, 0, 5),
+                mk("other-cpu", ComponentState::Active, 1, 2),
+            ],
+        );
+        let names: Vec<&str> = view.admitted_sorted(0).map(|c| &*c.name).collect();
+        // Unsatisfied `ghost` excluded; equal-priority pair keeps list order.
+        assert_eq!(names, vec!["late-urgent", "slack-a", "slack-b"]);
+        let names: Vec<&str> = view.admitted_sorted(1).map(|c| &*c.name).collect();
+        assert_eq!(names, vec!["other-cpu"]);
+        assert_eq!(view.admitted_sorted(7).count(), 0);
     }
 
     #[test]

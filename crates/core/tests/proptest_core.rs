@@ -295,7 +295,7 @@ fn command_wire_roundtrip() {
             2 => Command::QueryStatus { token },
             _ => Command::Ping { token },
         };
-        let bytes = cmd.encode();
+        let bytes = cmd.encode().expect("encode");
         assert_eq!(Command::decode(&bytes).expect("decode"), cmd, "case {case}");
     }
 }
@@ -319,7 +319,7 @@ fn reply_wire_roundtrip() {
             },
             _ => Reply::Pong { token },
         };
-        let bytes = reply.encode();
+        let bytes = reply.encode().expect("encode");
         assert_eq!(Reply::decode(&bytes).expect("decode"), reply, "case {case}");
         let noise: Vec<u8> = (0..rng.uniform_u64(0, 48))
             .map(|_| rng.next_u64() as u8)

@@ -151,6 +151,11 @@ struct Task {
     remaining: SimDuration,
     /// Dispatch generation; cancels stale Finish/Timeslice events.
     run_gen: u64,
+    /// Ready-queue generation: each heap entry is stamped with the value at
+    /// push time, and invalidation (suspend/delete) just bumps it. Stale
+    /// entries are skipped when they surface at the head — O(1) removal
+    /// instead of a linear heap rebuild.
+    ready_gen: u64,
     /// Whether a round-robin quantum is armed for the current slice.
     quantum_armed: bool,
     /// When the current execution slice started (valid while Running).
@@ -187,7 +192,9 @@ impl std::fmt::Debug for Task {
 struct Cpu {
     running: Option<TaskId>,
     /// Min-heap on (priority, enqueue seq): FIFO among equal priorities.
-    ready: BinaryHeap<Reverse<(Priority, u64, TaskId)>>,
+    /// The trailing field is the task's ready-queue generation at push time
+    /// (lazy deletion; it never affects ordering — seq is unique).
+    ready: BinaryHeap<Reverse<(Priority, u64, TaskId, u64)>>,
     busy_rt: SimDuration,
     busy_linux: SimDuration,
 }
@@ -205,6 +212,9 @@ pub struct SchedCounters {
     pub overruns: u64,
     /// Body panics contained by the kernel (tasks parked in `Faulted`).
     pub faults: u64,
+    /// Cycles finishing past their implicit deadline (latency-tracked
+    /// periodic tasks), across all tasks including deleted ones.
+    pub deadline_misses: u64,
 }
 
 /// The simulated real-time kernel. See the [module docs](self).
@@ -373,6 +383,7 @@ impl Kernel {
                 grid_anchor: SimTime::ZERO,
                 remaining: SimDuration::ZERO,
                 run_gen: 0,
+                ready_gen: 0,
                 quantum_armed: false,
                 slice_start: SimTime::ZERO,
                 finish_at: SimTime::ZERO,
@@ -492,9 +503,8 @@ impl Kernel {
                 task.state = TaskState::Suspended;
                 task.pending_ideal = None;
                 task.remaining = SimDuration::ZERO;
-                let cpu = task.cfg.cpu;
                 let name = task.cfg.name.clone();
-                self.remove_from_ready(cpu, id);
+                self.remove_from_ready(id);
                 self.emit(KernelEvent::TaskSuspended {
                     task: name,
                     deferred: false,
@@ -566,7 +576,7 @@ impl Kernel {
         task.body = None;
         self.names.remove(&name);
         self.drop_wakeup_bindings(id);
-        self.remove_from_ready(cpu, id);
+        self.remove_from_ready(id);
         if self.cpus[cpu as usize].running == Some(id) {
             self.cpus[cpu as usize].running = None;
             self.try_dispatch(cpu);
@@ -855,10 +865,13 @@ impl Kernel {
                 task.pending_ideal = Some(ideal);
                 let cpu = task.cfg.cpu;
                 let prio = task.cfg.priority;
+                let gen = task.ready_gen;
                 let name = self.trace.is_enabled().then(|| task.cfg.name.clone());
                 self.seq += 1;
                 let seq = self.seq;
-                self.cpus[cpu as usize].ready.push(Reverse((prio, seq, id)));
+                self.cpus[cpu as usize]
+                    .ready
+                    .push(Reverse((prio, seq, id, gen)));
                 if let Some(task) = name {
                     self.emit(KernelEvent::Release { task, ideal });
                 }
@@ -898,6 +911,7 @@ impl Kernel {
         task.cycles += 1;
         task.remaining = SimDuration::ZERO;
         task.run_gen += 1;
+        let mut missed = false;
         let mut deadline_missed = None;
         if task.cfg.track_latency {
             if let Some(ideal) = task.pending_ideal {
@@ -906,6 +920,10 @@ impl Kernel {
                 if let ReleasePolicy::Periodic { period } = task.cfg.release {
                     if response > period.as_nanos() as i64 {
                         task.deadline_misses += 1;
+                        // The aggregate counter must tick regardless of
+                        // tracing — admission validation reads it from
+                        // `counters()` with the trace ring disabled.
+                        missed = true;
                         if self.trace.is_enabled() {
                             deadline_missed = Some((task.cfg.name.clone(), response));
                         }
@@ -923,6 +941,9 @@ impl Kernel {
         // now effective: stay Suspended, no further releases are queued.
         self.account_busy(cpu, domain, slice);
         self.cpus[cpu as usize].running = None;
+        if missed {
+            self.counters.deadline_misses += 1;
+        }
         if let Some((task, response)) = deadline_missed {
             self.emit(KernelEvent::DeadlineMiss { task, response });
         }
@@ -945,10 +966,11 @@ impl Kernel {
         let name = self.trace.is_enabled().then(|| task.cfg.name.clone());
         // Rotate only if an equal-priority peer is waiting; more urgent peers
         // would already have preempted and less urgent ones must keep waiting.
+        self.prune_ready_head(cpu);
         let head_prio = self.cpus[cpu as usize]
             .ready
             .peek()
-            .map(|Reverse((p, _, _))| *p);
+            .map(|Reverse((p, _, _, _))| *p);
         if head_prio == Some(prio) {
             self.counters.timeslices += 1;
             if let Some(task) = name {
@@ -976,11 +998,12 @@ impl Kernel {
         task.run_gen += 1; // cancels its Finish/Timeslice events
         task.state = TaskState::Ready;
         let prio = task.cfg.priority;
+        let gen = task.ready_gen;
         self.seq += 1;
         let seq = self.seq;
         self.cpus[cpu as usize]
             .ready
-            .push(Reverse((prio, seq, running_id)));
+            .push(Reverse((prio, seq, running_id, gen)));
         self.account_busy(cpu, domain, progressed);
     }
 
@@ -991,25 +1014,42 @@ impl Kernel {
         }
     }
 
-    /// Removes a task from its CPU's ready queue (linear rebuild; rare path).
-    fn remove_from_ready(&mut self, cpu: u32, id: TaskId) {
-        let queue = &mut self.cpus[cpu as usize].ready;
-        if queue.iter().any(|Reverse((_, _, t))| *t == id) {
-            let drained: Vec<_> = std::mem::take(queue)
-                .into_iter()
-                .filter(|Reverse((_, _, t))| *t != id)
-                .collect();
-            *queue = drained.into_iter().collect();
+    /// Invalidates any queued ready entry for `id` — O(1) lazy deletion.
+    /// Bumping the task's ready generation orphans the heap entry, which is
+    /// discarded when it surfaces at the head ([`Kernel::prune_ready_head`]).
+    /// The supervisor's restart path suspends and deletes tasks routinely,
+    /// so this must not be a linear heap rebuild.
+    fn remove_from_ready(&mut self, id: TaskId) {
+        if let Some(task) = self.tasks.get_mut(&id) {
+            task.ready_gen = task.ready_gen.wrapping_add(1);
+        }
+    }
+
+    /// Pops stale entries (deleted/suspended/re-queued tasks) off the head
+    /// of `cpu`'s ready queue so callers can trust `peek()`. Every heap
+    /// entry is popped at most once across the run, so the amortized cost
+    /// of lazy deletion is O(log n) per push, same as eager removal's pop.
+    fn prune_ready_head(&mut self, cpu: u32) {
+        while let Some(Reverse((_, _, id, gen))) = self.cpus[cpu as usize].ready.peek() {
+            let live = self
+                .tasks
+                .get(id)
+                .is_some_and(|t| t.state == TaskState::Ready && t.ready_gen == *gen);
+            if live {
+                return;
+            }
+            self.cpus[cpu as usize].ready.pop();
         }
     }
 
     /// Core dispatch decision for one CPU.
     fn try_dispatch(&mut self, cpu: u32) {
         loop {
+            self.prune_ready_head(cpu);
             let head = self.cpus[cpu as usize]
                 .ready
                 .peek()
-                .map(|Reverse((p, s, t))| (*p, *s, *t));
+                .map(|Reverse((p, s, t, _))| (*p, *s, *t));
             let Some((head_prio, _, head_id)) = head else {
                 return;
             };
@@ -1121,10 +1161,11 @@ impl Kernel {
             self.push_event(finish_at, Event::Finish { task: head_id, gen });
 
             // Round-robin: arm a quantum if an equal-priority peer waits.
+            self.prune_ready_head(cpu);
             let peer_same_prio = self.cpus[cpu as usize]
                 .ready
                 .peek()
-                .map(|Reverse((p, _, _))| *p == head_prio)
+                .map(|Reverse((p, _, _, _))| *p == head_prio)
                 .unwrap_or(false);
             let task = self.tasks.get_mut(&head_id).expect("still exists");
             task.quantum_armed = peer_same_prio;

@@ -90,13 +90,13 @@ fn arbitrary_messages_round_trip() {
     for case in 0..2_000 {
         let cmd = arb_command(&mut rng);
         assert_eq!(
-            Command::decode(&cmd.encode()).unwrap(),
+            Command::decode(&cmd.encode().unwrap()).unwrap(),
             cmd,
             "case {case}: {cmd:?}"
         );
         let reply = arb_reply(&mut rng);
         assert_eq!(
-            Reply::decode(&reply.encode()).unwrap(),
+            Reply::decode(&reply.encode().unwrap()).unwrap(),
             reply,
             "case {case}: {reply:?}"
         );
@@ -107,7 +107,7 @@ fn arbitrary_messages_round_trip() {
 fn strict_prefixes_of_valid_encodings_are_rejected() {
     let mut rng = SimRng::from_seed(0x7A11);
     for case in 0..400 {
-        let bytes = arb_command(&mut rng).encode();
+        let bytes = arb_command(&mut rng).encode().unwrap();
         for cut in 0..bytes.len() {
             assert!(
                 Command::decode(&bytes[..cut]).is_err(),
@@ -115,7 +115,7 @@ fn strict_prefixes_of_valid_encodings_are_rejected() {
                 bytes.len()
             );
         }
-        let bytes = arb_reply(&mut rng).encode();
+        let bytes = arb_reply(&mut rng).encode().unwrap();
         for cut in 0..bytes.len() {
             assert!(
                 Reply::decode(&bytes[..cut]).is_err(),
@@ -132,7 +132,7 @@ fn mutated_encodings_never_panic_and_accepted_ones_reencode() {
     let mut accepted = 0u32;
     let mut rejected = 0u32;
     for _ in 0..2_000 {
-        let mut bytes = arb_command(&mut rng).encode();
+        let mut bytes = arb_command(&mut rng).encode().unwrap();
         for _ in 0..rng.uniform_u64(1, 5) {
             let i = rng.uniform_u64(0, bytes.len() as u64) as usize;
             bytes[i] ^= rng.next_u64() as u8;
@@ -143,14 +143,14 @@ fn mutated_encodings_never_panic_and_accepted_ones_reencode() {
         match Command::decode(&bytes) {
             Ok(m) => {
                 accepted += 1;
-                assert_eq!(Command::decode(&m.encode()).unwrap(), m);
+                assert_eq!(Command::decode(&m.encode().unwrap()).unwrap(), m);
             }
             Err(e) => {
                 rejected += 1;
                 assert!(!e.to_string().is_empty());
             }
         }
-        let mut bytes = arb_reply(&mut rng).encode();
+        let mut bytes = arb_reply(&mut rng).encode().unwrap();
         for _ in 0..rng.uniform_u64(1, 5) {
             let i = rng.uniform_u64(0, bytes.len() as u64) as usize;
             bytes[i] ^= rng.next_u64() as u8;
@@ -158,7 +158,7 @@ fn mutated_encodings_never_panic_and_accepted_ones_reencode() {
         match Reply::decode(&bytes) {
             Ok(m) => {
                 accepted += 1;
-                assert_eq!(Reply::decode(&m.encode()).unwrap(), m);
+                assert_eq!(Reply::decode(&m.encode().unwrap()).unwrap(), m);
             }
             Err(e) => {
                 rejected += 1;
@@ -172,6 +172,44 @@ fn mutated_encodings_never_panic_and_accepted_ones_reencode() {
 }
 
 #[test]
+fn length_prefix_boundaries_encode_or_reject_cleanly() {
+    // The wire format length-prefixes strings with a u16: 65535 bytes is
+    // the last encodable length and must round-trip; 65536 must be a
+    // ProtoError at encode time, never a silently wrapped prefix.
+    let limit = usize::from(u16::MAX);
+    for (len, ok) in [(limit - 1, true), (limit, true), (limit + 1, false)] {
+        let name: String = "m".repeat(len);
+        let cmd = Command::GetProperty {
+            token: 42,
+            name: name.clone(),
+        };
+        match cmd.encode() {
+            Ok(bytes) => {
+                assert!(ok, "length {len} should have been rejected");
+                assert_eq!(Command::decode(&bytes).unwrap(), cmd);
+            }
+            Err(e) => {
+                assert!(!ok, "length {len} should encode: {e}");
+            }
+        }
+        let reply = Reply::Property {
+            token: 42,
+            name: "p".into(),
+            value: Some(PropertyValue::Text(name)),
+        };
+        match reply.encode() {
+            Ok(bytes) => {
+                assert!(ok, "length {len} should have been rejected");
+                assert_eq!(Reply::decode(&bytes).unwrap(), reply);
+            }
+            Err(e) => {
+                assert!(!ok, "length {len} should encode: {e}");
+            }
+        }
+    }
+}
+
+#[test]
 fn random_garbage_and_cross_decoding_never_panic() {
     let mut rng = SimRng::from_seed(0x6A6B);
     for _ in 0..2_000 {
@@ -181,8 +219,8 @@ fn random_garbage_and_cross_decoding_never_panic() {
         let _ = Reply::decode(&bytes);
         // Feeding each decoder the other side's traffic is a ProtoError or
         // a (harmless) coincidental parse — never an unwind.
-        let _ = Reply::decode(&arb_command(&mut rng).encode());
-        let _ = Command::decode(&arb_reply(&mut rng).encode());
+        let _ = Reply::decode(&arb_command(&mut rng).encode().unwrap());
+        let _ = Command::decode(&arb_reply(&mut rng).encode().unwrap());
     }
     assert!(Command::decode(&[]).is_err());
     assert!(Reply::decode(&[]).is_err());
