@@ -1,26 +1,36 @@
-//! Resolver scale benchmark: incremental vs naive-reference constraint
-//! resolution on a ~1k-component hub/consumer topology with churn.
+//! Resolver scale benchmark: the reactive incremental engine vs the
+//! naive-reference oracle, in three phases.
 //!
-//! Topology: `HUBS` provider components (`h00`..) each export one shared
-//! channel (`p00`..); `CONSUMERS` consumer components (`c0000`..) each
-//! import one hub channel round-robin. Consumers are installed *first*, so
+//! **Phase 1 — identity.** A ~1k-component hub/consumer topology with
+//! churn, run under both strategies. Consumers are installed *first*, so
 //! they pile up Unsatisfied and every subsequent resolve round has a large
 //! activation frontier — the worst case for the naive full-rescan
-//! resolver. Churn then stops and restarts hub 0, cascading ~1/HUBS of the
-//! consumer population each cycle.
+//! resolver. The phase asserts the two `DrcrEvent` streams are
+//! byte-identical and reports the wiring-work counters side by side.
 //!
-//! Both resolution strategies run the identical scenario; the benchmark
-//! asserts their `DrcrEvent` streams are byte-identical and reports the
-//! wiring-work counters side by side.
+//! **Phase 2 — churn at scale.** A 100k-component topology (reactive
+//! engine only; the naive oracle would take hours), installed in two
+//! arrival waves, then hub 0 flaps. Each flap touches only hub 0's
+//! consumer cohort (~n/hubs components), so the per-churn-event wiring
+//! work must stay O(changed), not O(n) — gated by counter ceilings.
+//!
+//! **Phase 3 — batched arrivals.** K components arrive in one wave under
+//! response-time admission. With batched admission the engine proves the
+//! whole wave schedulable in **one** RTA fixed-point per CPU; without it,
+//! one pass per candidate. The phase asserts the batch really collapsed
+//! K passes into `cpus` passes and that both paths admit everything.
 //!
 //! Usage:
 //!   cargo run --release -p bench --bin resolve_scale            # full, writes BENCH_resolve.json
-//!   cargo run --release -p bench --bin resolve_scale -- --smoke # small run, stdout only
-//!   cargo run --release -p bench --bin resolve_scale -- --check # also assert speedup + ceilings
+//!   cargo run --release -p bench --bin resolve_scale -- --smoke # small phase 1, stdout only
+//!   cargo run --release -p bench --bin resolve_scale -- --check # also assert ceilings
 //!
 //! `--smoke --check` is the CI configuration: fast, deterministic, and it
-//! fails the build if the incremental resolver regresses (extra graph
-//! builds, extra sweeps, or a diverging event stream).
+//! fails the build if the reactive engine regresses (extra graph builds,
+//! extra sweeps, O(n) churn work, a diverging event stream, or a batch
+//! that stopped batching). Phases 2 and 3 run at full scale in both
+//! modes — their cost is dominated by the two arrival waves, not by the
+//! per-install resolve rounds phase 1 exercises.
 
 use drcom::drcr::{ComponentProvider, ResolutionStrategy};
 use drcom::obs::{DrcrEvent, MetricsReport, TraceSubscriber};
@@ -31,8 +41,8 @@ use rtos::latency::TimerJitterModel;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-/// Scenario shape. Full mode is the ISSUE's n=1000 configuration; smoke
-/// mode is a scaled-down copy for CI.
+/// Phase 1 scenario shape. Full mode is the ISSUE's n=1000 configuration;
+/// smoke mode is a scaled-down copy for CI.
 struct Params {
     hubs: usize,
     consumers: usize,
@@ -61,15 +71,62 @@ impl Params {
     }
 }
 
-/// Counter ceilings asserted in `--check` mode, with ~25% headroom over
+/// Phase 2 scenario shape: both modes run the full 100k-component fleet
+/// (the phase avoids per-install resolve rounds, so scale is cheap).
+struct ChurnParams {
+    hubs: usize,
+    consumers: usize,
+    churn_cycles: usize,
+}
+
+impl ChurnParams {
+    fn new() -> Self {
+        ChurnParams {
+            hubs: 100,
+            consumers: 99_900,
+            churn_cycles: 5,
+        }
+    }
+
+    fn components(&self) -> usize {
+        self.hubs + self.consumers
+    }
+
+    /// Consumers fed by one hub — the churn blast radius.
+    fn cohort(&self) -> usize {
+        self.consumers / self.hubs
+    }
+}
+
+/// Phase 3 scenario shape.
+struct BatchParams {
+    arrivals: usize,
+    cpus: u32,
+}
+
+impl BatchParams {
+    fn new() -> Self {
+        BatchParams {
+            arrivals: 64,
+            cpus: 4,
+        }
+    }
+}
+
+/// Counter ceilings asserted in `--check` mode, with ~25-50% headroom over
 /// the measured values so legitimate scenario tweaks don't trip them.
-/// Measured (smoke): incremental checks=46978, sweeps=225, rebuilds=339;
-/// naive graph_builds=47962. Measured (full): incremental checks=1056324,
-/// sweeps=1040, rebuilds=1528; naive graph_builds=1064748.
+/// Phase 1 measured (smoke): incremental checks=40570, sweeps=231,
+/// rebuilds=206; naive graph_builds=45370. Measured (full): incremental
+/// checks=1003874, sweeps=1045, rebuilds=1010; naive graph_builds=1040999.
+/// Phase 2 measured: 2997 checks per churn event at cohort=999 (3x).
 struct Ceilings {
     incremental_checks: u64,
     incremental_sweeps: u64,
     view_rebuilds: u64,
+    /// Phase 2: per-churn-event wiring checks, as a multiple of the churn
+    /// cohort. O(changed) work is a small constant; O(n) work at
+    /// hubs=100 would be ~100x the cohort and trips this immediately.
+    churn_checks_per_cohort: u64,
 }
 
 impl Ceilings {
@@ -79,12 +136,14 @@ impl Ceilings {
                 incremental_checks: 60_000,
                 incremental_sweeps: 300,
                 view_rebuilds: 450,
+                churn_checks_per_cohort: 8,
             }
         } else {
             Ceilings {
                 incremental_checks: 1_300_000,
                 incremental_sweeps: 1_300,
                 view_rebuilds: 2_000,
+                churn_checks_per_cohort: 8,
             }
         }
     }
@@ -99,12 +158,12 @@ impl TraceSubscriber<DrcrEvent> for Collector {
 }
 
 fn hub_provider(j: usize) -> ComponentProvider {
-    let descriptor = ComponentDescriptor::builder(&format!("h{j:02}"))
+    let descriptor = ComponentDescriptor::builder(&format!("h{j:03}"))
         .description("hub provider")
         .periodic(100, 0, 2)
         .cpu_usage(0.001)
         .outport(
-            &format!("p{j:02}"),
+            &format!("p{j:03}"),
             PortInterface::Shm,
             DataType::Integer,
             1,
@@ -117,12 +176,12 @@ fn hub_provider(j: usize) -> ComponentProvider {
 }
 
 fn consumer_provider(i: usize, hubs: usize) -> ComponentProvider {
-    let descriptor = ComponentDescriptor::builder(&format!("c{i:04}"))
+    let descriptor = ComponentDescriptor::builder(&format!("c{i:05}"))
         .description("fan-in consumer")
         .periodic(50, (i % 4) as u32, 5)
         .cpu_usage(0.0005)
         .inport(
-            &format!("p{:02}", i % hubs),
+            &format!("p{:03}", i % hubs),
             PortInterface::Shm,
             DataType::Integer,
             1,
@@ -134,8 +193,22 @@ fn consumer_provider(i: usize, hubs: usize) -> ComponentProvider {
     })
 }
 
-/// Per-strategy outcome: the full event stream plus the wiring-work
-/// counters the comparison is about.
+/// Phase 3 candidate: no ports (wiring trivially satisfied), distinct
+/// priority per CPU-local slot so the RTA fixed point is non-degenerate.
+fn batch_provider(i: usize, cpus: u32) -> ComponentProvider {
+    let descriptor = ComponentDescriptor::builder(&format!("b{i:03}"))
+        .description("batched arrival")
+        .periodic(100, (i as u32) % cpus, (2 + i / cpus as usize) as u8)
+        .cpu_usage(0.004)
+        .build()
+        .expect("batch descriptor");
+    ComponentProvider::new(descriptor, || {
+        Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {}))
+    })
+}
+
+/// Per-strategy outcome of phase 1: the full event stream plus the
+/// wiring-work counters the comparison is about.
 struct RunStats {
     events: Vec<(SimTime, DrcrEvent)>,
     wiring_checks: u64,
@@ -163,7 +236,9 @@ fn histogram_sum(report: &MetricsReport, name: &str) -> u64 {
 
 fn run(strategy: ResolutionStrategy, params: &Params) -> RunStats {
     let mut rt = DrtRuntime::with_resolver(
-        KernelConfig::new(4).with_timer(TimerJitterModel::ideal()),
+        KernelConfig::new(4)
+            .with_cpus(4)
+            .with_timer(TimerJitterModel::ideal()),
         Box::new(AlwaysAdmit),
     );
     rt.set_resolution_strategy(strategy);
@@ -175,7 +250,7 @@ fn run(strategy: ResolutionStrategy, params: &Params) -> RunStats {
     // ever-growing Unsatisfied population with no providers yet.
     for i in 0..params.consumers {
         rt.install_component(
-            &format!("bundle.c{i:04}"),
+            &format!("bundle.c{i:05}"),
             consumer_provider(i, params.hubs),
         )
         .expect("install consumer");
@@ -184,7 +259,7 @@ fn run(strategy: ResolutionStrategy, params: &Params) -> RunStats {
     let mut hub_bundles = Vec::with_capacity(params.hubs);
     for j in 0..params.hubs {
         let b = rt
-            .install_component(&format!("bundle.h{j:02}"), hub_provider(j))
+            .install_component(&format!("bundle.h{j:03}"), hub_provider(j))
             .expect("install hub");
         hub_bundles.push(b);
     }
@@ -203,6 +278,90 @@ fn run(strategy: ResolutionStrategy, params: &Params) -> RunStats {
         resolve_rounds: counter(&report, "drcr.resolve.rounds"),
         deactivation_sweeps: histogram_sum(&report, "drcr.resolve.sweeps"),
         view_rebuilds: counter(&report, "drcr.view.rebuilds"),
+    }
+}
+
+/// Phase 2 outcome: per-churn-event work on the 100k fleet.
+struct ChurnStats {
+    components: usize,
+    cohort: usize,
+    churn_events: u64,
+    checks_per_event: u64,
+    evals_per_event: u64,
+    graph_builds: u64,
+    active_after: usize,
+}
+
+fn run_churn(params: &ChurnParams) -> ChurnStats {
+    let mut rt = DrtRuntime::with_resolver(
+        KernelConfig::new(4)
+            .with_cpus(4)
+            .with_timer(TimerJitterModel::ideal()),
+        Box::new(AlwaysAdmit),
+    );
+    rt.set_resolution_strategy(ResolutionStrategy::Incremental);
+
+    // Two arrival waves (one resolve round each), not n per-install
+    // rounds: consumers pile up Unsatisfied, then the hub wave activates
+    // the whole fleet.
+    rt.install_components(
+        (0..params.consumers)
+            .map(|i| (format!("bundle.c{i:05}"), consumer_provider(i, params.hubs))),
+    )
+    .expect("install consumers");
+    let hub_bundles = rt
+        .install_components((0..params.hubs).map(|j| (format!("bundle.h{j:03}"), hub_provider(j))))
+        .expect("install hubs");
+
+    let before = rt.metrics_report();
+    for _ in 0..params.churn_cycles {
+        rt.stop_bundle(hub_bundles[0]).expect("stop hub");
+        rt.start_bundle(hub_bundles[0]).expect("restart hub");
+    }
+    let after = rt.metrics_report();
+
+    let churn_events = 2 * params.churn_cycles as u64;
+    let delta = |name: &str| counter(&after, name) - counter(&before, name);
+    let active_after = (0..params.consumers)
+        .filter(|i| rt.component_state(&format!("c{i:05}")) == Some(ComponentState::Active))
+        .count();
+    ChurnStats {
+        components: params.components(),
+        cohort: params.cohort(),
+        churn_events,
+        checks_per_event: delta("drcr.wiring.checks") / churn_events,
+        evals_per_event: delta("drcr.wiring.evals") / churn_events,
+        graph_builds: counter(&after, "drcr.wiring.graph_builds"),
+        active_after,
+    }
+}
+
+/// Phase 3 outcome of one run (batched or sequential admission).
+struct BatchStats {
+    rta_passes: u64,
+    batches: u64,
+    activations: u64,
+    rejections: u64,
+}
+
+fn run_batch(params: &BatchParams, batched: bool) -> BatchStats {
+    let mut rt = DrtRuntime::new(
+        KernelConfig::new(4)
+            .with_cpus(params.cpus)
+            .with_timer(TimerJitterModel::ideal()),
+    );
+    rt.set_resolution_strategy(ResolutionStrategy::ResponseTime);
+    rt.set_batched_admission(batched);
+    rt.install_components(
+        (0..params.arrivals).map(|i| (format!("bundle.b{i:03}"), batch_provider(i, params.cpus))),
+    )
+    .expect("install batch");
+    let report = rt.metrics_report();
+    BatchStats {
+        rta_passes: counter(&report, "drcr.admission.rta_passes"),
+        batches: counter(&report, "drcr.admission.batches"),
+        activations: counter(&report, "drcr.activations"),
+        rejections: counter(&report, "drcr.admission.rejections"),
     }
 }
 
@@ -236,9 +395,11 @@ fn main() {
     } else {
         Params::full()
     };
+    let ceilings = Ceilings::for_mode(smoke);
 
+    // ---- Phase 1: identity ------------------------------------------
     println!(
-        "resolve_scale: {} components ({} hubs x {} consumers), {} churn cycles, mode={}",
+        "resolve_scale phase 1 (identity): {} components ({} hubs x {} consumers), {} churn cycles, mode={}",
         params.components(),
         params.hubs,
         params.consumers,
@@ -255,7 +416,7 @@ fn main() {
         incremental.events == naive.events && inc_rendered.as_bytes() == naive_rendered.as_bytes();
 
     // The naive resolver builds one WiringGraph per constraint check; the
-    // incremental resolver builds none, so compare builds against builds
+    // reactive engine builds none, so compare builds against builds
     // (floored at 1) for the headline ratio.
     let ratio = naive.graph_builds as f64 / incremental.graph_builds.max(1) as f64;
 
@@ -291,7 +452,6 @@ fn main() {
     println!("  graph-build reduction: {ratio:.1}x");
 
     if check {
-        let ceilings = Ceilings::for_mode(smoke);
         assert!(
             events_identical,
             "event streams diverged between strategies"
@@ -322,7 +482,100 @@ fn main() {
             incremental.view_rebuilds,
             ceilings.view_rebuilds
         );
-        println!("  check: PASS");
+        println!("  phase 1 check: PASS");
+    }
+
+    // ---- Phase 2: churn at scale ------------------------------------
+    let churn_params = ChurnParams::new();
+    println!();
+    println!(
+        "resolve_scale phase 2 (churn @ scale): {} components ({} hubs x {} consumers), cohort {}, {} churn cycles",
+        churn_params.components(),
+        churn_params.hubs,
+        churn_params.consumers,
+        churn_params.cohort(),
+        churn_params.churn_cycles,
+    );
+    let churn = run_churn(&churn_params);
+    println!(
+        "  per churn event: {} wiring checks ({} evaluated), {:.4}x of n",
+        churn.checks_per_event,
+        churn.evals_per_event,
+        churn.checks_per_event as f64 / churn.components as f64,
+    );
+    println!(
+        "  graph builds: {}, consumers active after churn: {}",
+        churn.graph_builds, churn.active_after
+    );
+
+    if check {
+        let churn_ceiling = ceilings.churn_checks_per_cohort * churn.cohort as u64;
+        assert_eq!(churn.graph_builds, 0, "reactive engine built wiring graphs");
+        assert_eq!(
+            churn.active_after, churn_params.consumers,
+            "fleet did not fully re-activate after churn"
+        );
+        assert!(
+            churn.checks_per_event <= churn_ceiling,
+            "per-churn-event wiring checks {} exceed O(changed) ceiling {} ({}x cohort)",
+            churn.checks_per_event,
+            churn_ceiling,
+            ceilings.churn_checks_per_cohort
+        );
+        // The O(changed) headline: churn work must be far below fleet size.
+        assert!(
+            churn.checks_per_event < (churn.components / 10) as u64,
+            "per-churn-event work {} is within 10x of fleet size {}",
+            churn.checks_per_event,
+            churn.components
+        );
+        println!("  phase 2 check: PASS");
+    }
+
+    // ---- Phase 3: batched arrivals ----------------------------------
+    let batch_params = BatchParams::new();
+    println!();
+    println!(
+        "resolve_scale phase 3 (batched arrivals): {} arrivals on {} CPUs, response-time admission",
+        batch_params.arrivals, batch_params.cpus,
+    );
+    let batched = run_batch(&batch_params, true);
+    let sequential = run_batch(&batch_params, false);
+    println!(
+        "  batched:    {} RTA passes, {} batches, {} activations, {} rejections",
+        batched.rta_passes, batched.batches, batched.activations, batched.rejections
+    );
+    println!(
+        "  sequential: {} RTA passes, {} activations, {} rejections",
+        sequential.rta_passes, sequential.activations, sequential.rejections
+    );
+    println!(
+        "  RTA-pass reduction: {:.1}x",
+        sequential.rta_passes as f64 / batched.rta_passes.max(1) as f64
+    );
+
+    if check {
+        assert_eq!(batched.batches, 1, "arrival wave was not batch-admitted");
+        assert_eq!(
+            batched.rta_passes,
+            u64::from(batch_params.cpus),
+            "batched admission ran more than one RTA pass per CPU"
+        );
+        assert_eq!(
+            sequential.rta_passes, batch_params.arrivals as u64,
+            "sequential baseline should run one RTA pass per arrival"
+        );
+        assert_eq!(
+            batched.activations, sequential.activations,
+            "batched and sequential admission disagree on the admitted set"
+        );
+        assert_eq!(
+            batched.activations, batch_params.arrivals as u64,
+            "not every arrival was admitted"
+        );
+        assert_eq!(batched.rejections, 0);
+        assert_eq!(sequential.rejections, 0);
+        println!("  phase 3 check: PASS");
     }
 
     if !smoke {
@@ -338,7 +591,13 @@ fn main() {
                 "  \"event_count\": {},\n",
                 "  \"graph_build_reduction\": {:.1},\n",
                 "  \"incremental\": {},\n",
-                "  \"naive_reference\": {}\n",
+                "  \"naive_reference\": {},\n",
+                "  \"churn_at_scale\": {{\"components\": {}, \"cohort\": {}, ",
+                "\"churn_events\": {}, \"checks_per_event\": {}, ",
+                "\"evals_per_event\": {}}},\n",
+                "  \"batched_arrivals\": {{\"arrivals\": {}, \"cpus\": {}, ",
+                "\"batched_rta_passes\": {}, \"sequential_rta_passes\": {}, ",
+                "\"activations\": {}}}\n",
                 "}}\n"
             ),
             params.components(),
@@ -350,6 +609,16 @@ fn main() {
             ratio,
             stats_json(&incremental),
             stats_json(&naive),
+            churn.components,
+            churn.cohort,
+            churn.churn_events,
+            churn.checks_per_event,
+            churn.evals_per_event,
+            batch_params.arrivals,
+            batch_params.cpus,
+            batched.rta_passes,
+            sequential.rta_passes,
+            batched.activations,
         );
         std::fs::write("BENCH_resolve.json", &json).expect("write BENCH_resolve.json");
         println!("  wrote BENCH_resolve.json");

@@ -33,24 +33,24 @@ use crate::obs::{
     BridgeEvent, DrcrEvent, EventSink, Histogram, MetricsRegistry, MetricsReport, Timestamped,
     TraceRing, TraceSubscriber,
 };
+use crate::reactive::{AdmissionPolicy, NaiveResolver, ReactiveResolver};
 use crate::resolve::{
-    Decision, ResolverHandle, ResolvingService, UtilizationResolver, RESOLVER_SERVICE,
+    Decision, Resolver, ResolverHandle, ResolvingService, UtilizationResolver, RESOLVER_SERVICE,
 };
-use crate::rta::{RtaParams, RtaResolver};
+use crate::rta::{RtaAnalysis, RtaParams, RtaResolver};
 use crate::supervise::{FaultDecision, SupervisionConfig, Supervisor};
 use crate::view::{ComponentInfo, SystemView};
-use crate::wiring::{MissingPort, PortIndex, WiringGraph};
+use crate::wiring::WiringResult;
 use osgi::event::{BundleId, FrameworkEvent, ServiceEventKind};
 use osgi::framework::Framework;
 use osgi::ldap::{PropValue, Properties};
 use osgi::registry::ServiceId;
 use rtos::kernel::Kernel;
-use rtos::task::{TaskConfig, TaskId, TaskState};
+use rtos::task::{TaskConfig, TaskId};
 use rtos::time::SimDuration;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
-use std::ops::Bound;
 use std::rc::{Rc, Weak};
 
 /// Service-registry interface name under which component bundles publish
@@ -65,29 +65,36 @@ pub const PROP_COMPONENT_NAME: &str = "drt.name";
 /// (counted, and still delivered to live subscribers first).
 const EVENT_RING_CAPACITY: usize = 10_000;
 
-/// How the executive checks constraints during resolution.
+/// Which constraint-resolution engine the executive drives.
 ///
-/// `Incremental` and `NaiveReference` produce byte-identical [`DrcrEvent`]
-/// streams; they differ only in work done (visible through the
-/// `drcr.wiring.*` counters). `ResponseTime` keeps the incremental wiring
-/// machinery but swaps the *non-functional* half: the internal resolver is
-/// replaced by exact response-time analysis ([`crate::rta`]), so its event
-/// stream legitimately differs (different admission verdicts, plus
-/// [`DrcrEvent::AdmissionAnalysis`] evidence events).
+/// Each variant is a constructor for a [`Resolver`] engine
+/// ([`Drcr::set_resolution_strategy`] rebuilds the engine and replays the
+/// current component world into it). `Incremental` and `NaiveReference`
+/// produce byte-identical [`DrcrEvent`] streams; they differ only in work
+/// done (visible through the `drcr.wiring.*` / `drcr.admission.*`
+/// counters). `ResponseTime` keeps the reactive engine but swaps the
+/// *non-functional* half: internal verdicts come from exact response-time
+/// analysis ([`crate::rta`]), so its event stream legitimately differs
+/// (different admission verdicts, plus [`DrcrEvent::AdmissionAnalysis`]
+/// evidence events) — and it unlocks batched arrival admission
+/// ([`Drcr::set_batched_admission`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ResolutionStrategy {
-    /// The default: a persistent [`PortIndex`] maintained across
-    /// deploy/undeploy/state transitions, plus a deactivation sweep driven
-    /// by a dirty-set seeded from the changed component's consumers.
+    /// The default: [`ReactiveResolver`] with the configured internal
+    /// resolving service — a persistent port index maintained across
+    /// deploy/undeploy/state transitions, memoized wiring and admission
+    /// nodes, and a deactivation sweep driven by a dirty-set seeded from
+    /// the changed component's consumers.
     #[default]
     Incremental,
-    /// The pre-index behaviour, kept as a differential-testing reference
-    /// and benchmark baseline: rebuild a [`WiringGraph`] for every check
-    /// and re-scan every running component every sweep.
+    /// [`NaiveResolver`]: the pre-index behaviour, kept as a
+    /// differential-testing reference and benchmark baseline — rebuild a
+    /// wiring graph for every check and re-scan every running component
+    /// every sweep.
     NaiveReference,
-    /// Incremental wiring + schedulability-aware admission: internal
-    /// verdicts come from per-CPU fixed-priority response-time analysis
-    /// instead of the configured utilization resolver.
+    /// [`ReactiveResolver`] with response-time admission: reactive wiring +
+    /// schedulability-aware internal verdicts from per-CPU fixed-priority
+    /// response-time analysis instead of the configured service.
     ResponseTime,
 }
 
@@ -170,7 +177,9 @@ pub struct Drcr {
     kernel: Rc<RefCell<Kernel>>,
     components: BTreeMap<Rc<str>, ComponentRecord>,
     ledger: AdmissionLedger,
-    internal: Box<dyn ResolvingService>,
+    /// The configured internal resolving service (the admission policy the
+    /// engine rules with under `Incremental`/`NaiveReference`).
+    internal_policy: Rc<dyn ResolvingService>,
     bridge: BridgeMode,
     enforce_budgets: bool,
     transitions: Vec<Transition>,
@@ -184,21 +193,29 @@ pub struct Drcr {
     next_token: u32,
     dirty: bool,
     strategy: ResolutionStrategy,
-    /// Persistent wiring index, kept in sync with registrations and
-    /// `provides_outputs` transitions.
-    port_index: PortIndex,
-    /// Running components whose wiring may have broken since they were
-    /// last checked (seeded from departed providers' consumers).
-    wiring_dirty: BTreeSet<Rc<str>>,
-    /// Cached global view, valid while `view_dirty` is false.
+    /// The constraint-resolution engine: wiring index + memoized nodes +
+    /// sweep cursor + internal admission, behind one pluggable surface.
+    resolver: Box<dyn Resolver>,
+    /// Components currently `Unsatisfied` (the activation sweep's work
+    /// list), maintained on every state transition.
+    unsatisfied: BTreeSet<Rc<str>>,
+    /// Cached global view. Lifecycle flips are applied in place; structural
+    /// changes (register/remove/mode switch) set `view_dirty` for a full
+    /// rebuild at the next refresh.
     view_cache: SystemView,
-    /// Set by every transition that changes the view's contents.
+    /// Name → index into `view_cache.components`, rebuilt with the view.
+    view_index: HashMap<Rc<str>, usize>,
+    /// Set by every *structural* change to the view's contents.
     view_dirty: bool,
     /// Restart/quarantine bookkeeping for faulted components.
     supervisor: Supervisor,
-    /// Response-time analyst ruling internal admission under
-    /// [`ResolutionStrategy::ResponseTime`].
-    rta: RtaResolver,
+    /// Response-time analysis tuning for the `ResponseTime` engine.
+    rta_params: RtaParams,
+    /// Admit whole arrival batches in one RTA pass per CPU when the engine
+    /// supports it (opt-in; see [`Drcr::set_batched_admission`]).
+    batched_admission: bool,
+    /// Kernel task → owning component, for O(faulted) supervision scans.
+    task_names: BTreeMap<TaskId, Rc<str>>,
     self_ref: Weak<RefCell<Drcr>>,
 }
 
@@ -224,11 +241,15 @@ impl Drcr {
         internal: Box<dyn ResolvingService>,
     ) -> Rc<RefCell<Drcr>> {
         let cpu_count = kernel.borrow().cpu_count();
+        let internal_policy: Rc<dyn ResolvingService> = Rc::from(internal);
+        let resolver: Box<dyn Resolver> = Box::new(ReactiveResolver::new(
+            AdmissionPolicy::Service(internal_policy.clone()),
+        ));
         let drcr = Rc::new(RefCell::new(Drcr {
             kernel,
             components: BTreeMap::new(),
             ledger: AdmissionLedger::new(cpu_count),
-            internal,
+            internal_policy,
             bridge: BridgeMode::AsyncPoll,
             enforce_budgets: false,
             transitions: Vec::new(),
@@ -241,12 +262,15 @@ impl Drcr {
             next_token: 0,
             dirty: false,
             strategy: ResolutionStrategy::default(),
-            port_index: PortIndex::new(),
-            wiring_dirty: BTreeSet::new(),
+            resolver,
+            unsatisfied: BTreeSet::new(),
             view_cache: SystemView::new(cpu_count, Vec::new()),
+            view_index: HashMap::new(),
             view_dirty: false,
             supervisor: Supervisor::new(),
-            rta: RtaResolver::default(),
+            rta_params: RtaParams::default(),
+            batched_admission: false,
+            task_names: BTreeMap::new(),
             self_ref: Weak::new(),
         }));
         drcr.borrow_mut().self_ref = Rc::downgrade(&drcr);
@@ -266,18 +290,66 @@ impl Drcr {
         self.enforce_budgets = on;
     }
 
-    /// Selects how functional constraints are checked during resolution
-    /// (differential-testing and benchmarking hook; the default is
-    /// [`ResolutionStrategy::Incremental`]).
+    /// Selects the constraint-resolution engine (differential-testing and
+    /// benchmarking hook; the default is
+    /// [`ResolutionStrategy::Incremental`]). Rebuilds the engine, replays
+    /// the current component world into it, and conservatively marks
+    /// everything for re-checking at the next resolve round.
     pub fn set_resolution_strategy(&mut self, strategy: ResolutionStrategy) {
         self.strategy = strategy;
+        self.rebuild_resolver();
     }
 
     /// Tunes the response-time analysis backing
     /// [`ResolutionStrategy::ResponseTime`] (container overhead and
     /// blocking term; the defaults model this kernel's cost constants).
     pub fn set_rta_params(&mut self, params: RtaParams) {
-        self.rta = RtaResolver::new(params);
+        self.rta_params = params;
+        self.rebuild_resolver();
+    }
+
+    /// Opts into batched arrival admission: when several components wait on
+    /// the same resolve round under [`ResolutionStrategy::ResponseTime`]
+    /// (and no customized resolvers are registered), the whole batch is
+    /// admitted with **one** response-time fixed-point pass per CPU instead
+    /// of one per component. Admit/reject outcomes are provably equal to
+    /// sequential admission (the engine falls back to per-candidate
+    /// analysis whenever single-pass equivalence cannot be guaranteed), but
+    /// the event *order* differs: wiring diagnoses for the batch precede
+    /// its admission verdicts, and one [`DrcrEvent::AdmissionAnalysis`] per
+    /// CPU stands for the whole batch.
+    pub fn set_batched_admission(&mut self, on: bool) {
+        self.batched_admission = on;
+    }
+
+    /// Constructs the engine for the current strategy and replays the
+    /// registered world into it. Called on strategy/params changes; the
+    /// fresh engine starts with every component marked dirty, which is
+    /// event-safe (a sweep over satisfied components emits nothing).
+    fn rebuild_resolver(&mut self) {
+        let policy = match self.strategy {
+            ResolutionStrategy::ResponseTime => {
+                AdmissionPolicy::ResponseTime(RtaResolver::new(self.rta_params))
+            }
+            _ => AdmissionPolicy::Service(self.internal_policy.clone()),
+        };
+        let mut resolver: Box<dyn Resolver> = match self.strategy {
+            ResolutionStrategy::NaiveReference => Box::new(NaiveResolver::new(policy)),
+            _ => Box::new(ReactiveResolver::new(policy)),
+        };
+        for (name, rec) in &self.components {
+            resolver.on_registered(name, &rec.descriptor);
+            if rec.state != ComponentState::Installed {
+                resolver.on_state_changed(
+                    name,
+                    rec.descriptor.task.cpu(),
+                    ComponentState::Installed,
+                    rec.state,
+                );
+            }
+        }
+        resolver.seed_all();
+        self.resolver = resolver;
     }
 
     /// Sets the supervision config applied to components that have no
@@ -331,10 +403,20 @@ impl Drcr {
             initial,
             "descriptor registered",
         );
-        // A fresh registration starts inactive in the index; it cannot break
-        // any running consumer (it only *adds* a provider), so no dirty-set
-        // seeding is needed here.
-        self.port_index.insert(&id, &descriptor);
+        // A fresh registration starts inactive in the engine; it cannot
+        // break any running consumer (it only *adds* a provider), so no
+        // dirty-set seeding happens — the engine just refreshes the stale
+        // wiring memos of the new provider's consumers.
+        self.resolver.on_registered(&id, &descriptor);
+        self.resolver.on_state_changed(
+            &id,
+            descriptor.task.cpu(),
+            ComponentState::Installed,
+            initial,
+        );
+        if initial == ComponentState::Unsatisfied {
+            self.unsatisfied.insert(id.clone());
+        }
         self.components.insert(
             id.clone(),
             ComponentRecord {
@@ -378,9 +460,9 @@ impl Drcr {
         if let Some(rec) = self.components.remove(name) {
             // Mode switches preserve ports, so either descriptor describes
             // the indexed entries.
-            self.port_index.remove(name, &rec.descriptor);
+            self.resolver.on_removed(name, &rec.descriptor);
         }
-        self.wiring_dirty.remove(name);
+        self.unsatisfied.remove(name);
         self.supervisor.clear(name);
         self.view_dirty = true;
         self.dirty = true;
@@ -464,6 +546,14 @@ impl Drcr {
     /// Compatibility shim for the old `decisions()` string log: renders the
     /// retained executive events through their `Display` impls, which match
     /// the legacy decision-log phrasing.
+    ///
+    /// Prefer the typed views: iterate [`Drcr::events`] (or the filtered
+    /// [`Drcr::admission_verdicts`] / [`Drcr::cascade_events`] /
+    /// [`Drcr::events_for`]) and render with `to_string()` where a display
+    /// string is really wanted.
+    #[deprecated(
+        note = "iterate the typed `events()` ring (rendering entries with `to_string()` if needed)"
+    )]
     pub fn decisions_text(&self) -> Vec<String> {
         self.events.iter().map(|e| e.event.to_string()).collect()
     }
@@ -514,13 +604,60 @@ impl Drcr {
         )
     }
 
-    /// Re-derives the cached view if a transition invalidated it.
+    /// Re-derives the cached view if a *structural* change invalidated it
+    /// (lifecycle flips are applied in place and never get here).
     fn refresh_view(&mut self) {
         if self.view_dirty {
             self.view_cache = self.build_view();
+            self.view_index = self
+                .view_cache
+                .components
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.name.clone(), i))
+                .collect();
             self.view_dirty = false;
             self.metrics.count("drcr.view.rebuilds", 1);
         }
+    }
+
+    /// Applies one lifecycle flip to the cached view in place (O(1), cache
+    /// invalidation only when the admission-holding status changes). A
+    /// structurally-dirty view skips the update — the pending rebuild will
+    /// pick the state up from the component table.
+    fn view_set_state(&mut self, name: &str, state: ComponentState) {
+        if self.view_dirty {
+            return;
+        }
+        match self.view_index.get(name) {
+            Some(&idx) => {
+                self.view_cache.set_state_at(idx, state);
+                self.metrics.count("drcr.view.updates", 1);
+            }
+            // Unknown to the cached view (never refreshed since this
+            // component registered): fall back to a rebuild.
+            None => self.view_dirty = true,
+        }
+    }
+
+    /// The single state-transition bottleneck: updates the record, the
+    /// activation work-list, the engine's constraint nodes and the cached
+    /// view. Callers record the transition log entry and events themselves.
+    fn apply_state(&mut self, name: &Rc<str>, to: ComponentState) {
+        let rec = self.components.get_mut(&**name).expect("present");
+        let from = rec.state;
+        if from == to {
+            return;
+        }
+        rec.state = to;
+        let cpu = rec.descriptor.task.cpu();
+        if to == ComponentState::Unsatisfied {
+            self.unsatisfied.insert(name.clone());
+        } else {
+            self.unsatisfied.remove(&**name);
+        }
+        self.resolver.on_state_changed(name, cpu, from, to);
+        self.view_set_state(&name.clone(), to);
     }
 
     /// The kernel task id behind an active component.
@@ -637,7 +774,28 @@ impl Drcr {
                 && rec.descriptor.outports == rec.base_descriptor.outports,
             "mode substitution must preserve ports"
         );
-        self.view_dirty = true;
+        let descriptor = rec.descriptor.clone();
+        // The contract node changed: drop this component's memoized wiring
+        // and admission results (its ports are unchanged, but its claim,
+        // frequency and priority are not).
+        self.resolver.on_contract_changed(name, &descriptor);
+        // The cached view takes the rewritten contract in place.
+        if !self.view_dirty {
+            match self.view_index.get(name).copied() {
+                Some(idx) => {
+                    let (key, rec) = self.components.get_key_value(name).expect("present");
+                    let info = ComponentInfo::from_contract_interned(
+                        key.clone(),
+                        rec.state,
+                        &rec.descriptor.task,
+                        rec.descriptor.cpu_usage.fraction(),
+                    );
+                    self.view_cache.replace_at(idx, info);
+                    self.metrics.count("drcr.view.updates", 1);
+                }
+                None => self.view_dirty = true,
+            }
+        }
         self.note(DrcrEvent::ModeSwitch {
             component: name.to_string(),
             mode: mode_name.to_string(),
@@ -670,9 +828,7 @@ impl Drcr {
                 (ServiceEventKind::Registered, true, _) => {
                     if let Some(provider) = fw.registry().get::<ComponentProvider>(e.service) {
                         let bundle = match e.properties.get(osgi::registry::SERVICE_BUNDLE) {
-                            Some(PropValue::Int(i)) => {
-                                fw.bundles().into_iter().find(|b| b.raw() == *i as u64)
-                            }
+                            Some(PropValue::Int(i)) => fw.bundle_by_id(*i as u64),
                             _ => None,
                         };
                         let result = self.register_component(
@@ -716,15 +872,15 @@ impl Drcr {
     fn supervise(&mut self, fw: &mut Framework) {
         let now = self.kernel.borrow().now();
         // Collect first: `note` and `deactivate` need the kernel un-borrowed.
+        // The kernel indexes its faulted tasks, so this poll is O(faulted),
+        // not O(components); sorting by component name preserves the
+        // reaction order of the old full-table scan.
         let faulted: Vec<(Rc<str>, String, u64)> = {
             let kernel = self.kernel.borrow();
-            self.components
-                .iter()
-                .filter_map(|(name, rec)| {
-                    let task = rec.task?;
-                    if kernel.task_state(task) != Some(TaskState::Faulted) {
-                        return None;
-                    }
+            let mut list: Vec<(Rc<str>, String, u64)> = kernel
+                .faulted_tasks()
+                .filter_map(|task| {
+                    let name = self.task_names.get(&task)?;
                     let cause = kernel
                         .task_fault_cause(task)
                         .unwrap_or("unknown cause")
@@ -732,7 +888,9 @@ impl Drcr {
                     let total = kernel.task_faults(task).unwrap_or(1);
                     Some((name.clone(), cause, total))
                 })
-                .collect()
+                .collect();
+            list.sort_by(|a, b| a.0.cmp(&b.0));
+            list
         };
         for (name, cause, total) in faulted {
             self.note(DrcrEvent::ComponentFault {
@@ -813,86 +971,68 @@ impl Drcr {
             let mut changed = false;
 
             // Deactivation sweep: running components whose functional
-            // constraints broke fall back to Unsatisfied.
-            match self.strategy {
-                ResolutionStrategy::NaiveReference => {
-                    // Reference behaviour: re-check every running component.
-                    self.wiring_dirty.clear();
-                    let running: Vec<Rc<str>> = self
-                        .components
-                        .iter()
-                        .filter(|(_, r)| r.state.holds_admission())
-                        .map(|(n, _)| n.clone())
-                        .collect();
-                    for name in running {
-                        if self.cascade_check(&name, fw) {
-                            deactivations += 1;
-                            changed = true;
-                        }
-                    }
+            // constraints may have broken fall back to Unsatisfied. The
+            // engine nominates the candidates — the reactive engine walks
+            // its dirty scope (only consumers of departed providers can
+            // have broken), the naive reference re-visits every component.
+            //
+            // The engine is driven with a strictly ascending cursor rather
+            // than draining its scope up front. A cascade seeds the
+            // consumers of the component it just deactivated; a full-scan
+            // reference visits those *this* sweep when they sort after the
+            // current position and *next* sweep when they sort before it.
+            // The cursor reproduces that order exactly, keeping the two
+            // engines' event streams byte-identical.
+            let mut cursor: Option<Rc<str>> = None;
+            while let Some(name) = self.resolver.sweep_next(cursor.as_deref()) {
+                cursor = Some(name.clone());
+                if !self
+                    .components
+                    .get(&*name)
+                    .is_some_and(|r| r.state.holds_admission())
+                {
+                    continue;
                 }
-                ResolutionStrategy::Incremental | ResolutionStrategy::ResponseTime => {
-                    // Only components whose providers departed since their
-                    // last check can have broken: at every prior fixpoint
-                    // all running components were satisfied, and no other
-                    // transition turns a satisfied check into a failing one.
-                    //
-                    // Walk the dirty set with a strictly ascending cursor
-                    // instead of draining it up front. A cascade seeds the
-                    // consumers of the component it just deactivated; the
-                    // full-scan reference visits those *this* sweep when
-                    // they sort after the current position and *next* sweep
-                    // when they sort before it. The cursor reproduces that
-                    // order exactly, keeping event streams byte-identical.
-                    let mut cursor: Option<Rc<str>> = None;
-                    loop {
-                        let next = match &cursor {
-                            None => self.wiring_dirty.iter().next().cloned(),
-                            Some(c) => self
-                                .wiring_dirty
-                                .range::<str, _>((Bound::Excluded(&**c), Bound::Unbounded))
-                                .next()
-                                .cloned(),
-                        };
-                        let Some(name) = next else { break };
-                        self.wiring_dirty.remove(&*name);
-                        cursor = Some(name.clone());
-                        if !self
-                            .components
-                            .get(&*name)
-                            .is_some_and(|r| r.state.holds_admission())
-                        {
-                            continue;
-                        }
-                        if self.cascade_check(&name, fw) {
-                            deactivations += 1;
-                            changed = true;
-                        }
-                    }
+                if self.cascade_check(&name, fw) {
+                    deactivations += 1;
+                    changed = true;
                 }
             }
 
             // Activation sweep. Components behind a backoff hold stay out
             // until the supervisor releases them.
             let waiting: Vec<Rc<str>> = self
-                .components
+                .unsatisfied
                 .iter()
-                .filter(|(n, r)| {
-                    r.state == ComponentState::Unsatisfied && !self.supervisor.is_held(n)
-                })
-                .map(|(n, _)| n.clone())
+                .filter(|n| !self.supervisor.is_held(n))
+                .cloned()
                 .collect();
-            for name in waiting {
-                match self.try_activate(&name, fw) {
-                    Ok(true) => {
-                        activations += 1;
+            let batched = if self.batched_admission {
+                self.try_activate_batch(&waiting, fw)
+            } else {
+                None
+            };
+            match batched {
+                Some(n) => {
+                    if n > 0 {
+                        activations += n;
                         changed = true;
                     }
-                    Ok(false) => {}
-                    Err(err) => self.note(DrcrEvent::ActivationFailed {
-                        component: name.to_string(),
-                        reason: err.to_string(),
-                    }),
+                }
+                None => {
+                    for name in waiting {
+                        match self.try_activate(&name, fw) {
+                            Ok(true) => {
+                                activations += 1;
+                                changed = true;
+                            }
+                            Ok(false) => {}
+                            Err(err) => self.note(DrcrEvent::ActivationFailed {
+                                component: name.to_string(),
+                                reason: err.to_string(),
+                            }),
+                        }
+                    }
                 }
             }
 
@@ -929,77 +1069,69 @@ impl Drcr {
         self.update_admission_gauges();
     }
 
-    /// Checks one component's functional constraints under the active
-    /// strategy, counting the work in the `drcr.wiring.*` metrics.
-    fn check_wiring(
-        &mut self,
-        name: &str,
-        assume_active: &[Rc<str>],
-    ) -> Result<Vec<(String, String)>, Vec<MissingPort>> {
+    /// Checks one component's functional constraints through the resolution
+    /// engine, counting the work in the `drcr.wiring.*` metrics:
+    /// `checks` for every query, `evals` vs `memo_hits` for whether the
+    /// engine re-evaluated or replayed a memoized result, and
+    /// `graph_builds` when it rebuilt a wiring graph from scratch (the
+    /// naive reference does; the reactive engine never does).
+    fn check_wiring(&mut self, name: &str, assume_active: &[Rc<str>]) -> WiringResult {
         self.metrics.count("drcr.wiring.checks", 1);
         let rec = &self.components[name];
-        match self.strategy {
-            ResolutionStrategy::Incremental | ResolutionStrategy::ResponseTime => self
-                .port_index
-                .check_functional(&rec.descriptor, assume_active),
-            ResolutionStrategy::NaiveReference => {
-                let entries: Vec<_> = self
-                    .components
-                    .values()
-                    .map(|r| (&r.descriptor, r.state))
-                    .collect();
-                let graph = WiringGraph::new(entries);
-                let result = graph.check_functional(&rec.descriptor, assume_active);
-                self.metrics.count("drcr.wiring.graph_builds", 1);
-                result
-            }
+        let check = self.resolver.check_wiring(&rec.descriptor, assume_active);
+        if check.evaluated {
+            self.metrics.count("drcr.wiring.evals", 1);
+        } else {
+            self.metrics.count("drcr.wiring.memo_hits", 1);
         }
+        if check.graph_built {
+            self.metrics.count("drcr.wiring.graph_builds", 1);
+        }
+        check.result
     }
 
-    /// The internal non-functional verdict on one candidate under the
-    /// active strategy: the configured resolving service, or exact
-    /// response-time analysis under [`ResolutionStrategy::ResponseTime`].
-    /// Callers must [`Drcr::refresh_view`] first. Returns the ruling
-    /// resolver's name with the decision; an RTA ruling also emits a
+    /// The internal non-functional verdict on one candidate, ruled by the
+    /// engine's admission policy (the configured resolving service, or
+    /// exact response-time analysis under
+    /// [`ResolutionStrategy::ResponseTime`]). Callers must
+    /// [`Drcr::refresh_view`] first. Returns the ruling resolver's name
+    /// with the decision; an RTA ruling also emits a
     /// [`DrcrEvent::AdmissionAnalysis`] evidence event and feeds the
     /// candidate's computed WCRT into the `drcr.admission.wcrt_ns`
-    /// histogram.
-    fn internal_admit(&mut self, candidate: &ComponentInfo) -> (String, Decision) {
+    /// histogram — a memoized ruling replays both identically, so the
+    /// evidence stream is independent of cache behaviour.
+    ///
+    /// `memoize` lets the engine reuse a ruling computed against an
+    /// equivalent view (same per-CPU admission epoch); pass `false` for
+    /// one-off probes that must not populate the memo.
+    fn internal_admit(&mut self, candidate: &ComponentInfo, memoize: bool) -> (String, Decision) {
         self.metrics.count("drcr.admission.checks", 1);
-        match self.strategy {
-            ResolutionStrategy::Incremental | ResolutionStrategy::NaiveReference => (
-                self.internal.name().to_string(),
-                self.internal.admit(candidate, &self.view_cache),
-            ),
-            ResolutionStrategy::ResponseTime => {
-                let analysis = self.rta.analyze(candidate, &self.view_cache);
-                if let Some(wcrt) = analysis.wcrt_of(&candidate.name) {
-                    self.metrics
-                        .observe("drcr.admission.wcrt_ns", wcrt, Histogram::latency_ns);
-                }
-                let decision = if analysis.schedulable {
-                    Decision::Admit
-                } else {
-                    Decision::Reject(
-                        analysis
-                            .reason
-                            .clone()
-                            .unwrap_or_else(|| "RTA: unschedulable".to_string()),
-                    )
-                };
-                self.note(DrcrEvent::AdmissionAnalysis {
-                    component: candidate.name.to_string(),
-                    cpu: analysis.cpu,
-                    schedulable: analysis.schedulable,
-                    wcrts: analysis
-                        .wcrts
-                        .into_iter()
-                        .map(|w| (w.name, w.wcrt_ns, w.deadline_ns))
-                        .collect(),
-                });
-                (self.rta.name().to_string(), decision)
-            }
+        let ruling = self.resolver.admit(candidate, &self.view_cache, memoize);
+        if ruling.evaluated {
+            self.metrics.count("drcr.admission.evals", 1);
+        } else {
+            self.metrics.count("drcr.admission.memo_hits", 1);
         }
+        if let Some(analysis) = &ruling.analysis {
+            if ruling.evaluated {
+                self.metrics.count("drcr.admission.rta_passes", 1);
+            }
+            if let Some(wcrt) = analysis.wcrt_of(&candidate.name) {
+                self.metrics
+                    .observe("drcr.admission.wcrt_ns", wcrt, Histogram::latency_ns);
+            }
+            self.note(DrcrEvent::AdmissionAnalysis {
+                component: candidate.name.to_string(),
+                cpu: analysis.cpu,
+                schedulable: analysis.schedulable,
+                wcrts: analysis
+                    .wcrts
+                    .iter()
+                    .map(|w| (w.name.clone(), w.wcrt_ns, w.deadline_ns))
+                    .collect(),
+            });
+        }
+        (ruling.resolver, ruling.decision)
     }
 
     /// Re-checks one running component during the deactivation sweep,
@@ -1032,10 +1164,10 @@ impl Drcr {
     /// the whole group. Returns the number of components activated.
     fn try_activate_group(&mut self, fw: &mut Framework) -> u32 {
         let mut assume: Vec<Rc<str>> = self
-            .components
+            .unsatisfied
             .iter()
-            .filter(|(n, r)| r.state == ComponentState::Unsatisfied && !self.supervisor.is_held(n))
-            .map(|(n, _)| n.clone())
+            .filter(|n| !self.supervisor.is_held(n))
+            .cloned()
             .collect();
         if assume.len() < 2 {
             return 0;
@@ -1071,7 +1203,7 @@ impl Drcr {
                 )
             };
             self.refresh_view();
-            let (resolver, verdict) = self.internal_admit(&candidate);
+            let (resolver, verdict) = self.internal_admit(&candidate, true);
             if let Decision::Reject(reason) = verdict {
                 self.note(DrcrEvent::GroupAbandoned {
                     component: name.to_string(),
@@ -1151,7 +1283,7 @@ impl Drcr {
             )
         };
         self.refresh_view();
-        let (resolver, verdict) = self.internal_admit(&candidate);
+        let (resolver, verdict) = self.internal_admit(&candidate, true);
         let rejected = matches!(verdict, Decision::Reject(_));
         self.note(DrcrEvent::AdmissionVerdict {
             component: name.to_string(),
@@ -1192,6 +1324,165 @@ impl Drcr {
 
         self.activate(name, fw, providers)?;
         Ok(true)
+    }
+
+    /// Batched admission of one arrival wave: screens every waiting
+    /// component's wiring, then asks the engine to admit all survivors in
+    /// **one** analysis pass — one RTA fixed-point per CPU instead of one
+    /// per candidate (see [`crate::rta::RtaResolver::analyze_batch`] for
+    /// the soundness argument).
+    ///
+    /// Returns `None` — before emitting any event — when batching does not
+    /// apply: fewer than two candidates, or customized resolver services
+    /// registered (they rule per-candidate and must see the view grow
+    /// member by member). The caller then runs the sequential sweep.
+    /// Otherwise it completes the whole activation pass, falling back to
+    /// per-candidate admission internally when the engine declines the
+    /// batch (mixed task models, an unschedulable CPU, or a policy without
+    /// batch support).
+    ///
+    /// Event attribution in the batched path: one
+    /// [`DrcrEvent::AdmissionAnalysis`] per CPU, carried by that CPU's
+    /// last candidate (whose analysis the batch pass actually ran); every
+    /// admitted candidate still gets its own `AdmissionVerdict`.
+    fn try_activate_batch(&mut self, waiting: &[Rc<str>], fw: &mut Framework) -> Option<u32> {
+        if waiting.len() < 2 {
+            return None;
+        }
+        if !fw.registry().find(RESOLVER_SERVICE, None).is_empty() {
+            return None;
+        }
+        self.refresh_view();
+
+        // Wiring screen (strict: providers must be Active now). A
+        // candidate failing here stays Unsatisfied; if this wave activates
+        // a provider it needs, the next sweep picks it up.
+        type Passer = (Rc<str>, Vec<(String, String)>);
+        let mut passers: Vec<Passer> = Vec::new();
+        for name in waiting {
+            match self.check_wiring(name, &[]) {
+                Ok(providers) => passers.push((name.clone(), providers)),
+                Err(missing) => self.note(DrcrEvent::WiringUnsatisfied {
+                    component: name.to_string(),
+                    missing: missing
+                        .iter()
+                        .map(|m| m.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                }),
+            }
+        }
+
+        let candidates: Vec<ComponentInfo> = passers
+            .iter()
+            .map(|(name, _)| {
+                let rec = &self.components[&**name];
+                ComponentInfo::from_contract_interned(
+                    name.clone(),
+                    rec.state,
+                    &rec.descriptor.task,
+                    rec.descriptor.cpu_usage.fraction(),
+                )
+            })
+            .collect();
+        let batch = if candidates.len() > 1 {
+            self.resolver.admit_batch(&candidates, &self.view_cache)
+        } else {
+            None
+        };
+
+        let mut activated: u32 = 0;
+        if let Some(batch) = batch {
+            self.metrics.count("drcr.admission.batches", 1);
+            self.metrics
+                .count("drcr.admission.checks", candidates.len() as u64);
+            self.metrics
+                .count("drcr.admission.rta_passes", batch.analyses.len() as u64);
+            let by_cpu: HashMap<u32, &RtaAnalysis> =
+                batch.analyses.iter().map(|a| (a.cpu, a)).collect();
+            let mut last_of_cpu: HashMap<u32, &str> = HashMap::new();
+            for c in &candidates {
+                last_of_cpu.insert(c.cpu, &c.name);
+            }
+            // Every candidate's WCRT is present in its CPU's single
+            // analysis (the batch pass models them all admitted), so the
+            // histogram sees the same observations as K sequential passes.
+            for c in &candidates {
+                if let Some(wcrt) = by_cpu.get(&c.cpu).and_then(|a| a.wcrt_of(&c.name)) {
+                    self.metrics
+                        .observe("drcr.admission.wcrt_ns", wcrt, Histogram::latency_ns);
+                }
+            }
+            for (name, providers) in passers {
+                let cpu = self.components[&*name].descriptor.task.cpu();
+                if last_of_cpu.get(&cpu).is_some_and(|n| *n == &*name) {
+                    let analysis = by_cpu[&cpu];
+                    self.note(DrcrEvent::AdmissionAnalysis {
+                        component: name.to_string(),
+                        cpu: analysis.cpu,
+                        schedulable: analysis.schedulable,
+                        wcrts: analysis
+                            .wcrts
+                            .iter()
+                            .map(|w| (w.name.clone(), w.wcrt_ns, w.deadline_ns))
+                            .collect(),
+                    });
+                }
+                self.note(DrcrEvent::AdmissionVerdict {
+                    component: name.to_string(),
+                    resolver: batch.resolver.clone(),
+                    internal: true,
+                    admitted: true,
+                    reason: String::new(),
+                });
+                match self.activate(&name, fw, providers) {
+                    Ok(()) => activated += 1,
+                    Err(err) => self.note(DrcrEvent::ActivationFailed {
+                        component: name.to_string(),
+                        reason: err.to_string(),
+                    }),
+                }
+            }
+        } else {
+            // Engine declined the batch: exact sequential admission over
+            // the screened candidates.
+            for (name, providers) in passers {
+                self.refresh_view();
+                let candidate = {
+                    let rec = &self.components[&*name];
+                    ComponentInfo::from_contract_interned(
+                        name.clone(),
+                        rec.state,
+                        &rec.descriptor.task,
+                        rec.descriptor.cpu_usage.fraction(),
+                    )
+                };
+                let (resolver, verdict) = self.internal_admit(&candidate, true);
+                let rejected = matches!(verdict, Decision::Reject(_));
+                self.note(DrcrEvent::AdmissionVerdict {
+                    component: name.to_string(),
+                    resolver,
+                    internal: true,
+                    admitted: !rejected,
+                    reason: match verdict {
+                        Decision::Reject(reason) => reason,
+                        _ => String::new(),
+                    },
+                });
+                if rejected {
+                    self.metrics.count("drcr.admission.rejections", 1);
+                    continue;
+                }
+                match self.activate(&name, fw, providers) {
+                    Ok(()) => activated += 1,
+                    Err(err) => self.note(DrcrEvent::ActivationFailed {
+                        component: name.to_string(),
+                        reason: err.to_string(),
+                    }),
+                }
+            }
+        }
+        Some(activated)
     }
 
     /// Performs the activation: channels, RT task, admission, management
@@ -1286,15 +1577,30 @@ impl Drcr {
         // 2. The §3.2 intra-component bridge. Channel names are allocated
         // from a wrap-around counter, skipping names still held by live
         // components so long-running systems never alias two bridges.
+        // Kernel object names cap at 6 ASCII alphanumerics, so the counter
+        // is rendered as 5 base-36 digits — a 60M-name space, far wider
+        // than any realistic live-component count, so the skip loop
+        // terminates on its first probe in practice.
         let (cmd_mbx, reply_mbx) = match self.bridge {
             BridgeMode::Disconnected => (None, None),
             _ => {
+                const BASE36_SPACE: u32 = 36 * 36 * 36 * 36 * 36;
+                fn base36(mut v: u32) -> [u8; 5] {
+                    const DIGITS: &[u8; 36] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+                    let mut out = [b'0'; 5];
+                    for slot in out.iter_mut().rev() {
+                        *slot = DIGITS[(v % 36) as usize];
+                        v /= 36;
+                    }
+                    out
+                }
                 let mut chosen = None;
                 for _ in 0..100_000 {
                     self.next_chan = self.next_chan.wrapping_add(1);
-                    let candidate = self.next_chan % 100_000;
-                    let c = format!("c{candidate:05}");
-                    let r = format!("r{candidate:05}");
+                    let digits = base36(self.next_chan % BASE36_SPACE);
+                    let tail = std::str::from_utf8(&digits).expect("base36 is ASCII");
+                    let c = format!("c{tail}");
+                    let r = format!("r{tail}");
                     if kernel.mailboxes().get(&c).is_none() && kernel.mailboxes().get(&r).is_none()
                     {
                         chosen = Some((c, r));
@@ -1400,17 +1706,22 @@ impl Drcr {
         });
 
         // 6. Book-keeping + transition.
+        let key = self
+            .components
+            .get_key_value(name)
+            .map(|(k, _)| k.clone())
+            .expect("checked above");
         let rec = self.components.get_mut(name).expect("checked above");
         rec.task = Some(task);
         rec.mgmt = mgmt;
         rec.cmd_mbx = cmd_mbx;
         rec.reply_mbx = reply_mbx;
         rec.providers = providers;
-        rec.state = ComponentState::Active;
+        self.task_names.insert(task, key.clone());
         // A newly active provider can only *satisfy* consumers, never break
-        // one, so activation updates the index without dirty-set seeding.
-        self.port_index.set_active(name, true);
-        self.view_dirty = true;
+        // one, so the engine refreshes its memos without seeding the dirty
+        // scope; the cached view takes the flip in place.
+        self.apply_state(&key, ComponentState::Active);
         self.record_transition(
             name,
             from_state,
@@ -1421,7 +1732,6 @@ impl Drcr {
             component: name.to_string(),
         });
         self.metrics.count("drcr.activations", 1);
-        self.update_admission_gauges();
         Ok(())
     }
 
@@ -1485,6 +1795,11 @@ impl Drcr {
         if let Some(svc) = mgmt {
             fw.registry_mut().unregister(svc);
         }
+        let key = self
+            .components
+            .get_key_value(name)
+            .map(|(k, _)| k.clone())
+            .expect("checked above");
         let rec = self.components.get_mut(name).expect("checked above");
         rec.task = None;
         rec.mgmt = None;
@@ -1492,16 +1807,13 @@ impl Drcr {
         rec.reply_mbx = None;
         rec.providers.clear();
         rec.reply_buffer.clear();
-        rec.state = to;
-        self.port_index.set_active(name, false);
-        self.view_dirty = true;
-        // Seed the deactivation dirty-set: only consumers of this
-        // component's channels can have lost their provider.
-        for port in &descriptor.outports {
-            for consumer in self.port_index.consumers_of(port.name.as_str()) {
-                self.wiring_dirty.insert(consumer.clone());
-            }
+        if let Some(task) = task {
+            self.task_names.remove(&task);
         }
+        // The engine seeds this component's consumers into its dirty scope
+        // (a departed provider is the only way a satisfied check breaks)
+        // and drops their memoized wiring results.
+        self.apply_state(&key, to);
         self.record_transition(name, from_state, to, reason);
         self.note(DrcrEvent::Deactivated {
             component: name.to_string(),
@@ -1509,7 +1821,6 @@ impl Drcr {
             reason: reason.to_string(),
         });
         self.metrics.count("drcr.deactivations", 1);
-        self.update_admission_gauges();
         self.dirty = true;
         Ok(())
     }
@@ -1537,18 +1848,16 @@ impl Drcr {
         }
         let task = rec.task.expect("active component has a task");
         self.kernel.borrow_mut().suspend_task(task)?;
-        self.components.get_mut(name).expect("present").state = ComponentState::Suspended;
-        self.port_index.set_active(name, false);
-        self.view_dirty = true;
-        // A suspended provider stops feeding its consumers: seed them into
-        // the dirty set and re-resolve. A component consuming its own
-        // outport seeds itself here, which is required — it no longer
-        // provides its own input.
-        for port in &self.components[name].descriptor.outports {
-            for consumer in self.port_index.consumers_of(port.name.as_str()) {
-                self.wiring_dirty.insert(consumer.clone());
-            }
-        }
+        let key = self
+            .components
+            .get_key_value(name)
+            .map(|(k, _)| k.clone())
+            .expect("present");
+        // A suspended provider stops feeding its consumers: the engine
+        // seeds them into its dirty scope and the next pass re-resolves. A
+        // component consuming its own outport seeds itself here, which is
+        // required — it no longer provides its own input.
+        self.apply_state(&key, ComponentState::Suspended);
         self.record_transition(
             name,
             ComponentState::Active,
@@ -1578,9 +1887,12 @@ impl Drcr {
         }
         let task = rec.task.expect("suspended component keeps its task");
         self.kernel.borrow_mut().resume_task(task)?;
-        self.components.get_mut(name).expect("present").state = ComponentState::Active;
-        self.port_index.set_active(name, true);
-        self.view_dirty = true;
+        let key = self
+            .components
+            .get_key_value(name)
+            .map(|(k, _)| k.clone())
+            .expect("present");
+        self.apply_state(&key, ComponentState::Active);
         self.record_transition(
             name,
             ComponentState::Suspended,
@@ -1604,8 +1916,12 @@ impl Drcr {
         if state.holds_admission() {
             self.deactivate(name, fw, ComponentState::Disabled, "management disable")?;
         } else if state.can_transition(ComponentState::Disabled) {
-            self.components.get_mut(name).expect("present").state = ComponentState::Disabled;
-            self.view_dirty = true;
+            let key = self
+                .components
+                .get_key_value(name)
+                .map(|(k, _)| k.clone())
+                .expect("present");
+            self.apply_state(&key, ComponentState::Disabled);
             self.record_transition(name, state, ComponentState::Disabled, "management disable");
         } else {
             return Err(DrcrError::IllegalTransition {
@@ -1640,8 +1956,12 @@ impl Drcr {
         if state.holds_admission() {
             self.deactivate(name, fw, ComponentState::Disabled, reason)?;
         } else if state.can_transition(ComponentState::Disabled) {
-            self.components.get_mut(name).expect("present").state = ComponentState::Disabled;
-            self.view_dirty = true;
+            let key = self
+                .components
+                .get_key_value(name)
+                .map(|(k, _)| k.clone())
+                .expect("present");
+            self.apply_state(&key, ComponentState::Disabled);
             self.record_transition(name, state, ComponentState::Disabled, reason);
         } else {
             return Err(DrcrError::IllegalTransition {
@@ -1677,11 +1997,15 @@ impl Drcr {
                 to: ComponentState::Unsatisfied,
             });
         }
-        self.components.get_mut(name).expect("present").state = ComponentState::Unsatisfied;
+        let key = self
+            .components
+            .get_key_value(name)
+            .map(|(k, _)| k.clone())
+            .expect("present");
+        self.apply_state(&key, ComponentState::Unsatisfied);
         // Operator re-enable grants a fresh slate: quarantine flag, restart
         // budget and fault window all reset.
         self.supervisor.reset(name);
-        self.view_dirty = true;
         self.record_transition(
             name,
             state,
@@ -1821,7 +2145,10 @@ impl Drcr {
         self.bridge_events.emit(now, event);
     }
 
-    /// Refreshes the per-CPU reserved-utilization gauges from the ledger.
+    /// Refreshes the per-CPU reserved-utilization gauges from the ledger —
+    /// once per resolve round, not per transition: the ledger fold is
+    /// O(components), and every activation/deactivation happens inside,
+    /// or is immediately followed by, a resolve round.
     fn update_admission_gauges(&mut self) {
         for cpu in 0..self.ledger.cpu_count() {
             self.metrics.gauge(

@@ -28,6 +28,7 @@
 //! | [`wiring`] | §2.3/§4.3 | functional constraint solving |
 //! | [`admission`] | §2.2 | per-CPU reserved-budget ledger |
 //! | [`resolve`] | §2.2/§4.3 | pluggable resolving services (utilization, RM, EDF) |
+//! | [`reactive`] | §4.3 | the incremental constraint-node engine + naive oracle |
 //! | [`hybrid`] | §3.1/§3.2 (Fig. 3) | the hybrid RT/non-RT component + async bridge |
 //! | [`manage`] | §2.4 | the component management interface |
 //! | [`drcr`] | §2.2 | the executive: event-driven resolution, cascades |
@@ -75,6 +76,7 @@ pub mod lifecycle;
 pub mod manage;
 pub mod model;
 pub mod obs;
+pub mod reactive;
 pub mod resolve;
 pub mod rta;
 pub mod runtime;
@@ -103,7 +105,11 @@ pub use model::{
     CpuUsage, OperatingMode, PortInterface, PortSpec, PropertyValue, TaskSpec, BASE_MODE,
 };
 pub use obs::{BridgeEvent, DrcrEvent, Histogram, MetricsRegistry, MetricsReport};
-pub use resolve::{Decision, ResolvingService, RESOLVER_SERVICE};
+pub use reactive::{AdmissionPolicy, NaiveResolver, ReactiveResolver};
+pub use resolve::{
+    AdmissionRuling, BatchAdmission, Decision, Resolver, ResolvingService, WiringCheck,
+    RESOLVER_SERVICE,
+};
 pub use rta::{RtaAnalysis, RtaParams, RtaResolver, TaskWcrt};
 pub use runtime::{DrcomActivator, DrtRuntime};
 pub use supervise::{FaultDecision, QuarantineRule, RestartPolicy, SupervisionConfig};

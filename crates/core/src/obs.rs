@@ -21,8 +21,10 @@ pub use rtos::trace::{EventSink, Timestamped, TraceRing, TraceSubscriber};
 
 /// A decision or state change inside the DRCR executive.
 ///
-/// The `Display` rendering matches the pre-typed decision-log strings, so
-/// [`crate::drcr::Drcr::decisions_text`] is a faithful shim.
+/// The `Display` rendering matches the pre-typed decision-log strings
+/// verbatim; render an event with `to_string()` where a human-readable
+/// line is wanted (the deprecated `Drcr::decisions_text` shim does exactly
+/// that over the whole ring).
 #[derive(Debug, Clone, PartialEq)]
 pub enum DrcrEvent {
     /// A resolve pass (to fixpoint) began.

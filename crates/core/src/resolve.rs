@@ -19,8 +19,20 @@
 //! Customized resolvers are discovered under the service interface
 //! [`RESOLVER_SERVICE`], wrapped in [`ResolverHandle`] so the registry can
 //! hand back a concrete type.
+//!
+//! Above the per-candidate policy sits the [`Resolver`] trait: the unified
+//! surface of a whole constraint-resolution *engine* (functional wiring
+//! checks, the deactivation sweep's dirty cursor, internal admission, and
+//! optional batched admission). The executive drives exactly one `Resolver`;
+//! the old split between a `ResolutionStrategy` enum dispatch and a bare
+//! `ResolvingService` collapses into engine constructors
+//! ([`crate::reactive::ReactiveResolver`], [`crate::reactive::NaiveResolver`]).
 
+use crate::descriptor::ComponentDescriptor;
+use crate::lifecycle::ComponentState;
+use crate::rta::RtaAnalysis;
 use crate::view::{ComponentInfo, SystemView};
+use crate::wiring::WiringResult;
 use std::fmt;
 use std::rc::Rc;
 
@@ -63,6 +75,146 @@ pub trait ResolvingService {
     /// implementations should reason about the hypothetical system where
     /// the candidate's claim is added to its CPU.
     fn admit(&self, candidate: &ComponentInfo, view: &SystemView) -> Decision;
+
+    /// Whether verdicts may be memoized between resolve sweeps.
+    ///
+    /// A cacheable policy's verdict on a candidate depends only on the
+    /// candidate's contract and the *admission-holding* component set of the
+    /// candidate's CPU — so a memoized verdict stays valid until a component
+    /// on that CPU activates or deactivates. All built-in policies qualify;
+    /// the conservative default is `false` (policies that inspect arbitrary
+    /// view details are re-evaluated every time).
+    fn cacheable(&self) -> bool {
+        false
+    }
+}
+
+/// Result of one functional (wiring) check through a [`Resolver`], with the
+/// work provenance the executive feeds into its `drcr.wiring.*` counters.
+#[derive(Debug, Clone)]
+pub struct WiringCheck {
+    /// Chosen `(inport, provider)` pairs, or the unsatisfied inports.
+    pub result: WiringResult,
+    /// False when the result was served from a memoized node.
+    pub evaluated: bool,
+    /// True when the engine rebuilt a full wiring graph for this check
+    /// (the naive reference only).
+    pub graph_built: bool,
+}
+
+/// Result of one internal admission ruling through a [`Resolver`].
+///
+/// The executive re-emits events from the returned values (verdict, and the
+/// analysis evidence when present), so a memo hit replays the exact event
+/// bytes of the original evaluation.
+#[derive(Debug, Clone)]
+pub struct AdmissionRuling {
+    /// Name of the ruling policy/analysis, for the verdict event.
+    pub resolver: String,
+    /// The verdict.
+    pub decision: Decision,
+    /// Response-time evidence, when the engine's admission side is the RTA
+    /// analyst ([`crate::reactive::ReactiveResolver::response_time`]).
+    pub analysis: Option<RtaAnalysis>,
+    /// False when the ruling was served from a memoized node.
+    pub evaluated: bool,
+}
+
+/// Result of admitting a whole arrival batch in one response-time pass per
+/// CPU ([`Resolver::admit_batch`]). Returned only when every candidate is
+/// admitted; any other outcome falls back to per-candidate rulings.
+#[derive(Debug, Clone)]
+pub struct BatchAdmission {
+    /// Name of the ruling analysis.
+    pub resolver: String,
+    /// One full-set analysis per touched CPU, ascending CPU order. Each is
+    /// the fixed-point analysis of the hypothetical view with *all* of that
+    /// CPU's candidates active — byte-identical to the last analysis the
+    /// sequential path would have produced for that CPU.
+    pub analyses: Vec<RtaAnalysis>,
+}
+
+/// A constraint-resolution engine: the single pluggable surface the DRCR
+/// executive drives.
+///
+/// One engine owns all four constraint-node kinds of a component — wiring,
+/// admission claim, CPU placement and mode — behind change notifications
+/// (`on_*`), a dirty-scope sweep cursor ([`Resolver::sweep_next`]), and
+/// memoized checks. Implementations must preserve the executive's event
+/// byte-compatibility: for identical notification sequences,
+/// [`Resolver::check_wiring`] / [`Resolver::admit`] must return value-equal
+/// results across engines (the lockstep proptests enforce this against
+/// [`crate::reactive::NaiveResolver`], the differential oracle).
+pub trait Resolver {
+    /// A short engine name for logs and reports.
+    fn name(&self) -> &str;
+
+    /// A component registered (its provider entries start inactive).
+    fn on_registered(&mut self, name: &Rc<str>, descriptor: &ComponentDescriptor);
+
+    /// A component was removed.
+    fn on_removed(&mut self, name: &str, descriptor: &ComponentDescriptor);
+
+    /// A component's lifecycle state changed. The engine derives both
+    /// wiring-side churn (`provides_outputs` flips seed the dirty scope)
+    /// and admission-side churn (`holds_admission` flips invalidate the
+    /// CPU's memoized verdicts) from the transition.
+    fn on_state_changed(
+        &mut self,
+        name: &Rc<str>,
+        cpu: u32,
+        from: ComponentState,
+        to: ComponentState,
+    );
+
+    /// A component's contract was re-written in place (mode switch; ports
+    /// are preserved, frequency/claim/priority may change). `descriptor` is
+    /// the rewritten contract.
+    fn on_contract_changed(&mut self, name: &str, descriptor: &ComponentDescriptor);
+
+    /// The next component the deactivation sweep should re-check, strictly
+    /// after `cursor` in name order; `None` ends the sweep. The engine
+    /// decides scope: the reactive engine serves its dirty set (consuming
+    /// entries as they are returned), the naive reference serves every
+    /// known component.
+    fn sweep_next(&mut self, cursor: Option<&str>) -> Option<Rc<str>>;
+
+    /// Marks every known component dirty (used when an engine is swapped in
+    /// mid-run and must conservatively re-check the world).
+    fn seed_all(&mut self);
+
+    /// Checks `candidate`'s functional constraints. Results are memoized
+    /// per component (strict checks only: a non-empty `assume_active`
+    /// bypasses the memo entirely).
+    fn check_wiring(
+        &mut self,
+        candidate: &ComponentDescriptor,
+        assume_active: &[Rc<str>],
+    ) -> WiringCheck;
+
+    /// The engine's internal admission ruling on one candidate. `memoize`
+    /// is false for group-activation probes, which run against hypothetical
+    /// views and must never populate the memo.
+    fn admit(
+        &mut self,
+        candidate: &ComponentInfo,
+        view: &SystemView,
+        memoize: bool,
+    ) -> AdmissionRuling;
+
+    /// Admits a whole arrival batch in one response-time fixed-point pass
+    /// per CPU, against the hypothetical view where all candidates are
+    /// active. Returns `None` whenever single-pass admission is not
+    /// provably equivalent to sequential admission (mixed analysis modes,
+    /// any unschedulable CPU, or an engine without batching support) — the
+    /// executive then falls back to the exact per-candidate path.
+    fn admit_batch(
+        &mut self,
+        _candidates: &[ComponentInfo],
+        _view: &SystemView,
+    ) -> Option<BatchAdmission> {
+        None
+    }
 }
 
 /// Newtype wrapper so `Rc<dyn ResolvingService>` can live in the service
@@ -139,6 +291,10 @@ impl ResolvingService for UtilizationResolver {
             ))
         }
     }
+
+    fn cacheable(&self) -> bool {
+        true
+    }
 }
 
 /// Liu–Layland rate-monotonic schedulability bound for periodic components.
@@ -189,6 +345,10 @@ impl ResolvingService for RmBoundResolver {
             ))
         }
     }
+
+    fn cacheable(&self) -> bool {
+        true
+    }
 }
 
 /// EDF schedulability: total utilization per CPU at most 1.
@@ -207,6 +367,10 @@ impl ResolvingService for EdfResolver {
         } else {
             Decision::Reject(format!("EDF: utilization {u:.3} > 1"))
         }
+    }
+
+    fn cacheable(&self) -> bool {
+        true
     }
 }
 
@@ -250,6 +414,10 @@ impl ResolvingService for CompositeResolver {
         }
         Decision::Admit
     }
+
+    fn cacheable(&self) -> bool {
+        self.inner.iter().all(|r| r.cacheable())
+    }
 }
 
 /// Admits everything (the "no admission control" ablation).
@@ -264,6 +432,10 @@ impl ResolvingService for AlwaysAdmit {
     fn admit(&self, _candidate: &ComponentInfo, _view: &SystemView) -> Decision {
         Decision::Admit
     }
+
+    fn cacheable(&self) -> bool {
+        true
+    }
 }
 
 /// Rejects everything, with a fixed reason (scenario plumbing).
@@ -277,6 +449,10 @@ impl ResolvingService for AlwaysReject {
 
     fn admit(&self, _candidate: &ComponentInfo, _view: &SystemView) -> Decision {
         Decision::Reject(self.0.clone())
+    }
+
+    fn cacheable(&self) -> bool {
+        true
     }
 }
 

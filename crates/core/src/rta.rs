@@ -37,8 +37,10 @@
 //! resolver falls back to the necessary condition (utilization ≤ 1) whenever
 //! the CPU hosts any aperiodic claim.
 
+use crate::lifecycle::ComponentState;
 use crate::resolve::{Decision, ResolvingService};
 use crate::view::{ComponentInfo, SystemView};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 /// Slack used for float comparisons, matching the built-in resolvers.
@@ -275,6 +277,91 @@ impl RtaResolver {
             wcrts,
             reason,
         }
+    }
+
+    /// Admits a whole arrival batch in **one** fixed-point pass per CPU.
+    ///
+    /// Sequential admission of `K` candidates runs `K` analyses; this runs
+    /// one per touched CPU, against the hypothetical view where all of that
+    /// CPU's candidates except the last are already active, and analyses
+    /// the last candidate — byte-identical to the `K`-th analysis the
+    /// sequential path would produce. Returns `Some` only when that single
+    /// pass provably implies every sequential prefix would also have been
+    /// admitted:
+    ///
+    /// * **Exact mode** (all candidates on the CPU periodic, no admitted
+    ///   aperiodic claim): adding a task never shortens another's response
+    ///   time — interference terms only grow — so the full set being
+    ///   schedulable implies every prefix is.
+    /// * **Fallback mode** (an admitted aperiodic claim on the CPU, or all
+    ///   candidates aperiodic): every sequential step uses the utilization
+    ///   fallback, and claims are positive, so the full-set utilization
+    ///   bounds every prefix.
+    ///
+    /// Mixed periodic/aperiodic candidates on a CPU with no admitted
+    /// aperiodic claim switch analysis mode mid-sequence (order-dependent),
+    /// and an unschedulable or invalid-claim batch may still admit a
+    /// sequential prefix — both return `None`, and the caller falls back to
+    /// per-candidate admission.
+    pub fn analyze_batch(
+        &self,
+        candidates: &[ComponentInfo],
+        view: &SystemView,
+    ) -> Option<Vec<RtaAnalysis>> {
+        if candidates.is_empty() {
+            return None;
+        }
+        if candidates
+            .iter()
+            .any(|c| !c.cpu_usage.is_finite() || c.cpu_usage <= 0.0 || c.cpu_usage > 1.0)
+        {
+            return None;
+        }
+        // Group per CPU, preserving arrival (sweep) order within each group.
+        let mut groups: BTreeMap<u32, Vec<&ComponentInfo>> = BTreeMap::new();
+        for c in candidates {
+            groups.entry(c.cpu).or_default().push(c);
+        }
+        for (&cpu, group) in &groups {
+            let admitted_aperiodic = view.admitted_sorted(cpu).any(|c| !c.is_periodic());
+            let all_periodic = group.iter().all(|c| c.is_periodic());
+            let all_aperiodic = group.iter().all(|c| !c.is_periodic());
+            if !(admitted_aperiodic || all_periodic || all_aperiodic) {
+                return None;
+            }
+        }
+        // One hypothetical view serves every CPU (cross-CPU components never
+        // interact in the analysis): flip all candidates active except each
+        // CPU's last, which stays the analysed candidate.
+        let last_of: HashMap<u32, &str> = groups
+            .iter()
+            .map(|(cpu, group)| (*cpu, &*group[group.len() - 1].name))
+            .collect();
+        let flip: HashSet<&str> = candidates
+            .iter()
+            .filter(|c| last_of[&c.cpu] != &*c.name)
+            .map(|c| &*c.name)
+            .collect();
+        let mut hyp = view.clone();
+        let indices: Vec<usize> = hyp
+            .components
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| flip.contains(&*c.name))
+            .map(|(i, _)| i)
+            .collect();
+        for idx in indices {
+            hyp.set_state_at(idx, ComponentState::Active);
+        }
+        let mut analyses = Vec::with_capacity(groups.len());
+        for group in groups.values() {
+            let analysis = self.analyze(group[group.len() - 1], &hyp);
+            if !analysis.schedulable {
+                return None;
+            }
+            analyses.push(analysis);
+        }
+        Some(analyses)
     }
 
     fn model_of(&self, c: &ComponentInfo) -> TaskModel {

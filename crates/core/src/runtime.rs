@@ -227,6 +227,40 @@ impl DrtRuntime {
         Ok(bundle)
     }
 
+    /// Installs and starts a wave of component bundles, then resolves
+    /// **once**: all arrivals land in the same resolve round. Under
+    /// [`DrtRuntime::set_batched_admission`] the whole wave is admitted in
+    /// a single batched analysis pass (one response-time fixed-point per
+    /// CPU) instead of one pass per component.
+    ///
+    /// # Errors
+    ///
+    /// Propagates framework install/start failures. Bundles installed
+    /// before a failure stay installed; the next resolve picks them up.
+    pub fn install_components<S: AsRef<str>>(
+        &mut self,
+        components: impl IntoIterator<Item = (S, ComponentProvider)>,
+    ) -> Result<Vec<BundleId>, FrameworkError> {
+        let mut bundles = Vec::new();
+        for (name, provider) in components {
+            let manifest = BundleManifest::new(name.as_ref(), Version::new(1, 0, 0));
+            let bundle = self
+                .framework
+                .install(manifest, Box::new(DrcomActivator::new(provider)))?;
+            self.framework.start(bundle)?;
+            bundles.push(bundle);
+        }
+        self.process();
+        Ok(bundles)
+    }
+
+    /// Enables or disables batched admission of arrival waves; see
+    /// [`crate::drcr::Drcr::set_batched_admission`] for semantics and the
+    /// event-attribution differences of the batched path.
+    pub fn set_batched_admission(&mut self, on: bool) {
+        self.drcr.borrow_mut().set_batched_admission(on);
+    }
+
     /// Stops a component bundle (the paper's "component Calculation is
     /// stopped" scenario step), then lets the DRCR cascade.
     ///

@@ -76,10 +76,14 @@ struct CpuTotals {
 ///
 /// Per-CPU aggregates ([`SystemView::utilization`],
 /// [`SystemView::periodic_count`]) are computed lazily on first query and
-/// cached for the lifetime of the snapshot, so admission checks that probe
-/// the same CPU repeatedly pay the component walk once. The cache follows
-/// the snapshot-value semantics: mutate `components` only before the first
-/// aggregate query (the DRCR never mutates a published view; it rebuilds).
+/// cached until the next invalidating mutation, so admission checks that
+/// probe the same CPU repeatedly pay the component walk once. The DRCR
+/// maintains its view incrementally: lifecycle flips go through
+/// [`SystemView::set_state_at`], which drops the aggregate caches only when
+/// the admission-holding status actually changes; the recompute re-runs the
+/// same list-order scan, so cached totals stay bit-identical to a fresh
+/// build. Structural changes (component registration/removal) still rebuild
+/// the snapshot wholesale.
 #[derive(Debug, Clone, Default)]
 pub struct SystemView {
     /// Number of CPUs on the kernel.
@@ -111,6 +115,37 @@ impl SystemView {
     /// Looks up a component by name.
     pub fn component(&self, name: &str) -> Option<&ComponentInfo> {
         self.components.iter().find(|c| &*c.name == name)
+    }
+
+    /// In-place lifecycle update for incremental view maintenance.
+    ///
+    /// Drops the per-CPU aggregate caches only when the admission-holding
+    /// status flips (activate/deactivate); suspend↔resume and installed-side
+    /// churn keep them. The next aggregate query re-runs the list-order
+    /// scan, so the recomputed totals are bit-identical to a fresh build.
+    pub(crate) fn set_state_at(&mut self, idx: usize, state: ComponentState) {
+        let old = self.components[idx].state;
+        if old == state {
+            return;
+        }
+        self.components[idx].state = state;
+        if old.holds_admission() != state.holds_admission() {
+            self.totals.take();
+            self.admitted_index.take();
+        }
+    }
+
+    /// Replaces one component's whole info record (contract re-write on a
+    /// mode switch). Drops the aggregate caches when either the old or the
+    /// new record holds admission.
+    pub(crate) fn replace_at(&mut self, idx: usize, info: ComponentInfo) {
+        let invalidate =
+            self.components[idx].state.holds_admission() || info.state.holds_admission();
+        self.components[idx] = info;
+        if invalidate {
+            self.totals.take();
+            self.admitted_index.take();
+        }
     }
 
     /// Components currently holding an admission reservation on `cpu`
@@ -311,6 +346,41 @@ mod tests {
         let names: Vec<&str> = view.admitted_sorted(1).map(|c| &*c.name).collect();
         assert_eq!(names, vec!["other-cpu"]);
         assert_eq!(view.admitted_sorted(7).count(), 0);
+    }
+
+    #[test]
+    fn in_place_flip_keeps_totals_bit_identical_to_fresh_build() {
+        let mut view = SystemView::new(
+            2,
+            vec![
+                info("a", ComponentState::Active, 0, 0.125),
+                info("b", ComponentState::Unsatisfied, 0, 0.25),
+                info("c", ComponentState::Active, 1, 0.0625),
+            ],
+        );
+        // Prime the caches, then flip `b` active in place.
+        assert!((view.utilization(0) - 0.125).abs() < 1e-9);
+        assert_eq!(view.admitted_sorted(0).count(), 1);
+        view.set_state_at(1, ComponentState::Active);
+        let fresh = SystemView::new(2, view.components.clone());
+        for cpu in 0..2 {
+            assert_eq!(
+                view.utilization(cpu).to_bits(),
+                fresh.utilization(cpu).to_bits()
+            );
+            assert_eq!(view.periodic_count(cpu), fresh.periodic_count(cpu));
+            let a: Vec<&str> = view.admitted_sorted(cpu).map(|c| &*c.name).collect();
+            let b: Vec<&str> = fresh.admitted_sorted(cpu).map(|c| &*c.name).collect();
+            assert_eq!(a, b);
+        }
+        // Suspend keeps admission: the caches survive untouched and stay
+        // correct (Suspended still holds admission).
+        view.set_state_at(1, ComponentState::Suspended);
+        assert_eq!(
+            view.utilization(0).to_bits(),
+            fresh.utilization(0).to_bits()
+        );
+        assert_eq!(view.admitted_sorted(0).count(), 2);
     }
 
     #[test]

@@ -65,6 +65,10 @@ impl fmt::Display for MissingPort {
     }
 }
 
+/// A functional-constraint verdict: the chosen `(inport, provider)`
+/// bindings on success, the unsatisfied ports with reasons on failure.
+pub type WiringResult = Result<Vec<(String, String)>, Vec<MissingPort>>;
+
 /// The wiring solver over a set of registered components.
 ///
 /// Built fresh from the DRCR's records on each resolution pass; holds
@@ -95,7 +99,7 @@ impl<'a> WiringGraph<'a> {
         &self,
         candidate: &ComponentDescriptor,
         assume_active: &[Rc<str>],
-    ) -> Result<Vec<(String, String)>, Vec<MissingPort>> {
+    ) -> WiringResult {
         let mut providers = Vec::new();
         let mut missing = Vec::new();
         for inport in &candidate.inports {
@@ -226,11 +230,15 @@ struct ProviderEntry {
 ///   provider scan order of [`WiringGraph::check_functional`], which walks
 ///   all components in sorted-name order and takes the first outport whose
 ///   name matches the inport.
-/// * `consumers`: inport name → components declaring that inport. Used to
-///   seed the deactivation dirty-set: when a provider stops providing, only
-///   the consumers of its channels can newly break. This is a superset of
-///   the truly-affected set (shape-incompatible consumers are included);
-///   re-checking a still-satisfied consumer is harmless and emits nothing.
+/// * `consumers`: inport name → components declaring that inport. This is
+///   the dirty-*scope* relation of the reactive engine
+///   ([`crate::reactive::ReactiveResolver`]): any provider-side churn on a
+///   channel — a provider stopping (seeds the deactivation sweep), but also
+///   a provider starting, registering or unregistering (invalidates the
+///   consumers' memoized wiring results) — touches exactly the consumers of
+///   that channel. The set is a superset of the truly-affected components
+///   (shape-incompatible consumers are included); re-checking a
+///   still-satisfied consumer is harmless and emits nothing.
 /// * `outports_of`: component name → its outport names, so state flips are
 ///   O(outports · log) without the caller passing the descriptor back in.
 ///
@@ -329,6 +337,17 @@ impl PortIndex {
         self.consumers.get(channel).into_iter().flatten()
     }
 
+    /// The outport (channel) names a component was indexed with, so callers
+    /// can walk provider-side churn to the affected consumers without
+    /// holding the descriptor.
+    pub fn outports_of(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.outports_of
+            .get(name)
+            .into_iter()
+            .flatten()
+            .map(String::as_str)
+    }
+
     /// Checks the functional constraints of `candidate` against the index.
     ///
     /// Exactly equivalent to [`WiringGraph::check_functional`] over the same
@@ -343,7 +362,7 @@ impl PortIndex {
         &self,
         candidate: &ComponentDescriptor,
         assume_active: &[Rc<str>],
-    ) -> Result<Vec<(String, String)>, Vec<MissingPort>> {
+    ) -> WiringResult {
         let mut providers = Vec::new();
         let mut missing = Vec::new();
         for inport in &candidate.inports {

@@ -10,7 +10,7 @@ use crate::ldap::{Filter, Properties};
 use crate::manifest::BundleManifest;
 use crate::registry::{ServiceId, ServiceRef, ServiceRegistry};
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::rc::Rc;
 
@@ -134,6 +134,12 @@ struct Bundle {
 #[derive(Default)]
 pub struct Framework {
     bundles: BTreeMap<u64, Bundle>,
+    /// Symbolic name → live (non-uninstalled) bundle, for O(1) duplicate
+    /// checks and name lookups instead of full-table scans.
+    names: HashMap<String, u64>,
+    /// Bundles currently in [`BundleState::Installed`], so `resolve` can
+    /// gather its fixpoint candidates without scanning every bundle.
+    installed: BTreeSet<u64>,
     next_bundle: u64,
     registry: ServiceRegistry,
     wires: Vec<Wire>,
@@ -166,15 +172,14 @@ impl Framework {
         manifest: BundleManifest,
         activator: Box<dyn BundleActivator>,
     ) -> Result<BundleId, FrameworkError> {
-        if self.bundles.values().any(|b| {
-            b.state != BundleState::Uninstalled
-                && b.manifest.symbolic_name == manifest.symbolic_name
-        }) {
+        if self.names.contains_key(&manifest.symbolic_name) {
             return Err(FrameworkError::DuplicateName(manifest.symbolic_name));
         }
         self.next_bundle += 1;
         let id = BundleId(self.next_bundle);
         let symbolic_name = manifest.symbolic_name.clone();
+        self.names.insert(symbolic_name.clone(), id.raw());
+        self.installed.insert(id.raw());
         self.bundles.insert(
             id.raw(),
             Bundle {
@@ -212,40 +217,45 @@ impl Framework {
         // Greatest fixpoint: optimistically assume every installed bundle
         // resolves (so mutually dependent bundles can wire to each other),
         // then strike out any whose mandatory imports are unsatisfiable and
-        // repeat until stable.
-        let already: Vec<u64> = self
-            .bundles
+        // repeat until stable. When no candidate imports anything (the
+        // overwhelmingly common case) the fixpoint is trivial, so the
+        // resolved-set vectors it consults are never materialized and the
+        // whole call is O(installed) instead of O(bundles).
+        let mut newly: Vec<u64> = self.installed.iter().copied().collect();
+        let any_imports = newly
             .iter()
-            .filter(|(_, b)| {
-                matches!(
-                    b.state,
-                    BundleState::Resolved | BundleState::Active | BundleState::Starting
-                )
-            })
-            .map(|(i, _)| *i)
-            .collect();
-        let mut newly: Vec<u64> = self
-            .bundles
-            .iter()
-            .filter(|(_, b)| b.state == BundleState::Installed)
-            .map(|(i, _)| *i)
-            .collect();
-        loop {
-            let resolved: Vec<u64> = already.iter().chain(newly.iter()).copied().collect();
-            let before = newly.len();
-            newly.retain(|&cand| {
-                self.bundles[&cand].manifest.imports.iter().all(|imp| {
-                    imp.optional
-                        || resolved
-                            .iter()
-                            .any(|&e| self.bundles[&e].manifest.satisfies(imp))
+            .any(|b| !self.bundles[b].manifest.imports.is_empty());
+        let resolved: Vec<u64> = if any_imports {
+            let already: Vec<u64> = self
+                .bundles
+                .iter()
+                .filter(|(_, b)| {
+                    matches!(
+                        b.state,
+                        BundleState::Resolved | BundleState::Active | BundleState::Starting
+                    )
                 })
-            });
-            if newly.len() == before {
-                break;
+                .map(|(i, _)| *i)
+                .collect();
+            loop {
+                let resolved: Vec<u64> = already.iter().chain(newly.iter()).copied().collect();
+                let before = newly.len();
+                newly.retain(|&cand| {
+                    self.bundles[&cand].manifest.imports.iter().all(|imp| {
+                        imp.optional
+                            || resolved
+                                .iter()
+                                .any(|&e| self.bundles[&e].manifest.satisfies(imp))
+                    })
+                });
+                if newly.len() == before {
+                    break;
+                }
             }
-        }
-        let resolved: Vec<u64> = already.iter().chain(newly.iter()).copied().collect();
+            already.iter().chain(newly.iter()).copied().collect()
+        } else {
+            Vec::new()
+        };
         if !newly.contains(&id.raw()) {
             let missing: Vec<String> = self.bundles[&id.raw()]
                 .manifest
@@ -281,6 +291,7 @@ impl Framework {
                     });
                 }
             }
+            self.installed.remove(&b);
             let bundle = self.bundles.get_mut(&b).expect("resolved bundle exists");
             bundle.state = BundleState::Resolved;
             let name = bundle.manifest.symbolic_name.clone();
@@ -404,9 +415,16 @@ impl Framework {
             self.stop(id)?;
         }
         let bundle = self.bundles.get_mut(&id.raw()).expect("bundle exists");
+        let old_name = bundle.manifest.symbolic_name.clone();
         bundle.manifest = manifest;
+        let new_name = bundle.manifest.symbolic_name.clone();
         bundle.activator = Some(activator);
         bundle.state = BundleState::Installed;
+        if self.names.get(&old_name) == Some(&id.raw()) {
+            self.names.remove(&old_name);
+        }
+        self.names.insert(new_name, id.raw());
+        self.installed.insert(id.raw());
         self.wires.retain(|w| w.importer != id);
         let name = self.symbolic_name(id).expect("exists").to_string();
         self.emit_bundle(id, &name, BundleEventKind::Updated);
@@ -433,6 +451,9 @@ impl Framework {
         self.set_state(id, BundleState::Uninstalled);
         self.wires.retain(|w| w.importer != id && w.exporter != id);
         let name = self.symbolic_name(id).expect("exists").to_string();
+        if self.names.get(&name) == Some(&id.raw()) {
+            self.names.remove(&name);
+        }
         self.emit_bundle(id, &name, BundleEventKind::Uninstalled);
         Ok(())
     }
@@ -451,12 +472,16 @@ impl Framework {
 
     /// Finds an installed bundle by symbolic name.
     pub fn bundle_by_name(&self, symbolic_name: &str) -> Option<BundleId> {
+        self.names.get(symbolic_name).map(|id| BundleId(*id))
+    }
+
+    /// Resolves a raw id (e.g. from a service's `service.bundle` property)
+    /// to a live, non-uninstalled bundle.
+    pub fn bundle_by_id(&self, raw: u64) -> Option<BundleId> {
         self.bundles
-            .iter()
-            .find(|(_, b)| {
-                b.state != BundleState::Uninstalled && b.manifest.symbolic_name == symbolic_name
-            })
-            .map(|(id, _)| BundleId(*id))
+            .get(&raw)
+            .filter(|b| b.state != BundleState::Uninstalled)
+            .map(|_| BundleId(raw))
     }
 
     /// Ids of all non-uninstalled bundles, in install order.
@@ -520,6 +545,11 @@ impl Framework {
     fn set_state(&mut self, id: BundleId, state: BundleState) {
         if let Some(b) = self.bundles.get_mut(&id.raw()) {
             b.state = state;
+            if state == BundleState::Installed {
+                self.installed.insert(id.raw());
+            } else {
+                self.installed.remove(&id.raw());
+            }
         }
     }
 }

@@ -13,7 +13,7 @@
 use crate::event::{ServiceEvent, ServiceEventKind};
 use crate::ldap::{Filter, PropValue, Properties};
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 /// The property key holding the interface names of a registration.
@@ -91,6 +91,9 @@ struct Entry {
 pub struct ServiceRegistry {
     next_id: u64,
     entries: BTreeMap<u64, Entry>,
+    // Ascending service ids per interface name, so lookups touch only the
+    // registrations under the queried interface instead of the whole table.
+    by_interface: HashMap<String, Vec<u64>>,
     events: Vec<ServiceEvent>,
 }
 
@@ -140,6 +143,13 @@ impl ServiceRegistry {
             properties: properties.clone(),
             kind: ServiceEventKind::Registered,
         });
+        for name in &names {
+            // `next_id` is monotonic, so a push keeps each list ascending.
+            self.by_interface
+                .entry(name.clone())
+                .or_default()
+                .push(id.raw());
+        }
         self.entries.insert(
             id.raw(),
             Entry {
@@ -176,6 +186,16 @@ impl ServiceRegistry {
     pub fn unregister(&mut self, id: ServiceId) -> bool {
         match self.entries.remove(&id.raw()) {
             Some(entry) => {
+                for name in &entry.interfaces {
+                    if let Some(ids) = self.by_interface.get_mut(name) {
+                        if let Ok(pos) = ids.binary_search(&id.raw()) {
+                            ids.remove(pos);
+                        }
+                        if ids.is_empty() {
+                            self.by_interface.remove(name);
+                        }
+                    }
+                }
                 self.events.push(ServiceEvent {
                     service: id,
                     interfaces: entry.interfaces,
@@ -241,13 +261,16 @@ impl ServiceRegistry {
     /// Finds services registered under `interface`, optionally narrowed by
     /// an LDAP filter, ordered by descending ranking then ascending id.
     pub fn find(&self, interface: &str, filter: Option<&Filter>) -> Vec<ServiceRef> {
-        let mut found: Vec<ServiceRef> = self
-            .entries
+        let ids = match self.by_interface.get(interface) {
+            Some(ids) => ids.as_slice(),
+            None => return Vec::new(),
+        };
+        let mut found: Vec<ServiceRef> = ids
             .iter()
-            .filter(|(_, e)| e.interfaces.iter().any(|i| i == interface))
+            .map(|id| (*id, self.entries.get(id).expect("indexed id is live")))
             .filter(|(_, e)| filter.is_none_or(|f| f.matches(&e.properties)))
             .map(|(id, e)| ServiceRef {
-                id: ServiceId(*id),
+                id: ServiceId(id),
                 interfaces: e.interfaces.clone(),
                 properties: e.properties.clone(),
             })

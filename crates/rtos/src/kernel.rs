@@ -32,7 +32,7 @@ use crate::task::{
 use crate::time::{LatencyNs, SimDuration, SimTime};
 use crate::trace::{EventSink, KernelEvent, TraceRing, TraceSubscriber};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 
 /// Static configuration of a [`Kernel`].
 #[derive(Debug, Clone)]
@@ -237,6 +237,9 @@ pub struct Kernel {
     /// indexed by mailbox name (bind/unbind are O(log + bindings-per-box)
     /// instead of a linear scan of every binding).
     wakeups: BTreeMap<ObjName, Vec<TaskId>>,
+    /// Tasks currently parked in [`TaskState::Faulted`], so supervision
+    /// layers can poll for faults without scanning every task.
+    faulted: BTreeSet<TaskId>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -270,6 +273,7 @@ impl Kernel {
             fifos: FifoRegistry::new(),
             counters: SchedCounters::default(),
             wakeups: BTreeMap::new(),
+            faulted: BTreeSet::new(),
         }
     }
 
@@ -575,6 +579,7 @@ impl Kernel {
         task.run_gen += 1; // cancels any in-flight Finish/Timeslice
         task.body = None;
         self.names.remove(&name);
+        self.faulted.remove(&id);
         self.drop_wakeup_bindings(id);
         self.remove_from_ready(id);
         if self.cpus[cpu as usize].running == Some(id) {
@@ -728,6 +733,14 @@ impl Kernel {
     /// Hook panics the kernel contained for this task.
     pub fn task_faults(&self, id: TaskId) -> Option<u64> {
         self.tasks.get(&id).map(|t| t.faults)
+    }
+
+    /// Tasks currently parked in [`TaskState::Faulted`], ascending id.
+    ///
+    /// A task leaves the set only when deleted; supervision layers poll
+    /// this instead of scanning every task for its state.
+    pub fn faulted_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.faulted.iter().copied()
     }
 
     /// Rendered payload of the task's most recent contained panic, if any.
@@ -1277,6 +1290,7 @@ impl Kernel {
                     task.fault_cause = Some(cause.clone());
                     if hook != Hook::Stop {
                         task.state = TaskState::Faulted;
+                        self.faulted.insert(id);
                     }
                 }
                 self.counters.faults += 1;

@@ -205,8 +205,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("   {}", states(&rt));
 
     println!("\nDRCR decision log:");
-    for d in rt.drcr().decisions_text() {
-        println!("   {d}");
+    for e in rt.drcr().events().iter() {
+        println!("   {}", e.event);
     }
     Ok(())
 }

@@ -82,8 +82,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     report(&rt, "heavy left; after adaptation");
 
     println!("\nDRCR decision log:");
-    for d in rt.drcr().decisions_text() {
-        println!("  {d}");
+    for e in rt.drcr().events().iter() {
+        println!("  {}", e.event);
     }
     Ok(())
 }

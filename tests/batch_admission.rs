@@ -1,0 +1,242 @@
+//! Batch-vs-sequential admission equivalence (`Drcr::set_batched_admission`).
+//!
+//! When K simultaneous arrivals are admitted in one response-time-analysis
+//! pass per CPU, the outcome must be indistinguishable from K individual
+//! passes: the same components end up active, the ledger carries the same
+//! reservations, and the analysis evidence for the final task set is the
+//! same worst-case response times the last sequential pass would have
+//! produced. When the batch cannot be admitted whole, the executive falls
+//! back to the sequential path and the event streams are byte-identical.
+
+use std::collections::BTreeMap;
+
+use drcom::drcr::ResolutionStrategy;
+use drcom::lifecycle::ComponentState;
+use drcom::obs::MetricsReport;
+use drt::prelude::*;
+use rtos::rng::SimRng;
+
+const CPUS: u32 = 3;
+
+/// `(name, freq_hz, cpu, priority, cpu_usage)`.
+type Spec = (String, u32, u32, u8, f64);
+
+fn pinned(spec: &Spec) -> ComponentProvider {
+    let (name, freq, cpu, prio, usage) = spec;
+    let d = ComponentDescriptor::builder(name)
+        .periodic(*freq, *cpu, *prio)
+        .cpu_usage(*usage)
+        .build()
+        .unwrap();
+    ComponentProvider::new(d, || Box::new(FnLogic(|_io: &mut RtIo<'_, '_>| {})))
+}
+
+fn counter(report: &MetricsReport, name: &str) -> u64 {
+    report
+        .counters()
+        .iter()
+        .find(|(k, _)| k == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+/// One CPU's final `AdmissionAnalysis` evidence: `(schedulable, wcrts)`,
+/// each WCRT row `(task, wcrt_ns, deadline_ns)`.
+type CpuAnalysis = (bool, Vec<(String, u64, u64)>);
+
+struct Outcome {
+    /// Names that ended the install wave `Active`, in fleet order.
+    active: Vec<String>,
+    /// Per-CPU ledger utilization, bit-exact.
+    utilization_bits: Vec<u64>,
+    /// The last `AdmissionAnalysis` evidence emitted per CPU — the
+    /// component that carried the event is deliberately excluded, since
+    /// the batched pass attributes each CPU's analysis to the final
+    /// candidate placed there.
+    final_analysis: BTreeMap<u32, CpuAnalysis>,
+    rejections: usize,
+    batches: u64,
+    rta_passes: u64,
+    events: Vec<(u64, String)>,
+}
+
+/// Installs the whole fleet in one resolve round (one batch window) and
+/// snapshots everything the equivalence laws compare.
+fn run(fleet: &[Spec], seed: u64, batched: bool) -> Outcome {
+    let mut rt = DrtRuntime::new(
+        KernelConfig::new(seed)
+            .with_cpus(CPUS)
+            .with_timer(TimerJitterModel::ideal()),
+    );
+    rt.set_resolution_strategy(ResolutionStrategy::ResponseTime);
+    rt.set_batched_admission(batched);
+    rt.install_components(
+        fleet
+            .iter()
+            .map(|spec| (format!("fleet.{}", spec.0), pinned(spec))),
+    )
+    .unwrap();
+
+    let active = fleet
+        .iter()
+        .filter(|spec| rt.component_state(&spec.0) == Some(ComponentState::Active))
+        .map(|spec| spec.0.clone())
+        .collect();
+    let drcr = rt.drcr();
+    let utilization_bits = (0..CPUS)
+        .map(|cpu| drcr.ledger().utilization(cpu).to_bits())
+        .collect();
+    let mut final_analysis = BTreeMap::new();
+    let mut rejections = 0usize;
+    let mut events = Vec::new();
+    for e in drcr.events().iter() {
+        match &e.event {
+            DrcrEvent::AdmissionAnalysis {
+                cpu,
+                schedulable,
+                wcrts,
+                ..
+            } => {
+                final_analysis.insert(*cpu, (*schedulable, wcrts.clone()));
+            }
+            DrcrEvent::AdmissionVerdict {
+                admitted: false, ..
+            } => rejections += 1,
+            _ => {}
+        }
+        events.push((e.time.as_nanos(), e.event.to_string()));
+    }
+    let report = drcr.metrics_report();
+    Outcome {
+        active,
+        utilization_bits,
+        final_analysis,
+        rejections,
+        batches: counter(&report, "drcr.admission.batches"),
+        rta_passes: counter(&report, "drcr.admission.rta_passes"),
+        events,
+    }
+}
+
+/// A fully schedulable 9-arrival wave over 3 CPUs: the batched pass runs
+/// exactly one RTA fixed point per CPU (versus one per candidate
+/// sequentially) and lands on the same admitted set, ledger, and final
+/// per-CPU response-time evidence.
+#[test]
+fn batched_wave_admits_like_sequential_with_one_pass_per_cpu() {
+    let fleet: Vec<Spec> = (0..9)
+        .map(|i| (format!("b{i}"), 100, i % CPUS, (2 + i / CPUS) as u8, 0.05))
+        .collect();
+    let seq = run(&fleet, 77, false);
+    let bat = run(&fleet, 77, true);
+
+    assert_eq!(seq.active.len(), 9, "sequential baseline must admit all");
+    assert_eq!(bat.active, seq.active);
+    assert_eq!(bat.utilization_bits, seq.utilization_bits);
+    assert_eq!(bat.rejections, 0);
+    assert_eq!(seq.rejections, 0);
+
+    assert_eq!(bat.batches, 1, "one install wave, one batch");
+    assert_eq!(bat.rta_passes, CPUS as u64, "one fixed point per CPU");
+    assert_eq!(seq.batches, 0);
+    assert_eq!(seq.rta_passes, 9, "one fixed point per candidate");
+
+    // The batched evidence per CPU equals the evidence of the *last*
+    // sequential pass on that CPU: both analyse the identical final task
+    // set, so the WCRTs agree value for value.
+    assert_eq!(bat.final_analysis, seq.final_analysis);
+    assert_eq!(bat.final_analysis.len(), CPUS as usize);
+}
+
+/// An overloaded wave the batch cannot admit whole: the batched executive
+/// falls back to the sequential path inside the same round, so the two
+/// runs are byte-identical — same events, same rejections, same ledger.
+#[test]
+fn unschedulable_batch_falls_back_to_sequential_byte_identically() {
+    // CPU 0 receives 0.55 + 0.55: the second claim fails the analysis.
+    let fleet: Vec<Spec> = vec![
+        ("h0".into(), 100, 0, 2, 0.55),
+        ("h1".into(), 100, 0, 3, 0.55),
+        ("ok".into(), 100, 1, 2, 0.10),
+    ];
+    let seq = run(&fleet, 99, false);
+    let bat = run(&fleet, 99, true);
+
+    assert_eq!(bat.batches, 0, "an unschedulable batch never commits");
+    assert!(seq.rejections > 0, "overload case must actually reject");
+    assert_eq!(bat.active, seq.active);
+    assert_eq!(bat.rejections, seq.rejections);
+    assert_eq!(bat.utilization_bits, seq.utilization_bits);
+    assert_eq!(bat.rta_passes, seq.rta_passes);
+    assert_eq!(bat.events, seq.events, "fallback must replay sequentially");
+}
+
+/// Randomized fleets: for any mix of placements, priorities, and loads,
+/// batched and sequential admission agree on the admit/reject set and the
+/// ledger — and whenever the batch commits, its per-CPU evidence matches
+/// the final sequential analysis. The sample must exercise both the
+/// committed-batch and fallback paths.
+#[test]
+fn randomized_fleets_agree_between_batched_and_sequential() {
+    let mut rng = SimRng::from_seed(0xBA7C);
+    let (mut committed, mut fell_back) = (0u32, 0u32);
+    for case in 0..30u64 {
+        let n = rng.uniform_u64(3, 10) as usize;
+        let fleet: Vec<Spec> = (0..n)
+            .map(|i| {
+                let freq = [50u32, 100, 200, 250][rng.uniform_u64(0, 4) as usize];
+                let cpu = rng.uniform_u64(0, u64::from(CPUS)) as u32;
+                let prio = rng.uniform_u64(1, 6) as u8;
+                // A quarter of the candidates are heavy enough that small
+                // clusters overload a CPU and force rejections.
+                let usage = if rng.uniform_u64(0, 4) == 0 {
+                    0.45 + rng.uniform() * 0.3
+                } else {
+                    0.03 + rng.uniform() * 0.2
+                };
+                (format!("c{i}"), freq, cpu, prio, usage)
+            })
+            .collect();
+
+        let seq = run(&fleet, 500 + case, false);
+        let bat = run(&fleet, 500 + case, true);
+
+        assert_eq!(
+            bat.active, seq.active,
+            "case {case}: admit/reject sets diverged"
+        );
+        assert_eq!(
+            bat.utilization_bits, seq.utilization_bits,
+            "case {case}: ledgers diverged"
+        );
+        assert_eq!(
+            bat.rejections, seq.rejections,
+            "case {case}: rejection counts diverged"
+        );
+        if bat.batches > 0 {
+            committed += 1;
+            assert_eq!(
+                bat.rejections, 0,
+                "case {case}: a committed batch rejects nothing"
+            );
+            assert_eq!(
+                bat.final_analysis, seq.final_analysis,
+                "case {case}: batched evidence diverged from the final sequential analysis"
+            );
+            let cpus_used: std::collections::BTreeSet<u32> =
+                fleet.iter().map(|spec| spec.2).collect();
+            assert_eq!(
+                bat.rta_passes,
+                cpus_used.len() as u64,
+                "case {case}: committed batch must run one pass per occupied CPU"
+            );
+        } else {
+            fell_back += 1;
+            assert_eq!(
+                bat.events, seq.events,
+                "case {case}: fallback must be byte-identical to sequential"
+            );
+        }
+    }
+    assert!(committed > 0, "sample never committed a batch");
+    assert!(fell_back > 0, "sample never exercised the fallback");
+}
