@@ -360,7 +360,9 @@ fn main() {
         if smoke { "smoke" } else { "full" },
     );
 
+    let clock = bench::timing::WallClock::new();
     let stats = run(&params);
+    let wall = clock.finish(params.horizon_ms * 1_000_000, stats.sched.dispatches);
     let escaped = stats.injected.panics.saturating_sub(stats.contained);
 
     println!();
@@ -393,6 +395,7 @@ fn main() {
         stats.sched.faults,
         stats.sched.deadline_misses,
     );
+    println!("  throughput: {}", wall.summary());
 
     if check {
         let ceilings = Ceilings::for_mode(smoke);
@@ -455,7 +458,8 @@ fn main() {
                 "  \"max_recovery_cycles\": {},\n",
                 "  \"mean_recovery_cycles\": {:.2},\n",
                 "  \"leaked_reservations\": {},\n",
-                "  \"wedge_quarantined\": {}\n",
+                "  \"wedge_quarantined\": {},\n",
+                "  {}\n",
                 "}}\n"
             ),
             params.components(),
@@ -476,6 +480,7 @@ fn main() {
             stats.mean_recovery_cycles,
             stats.leaked_reservations,
             stats.wedge_quarantined,
+            wall.json_fields(),
         );
         std::fs::write("BENCH_fault.json", &json).expect("write BENCH_fault.json");
         println!("  wrote BENCH_fault.json");

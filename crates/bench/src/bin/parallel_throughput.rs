@@ -1,0 +1,247 @@
+//! Executor throughput benchmark: the single-threaded deterministic loop
+//! vs per-CPU worker threads, on one identical workload.
+//!
+//! The workload is a 4-CPU machine with several 1 kHz periodic tasks per
+//! CPU. Each task body burns real CPU via `SpinBody` (a black-boxed
+//! xorshift spin), so wall-clock time measures genuine cycle execution —
+//! not just event-loop bookkeeping — and worker threads have something to
+//! run concurrently. IPC stays CPU-local, so the workload is quiescent and
+//! the parallel mode's merged event stream must linearize to the
+//! deterministic stream (checked here with a short traced run).
+//!
+//! Modes measured: `DeterministicExecutor`, then `ParallelExecutor` at
+//! 1, 2 and 4 worker threads (single-epoch — no cross-CPU traffic to
+//! exchange). Reported per mode: elapsed wall seconds, simulated-ns/sec,
+//! cycles/sec, plus speedups relative to the deterministic baseline.
+//!
+//! Usage:
+//!   cargo run --release -p bench --bin parallel_throughput            # full, writes BENCH_parallel.json
+//!   cargo run --release -p bench --bin parallel_throughput -- --smoke # short run, stdout only
+//!   cargo run --release -p bench --bin parallel_throughput -- --check # assert equivalence + scaling
+//!
+//! `--smoke --check` is the CI configuration. The ≥2.5× speedup assertion
+//! at 4 workers is conditional on the host actually exposing ≥4 CPUs
+//! (`std::thread::available_parallelism`): on smaller hosts — including
+//! single-CPU CI containers — real scaling is physically impossible, so
+//! the gate degrades to "parallel mode is not catastrophically slower"
+//! while still enforcing linearization equivalence and replay determinism
+//! unconditionally. `host_parallelism` is recorded in the JSON so a
+//! reader can tell which regime a result came from.
+
+use bench::timing::{Throughput, WallClock};
+use rtos::exec::{
+    linearization_equivalent, DeterministicExecutor, Executor, ParallelExecutor, Workload,
+};
+use rtos::task::{Priority, SpinBody, TaskConfig};
+use rtos::time::SimDuration;
+
+const CPUS: u32 = 4;
+const TASKS_PER_CPU: u32 = 6;
+/// Spin iterations per cycle — sized so a cycle costs a few microseconds
+/// of real CPU, comfortably dominating per-event scheduling overhead.
+const SPIN_ITERS: u32 = 4_000;
+
+struct Params {
+    horizon: SimDuration,
+    equivalence_horizon: SimDuration,
+}
+
+impl Params {
+    fn full() -> Self {
+        Params {
+            horizon: SimDuration::from_secs(4),
+            equivalence_horizon: SimDuration::from_millis(100),
+        }
+    }
+
+    fn smoke() -> Self {
+        Params {
+            horizon: SimDuration::from_millis(400),
+            equivalence_horizon: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// The measured workload: trace recording off, spin bodies on.
+fn throughput_workload() -> Workload {
+    build_workload(false)
+}
+
+/// The equivalence-check workload: identical shape, tracing on.
+fn traced_workload() -> Workload {
+    build_workload(true)
+}
+
+fn build_workload(record_trace: bool) -> Workload {
+    let mut w = Workload::new(CPUS, 42).record_trace(record_trace);
+    for cpu in 0..CPUS {
+        for slot in 0..TASKS_PER_CPU {
+            let name = format!("t{cpu}{slot}");
+            let cfg = TaskConfig::periodic(
+                &name,
+                Priority(2 + (slot % 3) as u8),
+                SimDuration::from_hz(1000),
+            )
+            .expect("task name")
+            .on_cpu(cpu)
+            .with_base_cost(SimDuration::from_micros(40));
+            w = w.task(cfg, || Box::new(SpinBody::new(SPIN_ITERS)));
+        }
+    }
+    w
+}
+
+struct Mode {
+    label: &'static str,
+    workers: usize,
+    throughput: Throughput,
+}
+
+fn measure(executor: &dyn Executor, workload: &Workload, horizon: SimDuration) -> Throughput {
+    let clock = WallClock::new();
+    let outcome = executor
+        .run(workload, horizon)
+        .expect("throughput run failed");
+    clock.finish(horizon.as_nanos(), outcome.total_cycles)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let params = if smoke {
+        Params::smoke()
+    } else {
+        Params::full()
+    };
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("== parallel_throughput: executor scaling ==");
+    println!(
+        "   {CPUS} simulated CPUs x {TASKS_PER_CPU} tasks at 1 kHz, spin {SPIN_ITERS} iters/cycle"
+    );
+    println!(
+        "   horizon {:.1} ms, host parallelism {host_parallelism}",
+        params.horizon.as_secs_f64() * 1e3
+    );
+
+    let workload = throughput_workload();
+    let mut modes: Vec<Mode> = Vec::new();
+    let det = measure(&DeterministicExecutor, &workload, params.horizon);
+    println!("   deterministic      : {}", det.summary());
+    modes.push(Mode {
+        label: "deterministic",
+        workers: 1,
+        throughput: det,
+    });
+    for workers in [1usize, 2, 4] {
+        let exec = ParallelExecutor::new(workers).single_epoch();
+        let t = measure(&exec, &workload, params.horizon);
+        let label = match workers {
+            1 => "parallel_1",
+            2 => "parallel_2",
+            _ => "parallel_4",
+        };
+        println!(
+            "   parallel {workers} worker{} : {} ({:.2}x)",
+            if workers == 1 { " " } else { "s" },
+            t.summary(),
+            t.cycles_per_sec / det.cycles_per_sec
+        );
+        modes.push(Mode {
+            label,
+            workers,
+            throughput: t,
+        });
+    }
+
+    // Equivalence + replay determinism on a short traced run.
+    let traced = traced_workload();
+    let det_outcome = DeterministicExecutor
+        .run(&traced, params.equivalence_horizon)
+        .expect("traced deterministic run");
+    let par4 = ParallelExecutor::new(4).single_epoch();
+    let par_outcome = par4
+        .run(&traced, params.equivalence_horizon)
+        .expect("traced parallel run");
+    let equivalence = linearization_equivalent(&det_outcome, &par_outcome);
+    let replay = par4
+        .run(&traced, params.equivalence_horizon)
+        .expect("traced parallel replay");
+    let deterministic_replay = par_outcome.trace == replay.trace
+        && par_outcome.tasks == replay.tasks
+        && par_outcome.counters == replay.counters;
+    println!(
+        "   linearization equivalence: {}",
+        if equivalence.is_ok() { "ok" } else { "FAILED" }
+    );
+    println!(
+        "   parallel replay determinism: {}",
+        if deterministic_replay { "ok" } else { "FAILED" }
+    );
+
+    let speedup_4 = modes
+        .iter()
+        .find(|m| m.label == "parallel_4")
+        .map(|m| m.throughput.cycles_per_sec / det.cycles_per_sec)
+        .unwrap_or(0.0);
+
+    if !smoke {
+        let mode_json: Vec<String> = modes
+            .iter()
+            .map(|m| {
+                format!(
+                    "    {{\"mode\": \"{}\", \"workers\": {}, {}, \"cycles\": {}}}",
+                    m.label,
+                    m.workers,
+                    m.throughput.json_fields(),
+                    m.throughput.cycles
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"parallel_throughput\",\n  \"cpus\": {CPUS},\n  \
+             \"tasks_per_cpu\": {TASKS_PER_CPU},\n  \"spin_iters\": {SPIN_ITERS},\n  \
+             \"horizon_ms\": {:.1},\n  \"host_parallelism\": {host_parallelism},\n  \
+             \"modes\": [\n{}\n  ],\n  \"speedup_4_workers\": {:.3},\n  \
+             \"linearization_equivalent\": {},\n  \"parallel_replay_deterministic\": {}\n}}\n",
+            params.horizon.as_secs_f64() * 1e3,
+            mode_json.join(",\n"),
+            speedup_4,
+            equivalence.is_ok(),
+            deterministic_replay,
+        );
+        std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+        println!("  wrote BENCH_parallel.json");
+    }
+
+    if check {
+        if let Err(why) = equivalence {
+            panic!("CHECK FAILED: parallel stream is not a linearization:\n{why}");
+        }
+        assert!(
+            deterministic_replay,
+            "CHECK FAILED: parallel replay diverged between runs"
+        );
+        if host_parallelism >= 4 {
+            assert!(
+                speedup_4 >= 2.5,
+                "CHECK FAILED: expected >= 2.5x cycles/sec at 4 workers on a \
+                 {host_parallelism}-way host, got {speedup_4:.2}x"
+            );
+        } else {
+            println!(
+                "   NOTE: host exposes {host_parallelism} CPU(s); the 2.5x scaling \
+                 assertion needs >= 4 and degrades to a no-regression bound here"
+            );
+            assert!(
+                speedup_4 >= 0.2,
+                "CHECK FAILED: parallel mode catastrophically slower ({speedup_4:.2}x) \
+                 even for a {host_parallelism}-way host"
+            );
+        }
+        println!("   CHECK OK");
+    }
+}

@@ -407,8 +407,12 @@ fn main() {
         if smoke { "smoke" } else { "full" },
     );
 
+    let total_clock = bench::timing::WallClock::new();
+    let phase1_clock = bench::timing::WallClock::new();
     let incremental = run(ResolutionStrategy::Incremental, &params);
+    let phase1_incremental_secs = phase1_clock.elapsed_secs();
     let naive = run(ResolutionStrategy::NaiveReference, &params);
+    let phase1_secs = phase1_clock.elapsed_secs();
 
     let inc_rendered = render(&incremental.events);
     let naive_rendered = render(&naive.events);
@@ -450,6 +454,10 @@ fn main() {
         events_identical
     );
     println!("  graph-build reduction: {ratio:.1}x");
+    println!(
+        "  phase 1 wall: {phase1_secs:.3} s ({:.0} executive events/s incremental)",
+        incremental.events.len() as f64 / phase1_incremental_secs.max(1e-9)
+    );
 
     if check {
         assert!(
@@ -496,7 +504,13 @@ fn main() {
         churn_params.cohort(),
         churn_params.churn_cycles,
     );
+    let phase2_clock = bench::timing::WallClock::new();
     let churn = run_churn(&churn_params);
+    let phase2_secs = phase2_clock.elapsed_secs();
+    println!(
+        "  phase 2 wall: {phase2_secs:.3} s ({:.1} churn events/s)",
+        churn.churn_events as f64 / phase2_secs
+    );
     println!(
         "  per churn event: {} wiring checks ({} evaluated), {:.4}x of n",
         churn.checks_per_event,
@@ -539,8 +553,12 @@ fn main() {
         "resolve_scale phase 3 (batched arrivals): {} arrivals on {} CPUs, response-time admission",
         batch_params.arrivals, batch_params.cpus,
     );
+    let phase3_clock = bench::timing::WallClock::new();
     let batched = run_batch(&batch_params, true);
     let sequential = run_batch(&batch_params, false);
+    let phase3_secs = phase3_clock.elapsed_secs();
+    let total_secs = total_clock.elapsed_secs();
+    println!("  phase 3 wall: {phase3_secs:.3} s, total wall: {total_secs:.3} s");
     println!(
         "  batched:    {} RTA passes, {} batches, {} activations, {} rejections",
         batched.rta_passes, batched.batches, batched.activations, batched.rejections
@@ -597,7 +615,11 @@ fn main() {
                 "\"evals_per_event\": {}}},\n",
                 "  \"batched_arrivals\": {{\"arrivals\": {}, \"cpus\": {}, ",
                 "\"batched_rta_passes\": {}, \"sequential_rta_passes\": {}, ",
-                "\"activations\": {}}}\n",
+                "\"activations\": {}}},\n",
+                "  \"timing\": {{\"phase1_wall_seconds\": {:.6}, ",
+                "\"phase1_events_per_sec\": {:.1}, ",
+                "\"phase2_wall_seconds\": {:.6}, \"phase2_churn_events_per_sec\": {:.1}, ",
+                "\"phase3_wall_seconds\": {:.6}, \"total_wall_seconds\": {:.6}}}\n",
                 "}}\n"
             ),
             params.components(),
@@ -619,6 +641,12 @@ fn main() {
             batched.rta_passes,
             sequential.rta_passes,
             batched.activations,
+            phase1_secs,
+            incremental.events.len() as f64 / phase1_incremental_secs.max(1e-9),
+            phase2_secs,
+            churn.churn_events as f64 / phase2_secs,
+            phase3_secs,
+            total_secs,
         );
         std::fs::write("BENCH_resolve.json", &json).expect("write BENCH_resolve.json");
         println!("  wrote BENCH_resolve.json");

@@ -13,6 +13,7 @@
 
 pub mod harness;
 pub mod microbench;
+pub mod timing;
 
 pub use harness::{
     format_table1, run_table1, run_table1_config, ImplKind, Table1Config, Table1Row, PAPER_TABLE1,

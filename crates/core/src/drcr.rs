@@ -543,21 +543,6 @@ impl Drcr {
             .filter(|e| matches!(e.event, DrcrEvent::CascadeDeactivation { .. }))
     }
 
-    /// Compatibility shim for the old `decisions()` string log: renders the
-    /// retained executive events through their `Display` impls, which match
-    /// the legacy decision-log phrasing.
-    ///
-    /// Prefer the typed views: iterate [`Drcr::events`] (or the filtered
-    /// [`Drcr::admission_verdicts`] / [`Drcr::cascade_events`] /
-    /// [`Drcr::events_for`]) and render with `to_string()` where a display
-    /// string is really wanted.
-    #[deprecated(
-        note = "iterate the typed `events()` ring (rendering entries with `to_string()` if needed)"
-    )]
-    pub fn decisions_text(&self) -> Vec<String> {
-        self.events.iter().map(|e| e.event.to_string()).collect()
-    }
-
     /// The executive's metrics registry (counters, gauges, histograms).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics

@@ -35,6 +35,7 @@
 //! | [`enforce`] | §2.1/§5 | binding contracts: kernel budgets + violation monitor |
 //! | [`adapt`] | §2.4 | adaptation managers (load shedding, retuning) |
 //! | [`adl`] | §6 (future work) | validated assemblies with explicit connections |
+//! | [`parallel`] | §3/§6 | descriptor fleets on the parallel executor |
 //! | [`runtime`] | §3 (Fig. 3) | the assembled split container |
 //!
 //! ## Quick start
@@ -76,6 +77,7 @@ pub mod lifecycle;
 pub mod manage;
 pub mod model;
 pub mod obs;
+pub mod parallel;
 pub mod reactive;
 pub mod resolve;
 pub mod rta;
@@ -105,6 +107,7 @@ pub use model::{
     CpuUsage, OperatingMode, PortInterface, PortSpec, PropertyValue, TaskSpec, BASE_MODE,
 };
 pub use obs::{BridgeEvent, DrcrEvent, Histogram, MetricsRegistry, MetricsReport};
+pub use parallel::{FleetBridge, FleetMember};
 pub use reactive::{AdmissionPolicy, NaiveResolver, ReactiveResolver};
 pub use resolve::{
     AdmissionRuling, BatchAdmission, Decision, Resolver, ResolvingService, WiringCheck,

@@ -23,8 +23,8 @@ pub use rtos::trace::{EventSink, Timestamped, TraceRing, TraceSubscriber};
 ///
 /// The `Display` rendering matches the pre-typed decision-log strings
 /// verbatim; render an event with `to_string()` where a human-readable
-/// line is wanted (the deprecated `Drcr::decisions_text` shim does exactly
-/// that over the whole ring).
+/// line is wanted — e.g. map `drcr.events()` through `to_string()` to
+/// reconstruct the whole legacy decision log.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DrcrEvent {
     /// A resolve pass (to fixpoint) began.

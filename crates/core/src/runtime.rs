@@ -28,6 +28,14 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The runtime executes on the kernel's serial event loop — the semantics
+//! the [`rtos::exec::DeterministicExecutor`] reproduces. To run an
+//! already-admitted fleet across worker threads (one per simulated-CPU
+//! group) instead, lower its descriptors through
+//! [`crate::parallel::FleetBridge`] and hand the resulting workload to
+//! [`rtos::exec::ParallelExecutor`]; the kernel's linearization guarantee
+//! makes the two paths observably equivalent on quiescent fleets.
 
 use crate::drcr::{ComponentProvider, Drcr, COMPONENT_SERVICE, PROP_COMPONENT_NAME};
 use crate::error::DrcrError;

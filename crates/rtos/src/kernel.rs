@@ -6,9 +6,13 @@
 //! (see [`crate::latency`]), named shared memory, bounded mailboxes, and a
 //! Linux domain whose tasks run only when no real-time task is runnable.
 //!
-//! The simulation is single-threaded and deterministic: all randomness comes
-//! from one seeded generator, so an experiment is reproducible from its
-//! configuration alone.
+//! A `Kernel` instance is deterministic and runs on the calling thread:
+//! all randomness comes from one seeded generator, so an experiment is
+//! reproducible from its configuration alone. Multi-threaded execution is
+//! layered *above* this type — [`crate::exec::ParallelExecutor`] runs one
+//! kernel shard per worker thread and synchronizes them at epoch barriers,
+//! while [`crate::exec::DeterministicExecutor`] drives a single kernel
+//! exactly as the executive does.
 //!
 //! # Execution model
 //!
@@ -143,6 +147,10 @@ struct Task {
     body: Option<Box<dyn TaskBody>>,
     /// Ideal release time of the cycle currently queued/running.
     pending_ideal: Option<SimTime>,
+    /// A mailbox wakeup has queued a Release event that has not been
+    /// processed yet. Stops same-instant cycle ends elsewhere from
+    /// double-waking (and spuriously overrunning) the task for one message.
+    wake_queued: bool,
     /// First ideal release of the periodic grid (set at start). Resuming
     /// re-anchors on `grid_anchor + k·period` so a suspend/resume pair
     /// never shifts the task's release phase.
@@ -384,6 +392,7 @@ impl Kernel {
                 state: TaskState::Dormant,
                 body: Some(body),
                 pending_ideal: None,
+                wake_queued: false,
                 grid_anchor: SimTime::ZERO,
                 remaining: SimDuration::ZERO,
                 run_gen: 0,
@@ -687,7 +696,12 @@ impl Kernel {
                     .unwrap_or(false)
             })
             .flat_map(|(mbx, bound)| bound.iter().map(move |t| (mbx, *t)))
-            .filter(|(_, task)| self.tasks.get(task).map(|t| t.state) == Some(TaskState::Waiting))
+            .filter(|(_, task)| {
+                self.tasks
+                    .get(task)
+                    .map(|t| t.state == TaskState::Waiting && !t.wake_queued)
+                    .unwrap_or(false)
+            })
             .map(|(mbx, t)| (mbx.clone(), t))
             .collect();
         for (mailbox, task) in due {
@@ -698,6 +712,9 @@ impl Kernel {
                         task: name,
                     });
                 }
+            }
+            if let Some(t) = self.tasks.get_mut(&task) {
+                t.wake_queued = true;
             }
             let ideal = self.now;
             self.push_event(self.now, Event::Release { task, ideal });
@@ -862,6 +879,7 @@ impl Kernel {
         let Some(task) = self.tasks.get_mut(&id) else {
             return;
         };
+        task.wake_queued = false;
         // Schedule the next periodic release first so the grid never stalls
         // (suspended/deleted tasks break the chain deliberately).
         let reschedule = match (task.state, task.cfg.release) {
@@ -1842,6 +1860,59 @@ mod tests {
         k.run_for(SimDuration::from_millis(30));
         assert!(k.task_overruns(id).unwrap() >= 15);
         assert!(k.task_cycles(id).unwrap() <= 11);
+    }
+
+    #[test]
+    fn same_instant_cycle_ends_wake_a_bound_task_once() {
+        // Two posters on different CPUs finish cycles at the same instants;
+        // each cycle end runs the wakeup service. The bound consumer must be
+        // woken once per instant — not once per same-instant cycle end,
+        // which would spuriously overrun it.
+        let mut k = Kernel::new(
+            KernelConfig::new(31)
+                .with_timer(TimerJitterModel::ideal())
+                .with_cpus(2)
+                .with_trace(512),
+        );
+        k.mailboxes_mut().create("inbox", 16).unwrap();
+        for (name, cpu) in [("post0", 0), ("post1", 1)] {
+            let cfg = TaskConfig::periodic(name, Priority(3), SimDuration::from_millis(1))
+                .unwrap()
+                .on_cpu(cpu);
+            let id = k
+                .create_task(
+                    cfg,
+                    Box::new(FnBody(|ctx: &mut TaskCtx<'_>| {
+                        let _ = ctx.mailbox_send("inbox", b"go");
+                    })),
+                )
+                .unwrap();
+            k.start_task(id).unwrap();
+        }
+        let consumer_cfg = TaskConfig::aperiodic("sink", Priority(2)).unwrap();
+        let consumer = k
+            .create_task(
+                consumer_cfg,
+                Box::new(FnBody(
+                    |ctx: &mut TaskCtx<'_>| {
+                        while let Ok(Some(_)) = ctx.mailbox_recv("inbox") {}
+                    },
+                )),
+            )
+            .unwrap();
+        k.start_task(consumer).unwrap();
+        k.bind_mailbox_wakeup("inbox", consumer).unwrap();
+        k.run_for(SimDuration::from_millis(10));
+        assert!(k.task_cycles(consumer).unwrap() >= 9);
+        assert_eq!(k.task_overruns(consumer), Some(0));
+        // Posting instants are the 10 cycle-end ticks: one wake each, even
+        // though two cycle ends (one per CPU) land on every tick.
+        let wakes = k
+            .trace()
+            .iter()
+            .filter(|e| matches!(&e.event, KernelEvent::MailboxWake { task, .. } if task.as_str() == "sink"))
+            .count();
+        assert_eq!(wakes, 10);
     }
 
     #[test]

@@ -6,13 +6,19 @@
 //! machine with a **dual-kernel** architecture where hard-real-time tasks
 //! always preempt ordinary Linux work.
 //!
-//! Everything runs in virtual nanosecond time inside a single-threaded
-//! discrete-event engine, so experiments are fast and exactly reproducible
-//! from a seed. The pieces:
+//! Everything runs in virtual nanosecond time inside a discrete-event
+//! engine, so experiments are fast and exactly reproducible from a seed.
+//! Two execution modes share one task model (see [`exec`]): the classic
+//! single-threaded lockstep loop ([`exec::DeterministicExecutor`]), and a
+//! per-CPU worker-thread mode ([`exec::ParallelExecutor`]) whose merged
+//! event stream is provably a linearization of the serial order on
+//! quiescent workloads. The pieces:
 //!
 //! * [`kernel`] — the event engine: per-CPU fixed-priority preemptive
 //!   scheduling with round-robin among equal priorities, task lifecycle,
 //!   latency capture.
+//! * [`exec`] — the executor layer: thread-shippable [`exec::Workload`]
+//!   specs, the two executors, and the linearization-equivalence check.
 //! * [`task`] — task names (6-character OS limit), priorities (lower is more
 //!   urgent), configuration, and the [`task::TaskBody`] behaviour trait.
 //! * [`shm`] / [`mailbox`] / [`fifo`] — the `RTAI.SHM`, `RTAI.Mailbox` and
@@ -50,6 +56,7 @@
 //! ```
 
 pub mod error;
+pub mod exec;
 pub mod fifo;
 pub mod kernel;
 pub mod latency;
@@ -63,6 +70,10 @@ pub mod time;
 pub mod trace;
 
 pub use error::{IpcError, KernelError, NameError};
+pub use exec::{
+    executor_from_env, linearization_equivalent, DeterministicExecutor, ExecOutcome, Executor,
+    ParallelExecutor, Workload,
+};
 pub use kernel::{Kernel, KernelConfig, TaskCtx};
 pub use latency::{LatencyStats, LoadMode, TimerJitterModel, TimerMode};
 pub use task::{ObjName, Priority, TaskBody, TaskConfig, TaskId, TaskState};

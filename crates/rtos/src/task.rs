@@ -290,6 +290,47 @@ impl TaskBody for IdleBody {
     fn on_cycle(&mut self, _ctx: &mut crate::kernel::TaskCtx<'_>) {}
 }
 
+/// A body that burns *real* wall-clock CPU on every cycle, in addition to
+/// the virtual-time base cost the kernel charges.
+///
+/// Virtual-time simulation makes simulated cycles nearly free in wall
+/// time, so a throughput bench comparing the serial and parallel executors
+/// on [`IdleBody`] tasks would measure event-loop bookkeeping rather than
+/// cycle execution. `SpinBody` stands in for a real component body: each
+/// cycle runs `iters` rounds of an xorshift mixer through
+/// [`std::hint::black_box`], giving the worker threads genuine work to
+/// execute concurrently. The mixed value feeds back into the next cycle,
+/// so the loop cannot be hoisted or folded away — and the body stays fully
+/// deterministic (no clock, no RNG draws, no shared state).
+#[derive(Debug, Clone, Copy)]
+pub struct SpinBody {
+    iters: u32,
+    acc: u64,
+}
+
+impl SpinBody {
+    /// A body spinning `iters` mixer rounds per cycle.
+    pub fn new(iters: u32) -> Self {
+        SpinBody {
+            iters,
+            acc: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl TaskBody for SpinBody {
+    fn on_cycle(&mut self, _ctx: &mut crate::kernel::TaskCtx<'_>) {
+        let mut x = std::hint::black_box(self.acc);
+        for _ in 0..self.iters {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x = std::hint::black_box(x);
+        }
+        self.acc = x;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -100,6 +100,12 @@ impl SimDuration {
         self.0
     }
 
+    /// Length of the span in (fractional) seconds — for wall-clock
+    /// throughput reporting (simulated-ns per real second and the like).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
     /// True if the span is zero-length.
     pub const fn is_zero(self) -> bool {
         self.0 == 0

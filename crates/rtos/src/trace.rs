@@ -214,6 +214,38 @@ pub struct Timestamped<E> {
     pub event: E,
 }
 
+/// An event tagged with the CPU it belongs to and a per-stream sequence
+/// number, used when merging the parallel executor's per-thread buffers
+/// into one deterministic total order.
+///
+/// `seq` breaks ties among same-time same-CPU events and preserves each
+/// source stream's internal order; its absolute value is executor-specific
+/// (a global index in deterministic mode, a per-shard index in parallel
+/// mode), so equivalence checks compare `(time, cpu, event)` and treat
+/// `seq` as ordering metadata only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedEvent<E> {
+    /// CPU the event is attributed to (`u32::MAX` = global/no CPU).
+    pub cpu: u32,
+    /// Position within the source stream.
+    pub seq: u64,
+    /// The event and its virtual timestamp.
+    pub entry: Timestamped<E>,
+}
+
+/// Merges per-thread event streams into a single deterministic total
+/// order, keyed by `(time, cpu, seq)`.
+///
+/// Each input stream must be internally ordered by `(time, seq)` (which
+/// per-worker kernel buffers are by construction); the merge is a stable
+/// sort, so the result is a linearization of the union that depends only
+/// on the events themselves — never on which OS thread flushed first.
+pub fn merge_tagged<E>(streams: Vec<Vec<TaggedEvent<E>>>) -> Vec<TaggedEvent<E>> {
+    let mut all: Vec<TaggedEvent<E>> = streams.into_iter().flatten().collect();
+    all.sort_by_key(|e| (e.entry.time, e.cpu, e.seq));
+    all
+}
+
 /// A bounded drop-oldest ring buffer of timestamped events.
 ///
 /// Capacity 0 records nothing (but still counts). When full, the oldest
@@ -397,6 +429,27 @@ mod tests {
 
     fn t(ns: u64) -> SimTime {
         SimTime::ZERO + SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn merge_tagged_is_a_deterministic_linearization() {
+        let tag = |cpu: u32, seq: u64, ns: u64, ev: u32| TaggedEvent {
+            cpu,
+            seq,
+            entry: Timestamped {
+                time: t(ns),
+                event: ev,
+            },
+        };
+        // Two per-worker streams, each internally time-ordered; the merge
+        // must interleave by (time, cpu, seq) regardless of stream order.
+        let cpu0 = vec![tag(0, 0, 10, 1), tag(0, 1, 10, 2), tag(0, 2, 30, 3)];
+        let cpu1 = vec![tag(1, 0, 10, 4), tag(1, 1, 20, 5)];
+        let ab = merge_tagged(vec![cpu0.clone(), cpu1.clone()]);
+        let ba = merge_tagged(vec![cpu1, cpu0]);
+        assert_eq!(ab, ba);
+        let order: Vec<u32> = ab.iter().map(|e| e.entry.event).collect();
+        assert_eq!(order, vec![1, 2, 4, 5, 3]);
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Hand-rolled property test for the executor linearization-equivalence
+//! guarantee (`rtos::exec`).
+//!
+//! Cases are generated from the in-repo seeded `SimRng` (no external
+//! property-testing crate). For each generated **quiescent** workload —
+//! ideal timer, deterministic bodies (fixed compute costs, local-only
+//! IPC) — the properties are:
+//!
+//! 1. **Linearization**: the deterministic executor's event stream,
+//!    projected onto any single CPU, is identical to the parallel
+//!    executor's merged stream projected onto the same CPU — at every
+//!    worker count from 1 to the CPU count. (The deterministic total
+//!    order is therefore a linearization of the parallel partial order.)
+//! 2. **State equivalence**: per-task cycles/overruns/faults, aggregate
+//!    scheduler counters, and final SHM images agree across modes — the
+//!    same events cannot hide different final states.
+//! 3. **Replay determinism**: running the parallel executor twice yields
+//!    byte-identical merged traces (OS thread scheduling never leaks into
+//!    results).
+//! 4. **Serial degeneration**: with one worker, even the *total* merged
+//!    order equals the deterministic executor's canonical stream.
+
+use rtos::exec::{
+    linearization_equivalent, DeterministicExecutor, Executor, ParallelExecutor, Workload,
+};
+use rtos::kernel::TaskCtx;
+use rtos::rng::SimRng;
+use rtos::shm::DataType;
+use rtos::task::{FnBody, Priority, SpinBody, TaskConfig};
+use rtos::time::SimDuration;
+
+/// Builds a random quiescent workload: 2–4 CPUs, 1–4 tasks per CPU with
+/// mixed periods/priorities/budgets, a per-CPU SHM segment some tasks
+/// write (CPU-local IPC only), and a sprinkling of aperiodic tasks driven
+/// by scripted triggers.
+fn arb_workload(rng: &mut SimRng) -> Workload {
+    let cpus = rng.uniform_u64(2, 5) as u32;
+    let seed = rng.next_u64();
+    let mut w = Workload::new(cpus, seed);
+    for cpu in 0..cpus {
+        w = w.shm(&format!("s{cpu}"), DataType::Byte, 8);
+    }
+    let periods_ms = [1u64, 2, 4, 5, 10];
+    for cpu in 0..cpus {
+        let tasks = rng.uniform_u64(1, 5);
+        for slot in 0..tasks {
+            let name = format!("t{cpu}{slot}");
+            let priority = Priority(1 + rng.uniform_u64(0, 8) as u8);
+            let cost = SimDuration::from_micros(rng.uniform_u64(50, 800));
+            let aperiodic = rng.chance(0.2);
+            let mut cfg = if aperiodic {
+                TaskConfig::aperiodic(&name, priority).unwrap()
+            } else {
+                let period = periods_ms[rng.uniform_u64(0, periods_ms.len() as u64) as usize];
+                TaskConfig::periodic(&name, priority, SimDuration::from_millis(period)).unwrap()
+            }
+            .on_cpu(cpu)
+            .with_base_cost(cost);
+            if !aperiodic && rng.chance(0.5) {
+                cfg = cfg.with_latency_tracking();
+            }
+            if rng.chance(0.25) {
+                cfg = cfg.with_exec_budget(SimDuration::from_micros(900));
+            }
+            let triggers = if aperiodic {
+                (0..rng.uniform_u64(1, 6))
+                    .map(|_| {
+                        rtos::time::SimTime::ZERO
+                            + SimDuration::from_micros(rng.uniform_u64(100, 45_000))
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let writes_shm = rng.chance(0.5);
+            let seg = format!("s{cpu}");
+            let spin = rng.uniform_u64(4, 32) as u32;
+            let spec = rtos::exec::TaskSpec {
+                config: cfg,
+                factory: std::sync::Arc::new(move || {
+                    let seg = seg.clone();
+                    if writes_shm {
+                        Box::new(FnBody(move |ctx: &mut TaskCtx<'_>| {
+                            let cycle = ctx.cycle();
+                            let mut image = [0u8; 8];
+                            image[..8].copy_from_slice(&cycle.to_le_bytes());
+                            let _ = ctx.shm_write(&seg, &image);
+                        }))
+                    } else {
+                        Box::new(SpinBody::new(spin))
+                    }
+                }),
+                autostart: true,
+                wake_on: None,
+                triggers,
+            };
+            w = w.task_spec(spec);
+        }
+    }
+    w
+}
+
+#[test]
+fn parallel_merged_stream_linearizes_to_deterministic_order() {
+    let mut rng = SimRng::from_seed(0x9E37_79B9);
+    let horizon = SimDuration::from_millis(50);
+    for case in 0..24 {
+        let w = arb_workload(&mut rng);
+        let det = DeterministicExecutor
+            .run(&w, horizon)
+            .unwrap_or_else(|e| panic!("case {case}: deterministic run failed: {e}"));
+        assert!(det.total_cycles > 0, "case {case}: degenerate workload");
+        for workers in 1..=(w.cpus() as usize) {
+            let par = ParallelExecutor::new(workers)
+                .run(&w, horizon)
+                .unwrap_or_else(|e| panic!("case {case}/{workers}w: parallel run failed: {e}"));
+            if let Err(why) = linearization_equivalent(&det, &par) {
+                panic!(
+                    "case {case}: {workers}-worker merged stream is not a linearization \
+                     of the deterministic order:\n{why}"
+                );
+            }
+            // Final SHM images converge to the same bytes.
+            for (a, b) in det.shm.iter().zip(&par.shm) {
+                assert_eq!(
+                    a, b,
+                    "case {case}/{workers}w: SHM image diverged for '{}'",
+                    a.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_replay_is_deterministic() {
+    let mut rng = SimRng::from_seed(0xC0FF_EE11);
+    let horizon = SimDuration::from_millis(40);
+    for case in 0..8 {
+        let w = arb_workload(&mut rng);
+        let workers = (case % w.cpus() as usize).max(1);
+        let exec = ParallelExecutor::new(workers);
+        let a = exec.run(&w, horizon).unwrap();
+        let b = exec.run(&w, horizon).unwrap();
+        assert_eq!(a.trace, b.trace, "case {case}: replay diverged");
+        assert_eq!(a.tasks, b.tasks, "case {case}: task outcomes diverged");
+        assert_eq!(a.counters, b.counters, "case {case}: counters diverged");
+    }
+}
+
+#[test]
+fn one_worker_degenerates_to_the_serial_schedule() {
+    let mut rng = SimRng::from_seed(0xDEAD_10CC);
+    let horizon = SimDuration::from_millis(30);
+    for case in 0..6 {
+        let w = arb_workload(&mut rng);
+        let det = DeterministicExecutor.run(&w, horizon).unwrap();
+        let par = ParallelExecutor::new(1).run(&w, horizon).unwrap();
+        let a: Vec<_> = det.trace.iter().map(|e| &e.entry).collect();
+        let b: Vec<_> = par.trace.iter().map(|e| &e.entry).collect();
+        assert_eq!(a, b, "case {case}: single-worker total order diverged");
+    }
+}

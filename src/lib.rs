@@ -38,6 +38,7 @@ pub mod prelude {
     pub use drcom::manage::{ComponentControl, ManagementReply, RtComponentManagement};
     pub use drcom::model::{PortInterface, PropertyValue, BASE_MODE};
     pub use drcom::obs::{BridgeEvent, DrcrEvent, MetricsReport};
+    pub use drcom::parallel::FleetBridge;
     pub use drcom::runtime::DrtRuntime;
     pub use drcom::supervise::{QuarantineRule, RestartPolicy, SupervisionConfig};
     pub use rtos::kernel::KernelConfig;

@@ -136,3 +136,251 @@ fn rm_bound_applies_per_cpu() {
     rt.install_component("d.c", pinned("c", 1, 0.35)).unwrap();
     assert_eq!(rt.component_state("c"), Some(ComponentState::Active));
 }
+
+// ---------------------------------------------------------------------------
+// Executor-parameterized fleets: the same multi-CPU workloads run under the
+// serial `DeterministicExecutor` and the threaded `ParallelExecutor`, and on
+// quiescent (CPU-local IPC) workloads the two must produce linearization-
+// equivalent schedules at every worker count.
+// ---------------------------------------------------------------------------
+
+use drt::drcom::parallel::FleetBridge;
+use drt::rtos::exec::{
+    executor_from_env, linearization_equivalent, DeterministicExecutor, Executor, ParallelExecutor,
+    Workload,
+};
+use drt::rtos::kernel::TaskCtx;
+use drt::rtos::task::{FnBody, TaskConfig};
+use drt::rtos::trace::KernelEvent as KEvent;
+
+fn parallel_variants(cpus: u32) -> Vec<ParallelExecutor> {
+    (1..=cpus as usize).map(ParallelExecutor::new).collect()
+}
+
+#[test]
+fn mailbox_wakeup_is_equivalent_under_both_executors() {
+    // One ping/echo pair per CPU: every post stays CPU-local, so the
+    // workload is quiescent and the linearization guarantee applies.
+    let mut bridge = FleetBridge::new(2, 311);
+    for cpu in 0..2u32 {
+        let mbx = format!("mbx{cpu}");
+        let ping = ComponentDescriptor::builder(&format!("ping{cpu}"))
+            .periodic(1000, cpu, 3)
+            .cpu_usage(0.1)
+            .outport(&mbx, PortInterface::Mailbox, DataType::Byte, 8)
+            .build()
+            .unwrap();
+        let echo = ComponentDescriptor::builder(&format!("echo{cpu}"))
+            .aperiodic(cpu, 2)
+            .cpu_usage(0.05)
+            .inport(&mbx, PortInterface::Mailbox, DataType::Byte, 8)
+            .build()
+            .unwrap();
+        let post_to = mbx.clone();
+        bridge = bridge
+            .component(ping, move || {
+                let mbx = post_to.clone();
+                let mut cycle: u64 = 0;
+                Box::new(FnBody(move |ctx: &mut TaskCtx<'_>| {
+                    cycle += 1;
+                    if cycle.is_multiple_of(3) {
+                        let _ = ctx.mailbox_send(&mbx, &cycle.to_le_bytes());
+                    }
+                }))
+            })
+            .component(echo, move || {
+                let mbx = mbx.clone();
+                Box::new(FnBody(
+                    move |ctx: &mut TaskCtx<'_>| {
+                        while let Ok(Some(_)) = ctx.mailbox_recv(&mbx) {}
+                    },
+                ))
+            });
+    }
+    let workload = bridge.build().unwrap();
+    let horizon = SimDuration::from_millis(30);
+    let reference = DeterministicExecutor.run(&workload, horizon).unwrap();
+    for cpu in 0..2 {
+        let echo = reference.task(&format!("echo{cpu}")).unwrap();
+        assert!(echo.cycles >= 9, "echo{cpu} woke {} times", echo.cycles);
+    }
+    for parallel in parallel_variants(2) {
+        let workers = parallel.workers();
+        let outcome = parallel.run(&workload, horizon).unwrap();
+        linearization_equivalent(&reference, &outcome)
+            .unwrap_or_else(|e| panic!("{workers} workers: {e}"));
+    }
+}
+
+#[test]
+fn preemption_points_survive_the_parallel_executor() {
+    // A slow low-urgency hog shares CPU 0 with a fast high-urgency dart;
+    // CPU 1 runs an independent hog. The dart must displace the hog at the
+    // same instants in every mode.
+    let workload = Workload::new(2, 77)
+        .task(
+            TaskConfig::periodic(
+                "hog",
+                drt::rtos::task::Priority(5),
+                SimDuration::from_millis(10),
+            )
+            .unwrap()
+            .on_cpu(0),
+            || {
+                Box::new(FnBody(|ctx: &mut TaskCtx<'_>| {
+                    ctx.compute(SimDuration::from_millis(4));
+                }))
+            },
+        )
+        .task(
+            TaskConfig::periodic(
+                "dart",
+                drt::rtos::task::Priority(1),
+                SimDuration::from_millis(1),
+            )
+            .unwrap()
+            .on_cpu(0)
+            .with_latency_tracking(),
+            || {
+                Box::new(FnBody(|ctx: &mut TaskCtx<'_>| {
+                    ctx.compute(SimDuration::from_micros(100));
+                }))
+            },
+        )
+        .task(
+            TaskConfig::periodic(
+                "hog2",
+                drt::rtos::task::Priority(5),
+                SimDuration::from_millis(5),
+            )
+            .unwrap()
+            .on_cpu(1),
+            || {
+                Box::new(FnBody(|ctx: &mut TaskCtx<'_>| {
+                    ctx.compute(SimDuration::from_millis(2));
+                }))
+            },
+        );
+    let horizon = SimDuration::from_millis(40);
+    let reference = DeterministicExecutor.run(&workload, horizon).unwrap();
+    let preemptions = |outcome: &drt::rtos::exec::ExecOutcome| {
+        outcome
+            .trace
+            .iter()
+            .filter(|e| matches!(&e.entry.event, KEvent::Preempt { task, .. } if task.as_str() == "hog"))
+            .count()
+    };
+    let reference_preemptions = preemptions(&reference);
+    assert!(
+        reference_preemptions >= 10,
+        "expected steady preemption, saw {reference_preemptions}"
+    );
+    for parallel in parallel_variants(2) {
+        let workers = parallel.workers();
+        let outcome = parallel.run(&workload, horizon).unwrap();
+        linearization_equivalent(&reference, &outcome)
+            .unwrap_or_else(|e| panic!("{workers} workers: {e}"));
+        assert_eq!(preemptions(&outcome), reference_preemptions);
+    }
+}
+
+#[test]
+fn fifo_handoff_crosses_the_cpu_boundary_in_every_mode() {
+    // Producer on CPU 0 streams into a FIFO homed on CPU 1; the consumer
+    // tallies received bytes into a CPU-local SHM segment. Cross-CPU
+    // streams are not quiescent (parallel delivery lands at epoch
+    // barriers), so this asserts delivery, not schedule equality.
+    let build = || {
+        Workload::new(2, 19)
+            .fifo("pipe", 256, 1)
+            .shm("tally", DataType::Byte, 8)
+            .task(
+                TaskConfig::periodic(
+                    "feed",
+                    drt::rtos::task::Priority(3),
+                    SimDuration::from_millis(1),
+                )
+                .unwrap()
+                .on_cpu(0),
+                || {
+                    let mut cycle: u64 = 0;
+                    Box::new(FnBody(move |ctx: &mut TaskCtx<'_>| {
+                        cycle += 1;
+                        let _ = ctx.fifo_put("pipe", &cycle.to_le_bytes());
+                    }))
+                },
+            )
+            .task(
+                TaskConfig::periodic(
+                    "drain",
+                    drt::rtos::task::Priority(3),
+                    SimDuration::from_millis(2),
+                )
+                .unwrap()
+                .on_cpu(1),
+                || {
+                    let mut total: u64 = 0;
+                    Box::new(FnBody(move |ctx: &mut TaskCtx<'_>| {
+                        if let Ok(bytes) = ctx.fifo_get("pipe", 64) {
+                            total += bytes.len() as u64;
+                        }
+                        let _ = ctx.shm_write("tally", &total.to_le_bytes());
+                    }))
+                },
+            )
+    };
+    let workload = build();
+    let horizon = SimDuration::from_millis(40);
+    let executors: Vec<Box<dyn Executor>> = vec![
+        Box::new(DeterministicExecutor),
+        Box::new(ParallelExecutor::new(2).with_epoch(SimDuration::from_millis(5))),
+    ];
+    for executor in executors {
+        let outcome = executor.run(&workload, horizon).unwrap();
+        let tally = outcome
+            .shm
+            .iter()
+            .find(|p| p.name == "tally")
+            .map(|p| u64::from_le_bytes(p.bytes[..8].try_into().unwrap()))
+            .unwrap();
+        assert!(
+            tally > 0,
+            "{}: consumer never saw FIFO bytes",
+            executor.name()
+        );
+    }
+}
+
+#[test]
+fn env_selected_executor_runs_the_fleet() {
+    // CI runs this test twice: once with `RTOS_EXECUTOR` unset (serial) and
+    // once with `RTOS_EXECUTOR=parallel`, driving the threaded path through
+    // the same assertions.
+    let workload = Workload::new(2, 5)
+        .task(
+            TaskConfig::periodic(
+                "beat0",
+                drt::rtos::task::Priority(2),
+                SimDuration::from_millis(1),
+            )
+            .unwrap()
+            .on_cpu(0),
+            || Box::new(drt::rtos::task::IdleBody),
+        )
+        .task(
+            TaskConfig::periodic(
+                "beat1",
+                drt::rtos::task::Priority(2),
+                SimDuration::from_millis(1),
+            )
+            .unwrap()
+            .on_cpu(1),
+            || Box::new(drt::rtos::task::IdleBody),
+        );
+    let executor = executor_from_env();
+    let outcome = executor
+        .run(&workload, SimDuration::from_millis(20))
+        .unwrap();
+    assert!(outcome.task("beat0").unwrap().cycles >= 19);
+    assert!(outcome.task("beat1").unwrap().cycles >= 19);
+}
