@@ -20,6 +20,9 @@ pub enum LedgerError {
     NoSuchCpu(u32),
     /// The usage claim is not a finite fraction in `(0, 1]`.
     InvalidUsage(f64),
+    /// The component holds no reservation (release-twice or
+    /// release-unknown — either is an accounting bug in the caller).
+    NotReserved(String),
 }
 
 impl fmt::Display for LedgerError {
@@ -31,6 +34,9 @@ impl fmt::Display for LedgerError {
             LedgerError::NoSuchCpu(cpu) => write!(f, "no CPU {cpu}"),
             LedgerError::InvalidUsage(usage) => {
                 write!(f, "usage claim {usage} outside (0, 1]")
+            }
+            LedgerError::NotReserved(name) => {
+                write!(f, "component `{name}` holds no reservation")
             }
         }
     }
@@ -85,10 +91,20 @@ impl AdmissionLedger {
         Ok(())
     }
 
-    /// Releases a component's reservation. Returns the freed `(cpu, usage)`
-    /// or `None` if it held none.
-    pub fn release(&mut self, component: &str) -> Option<(u32, f64)> {
-        self.reservations.remove(component)
+    /// Releases a component's reservation, returning the freed
+    /// `(cpu, usage)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::NotReserved`] when the component holds no
+    /// reservation — a release-twice or release-unknown is an accounting
+    /// bug in the caller (before this guard a double release silently
+    /// passed, masking per-CPU total corruption), so it is surfaced as a
+    /// typed error instead of a silent no-op.
+    pub fn release(&mut self, component: &str) -> Result<(u32, f64), LedgerError> {
+        self.reservations
+            .remove(component)
+            .ok_or_else(|| LedgerError::NotReserved(component.to_string()))
     }
 
     /// Total reserved fraction on `cpu`.
@@ -135,10 +151,29 @@ mod tests {
         l.reserve("cam", 1, 0.5).unwrap();
         assert!((l.utilization(0) - 0.4).abs() < 1e-9);
         assert!((l.utilization(1) - 0.5).abs() < 1e-9);
-        assert_eq!(l.release("calc"), Some((0, 0.3)));
+        assert_eq!(l.release("calc"), Ok((0, 0.3)));
         assert!((l.utilization(0) - 0.1).abs() < 1e-9);
-        assert_eq!(l.release("calc"), None);
         assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn release_twice_and_release_unknown_are_typed_errors() {
+        let mut l = AdmissionLedger::new(1);
+        l.reserve("calc", 0, 0.3).unwrap();
+        assert_eq!(l.release("calc"), Ok((0, 0.3)));
+        // Second release of the same component: the reservation is gone.
+        assert_eq!(
+            l.release("calc"),
+            Err(LedgerError::NotReserved("calc".into()))
+        );
+        // Release of a component that never reserved.
+        assert_eq!(
+            l.release("ghost"),
+            Err(LedgerError::NotReserved("ghost".into()))
+        );
+        // Neither failed release disturbed the totals.
+        assert_eq!(l.len(), 0);
+        assert!((l.utilization(0)).abs() < 1e-12);
     }
 
     #[test]

@@ -1776,7 +1776,16 @@ impl Drcr {
             let _ = kernel.mailboxes_mut().delete(&mbx);
         }
         drop(kernel);
-        self.ledger.release(name);
+        // Non-holding states legitimately carry no reservation (an
+        // Unsatisfied component being uninstalled, say); holding states
+        // must release exactly once — the ledger's NotReserved guard makes
+        // a double release loud instead of silently skewing totals.
+        if self.ledger.release(name).is_err() {
+            debug_assert!(
+                !from_state.holds_admission(),
+                "`{name}` held admission but no ledger reservation"
+            );
+        }
         if let Some(svc) = mgmt {
             fw.registry_mut().unregister(svc);
         }

@@ -98,6 +98,16 @@ pub enum DrcrError {
         /// The requested state.
         to: ComponentState,
     },
+    /// A fleet references a communication channel no member provides
+    /// (e.g. a stream inport with no producing outport anywhere in the
+    /// fleet): the read side would only fail at run time, so the lowering
+    /// rejects the topology up front.
+    MissingChannel {
+        /// The consuming component.
+        component: String,
+        /// The unprovided port/channel name.
+        port: String,
+    },
     /// A kernel operation failed.
     Kernel(String),
     /// Descriptor problems detected at registration time.
@@ -121,6 +131,12 @@ impl fmt::Display for DrcrError {
                 f,
                 "component `{component}` cannot move from {from:?} to {to:?}"
             ),
+            DrcrError::MissingChannel { component, port } => {
+                write!(
+                    f,
+                    "component `{component}` consumes channel `{port}` that no fleet member provides"
+                )
+            }
             DrcrError::Kernel(msg) => write!(f, "kernel error: {msg}"),
             DrcrError::Descriptor(e) => write!(f, "{e}"),
             DrcrError::Management(msg) => write!(f, "management channel error: {msg}"),

@@ -282,6 +282,114 @@ impl RtLogic for FaultInjector {
     }
 }
 
+// ---------------------------------------------------------------------
+// Node-level faults (federation)
+// ---------------------------------------------------------------------
+
+/// One injectable fault at federation level — a whole node or the bridge
+/// fabric between nodes, rather than a single component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeFaultKind {
+    /// Hard-kill a node: its kernel stops advancing mid-run and every
+    /// component it hosted is displaced.
+    Crash {
+        /// The node to kill.
+        node: u32,
+    },
+    /// Cut a set of nodes off from the hub (and from every node outside
+    /// the set): messages in either direction stop arriving until a
+    /// [`NodeFaultKind::Heal`].
+    Partition {
+        /// The isolated (minority) node set.
+        isolated: Vec<u32>,
+    },
+    /// Heal the active partition.
+    Heal,
+}
+
+/// Per-message loss/latency probabilities for the inter-node bridge
+/// links, applied uniformly to every link (acks included, so the
+/// at-least-once retry and receiver dedup paths are genuinely exercised).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkRates {
+    /// Probability that a message transmission is lost.
+    pub drop: f64,
+    /// Probability that a surviving transmission is delayed.
+    pub delay: f64,
+    /// Delay magnitude range in federation ticks (uniform, inclusive
+    /// lower bound).
+    pub delay_ticks: (u64, u64),
+}
+
+impl Default for LinkRates {
+    fn default() -> Self {
+        LinkRates {
+            drop: 0.0,
+            delay: 0.0,
+            delay_ticks: (1, 3),
+        }
+    }
+}
+
+/// A deterministic schedule of node/link faults keyed on federation tick,
+/// extending [`FaultPlan`] one layer up: same seeded, pure-function
+/// construction, but the unit of failure is a node or the bridge fabric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeFaultPlan {
+    seed: u64,
+    events: BTreeMap<u64, Vec<NodeFaultKind>>,
+    rates: LinkRates,
+}
+
+impl NodeFaultPlan {
+    /// An empty plan; `seed` drives per-link drop/delay draws.
+    pub fn new(seed: u64) -> Self {
+        NodeFaultPlan {
+            seed,
+            events: BTreeMap::new(),
+            rates: LinkRates::default(),
+        }
+    }
+
+    /// Adds one fault at one tick (chainable; same-tick faults fire in
+    /// insertion order).
+    pub fn at(mut self, tick: u64, kind: NodeFaultKind) -> Self {
+        self.events.entry(tick).or_default().push(kind);
+        self
+    }
+
+    /// Sets the per-message link loss/latency rates.
+    pub fn with_link_rates(mut self, rates: LinkRates) -> Self {
+        self.rates = rates;
+        self
+    }
+
+    /// The seed driving link-level randomness.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-message link rates.
+    pub fn rates(&self) -> &LinkRates {
+        &self.rates
+    }
+
+    /// The faults declared for one tick.
+    pub fn events_at(&self, tick: u64) -> &[NodeFaultKind] {
+        self.events.get(&tick).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Total declared faults.
+    pub fn total(&self) -> usize {
+        self.events.values().map(Vec::len).sum()
+    }
+
+    /// Ticks that carry at least one fault, ascending.
+    pub fn ticks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.events.keys().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,5 +430,29 @@ mod tests {
     fn zero_rates_inject_nothing() {
         let plan = FaultPlan::storm(1, 10_000, &StormRates::default());
         assert_eq!(plan.total(), 0);
+    }
+
+    #[test]
+    fn node_plans_answer_per_tick_lookups() {
+        let plan = NodeFaultPlan::new(5)
+            .at(4, NodeFaultKind::Crash { node: 2 })
+            .at(
+                4,
+                NodeFaultKind::Partition {
+                    isolated: vec![0, 1],
+                },
+            )
+            .at(9, NodeFaultKind::Heal)
+            .with_link_rates(LinkRates {
+                drop: 0.1,
+                ..LinkRates::default()
+            });
+        assert_eq!(plan.total(), 3);
+        assert_eq!(plan.events_at(4).len(), 2);
+        assert_eq!(plan.events_at(9), &[NodeFaultKind::Heal]);
+        assert!(plan.events_at(5).is_empty());
+        assert_eq!(plan.ticks().collect::<Vec<_>>(), vec![4, 9]);
+        assert_eq!(plan.seed(), 5);
+        assert!((plan.rates().drop - 0.1).abs() < 1e-12);
     }
 }

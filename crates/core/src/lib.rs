@@ -37,6 +37,7 @@
 //! | [`adl`] | §6 (future work) | validated assemblies with explicit connections |
 //! | [`parallel`] | §3/§6 | descriptor fleets on the parallel executor |
 //! | [`runtime`] | §3 (Fig. 3) | the assembled split container |
+//! | [`federation`] | §6 (future work) | multi-node sharding, failover, degradation |
 //!
 //! ## Quick start
 //!
@@ -72,6 +73,7 @@ pub mod drcr;
 pub mod enforce;
 pub mod error;
 pub mod faults;
+pub mod federation;
 pub mod hybrid;
 pub mod lifecycle;
 pub mod manage;
@@ -97,7 +99,11 @@ pub use drcr::{
 };
 pub use enforce::{ContractMonitor, EnforcementAction, EnforcementPolicy, Violation};
 pub use error::{DescriptorError, DrcrError};
-pub use faults::{FaultInjector, FaultKind, FaultPlan, InjectionLog, StormRates};
+pub use faults::{
+    FaultInjector, FaultKind, FaultPlan, InjectionLog, LinkRates, NodeFaultKind, NodeFaultPlan,
+    StormRates,
+};
+pub use federation::{FailoverAccounting, Federation, FederationConfig};
 pub use hybrid::{BridgeMode, FnLogic, RtIo, RtLogic};
 pub use lifecycle::ComponentState;
 pub use manage::{
@@ -106,7 +112,9 @@ pub use manage::{
 pub use model::{
     CpuUsage, OperatingMode, PortInterface, PortSpec, PropertyValue, TaskSpec, BASE_MODE,
 };
-pub use obs::{BridgeEvent, DrcrEvent, Histogram, MetricsRegistry, MetricsReport};
+pub use obs::{
+    BridgeEvent, DrcrEvent, FedEndpoint, FedEvent, Histogram, MetricsRegistry, MetricsReport,
+};
 pub use parallel::{FleetBridge, FleetMember};
 pub use reactive::{AdmissionPolicy, NaiveResolver, ReactiveResolver};
 pub use resolve::{

@@ -402,6 +402,262 @@ impl fmt::Display for BridgeEvent {
 }
 
 // ---------------------------------------------------------------------
+// Federation events
+// ---------------------------------------------------------------------
+
+/// One end of an inter-node bridge link: the hub coordinator or a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FedEndpoint {
+    /// The hub coordinator holding the synced global view.
+    Hub,
+    /// A federated node by id.
+    Node(u32),
+}
+
+impl fmt::Display for FedEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FedEndpoint::Hub => write!(f, "hub"),
+            FedEndpoint::Node(id) => write!(f, "node {id}"),
+        }
+    }
+}
+
+/// A decision or state change inside a federation
+/// ([`crate::federation::Federation`]): failure detection, cross-node
+/// failover, partition degradation and bridge-link delivery, all keyed on
+/// the federation tick they happened at.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FedEvent {
+    /// The failure detector moved a node to Suspected.
+    NodeSuspected {
+        /// The node.
+        node: u32,
+        /// Consecutive heartbeats missed.
+        missed: u32,
+    },
+    /// The failure detector declared a node Failed; its components are
+    /// displaced and failover placement begins.
+    NodeFailed {
+        /// The node.
+        node: u32,
+        /// Consecutive heartbeats missed.
+        missed: u32,
+    },
+    /// The fault plan hard-killed a node (ground truth, distinct from the
+    /// detector's verdict).
+    NodeCrashed {
+        /// The node.
+        node: u32,
+    },
+    /// The fault plan cut a node set off from the hub.
+    PartitionStarted {
+        /// The isolated (minority) nodes.
+        isolated: Vec<u32>,
+    },
+    /// The active partition healed.
+    PartitionHealed,
+    /// A node lost hub contact long enough to fall back to local-only
+    /// admission.
+    NodeDegraded {
+        /// The node.
+        node: u32,
+        /// Ticks since the last hub contact.
+        since_ticks: u32,
+    },
+    /// A degraded or falsely-failed node re-established hub contact.
+    NodeRejoined {
+        /// The node.
+        node: u32,
+    },
+    /// The hub planned a failover placement for a displaced component.
+    MigrationPlanned {
+        /// The component.
+        component: String,
+        /// The node it was displaced from.
+        from: u32,
+        /// The target node.
+        to: u32,
+        /// The placement epoch (stale acks are ignored).
+        epoch: u64,
+    },
+    /// A failover placement was admitted on its target node.
+    MigrationAdmitted {
+        /// The component.
+        component: String,
+        /// The target node.
+        node: u32,
+        /// The placement epoch.
+        epoch: u64,
+    },
+    /// A failover placement was rejected by the target node's admission.
+    MigrationRejected {
+        /// The component.
+        component: String,
+        /// The target node.
+        node: u32,
+        /// The admission rejection reason.
+        reason: String,
+    },
+    /// The failover supervisor granted a placement retry after backoff.
+    FailoverRetryScheduled {
+        /// The component.
+        component: String,
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Federation ticks before the retry.
+        delay_ticks: u64,
+    },
+    /// The failover supervisor exhausted the retry budget (or tripped its
+    /// flap window): the component stays out with typed evidence.
+    FailoverQuarantined {
+        /// The component.
+        component: String,
+        /// Why.
+        reason: String,
+    },
+    /// A degraded node admitted an arrival through its own local
+    /// resolver instead of the hub.
+    LocalAdmission {
+        /// The node.
+        node: u32,
+        /// The component.
+        component: String,
+        /// The local admission verdict.
+        admitted: bool,
+    },
+    /// Post-heal reconciliation retired a component copy the hub had
+    /// re-placed elsewhere while the node was partitioned (hub wins).
+    ReconcileRetired {
+        /// The node retiring its copy.
+        node: u32,
+        /// The component.
+        component: String,
+    },
+    /// A bridge message transmission was lost.
+    MessageDropped {
+        /// Sender.
+        from: FedEndpoint,
+        /// Receiver.
+        to: FedEndpoint,
+        /// Link-level sequence number.
+        seq: u64,
+    },
+    /// An unacked bridge message was retransmitted.
+    MessageRetried {
+        /// Sender.
+        from: FedEndpoint,
+        /// Receiver.
+        to: FedEndpoint,
+        /// Link-level sequence number.
+        seq: u64,
+        /// 1-based transmission attempt.
+        attempt: u32,
+    },
+    /// The bounded retry budget for a bridge message ran out.
+    MessageExpired {
+        /// Sender.
+        from: FedEndpoint,
+        /// Receiver.
+        to: FedEndpoint,
+        /// Link-level sequence number.
+        seq: u64,
+    },
+}
+
+impl fmt::Display for FedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FedEvent::NodeSuspected { node, missed } => {
+                write!(f, "node {node} suspected ({missed} heartbeats missed)")
+            }
+            FedEvent::NodeFailed { node, missed } => {
+                write!(f, "node {node} failed ({missed} heartbeats missed)")
+            }
+            FedEvent::NodeCrashed { node } => write!(f, "node {node} crashed"),
+            FedEvent::PartitionStarted { isolated } => {
+                let ids: Vec<String> = isolated.iter().map(u32::to_string).collect();
+                write!(
+                    f,
+                    "partition started: nodes {{{}}} isolated",
+                    ids.join(", ")
+                )
+            }
+            FedEvent::PartitionHealed => write!(f, "partition healed"),
+            FedEvent::NodeDegraded { node, since_ticks } => {
+                write!(
+                    f,
+                    "node {node} degraded to local admission ({since_ticks} ticks without hub)"
+                )
+            }
+            FedEvent::NodeRejoined { node } => write!(f, "node {node} rejoined"),
+            FedEvent::MigrationPlanned {
+                component,
+                from,
+                to,
+                epoch,
+            } => write!(
+                f,
+                "migration of `{component}` planned: node {from} -> node {to} (epoch {epoch})"
+            ),
+            FedEvent::MigrationAdmitted {
+                component,
+                node,
+                epoch,
+            } => write!(
+                f,
+                "`{component}` re-admitted on node {node} (epoch {epoch})"
+            ),
+            FedEvent::MigrationRejected {
+                component,
+                node,
+                reason,
+            } => write!(
+                f,
+                "`{component}` rejected by node {node} admission: {reason}"
+            ),
+            FedEvent::FailoverRetryScheduled {
+                component,
+                attempt,
+                delay_ticks,
+            } => write!(
+                f,
+                "failover retry #{attempt} of `{component}` in {delay_ticks} ticks"
+            ),
+            FedEvent::FailoverQuarantined { component, reason } => {
+                write!(f, "failover of `{component}` quarantined: {reason}")
+            }
+            FedEvent::LocalAdmission {
+                node,
+                component,
+                admitted,
+            } => {
+                let verdict = if *admitted { "admitted" } else { "rejected" };
+                write!(f, "node {node} locally {verdict} `{component}`")
+            }
+            FedEvent::ReconcileRetired { node, component } => {
+                write!(f, "node {node} retired `{component}` on reconcile")
+            }
+            FedEvent::MessageDropped { from, to, seq } => {
+                write!(f, "message {from} -> {to} #{seq} dropped")
+            }
+            FedEvent::MessageRetried {
+                from,
+                to,
+                seq,
+                attempt,
+            } => write!(
+                f,
+                "message {from} -> {to} #{seq} retried (attempt {attempt})"
+            ),
+            FedEvent::MessageExpired { from, to, seq } => {
+                write!(f, "message {from} -> {to} #{seq} gave up")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Metrics
 // ---------------------------------------------------------------------
 

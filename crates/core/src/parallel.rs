@@ -114,8 +114,10 @@ impl FleetBridge {
     /// # Errors
     ///
     /// [`DrcrError::DuplicateComponent`] on a repeated component name,
-    /// [`DrcrError::Kernel`] when a contract cannot be expressed on this
-    /// machine (CPU out of range, invalid task name).
+    /// [`DrcrError::MissingChannel`] when a stream inport has no producing
+    /// outport anywhere in the fleet, [`DrcrError::Kernel`] when a
+    /// contract cannot be expressed on this machine (CPU out of range,
+    /// invalid task name, cross-CPU wakeup binding).
     pub fn build(&self) -> Result<Workload, DrcrError> {
         let mut seen: Vec<&str> = Vec::new();
         for member in &self.members {
@@ -183,6 +185,23 @@ impl FleetBridge {
             }
         }
 
+        // A stream consumer with no producer anywhere in the fleet would
+        // run against a channel that was never created and fail only from
+        // inside its body at run time. Reject the topology here, typed,
+        // before an executor ever spins up.
+        for member in &self.members {
+            for port in &member.descriptor.inports {
+                if port.interface == PortInterface::Fifo
+                    && !declared.iter().any(|d| d == port.name.as_str())
+                {
+                    return Err(DrcrError::MissingChannel {
+                        component: member.descriptor.name.to_string(),
+                        port: port.name.to_string(),
+                    });
+                }
+            }
+        }
+
         for member in &self.members {
             let descriptor = &member.descriptor;
             let name = descriptor.name.as_str();
@@ -205,11 +224,32 @@ impl FleetBridge {
             let wake_on = if descriptor.task.is_periodic() {
                 None
             } else {
-                descriptor
+                match descriptor
                     .inports
                     .iter()
                     .find(|p| p.interface == PortInterface::Mailbox)
-                    .map(|p| p.name.to_string())
+                {
+                    Some(p) => {
+                        // Wakeup bindings must stay CPU-local and the
+                        // queue was homed on the fleet's *first* consumer;
+                        // a second consumer on another CPU would otherwise
+                        // surface only from `Workload::validate` at run
+                        // time, without the component named.
+                        let home = consumer_cpu
+                            .get(p.name.as_str())
+                            .copied()
+                            .unwrap_or_else(|| descriptor.task.cpu());
+                        if home != descriptor.task.cpu() {
+                            return Err(DrcrError::Kernel(format!(
+                                "component `{name}` wakes on mailbox `{}` homed on CPU {home}, not its CPU {}",
+                                p.name,
+                                descriptor.task.cpu()
+                            )));
+                        }
+                        Some(p.name.to_string())
+                    }
+                    None => None,
+                }
             };
             workload = workload.task_spec(ExecTaskSpec {
                 config,
@@ -409,6 +449,77 @@ mod tests {
             matches!(err, DrcrError::DuplicateComponent(_)),
             "got {err:?}"
         );
+    }
+
+    #[test]
+    fn orphan_fifo_inport_is_a_typed_missing_channel() {
+        // A stream consumer whose producing outport exists nowhere in the
+        // fleet: before the guard this lowered cleanly and failed only
+        // from inside the body at run time.
+        let eater = ComponentDescriptor::builder("eater")
+            .periodic(100, 0, 2)
+            .inport("stream", PortInterface::Fifo, DataType::Byte, 8)
+            .build()
+            .unwrap();
+        let err = FleetBridge::new(1, 1)
+            .component(eater, || Box::new(rtos::task::IdleBody))
+            .build()
+            .err()
+            .expect("orphan stream inport must be rejected");
+        assert_eq!(
+            err,
+            DrcrError::MissingChannel {
+                component: "eater".into(),
+                port: "stream".into(),
+            }
+        );
+        // The same inport with a producer lowers fine.
+        let maker = ComponentDescriptor::builder("maker")
+            .periodic(100, 0, 3)
+            .outport("stream", PortInterface::Fifo, DataType::Byte, 8)
+            .build()
+            .unwrap();
+        let eater = ComponentDescriptor::builder("eater")
+            .periodic(100, 0, 2)
+            .inport("stream", PortInterface::Fifo, DataType::Byte, 8)
+            .build()
+            .unwrap();
+        FleetBridge::new(1, 1)
+            .component(maker, || Box::new(rtos::task::IdleBody))
+            .component(eater, || Box::new(rtos::task::IdleBody))
+            .build()
+            .expect("provided stream must lower");
+    }
+
+    #[test]
+    fn cross_cpu_wakeup_binding_is_a_typed_error() {
+        // Two aperiodic consumers of one mailbox on different CPUs: the
+        // queue homes on the first (CPU 0), so the second's wakeup binding
+        // cannot stay CPU-local. Must fail at build() with the component
+        // named, not at executor validation.
+        let first = ComponentDescriptor::builder("first")
+            .aperiodic(0, 3)
+            .inport("cmd", PortInterface::Mailbox, DataType::Byte, 8)
+            .build()
+            .unwrap();
+        let second = ComponentDescriptor::builder("second")
+            .aperiodic(1, 3)
+            .inport("cmd", PortInterface::Mailbox, DataType::Byte, 8)
+            .build()
+            .unwrap();
+        let err = FleetBridge::new(2, 1)
+            .component(first, || Box::new(rtos::task::IdleBody))
+            .component(second, || Box::new(rtos::task::IdleBody))
+            .build()
+            .err()
+            .expect("cross-CPU wakeup binding must be rejected");
+        match err {
+            DrcrError::Kernel(msg) => {
+                assert!(msg.contains("second"), "component not named: {msg}");
+                assert!(msg.contains("cmd"), "mailbox not named: {msg}");
+            }
+            other => panic!("expected Kernel error, got {other:?}"),
+        }
     }
 
     #[test]

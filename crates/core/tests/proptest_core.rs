@@ -389,7 +389,7 @@ fn ledger_accounting() {
             } else {
                 let released = ledger.release(&name);
                 assert_eq!(
-                    released.is_some(),
+                    released.is_ok(),
                     model.remove(&name).is_some(),
                     "case {case}"
                 );

@@ -1103,6 +1103,151 @@ pub fn linearization_equivalent(
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Multi-kernel lockstep
+// ---------------------------------------------------------------------------
+
+/// Epoch coordinator for a *fleet of kernels* advancing in lockstep — the
+/// multi-machine counterpart of the in-process epoch barrier the
+/// [`ParallelExecutor`] runs its CPU shards on. Each participant (one
+/// simulated node's [`Kernel`]) is advanced to a common barrier instant
+/// per epoch via [`Kernel::run_until`]; the coordinator tracks who reached
+/// the barrier, freezes dead participants at the instant they were killed,
+/// and reports drift — a kernel already past the barrier means something
+/// advanced it outside the coordinator, which would silently break the
+/// determinism of any cross-kernel exchange layered on top.
+///
+/// The coordinator deliberately does not own the kernels: an orchestration
+/// layer (e.g. a federation of DRCR shards) interleaves its own message
+/// exchange between epochs, exactly as the parallel executor exchanges IPC
+/// at its barriers.
+#[derive(Debug, Default)]
+pub struct Lockstep {
+    barrier: SimTime,
+    participants: Vec<LockstepSlot>,
+}
+
+#[derive(Debug)]
+struct LockstepSlot {
+    label: String,
+    alive: bool,
+    reached: SimTime,
+    ran_this_epoch: bool,
+}
+
+impl Lockstep {
+    /// A coordinator with the barrier at time zero and no participants.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a participant; the returned id names it in every later
+    /// call.
+    pub fn register(&mut self, label: &str) -> usize {
+        self.participants.push(LockstepSlot {
+            label: label.to_string(),
+            alive: true,
+            reached: SimTime::ZERO,
+            ran_this_epoch: false,
+        });
+        self.participants.len() - 1
+    }
+
+    /// The current barrier instant.
+    pub fn barrier(&self) -> SimTime {
+        self.barrier
+    }
+
+    /// Opens the next epoch: moves the barrier forward by `span` and
+    /// clears the per-epoch progress flags. Returns the new barrier.
+    pub fn begin_epoch(&mut self, span: SimDuration) -> SimTime {
+        self.barrier += span;
+        for slot in &mut self.participants {
+            slot.ran_this_epoch = false;
+        }
+        self.barrier
+    }
+
+    /// Advances one participant's kernel to the barrier.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError`] when the participant is dead, unknown, or its kernel
+    /// sits *past* the barrier already (drift: it was advanced outside the
+    /// coordinator).
+    pub fn run_to_barrier(&mut self, id: usize, kernel: &mut Kernel) -> Result<SimTime, ExecError> {
+        let barrier = self.barrier;
+        let slot = self
+            .participants
+            .get_mut(id)
+            .ok_or_else(|| ExecError::new(format!("no lockstep participant {id}")))?;
+        if !slot.alive {
+            return Err(ExecError::new(format!(
+                "participant '{}' is dead (frozen at {:?})",
+                slot.label, slot.reached
+            )));
+        }
+        if kernel.now() > barrier {
+            return Err(ExecError::new(format!(
+                "participant '{}' drifted past the barrier: kernel at {:?}, barrier {:?}",
+                slot.label,
+                kernel.now(),
+                barrier
+            )));
+        }
+        kernel.run_until(barrier);
+        slot.reached = kernel.now();
+        slot.ran_this_epoch = true;
+        Ok(slot.reached)
+    }
+
+    /// Kills a participant: its kernel is frozen where it stands and every
+    /// later [`Lockstep::run_to_barrier`] for it errors.
+    pub fn mark_dead(&mut self, id: usize) {
+        if let Some(slot) = self.participants.get_mut(id) {
+            slot.alive = false;
+            slot.ran_this_epoch = true;
+        }
+    }
+
+    /// Whether a participant is still advancing.
+    pub fn is_alive(&self, id: usize) -> bool {
+        self.participants.get(id).is_some_and(|s| s.alive)
+    }
+
+    /// Number of live participants.
+    pub fn alive_count(&self) -> usize {
+        self.participants.iter().filter(|s| s.alive).count()
+    }
+
+    /// Closes the epoch: every live participant must have been advanced
+    /// to the barrier since [`Lockstep::begin_epoch`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError`] naming the first laggard or drifted participant.
+    pub fn finish_epoch(&self) -> Result<(), ExecError> {
+        for slot in &self.participants {
+            if !slot.alive {
+                continue;
+            }
+            if !slot.ran_this_epoch {
+                return Err(ExecError::new(format!(
+                    "participant '{}' never ran this epoch (barrier {:?})",
+                    slot.label, self.barrier
+                )));
+            }
+            if slot.reached != self.barrier {
+                return Err(ExecError::new(format!(
+                    "participant '{}' stopped at {:?}, barrier {:?}",
+                    slot.label, slot.reached, self.barrier
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1255,5 +1400,79 @@ mod tests {
         if std::env::var("RTOS_EXECUTOR").is_err() {
             assert_eq!(executor_from_env().name(), "deterministic");
         }
+    }
+
+    fn ticking_kernel(seed: u64) -> Kernel {
+        let mut kernel = Kernel::new(KernelConfig::new(seed).with_timer(TimerJitterModel::ideal()));
+        let cfg = TaskConfig::periodic("tick", Priority(2), SimDuration::from_millis(1)).unwrap();
+        let id = kernel
+            .create_task(
+                cfg,
+                Box::new(FnBody(|_ctx: &mut crate::kernel::TaskCtx<'_>| {})),
+            )
+            .unwrap();
+        kernel.start_task(id).unwrap();
+        kernel
+    }
+
+    #[test]
+    fn lockstep_advances_a_kernel_fleet_to_common_barriers() {
+        let mut step = Lockstep::new();
+        let mut kernels: Vec<Kernel> = (0..3).map(ticking_kernel).collect();
+        let ids: Vec<usize> = (0..3).map(|i| step.register(&format!("n{i}"))).collect();
+        for _ in 0..5 {
+            let barrier = step.begin_epoch(SimDuration::from_millis(10));
+            for (id, kernel) in ids.iter().zip(kernels.iter_mut()) {
+                let reached = step.run_to_barrier(*id, kernel).unwrap();
+                assert_eq!(reached, barrier);
+            }
+            step.finish_epoch().unwrap();
+        }
+        for kernel in &kernels {
+            assert_eq!(kernel.now(), SimTime::ZERO + SimDuration::from_millis(50));
+            // 50 ms at 1 kHz: the fleet really ran, it didn't just warp.
+            assert!(kernel.counters().dispatches >= 49);
+        }
+    }
+
+    #[test]
+    fn lockstep_freezes_dead_participants_and_reports_drift() {
+        let mut step = Lockstep::new();
+        let mut a = ticking_kernel(1);
+        let mut b = ticking_kernel(2);
+        let ia = step.register("a");
+        let ib = step.register("b");
+        step.begin_epoch(SimDuration::from_millis(10));
+        step.run_to_barrier(ia, &mut a).unwrap();
+        step.run_to_barrier(ib, &mut b).unwrap();
+        step.finish_epoch().unwrap();
+
+        // Kill b: it freezes at the last barrier and later epochs reject it.
+        step.mark_dead(ib);
+        assert!(!step.is_alive(ib));
+        assert_eq!(step.alive_count(), 1);
+        step.begin_epoch(SimDuration::from_millis(10));
+        step.run_to_barrier(ia, &mut a).unwrap();
+        assert!(step.run_to_barrier(ib, &mut b).is_err());
+        step.finish_epoch().unwrap();
+        assert_eq!(b.now(), SimTime::ZERO + SimDuration::from_millis(10));
+
+        // A kernel advanced outside the coordinator is drift, not silence.
+        a.run_for(SimDuration::from_millis(25));
+        step.begin_epoch(SimDuration::from_millis(10));
+        let err = step.run_to_barrier(ia, &mut a).unwrap_err();
+        assert!(err.to_string().contains("drifted"), "{err}");
+    }
+
+    #[test]
+    fn lockstep_finish_epoch_catches_laggards() {
+        let mut step = Lockstep::new();
+        let mut a = ticking_kernel(3);
+        let ia = step.register("a");
+        let _ib = step.register("b");
+        step.begin_epoch(SimDuration::from_millis(5));
+        step.run_to_barrier(ia, &mut a).unwrap();
+        let err = step.finish_epoch().unwrap_err();
+        assert!(err.to_string().contains("'b'"), "{err}");
     }
 }

@@ -72,7 +72,7 @@ pub mod trace;
 pub use error::{IpcError, KernelError, NameError};
 pub use exec::{
     executor_from_env, linearization_equivalent, DeterministicExecutor, ExecOutcome, Executor,
-    ParallelExecutor, Workload,
+    Lockstep, ParallelExecutor, Workload,
 };
 pub use kernel::{Kernel, KernelConfig, TaskCtx};
 pub use latency::{LatencyStats, LoadMode, TimerJitterModel, TimerMode};

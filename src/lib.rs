@@ -32,12 +32,16 @@ pub use rtos;
 pub mod prelude {
     pub use drcom::descriptor::ComponentDescriptor;
     pub use drcom::drcr::{ComponentProvider, Drcr};
-    pub use drcom::faults::{FaultInjector, FaultKind, FaultPlan, InjectionLog, StormRates};
+    pub use drcom::faults::{
+        FaultInjector, FaultKind, FaultPlan, InjectionLog, LinkRates, NodeFaultKind, NodeFaultPlan,
+        StormRates,
+    };
+    pub use drcom::federation::{FailoverAccounting, Federation, FederationConfig};
     pub use drcom::hybrid::{FnLogic, RtIo, RtLogic};
     pub use drcom::lifecycle::ComponentState;
     pub use drcom::manage::{ComponentControl, ManagementReply, RtComponentManagement};
     pub use drcom::model::{PortInterface, PropertyValue, BASE_MODE};
-    pub use drcom::obs::{BridgeEvent, DrcrEvent, MetricsReport};
+    pub use drcom::obs::{BridgeEvent, DrcrEvent, FedEndpoint, FedEvent, MetricsReport};
     pub use drcom::parallel::FleetBridge;
     pub use drcom::runtime::DrtRuntime;
     pub use drcom::supervise::{QuarantineRule, RestartPolicy, SupervisionConfig};

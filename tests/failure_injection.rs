@@ -486,3 +486,309 @@ fn fault_reaction_is_resolution_strategy_independent() {
     assert!(naive.drcr().is_quarantined("victim"));
     assert_eq!(inc.component_state("good"), Some(ComponentState::Active));
 }
+
+// ---------------------------------------------------------------------
+// Sustained fault storms: Backoff × quarantine-window interaction. The
+// backoff schedule must hold on *virtual time* across restarts — every
+// attempt releases only after its exponentially grown delay — and a
+// storm must always terminate in quarantine (via the sliding window or
+// the restart budget), never in a silent retry loop.
+// ---------------------------------------------------------------------
+
+/// A component wedged on every instance: each restarted incarnation
+/// faults again on its first cycle, sustaining the storm for as long as
+/// the policy keeps granting restarts.
+fn stormy(name: &str) -> ComponentProvider {
+    let d = ComponentDescriptor::builder(name)
+        .periodic(100, 0, 3)
+        .cpu_usage(0.1)
+        .build()
+        .unwrap();
+    ComponentProvider::new(d, || {
+        Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+            if io.cycle() == 0 {
+                panic!("storm");
+            }
+        }))
+    })
+}
+
+#[test]
+fn fault_storm_backoff_schedule_holds_on_virtual_time() {
+    let mut rt = runtime();
+    // Wide flap window (tolerating 4 faults) so the exponential schedule
+    // gets three full rounds before the window rules.
+    rt.set_supervision(
+        "storm",
+        SupervisionConfig::backoff(
+            SimDuration::from_millis(20),
+            2,
+            SimDuration::from_millis(160),
+            8,
+        )
+        .with_quarantine(SimDuration::from_secs(10), 4),
+    );
+    rt.install_component("demo.storm", stormy("storm")).unwrap();
+    rt.install_component("demo.good", simple("good", 0.1))
+        .unwrap();
+    // Fine-grained advance: the 1 ms poll granularity bounds how far past
+    // its virtual-time deadline a restart release can land.
+    for _ in 0..600 {
+        rt.advance(SimDuration::from_millis(1));
+        if rt.drcr().is_quarantined("storm") {
+            break;
+        }
+    }
+    assert!(rt.drcr().is_quarantined("storm"), "storm never quarantined");
+
+    // Three restarts were scheduled with exponentially growing delays.
+    let scheduled: Vec<(SimTime, u32, u64)> = rt
+        .drcr()
+        .events_for("storm")
+        .filter_map(|e| match e.event {
+            DrcrEvent::RestartScheduled {
+                attempt, delay_ns, ..
+            } => Some((e.time, attempt, delay_ns)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        scheduled
+            .iter()
+            .map(|(_, a, d)| (*a, *d))
+            .collect::<Vec<_>>(),
+        vec![(1, 20_000_000), (2, 40_000_000), (3, 80_000_000)],
+        "backoff schedule wrong: {scheduled:?}"
+    );
+    // And each attempt released on *virtual time*: no earlier than its
+    // delay after the scheduling decision, no later than the delay plus
+    // poll slack.
+    let attempts: Vec<(SimTime, u32)> = rt
+        .drcr()
+        .events_for("storm")
+        .filter_map(|e| match e.event {
+            DrcrEvent::RestartAttempt { attempt, .. } => Some((e.time, attempt)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(attempts.len(), 3, "attempts: {attempts:?}");
+    for (when, attempt) in &attempts {
+        let (decided, _, delay_ns) = scheduled[(*attempt - 1) as usize];
+        let gap = when.duration_since(decided).as_nanos();
+        assert!(
+            gap >= delay_ns,
+            "attempt {attempt} released {gap} ns after decision, before its {delay_ns} ns backoff"
+        );
+        assert!(
+            gap <= delay_ns + 5_000_000,
+            "attempt {attempt} released {gap} ns after decision, way past its {delay_ns} ns backoff"
+        );
+    }
+    // The 4th fault tripped the sliding window, with the window as the
+    // typed reason.
+    assert!(rt.drcr().events_for("storm").any(|e| matches!(
+        &e.event,
+        DrcrEvent::Quarantined { reason, .. } if reason.contains("faults within")
+    )));
+    // The storm never leaked: no reservation, no task, neighbour intact.
+    assert!(rt.drcr().ledger().reservation("storm").is_none());
+    assert!(rt.drcr().task_of("storm").is_none());
+    assert_eq!(rt.component_state("good"), Some(ComponentState::Active));
+}
+
+#[test]
+fn fault_storm_exhausts_restart_budget_into_quarantine() {
+    let mut rt = runtime();
+    // No flap window: the restart *budget* is the only terminator.
+    rt.set_supervision(
+        "storm",
+        SupervisionConfig::backoff(
+            SimDuration::from_millis(10),
+            2,
+            SimDuration::from_millis(40),
+            2,
+        ),
+    );
+    rt.install_component("demo.storm", stormy("storm")).unwrap();
+    for _ in 0..400 {
+        rt.advance(SimDuration::from_millis(1));
+        if rt.drcr().is_quarantined("storm") {
+            break;
+        }
+    }
+    assert!(rt.drcr().is_quarantined("storm"));
+    assert!(rt.drcr().events_for("storm").any(|e| matches!(
+        &e.event,
+        DrcrEvent::Quarantined { reason, .. } if reason.contains("restart budget exhausted (2)")
+    )));
+    // Exactly the budget's worth of attempts ran, then the storm went
+    // quiet: quarantine holds through further virtual time.
+    let count_attempts = |rt: &DrtRuntime| {
+        rt.drcr()
+            .events_for("storm")
+            .filter(|e| matches!(e.event, DrcrEvent::RestartAttempt { .. }))
+            .count()
+    };
+    assert_eq!(count_attempts(&rt), 2);
+    rt.advance(SimDuration::from_millis(300));
+    assert_eq!(count_attempts(&rt), 2, "quarantined storm restarted");
+    assert!(rt.drcr().is_quarantined("storm"));
+}
+
+// ---------------------------------------------------------------------
+// Executor-parameterized fault containment: the same fleet runs under
+// the serial executor, the threaded executor, and whatever
+// `RTOS_EXECUTOR` selects (CI runs this suite both ways), so panic
+// containment and undo-journal rollback are exercised on the parallel
+// path too.
+// ---------------------------------------------------------------------
+
+use drt::rtos::exec::{executor_from_env, DeterministicExecutor, Executor, ParallelExecutor};
+use drt::rtos::kernel::TaskCtx;
+use drt::rtos::task::{FnBody, TaskState};
+
+#[test]
+fn panic_containment_holds_under_every_executor() {
+    let build = || {
+        let mut bridge = FleetBridge::new(2, 401);
+        for cpu in 0..2u32 {
+            let work = ComponentDescriptor::builder(&format!("work{cpu}"))
+                .periodic(1000, cpu, 3)
+                .cpu_usage(0.1)
+                .build()
+                .unwrap();
+            let boom = ComponentDescriptor::builder(&format!("boom{cpu}"))
+                .periodic(1000, cpu, 2)
+                .cpu_usage(0.1)
+                .build()
+                .unwrap();
+            bridge = bridge
+                .component(work, || {
+                    Box::new(FnBody(|ctx: &mut TaskCtx<'_>| {
+                        ctx.compute(SimDuration::from_micros(20));
+                    }))
+                })
+                .component(boom, || {
+                    Box::new(FnBody(|ctx: &mut TaskCtx<'_>| {
+                        if ctx.cycle() == 3 {
+                            panic!("boom at cycle 3");
+                        }
+                    }))
+                });
+        }
+        bridge.build().unwrap()
+    };
+    let executors: Vec<Box<dyn Executor>> = vec![
+        Box::new(DeterministicExecutor),
+        Box::new(ParallelExecutor::new(2)),
+        executor_from_env(),
+    ];
+    for executor in executors {
+        let outcome = executor
+            .run(&build(), SimDuration::from_millis(20))
+            .unwrap();
+        for cpu in 0..2u32 {
+            let boom = outcome.task(&format!("boom{cpu}")).unwrap();
+            assert_eq!(boom.state, TaskState::Faulted, "{}", executor.name());
+            assert_eq!(boom.faults, 1, "{}", executor.name());
+            // Containment: the sibling on the same CPU never missed a
+            // beat despite the panic in a higher-priority neighbour.
+            let work = outcome.task(&format!("work{cpu}")).unwrap();
+            assert!(
+                work.cycles >= 19,
+                "{}: work{cpu} starved at {} cycles",
+                executor.name(),
+                work.cycles
+            );
+            assert_eq!(work.faults, 0);
+        }
+        assert_eq!(outcome.counters.faults, 2, "{}", executor.name());
+    }
+}
+
+#[test]
+fn undo_journal_rolls_back_partial_writes_under_every_executor() {
+    // The producer publishes its cycle number to SHM and a mailbox every
+    // clean cycle; on cycle 5 it writes/sends poison and panics. The
+    // undo journal must roll the poisoned cycle back on every executor:
+    // the SHM cell still holds the last *clean* value and the consumer
+    // tallies only clean messages.
+    let build = || {
+        let prod = ComponentDescriptor::builder("prod")
+            .periodic(1000, 0, 2)
+            .cpu_usage(0.2)
+            .outport("cell", PortInterface::Shm, DataType::Byte, 8)
+            .outport("post", PortInterface::Mailbox, DataType::Byte, 64)
+            .build()
+            .unwrap();
+        let sink = ComponentDescriptor::builder("sink")
+            .aperiodic(0, 3)
+            .cpu_usage(0.1)
+            .inport("post", PortInterface::Mailbox, DataType::Byte, 64)
+            .outport("sum", PortInterface::Shm, DataType::Byte, 16)
+            .build()
+            .unwrap();
+        FleetBridge::new(1, 402)
+            .component(prod, || {
+                Box::new(FnBody(|ctx: &mut TaskCtx<'_>| {
+                    let c = ctx.cycle();
+                    if c == 5 {
+                        ctx.shm_write("cell", &u64::MAX.to_le_bytes()).unwrap();
+                        let _ = ctx.mailbox_send("post", &u64::MAX.to_le_bytes());
+                        panic!("poisoned cycle");
+                    }
+                    ctx.shm_write("cell", &c.to_le_bytes()).unwrap();
+                    let _ = ctx.mailbox_send("post", &c.to_le_bytes());
+                }))
+            })
+            .component(sink, || {
+                let mut total: u64 = 0;
+                let mut count: u64 = 0;
+                Box::new(FnBody(move |ctx: &mut TaskCtx<'_>| {
+                    while let Ok(Some(msg)) = ctx.mailbox_recv("post") {
+                        total += u64::from_le_bytes(msg[..8].try_into().unwrap());
+                        count += 1;
+                    }
+                    let mut out = [0u8; 16];
+                    out[..8].copy_from_slice(&total.to_le_bytes());
+                    out[8..].copy_from_slice(&count.to_le_bytes());
+                    ctx.shm_write("sum", &out).unwrap();
+                }))
+            })
+            .build()
+            .unwrap()
+    };
+    let executors: Vec<Box<dyn Executor>> = vec![
+        Box::new(DeterministicExecutor),
+        Box::new(ParallelExecutor::new(1)),
+        executor_from_env(),
+    ];
+    for executor in executors {
+        let outcome = executor
+            .run(&build(), SimDuration::from_millis(20))
+            .unwrap();
+        let prod = outcome.task("prod").unwrap();
+        assert_eq!(prod.state, TaskState::Faulted, "{}", executor.name());
+        assert_eq!(prod.faults, 1, "{}", executor.name());
+        let shm = |name: &str| {
+            outcome
+                .shm
+                .iter()
+                .find(|p| p.name == name)
+                .unwrap_or_else(|| panic!("{}: no shm `{name}`", executor.name()))
+                .bytes
+                .clone()
+        };
+        // The poisoned write was rolled back: the cell holds the last
+        // clean cycle number, not u64::MAX.
+        let cell = u64::from_le_bytes(shm("cell")[..8].try_into().unwrap());
+        assert_eq!(cell, 4, "{}: poisoned SHM write survived", executor.name());
+        // The poisoned send was rolled back too: the consumer saw the 5
+        // clean messages (0+1+2+3+4 = 10) and nothing else.
+        let sum = shm("sum");
+        let total = u64::from_le_bytes(sum[..8].try_into().unwrap());
+        let count = u64::from_le_bytes(sum[8..16].try_into().unwrap());
+        assert_eq!(count, 5, "{}: poisoned send delivered", executor.name());
+        assert_eq!(total, 10, "{}: tally off", executor.name());
+    }
+}
