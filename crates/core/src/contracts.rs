@@ -1,0 +1,672 @@
+//! Stochastic contract monitoring with learned admission claims.
+//!
+//! The deterministic [`crate::enforce::ContractMonitor`] judges a single
+//! utilization window against `claimed × tolerance` — a point verdict that
+//! is both noisy (one bad window convicts) and blind (a component that
+//! over-declared its `cpuusage` is never corrected, so the capacity it
+//! reserved but does not use stays stranded in the admission ledger).
+//! This module closes both gaps with an *online estimator* per component:
+//!
+//! * **Estimation** — [`UsageEstimator`] folds the kernel's per-task
+//!   `(cycles, cpu_time)` accounting into a fixed-bucket histogram of
+//!   per-cycle cost fractions. Every input is virtual-time/counter
+//!   derived, so two seeded runs advance the estimator identically and
+//!   replay stays byte-identical.
+//! * **Probabilistic verdicts** — instead of one window ratio, the monitor
+//!   tracks the *rate* of over-claim cycles and convicts only when a
+//!   one-sided Hoeffding bound puts the true rate above `p_max` with
+//!   confidence `1 − delta`:
+//!   `p̂ − sqrt(ln(1/δ) / 2n) > p_max`. A pure function of counts — no
+//!   clock, no randomness.
+//! * **Claim refinement** — once enough cycles are observed and the
+//!   component is *not* in violation, a conservative quantile of the
+//!   measured cost (upper bucket edge × safety margin) is published as a
+//!   refined claim through [`crate::runtime::DrtRuntime::refine_claim`],
+//!   which re-runs admission via [`crate::resolve::Resolver::on_contract_changed`].
+//!   Over-declarers hand back their stranded capacity; peers that were
+//!   rejected against the inflated claim re-admit.
+//!
+//! Under-declarers take the other exit: a stochastic violation routes
+//! through the supervise policy path ([`crate::drcr::Drcr::quarantine_reason`]
+//! keeps the typed evidence) exactly like a fault-storm quarantine, so
+//! enforcement and supervision stay one vocabulary.
+
+use crate::error::DrcrError;
+use crate::lifecycle::ComponentState;
+use crate::obs::DrcrEvent;
+use crate::runtime::DrtRuntime;
+use rtos::time::SimDuration;
+use std::collections::HashMap;
+
+/// Tuning for the estimator and the refinement loop.
+#[derive(Debug, Clone)]
+pub struct LearningConfig {
+    /// Histogram resolution over the fraction domain `[0, 1]`.
+    pub buckets: usize,
+    /// Cost quantile published as the refined claim (upper bucket edge).
+    pub quantile: f64,
+    /// Safety multiplier applied on top of the quantile.
+    pub margin: f64,
+    /// Cycles observed before a refinement may be published.
+    pub min_samples: u64,
+    /// Publish only when `refined < declared × refine_ratio` — hysteresis
+    /// against churn from marginal improvements.
+    pub refine_ratio: f64,
+    /// Tolerated true rate of over-claim cycles.
+    pub p_max: f64,
+    /// One-sided confidence parameter: convict only when the bound holds
+    /// with probability ≥ `1 − delta`.
+    pub delta: f64,
+    /// Quarantine violators through the supervise path (else verdicts are
+    /// only recorded and reported).
+    pub quarantine: bool,
+}
+
+impl Default for LearningConfig {
+    fn default() -> Self {
+        LearningConfig {
+            buckets: 64,
+            quantile: 0.99,
+            margin: 1.10,
+            min_samples: 256,
+            refine_ratio: 0.90,
+            p_max: 0.05,
+            delta: 1e-9,
+            quarantine: true,
+        }
+    }
+}
+
+/// Online per-component execution-cost estimator: a fixed-bucket histogram
+/// over per-cycle cost fractions plus over-claim rate counters. All state
+/// advances on kernel counters (virtual time), never the host clock.
+#[derive(Debug, Clone)]
+pub struct UsageEstimator {
+    /// Cycle counts per fraction bucket; bucket `i` covers
+    /// `[i/n, (i+1)/n)` of the component's period.
+    counts: Vec<u64>,
+    /// Cycles whose cost fraction reached or exceeded 1.0.
+    overflow: u64,
+    /// Total cycles folded into the histogram.
+    total: u64,
+    /// Cycles judged against the current claim (rebased on claim change).
+    checked: u64,
+    /// Of those, cycles whose cost exceeded the claim.
+    over: u64,
+    /// Last `(task_cycles, task_cpu_time)` reading, or `None` after a
+    /// lifecycle reset (fresh task ⇒ fresh accounting).
+    baseline: Option<(u64, SimDuration)>,
+    /// The claim the rate counters are judged against.
+    claimed: f64,
+}
+
+impl UsageEstimator {
+    fn new(buckets: usize, claimed: f64) -> Self {
+        UsageEstimator {
+            counts: vec![0; buckets.max(1)],
+            overflow: 0,
+            total: 0,
+            checked: 0,
+            over: 0,
+            baseline: None,
+            claimed,
+        }
+    }
+
+    /// Folds `weight` cycles of mean per-cycle cost `fraction` into the
+    /// histogram and the over-claim counters.
+    pub fn observe(&mut self, fraction: f64, weight: u64) {
+        if !fraction.is_finite() || fraction < 0.0 || weight == 0 {
+            return;
+        }
+        let n = self.counts.len();
+        if fraction >= 1.0 {
+            self.overflow += weight;
+        } else {
+            let idx = ((fraction * n as f64) as usize).min(n - 1);
+            self.counts[idx] += weight;
+        }
+        self.total += weight;
+        self.checked += weight;
+        if fraction > self.claimed {
+            self.over += weight;
+        }
+    }
+
+    /// Total cycles observed.
+    pub fn samples(&self) -> u64 {
+        self.total
+    }
+
+    /// Observed over-claim cycle rate `p̂` (0 when nothing was checked).
+    pub fn over_rate(&self) -> f64 {
+        if self.checked == 0 {
+            0.0
+        } else {
+            self.over as f64 / self.checked as f64
+        }
+    }
+
+    /// One-sided Hoeffding lower confidence bound on the true over-claim
+    /// rate: `max(0, p̂ − sqrt(ln(1/δ) / 2n))`. Deterministic in the
+    /// counts.
+    pub fn rate_lower_bound(&self, delta: f64) -> f64 {
+        if self.checked == 0 {
+            return 0.0;
+        }
+        let slack = ((1.0 / delta).ln() / (2.0 * self.checked as f64)).sqrt();
+        (self.over_rate() - slack).max(0.0)
+    }
+
+    /// Conservative cost quantile: the *upper* edge of the bucket where
+    /// the cumulative count reaches `q × total` (1.0 if it lands in the
+    /// overflow bucket). Never under-reports the true quantile by more
+    /// than zero and over-reports by at most one bucket width.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let n = self.counts.len();
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return (i + 1) as f64 / n as f64;
+            }
+        }
+        1.0
+    }
+
+    /// Restarts over-claim accounting against a new claim (after a
+    /// refinement or an operator contract change). The learned cost
+    /// histogram is kept — the component's demand did not change, only
+    /// the yardstick.
+    fn rebase(&mut self, claimed: f64) {
+        self.claimed = claimed;
+        self.checked = 0;
+        self.over = 0;
+    }
+}
+
+/// One outcome from a [`StochasticMonitor::poll`] sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContractOutcome {
+    /// A refined (measured) claim was published and re-admitted.
+    Refined {
+        /// The component whose claim was rewritten.
+        component: String,
+        /// The claim it declared before refinement.
+        declared: f64,
+        /// The published measured claim.
+        refined: f64,
+        /// Cycles the estimate is based on.
+        samples: u64,
+    },
+    /// The over-claim rate is above `p_max` with high confidence.
+    Violation {
+        /// The convicted component.
+        component: String,
+        /// The claim it was judged against.
+        claimed: f64,
+        /// Observed over-claim cycle rate `p̂`.
+        observed_rate: f64,
+        /// Hoeffding lower bound on the true rate.
+        rate_lower_bound: f64,
+        /// Cycles the verdict is based on.
+        samples: u64,
+    },
+}
+
+/// Periodic stochastic contract checker. Create once, call
+/// [`StochasticMonitor::poll`] from the management loop; it learns,
+/// convicts, and refines as evidence accumulates.
+#[derive(Debug)]
+pub struct StochasticMonitor {
+    config: LearningConfig,
+    estimators: HashMap<String, UsageEstimator>,
+    /// Components already convicted (no double conviction until rebased).
+    flagged: HashMap<String, bool>,
+    /// Transition-log entries already scanned for baseline resets.
+    transitions_seen: usize,
+    outcomes: Vec<ContractOutcome>,
+}
+
+impl StochasticMonitor {
+    /// Creates a monitor with the given tuning.
+    pub fn new(config: LearningConfig) -> Self {
+        StochasticMonitor {
+            config,
+            estimators: HashMap::new(),
+            flagged: HashMap::new(),
+            transitions_seen: 0,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// The tuning in force.
+    pub fn config(&self) -> &LearningConfig {
+        &self.config
+    }
+
+    /// Every refinement and violation produced so far, in order.
+    pub fn outcomes(&self) -> &[ContractOutcome] {
+        &self.outcomes
+    }
+
+    /// The estimator for one component, if any cycles were observed.
+    pub fn estimator(&self, name: &str) -> Option<&UsageEstimator> {
+        self.estimators.get(name)
+    }
+
+    /// Samples every active periodic component's kernel accounting,
+    /// advances its estimator, and applies verdicts: quarantine for
+    /// high-confidence under-declarers, claim refinement for measured
+    /// over-declarers. Returns the outcomes produced this sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DrcrError`] from applied actions.
+    pub fn poll(&mut self, rt: &mut DrtRuntime) -> Result<Vec<ContractOutcome>, DrcrError> {
+        // Any transition into Active means a fresh task instance with
+        // fresh CPU accounting: drop the counter baseline (the learned
+        // histogram survives — it describes the component, not the task).
+        {
+            let drcr = rt.drcr();
+            let transitions = drcr.transitions();
+            for t in &transitions[self.transitions_seen.min(transitions.len())..] {
+                if t.to == ComponentState::Active {
+                    if let Some(est) = self.estimators.get_mut(&t.component) {
+                        est.baseline = None;
+                    }
+                }
+            }
+            self.transitions_seen = transitions.len();
+        }
+        let names = rt.drcr().component_names();
+        let view = rt.drcr().system_view();
+        let mut fresh = Vec::new();
+        for name in names {
+            if rt.component_state(&name) != Some(ComponentState::Active) {
+                if let Some(est) = self.estimators.get_mut(&name) {
+                    est.baseline = None;
+                }
+                continue;
+            }
+            let Some(task) = rt.drcr().task_of(&name) else {
+                continue;
+            };
+            let Some(info) = view.component(&name) else {
+                continue;
+            };
+            // Aperiodic components have no per-cycle cost model to learn.
+            let Some(period_ns) = info.period_ns.filter(|&p| p > 0) else {
+                continue;
+            };
+            let claimed = info.cpu_usage;
+            let (cycles, cpu_time) = {
+                let kernel = rt.kernel();
+                match (kernel.task_cycles(task), kernel.task_cpu_time(task)) {
+                    (Some(c), Some(t)) => (c, t),
+                    _ => continue,
+                }
+            };
+            let est = self
+                .estimators
+                .entry(name.clone())
+                .or_insert_with(|| UsageEstimator::new(self.config.buckets, claimed));
+            if est.claimed != claimed {
+                // The yardstick moved (refinement round-trip or operator
+                // change): restart rate accounting and allow reconviction.
+                est.rebase(claimed);
+                self.flagged.remove(&name);
+            }
+            let Some((c0, t0)) = est.baseline else {
+                est.baseline = Some((cycles, cpu_time));
+                continue;
+            };
+            let dc = cycles.saturating_sub(c0);
+            if dc == 0 {
+                continue;
+            }
+            let dt = cpu_time.saturating_sub(t0);
+            est.baseline = Some((cycles, cpu_time));
+            let fraction = dt.as_nanos() as f64 / dc as f64 / period_ns as f64;
+            est.observe(fraction, dc);
+
+            // Verdict first: a component convicted of under-declaring must
+            // not also publish a refined (inflated) claim.
+            let observed_rate = est.over_rate();
+            let lower = est.rate_lower_bound(self.config.delta);
+            let samples = est.checked;
+            if lower > self.config.p_max && !self.flagged.get(&name).copied().unwrap_or(false) {
+                self.flagged.insert(name.clone(), true);
+                rt.drcr_mut().note(DrcrEvent::StochasticViolation {
+                    component: name.clone(),
+                    claimed,
+                    observed_rate,
+                    rate_lower_bound: lower,
+                    samples,
+                });
+                let outcome = ContractOutcome::Violation {
+                    component: name.clone(),
+                    claimed,
+                    observed_rate,
+                    rate_lower_bound: lower,
+                    samples,
+                };
+                if self.config.quarantine {
+                    rt.quarantine_component(
+                        &name,
+                        &format!(
+                            "stochastic contract violation: over-budget cycle rate \
+                             {observed_rate:.3} (lower bound {lower:.3} > tolerated \
+                             {:.3}, {samples} cycles) against claim {claimed:.3}",
+                            self.config.p_max
+                        ),
+                    )?;
+                }
+                self.outcomes.push(outcome.clone());
+                fresh.push(outcome);
+                continue;
+            }
+
+            // Refinement: enough evidence, not in violation, and the
+            // measured claim is meaningfully below the declared one.
+            if est.total >= self.config.min_samples {
+                let refined =
+                    (est.quantile(self.config.quantile) * self.config.margin).clamp(0.001, 1.0);
+                let total = est.total;
+                if refined < claimed * self.config.refine_ratio {
+                    rt.refine_claim(&name, refined, total)?;
+                    let outcome = ContractOutcome::Refined {
+                        component: name.clone(),
+                        declared: claimed,
+                        refined,
+                        samples: total,
+                    };
+                    self.outcomes.push(outcome.clone());
+                    fresh.push(outcome);
+                }
+            }
+        }
+        Ok(fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::ComponentDescriptor;
+    use crate::drcr::ComponentProvider;
+    use crate::faults::{FaultInjector, FaultPlan, InjectionLog};
+    use crate::hybrid::{FnLogic, RtIo};
+    use rtos::kernel::KernelConfig;
+    use rtos::latency::TimerJitterModel;
+
+    fn runtime() -> DrtRuntime {
+        DrtRuntime::new(KernelConfig::new(31).with_timer(TimerJitterModel::ideal()))
+    }
+
+    /// Claims `claim` of a 10 ms period at `priority`, burns `burn_us` µs
+    /// per cycle.
+    fn steady(name: &str, claim: f64, priority: u8, burn_us: u64) -> ComponentProvider {
+        let d = ComponentDescriptor::builder(name)
+            .periodic(100, 0, priority)
+            .cpu_usage(claim)
+            .build()
+            .unwrap();
+        ComponentProvider::new(d, move || {
+            Box::new(FnLogic(move |io: &mut RtIo<'_, '_>| {
+                io.compute(SimDuration::from_micros(burn_us));
+            }))
+        })
+    }
+
+    fn fast_config() -> LearningConfig {
+        LearningConfig {
+            min_samples: 50,
+            ..LearningConfig::default()
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_take_the_conservative_upper_edge() {
+        let mut est = UsageEstimator::new(10, 0.5);
+        // 90 cycles at ~0.25, 10 cycles at ~0.85.
+        est.observe(0.25, 90);
+        est.observe(0.85, 10);
+        assert_eq!(est.samples(), 100);
+        // p50 lands in the 0.25 bucket [0.2, 0.3): upper edge 0.3.
+        assert_eq!(est.quantile(0.5), 0.3);
+        // p99 lands in the 0.85 bucket [0.8, 0.9): upper edge 0.9.
+        assert_eq!(est.quantile(0.99), 0.9);
+        // Saturated costs pin the quantile to 1.0.
+        est.observe(1.7, 1000);
+        assert_eq!(est.quantile(0.99), 1.0);
+    }
+
+    #[test]
+    fn hoeffding_bound_needs_evidence_before_convicting() {
+        let delta = 1e-9;
+        let mut est = UsageEstimator::new(10, 0.1);
+        // One over-claim cycle: p̂ = 1 but the bound stays at 0 — a single
+        // sample cannot convict at 1−δ confidence.
+        est.observe(0.5, 1);
+        assert_eq!(est.over_rate(), 1.0);
+        assert_eq!(est.rate_lower_bound(delta), 0.0);
+        // 1000 consistently-over cycles leave no doubt.
+        est.observe(0.5, 999);
+        assert!(est.rate_lower_bound(delta) > 0.85);
+        // The bound is monotone in n for a fixed p̂.
+        let at_1000 = est.rate_lower_bound(delta);
+        est.observe(0.5, 9000);
+        assert!(est.rate_lower_bound(delta) > at_1000);
+    }
+
+    #[test]
+    fn honest_components_are_neither_convicted_nor_refined() {
+        let mut rt = runtime();
+        // Claims 0.10, burns 0.095 — honest, and too close to the claim
+        // for the hysteresis to bother republishing.
+        rt.install_component("demo.ok", steady("ok", 0.10, 2, 950))
+            .unwrap();
+        let mut mon = StochasticMonitor::new(fast_config());
+        for _ in 0..12 {
+            rt.advance(SimDuration::from_millis(100));
+            assert!(mon.poll(&mut rt).unwrap().is_empty());
+        }
+        assert_eq!(rt.component_state("ok"), Some(ComponentState::Active));
+        assert_eq!(mon.estimator("ok").unwrap().over_rate(), 0.0);
+        assert!(mon.estimator("ok").unwrap().samples() > 100);
+    }
+
+    #[test]
+    fn over_declarer_gets_its_claim_refined_and_frees_peer_capacity() {
+        let mut rt = runtime();
+        // Claims 70% of the CPU, really uses ~10%.
+        rt.install_component("demo.hog", steady("hog", 0.70, 2, 1000))
+            .unwrap();
+        // The peer's 35% cannot co-exist with a declared 70%: rejected.
+        rt.install_component("demo.peer", steady("peer", 0.35, 3, 3000))
+            .unwrap();
+        assert_eq!(rt.component_state("hog"), Some(ComponentState::Active));
+        assert_eq!(
+            rt.component_state("peer"),
+            Some(ComponentState::Unsatisfied),
+            "peer must be stranded behind the inflated claim"
+        );
+        let mut mon = StochasticMonitor::new(fast_config());
+        let mut refined = None;
+        for _ in 0..12 {
+            rt.advance(SimDuration::from_millis(100));
+            for outcome in mon.poll(&mut rt).unwrap() {
+                if let ContractOutcome::Refined {
+                    component,
+                    declared,
+                    refined: r,
+                    samples,
+                } = outcome
+                {
+                    assert_eq!(component, "hog");
+                    assert_eq!(declared, 0.70);
+                    assert!(samples >= 50);
+                    refined = Some(r);
+                }
+            }
+            if refined.is_some() {
+                break;
+            }
+        }
+        let refined = refined.expect("no refinement published");
+        // Quantile upper edge of the 0.10 bucket (×1.1 margin) — measured,
+        // conservative, far below the declaration.
+        assert!(refined > 0.10 && refined < 0.20, "refined {refined}");
+        // The refinement round-trips through admission: the hog stays up
+        // on its measured claim and the stranded peer re-admits.
+        assert_eq!(rt.component_state("hog"), Some(ComponentState::Active));
+        assert_eq!(rt.component_state("peer"), Some(ComponentState::Active));
+        assert!(rt
+            .drcr()
+            .events_for("hog")
+            .any(|e| matches!(e.event, DrcrEvent::ClaimRefined { .. })));
+        // Refinement is one-shot under hysteresis: further polls stay
+        // quiet.
+        for _ in 0..5 {
+            rt.advance(SimDuration::from_millis(100));
+            assert!(mon.poll(&mut rt).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn under_declarer_is_quarantined_with_typed_evidence() {
+        let mut rt = runtime();
+        // Claims 5%, but a lying fault plan injects 1.5–2.5 ms of real
+        // demand into every 10 ms cycle (~20%).
+        let plan = std::rc::Rc::new(FaultPlan::lying(0xFEED, 10_000, (1_500_000, 2_500_000)));
+        let log = InjectionLog::shared();
+        let d = ComponentDescriptor::builder("sneak")
+            .periodic(100, 0, 2)
+            .cpu_usage(0.05)
+            .build()
+            .unwrap();
+        let provider = ComponentProvider::new(d, {
+            let (plan, log) = (plan.clone(), log.clone());
+            move || {
+                FaultInjector::wrap(
+                    plan.clone(),
+                    log.clone(),
+                    Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+                        io.compute(SimDuration::from_micros(100));
+                    })),
+                )
+            }
+        });
+        rt.install_component("demo.sneak", provider).unwrap();
+        rt.install_component("demo.ok", steady("ok", 0.10, 3, 900))
+            .unwrap();
+        let mut mon = StochasticMonitor::new(fast_config());
+        let mut violation = None;
+        for _ in 0..20 {
+            rt.advance(SimDuration::from_millis(100));
+            for outcome in mon.poll(&mut rt).unwrap() {
+                if let ContractOutcome::Violation { component, .. } = &outcome {
+                    assert_eq!(component, "sneak");
+                    violation = Some(outcome.clone());
+                }
+            }
+            if violation.is_some() {
+                break;
+            }
+        }
+        let Some(ContractOutcome::Violation {
+            claimed,
+            observed_rate,
+            rate_lower_bound,
+            samples,
+            ..
+        }) = violation
+        else {
+            panic!("under-declarer was never convicted");
+        };
+        assert_eq!(claimed, 0.05);
+        assert!(observed_rate > 0.9, "rate {observed_rate}");
+        assert!(rate_lower_bound > 0.05 && rate_lower_bound <= observed_rate);
+        assert!(samples >= 10);
+        // Quarantined through the supervise path, with the stochastic
+        // evidence recorded, and the honest peer untouched.
+        assert_eq!(rt.component_state("sneak"), Some(ComponentState::Disabled));
+        assert!(rt.drcr().is_quarantined("sneak"));
+        let reason = rt.drcr().quarantine_reason("sneak").unwrap().to_string();
+        assert!(reason.contains("stochastic contract violation"), "{reason}");
+        assert!(rt
+            .drcr()
+            .events_for("sneak")
+            .any(|e| matches!(e.event, DrcrEvent::StochasticViolation { .. })));
+        assert_eq!(rt.component_state("ok"), Some(ComponentState::Active));
+        // One conviction, not one per poll.
+        let convictions = mon
+            .outcomes()
+            .iter()
+            .filter(|o| matches!(o, ContractOutcome::Violation { .. }))
+            .count();
+        assert_eq!(convictions, 1);
+    }
+
+    #[test]
+    fn monitoring_and_refinement_replay_byte_identically() {
+        let run = || {
+            let mut rt = runtime();
+            rt.install_component("demo.hog", steady("hog", 0.60, 2, 1200))
+                .unwrap();
+            let plan = std::rc::Rc::new(FaultPlan::lying(0xBEEF, 10_000, (1_200_000, 2_200_000)));
+            let log = InjectionLog::shared();
+            let d = ComponentDescriptor::builder("sneak")
+                .periodic(100, 0, 3)
+                .cpu_usage(0.04)
+                .build()
+                .unwrap();
+            let provider = ComponentProvider::new(d, {
+                let (plan, log) = (plan.clone(), log.clone());
+                move || {
+                    FaultInjector::wrap(
+                        plan.clone(),
+                        log.clone(),
+                        Box::new(FnLogic(|io: &mut RtIo<'_, '_>| {
+                            io.compute(SimDuration::from_micros(50));
+                        })),
+                    )
+                }
+            });
+            rt.install_component("demo.sneak", provider).unwrap();
+            let mut mon = StochasticMonitor::new(fast_config());
+            for _ in 0..15 {
+                rt.advance(SimDuration::from_millis(100));
+                mon.poll(&mut rt).unwrap();
+            }
+            let events: Vec<String> = rt
+                .drcr()
+                .events()
+                .iter()
+                .map(|e| format!("{} {}", e.time, e.event))
+                .collect();
+            (events, mon.outcomes().to_vec())
+        };
+        let (events_a, outcomes_a) = run();
+        let (events_b, outcomes_b) = run();
+        assert_eq!(events_a, events_b, "event streams diverged across runs");
+        assert_eq!(outcomes_a, outcomes_b);
+        assert!(
+            outcomes_a
+                .iter()
+                .any(|o| matches!(o, ContractOutcome::Refined { .. })),
+            "scenario should exercise refinement"
+        );
+        assert!(
+            outcomes_a
+                .iter()
+                .any(|o| matches!(o, ContractOutcome::Violation { .. })),
+            "scenario should exercise conviction"
+        );
+    }
+}

@@ -28,7 +28,7 @@ use crate::lifecycle::{ComponentState, Transition};
 use crate::manage::{
     ManagementHandle, ManagementReply, RequestToken, RtComponentManagement, MANAGEMENT_SERVICE,
 };
-use crate::model::{PortInterface, PropertyValue, TaskSpec};
+use crate::model::{CpuUsage, PortInterface, PropertyValue, TaskSpec};
 use crate::obs::{
     BridgeEvent, DrcrEvent, EventSink, Histogram, MetricsRegistry, MetricsReport, Timestamped,
     TraceRing, TraceSubscriber,
@@ -369,6 +369,13 @@ impl Drcr {
     /// shows as [`ComponentState::Disabled`]; re-enable clears it).
     pub fn is_quarantined(&self, name: &str) -> bool {
         self.supervisor.is_quarantined(name)
+    }
+
+    /// The recorded cause of a quarantine, while one is in force — the
+    /// typed evidence behind the verdict (fault policy, enforcement action
+    /// or stochastic-contract violation).
+    pub fn quarantine_reason(&self, name: &str) -> Option<&str> {
+        self.supervisor.quarantine_reason(name)
     }
 
     // ------------------------------------------------------------------
@@ -792,6 +799,87 @@ impl Drcr {
         Ok(())
     }
 
+    /// Re-writes a component's CPU claim to a *measured* value — the
+    /// stochastic-contract refinement loop (see [`crate::contracts`]).
+    ///
+    /// Like a mode switch, the rewrite is a reconfiguration epoch: a
+    /// running component is deactivated and re-admitted on the next
+    /// resolve pass against the refined claim, so the refinement goes
+    /// through the same admission gate as a fresh deployment. Unlike a
+    /// mode switch, only `cpuusage` changes; frequency, priority and ports
+    /// stay as declared. The *base* descriptor is untouched: a later mode
+    /// switch re-derives from the pristine registered contract and
+    /// overrides any refinement (the estimator simply re-learns under the
+    /// new mode).
+    ///
+    /// `samples` is the evidence size recorded in the
+    /// [`DrcrEvent::ClaimRefined`] event.
+    ///
+    /// # Errors
+    ///
+    /// [`DrcrError::NoSuchComponent`] for unknown components,
+    /// [`DrcrError::Management`] for invalid claims.
+    pub fn refine_claim(
+        &mut self,
+        name: &str,
+        refined: f64,
+        samples: u64,
+        fw: &mut Framework,
+    ) -> Result<(), DrcrError> {
+        let rec = self
+            .components
+            .get(name)
+            .ok_or_else(|| DrcrError::NoSuchComponent(name.to_string()))?;
+        let refined_claim = CpuUsage::new(refined)
+            .map_err(|e| DrcrError::Management(format!("refined claim for `{name}`: {e}")))?;
+        let declared = rec.descriptor.cpu_usage.fraction();
+        if declared == refined {
+            return Ok(());
+        }
+        let was_running = rec.state.holds_admission();
+        if was_running {
+            self.deactivate(
+                name,
+                fw,
+                ComponentState::Unsatisfied,
+                &format!("claim refinement to {refined:.3}"),
+            )?;
+        }
+        let rec = self.components.get_mut(name).expect("present");
+        rec.descriptor.cpu_usage = refined_claim;
+        let descriptor = rec.descriptor.clone();
+        // The contract node changed: drop this component's memoized wiring
+        // and admission results, and invalidate the CPU's admission epoch
+        // so peers' memoized rejections are re-evaluated against the
+        // reclaimed capacity.
+        self.resolver.on_contract_changed(name, &descriptor);
+        if !self.view_dirty {
+            match self.view_index.get(name).copied() {
+                Some(idx) => {
+                    let (key, rec) = self.components.get_key_value(name).expect("present");
+                    let info = ComponentInfo::from_contract_interned(
+                        key.clone(),
+                        rec.state,
+                        &rec.descriptor.task,
+                        rec.descriptor.cpu_usage.fraction(),
+                    );
+                    self.view_cache.replace_at(idx, info);
+                    self.metrics.count("drcr.view.updates", 1);
+                }
+                None => self.view_dirty = true,
+            }
+        }
+        self.note(DrcrEvent::ClaimRefined {
+            component: name.to_string(),
+            declared,
+            refined,
+            samples,
+        });
+        self.metrics.count("drcr.contracts.refinements", 1);
+        self.dirty = true;
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // The event-driven resolve loop
     // ------------------------------------------------------------------
@@ -888,6 +976,9 @@ impl Drcr {
                 FaultDecision::Quarantine { reason } => {
                     let reason = format!("fault ({cause}); {reason}");
                     let _ = self.deactivate(&name, fw, ComponentState::Disabled, &reason);
+                    // Upgrade the recorded evidence to include the fault
+                    // cause (on_fault stored only the policy verdict).
+                    self.supervisor.quarantine(&name, &reason);
                     self.note(DrcrEvent::Quarantined {
                         component: name.to_string(),
                         reason,
@@ -1964,7 +2055,7 @@ impl Drcr {
                 to: ComponentState::Disabled,
             });
         }
-        self.supervisor.quarantine(name);
+        self.supervisor.quarantine(name, reason);
         self.note(DrcrEvent::Quarantined {
             component: name.to_string(),
             reason: reason.to_string(),
@@ -2128,7 +2219,7 @@ impl Drcr {
 
     /// Emits an executive event stamped with current virtual time. Must not
     /// be called while the kernel is borrowed (use the sink directly there).
-    fn note(&mut self, event: DrcrEvent) {
+    pub(crate) fn note(&mut self, event: DrcrEvent) {
         let now = self.kernel.borrow().now();
         self.events.emit(now, event);
     }

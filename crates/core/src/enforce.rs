@@ -63,6 +63,15 @@ impl Default for EnforcementPolicy {
     }
 }
 
+impl EnforcementPolicy {
+    /// The violation predicate: `observed > claimed × tolerance`. The
+    /// boundary is inclusive — a component sitting *exactly* at its
+    /// tolerated ceiling is not in violation.
+    pub fn violates(&self, observed: f64, claimed: f64) -> bool {
+        observed > claimed * self.tolerance
+    }
+}
+
 /// One detected contract violation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
@@ -96,6 +105,8 @@ pub struct ContractMonitor {
     /// Per-component last sample: (time, accumulated CPU time).
     samples: HashMap<String, (SimTime, SimDuration)>,
     violations: Vec<Violation>,
+    /// Transition-log entries already scanned for baseline resets.
+    transitions_seen: usize,
 }
 
 impl ContractMonitor {
@@ -105,6 +116,7 @@ impl ContractMonitor {
             policy,
             samples: HashMap::new(),
             violations: Vec::new(),
+            transitions_seen: 0,
         }
     }
 
@@ -127,6 +139,20 @@ impl ContractMonitor {
     pub fn check(&mut self, rt: &mut DrtRuntime) -> Result<Vec<Violation>, DrcrError> {
         let now = rt.kernel().now();
         let mut fresh = Vec::new();
+        // A transition *into* Active means a fresh task instance (restart,
+        // resume, re-admission): its CPU accounting restarts at zero and
+        // the wall-clock gap it was away must not dilute the next window.
+        // Any baseline recorded before such a transition is stale.
+        {
+            let drcr = rt.drcr();
+            let transitions = drcr.transitions();
+            for t in &transitions[self.transitions_seen.min(transitions.len())..] {
+                if t.to == ComponentState::Active {
+                    self.samples.remove(&t.component);
+                }
+            }
+            self.transitions_seen = transitions.len();
+        }
         let names = rt.drcr().component_names();
         // One snapshot for the whole sweep: the claimed fractions it is
         // read for cannot change from the suspend/disable actions applied
@@ -137,13 +163,20 @@ impl ContractMonitor {
                 self.samples.remove(&name);
                 continue;
             }
-            let (task, claimed) = {
-                let drcr = rt.drcr();
-                let Some(task) = drcr.task_of(&name) else {
-                    continue;
-                };
-                let claimed = view.component(&name).map(|c| c.cpu_usage).unwrap_or(1.0);
-                (task, claimed)
+            let Some(task) = rt.drcr().task_of(&name) else {
+                continue;
+            };
+            let Some(claimed) = view.component(&name).map(|c| c.cpu_usage) else {
+                // A component absent from the view has no claim to judge
+                // against. Defaulting one in (the old `unwrap_or(1.0)`)
+                // would silently exempt it from enforcement; skip loudly
+                // instead.
+                rt.drcr_mut()
+                    .note(crate::obs::DrcrEvent::EnforcementSkipped {
+                        component: name.clone(),
+                        reason: "component missing from the system view; claim unknown".to_string(),
+                    });
+                continue;
             };
             let Some(cpu_time) = rt.kernel().task_cpu_time(task) else {
                 continue;
@@ -153,13 +186,16 @@ impl ContractMonitor {
                 continue;
             };
             let window = now.duration_since(t0);
-            if window < self.policy.min_window {
+            // The explicit zero check matters even when `min_window` is
+            // zero: a zero-width window would make `observed` 0/0 = NaN,
+            // which fails every comparison and silently waives the check.
+            if window.as_nanos() == 0 || window < self.policy.min_window {
                 continue;
             }
             let used = cpu_time.saturating_sub(cpu0);
             let observed = used.as_nanos() as f64 / window.as_nanos() as f64;
             self.samples.insert(name.clone(), (now, cpu_time));
-            if observed > claimed * self.policy.tolerance {
+            if self.policy.violates(observed, claimed) {
                 let violation = Violation {
                     component: name.clone(),
                     claimed,
@@ -311,5 +347,149 @@ mod tests {
         monitor.check(&mut rt).unwrap();
         rt.advance(SimDuration::from_millis(20)); // below min_window
         assert!(monitor.check(&mut rt).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tolerance_boundary_is_inclusive() {
+        let policy = EnforcementPolicy {
+            tolerance: 1.5,
+            ..EnforcementPolicy::default()
+        };
+        // 0.5 × 1.5 = 0.75 exactly in binary floating point, so the
+        // boundary itself is testable without rounding slop.
+        assert!(
+            !policy.violates(0.75, 0.5),
+            "observed == claimed × tolerance is not a violation"
+        );
+        assert!(
+            policy.violates(0.75 + f64::EPSILON, 0.5),
+            "epsilon above the ceiling is"
+        );
+        assert!(!policy.violates(0.74, 0.5));
+    }
+
+    /// Claims 10% of a 10 ms period and burns `burn_us` µs per cycle.
+    fn claimant(name: &str, burn_us: u64) -> ComponentProvider {
+        let d = ComponentDescriptor::builder(name)
+            .periodic(100, 0, 2)
+            .cpu_usage(0.10)
+            .build()
+            .unwrap();
+        ComponentProvider::new(d, move || {
+            Box::new(FnLogic(move |io: &mut RtIo<'_, '_>| {
+                io.compute(SimDuration::from_micros(burn_us));
+            }))
+        })
+    }
+
+    #[test]
+    fn just_under_the_tolerated_ceiling_is_not_flagged() {
+        // Ceiling = 0.10 × 1.2 = 0.12; burning 1.1 ms of every 10 ms
+        // lands at ~0.11 regardless of ±1 cycle of window skew.
+        let mut rt = runtime();
+        rt.install_component("demo.edge", claimant("edge", 1100))
+            .unwrap();
+        let mut monitor = ContractMonitor::new(EnforcementPolicy::default());
+        monitor.check(&mut rt).unwrap();
+        rt.advance(SimDuration::from_millis(505));
+        assert!(monitor.check(&mut rt).unwrap().is_empty());
+    }
+
+    #[test]
+    fn just_over_the_tolerated_ceiling_is_flagged() {
+        // Burning 1.35 ms of every 10 ms lands at ~0.135 > 0.12.
+        let mut rt = runtime();
+        rt.install_component("demo.over", claimant("over", 1350))
+            .unwrap();
+        let mut monitor = ContractMonitor::new(EnforcementPolicy::default());
+        monitor.check(&mut rt).unwrap();
+        rt.advance(SimDuration::from_millis(505));
+        let violations = monitor.check(&mut rt).unwrap();
+        assert_eq!(violations.len(), 1);
+        let v = &violations[0];
+        assert!(
+            v.observed > 0.12 && v.observed < 0.15,
+            "observed {}",
+            v.observed
+        );
+    }
+
+    #[test]
+    fn zero_width_windows_are_skipped_not_nan_judged() {
+        let mut rt = runtime();
+        rt.install_component("demo.liar", liar()).unwrap();
+        let mut monitor = ContractMonitor::new(EnforcementPolicy {
+            min_window: SimDuration::from_nanos(0),
+            ..EnforcementPolicy::default()
+        });
+        // Baseline.
+        monitor.check(&mut rt).unwrap();
+        // Same instant again: a zero-width window divides 0 by 0. The
+        // old code produced a NaN `observed` that failed every
+        // comparison and silently waived the check; now the sample is
+        // skipped outright.
+        assert!(monitor.check(&mut rt).unwrap().is_empty());
+        // The skip did not poison the baseline: the liar is still
+        // caught, with a finite observation.
+        rt.advance(SimDuration::from_millis(300));
+        let violations = monitor.check(&mut rt).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].observed.is_finite());
+        assert!(violations[0].observed > 0.4);
+    }
+
+    #[test]
+    fn restart_resets_sampling_baselines() {
+        use crate::supervise::SupervisionConfig;
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let mut rt = runtime();
+        let instances = Rc::new(Cell::new(0u32));
+        let d = ComponentDescriptor::builder("flaky")
+            .periodic(100, 0, 2)
+            .cpu_usage(0.10)
+            .build()
+            .unwrap();
+        let provider = ComponentProvider::new(d, {
+            let instances = instances.clone();
+            move || {
+                instances.set(instances.get() + 1);
+                let first = instances.get() == 1;
+                Box::new(FnLogic(move |io: &mut RtIo<'_, '_>| {
+                    io.compute(SimDuration::from_millis(2));
+                    if first && io.cycle() == 11 {
+                        panic!("transient fault");
+                    }
+                }))
+            }
+        });
+        rt.set_supervision("flaky", SupervisionConfig::immediate(3));
+        rt.install_component("demo.flaky", provider).unwrap();
+        let mut monitor = ContractMonitor::new(EnforcementPolicy::default());
+        rt.advance(SimDuration::from_millis(100));
+        // Baseline at t = 100 ms, taken against the first instance.
+        monitor.check(&mut rt).unwrap();
+        // The first instance dies at ~110 ms; this advance detects the
+        // fault and restarts a fresh task — with fresh CPU accounting —
+        // at ~150 ms, entirely *between* two monitor checks.
+        rt.advance(SimDuration::from_millis(50));
+        assert_eq!(rt.component_state("flaky"), Some(ComponentState::Active));
+        assert_eq!(instances.get(), 2);
+        rt.advance(SimDuration::from_millis(450));
+        // t = 600 ms: the pre-restart baseline must not be judged — its
+        // window straddles two task instances and a dead gap, which used
+        // to yield a contaminated verdict. The monitor re-baselines.
+        assert!(monitor.check(&mut rt).unwrap().is_empty());
+        rt.advance(SimDuration::from_millis(500));
+        // t = 1100 ms: a clean single-instance window, judged undiluted.
+        let violations = monitor.check(&mut rt).unwrap();
+        assert_eq!(violations.len(), 1);
+        let v = &violations[0];
+        assert_eq!(v.component, "flaky");
+        assert!(
+            v.observed > 0.19 && v.observed < 0.21,
+            "observed {} should reflect only the live instance",
+            v.observed
+        );
     }
 }

@@ -119,6 +119,24 @@ impl FaultPlan {
         plan
     }
 
+    /// Generates a "lying component" plan: a spike on *every* cycle with a
+    /// uniformly drawn magnitude in `demand_ns`, so the component's real
+    /// per-cycle demand is whatever the spikes say rather than what its
+    /// descriptor claims. Drive a component whose declared `cpuusage`
+    /// under- or over-states `demand_ns` to exercise the stochastic
+    /// contract monitor ([`crate::contracts`]). Same inputs, same plan —
+    /// always.
+    pub fn lying(seed: u64, horizon: u64, demand_ns: (u64, u64)) -> Self {
+        let mut rng = SimRng::from_seed(seed);
+        let mut plan = FaultPlan::new(seed);
+        for cycle in 0..horizon {
+            let extra =
+                SimDuration::from_nanos(rng.uniform_u64(demand_ns.0.max(1), demand_ns.1.max(2)));
+            plan = plan.at(cycle, FaultKind::Spike(extra));
+        }
+        plan
+    }
+
     /// The faults declared for one cycle.
     pub fn faults_at(&self, cycle: u64) -> &[FaultKind] {
         self.faults.get(&cycle).map_or(&[], |v| v.as_slice())
@@ -430,6 +448,24 @@ mod tests {
     fn zero_rates_inject_nothing() {
         let plan = FaultPlan::storm(1, 10_000, &StormRates::default());
         assert_eq!(plan.total(), 0);
+    }
+
+    #[test]
+    fn lying_plans_spike_every_cycle_deterministically() {
+        let a = FaultPlan::lying(0x11AB, 500, (200_000, 900_000));
+        let b = FaultPlan::lying(0x11AB, 500, (200_000, 900_000));
+        let c = FaultPlan::lying(0x11AC, 500, (200_000, 900_000));
+        assert_eq!(a.faults, b.faults);
+        assert_ne!(a.faults, c.faults);
+        assert_eq!(a.total(), 500, "one spike per cycle");
+        for cycle in 0..500 {
+            match a.faults_at(cycle) {
+                [FaultKind::Spike(d)] => {
+                    assert!((200_000..900_000).contains(&d.as_nanos()));
+                }
+                other => panic!("cycle {cycle}: expected one spike, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! | [`manage`] | §2.4 | the component management interface |
 //! | [`drcr`] | §2.2 | the executive: event-driven resolution, cascades |
 //! | [`enforce`] | §2.1/§5 | binding contracts: kernel budgets + violation monitor |
+//! | [`contracts`] | §2.1/§5 | stochastic contract monitors + learned claim refinement |
 //! | [`adapt`] | §2.4 | adaptation managers (load shedding, retuning) |
 //! | [`adl`] | §6 (future work) | validated assemblies with explicit connections |
 //! | [`parallel`] | §3/§6 | descriptor fleets on the parallel executor |
@@ -68,6 +69,7 @@
 pub mod adapt;
 pub mod adl;
 pub mod admission;
+pub mod contracts;
 pub mod descriptor;
 pub mod drcr;
 pub mod enforce;
@@ -93,6 +95,7 @@ pub use adapt::{
     AdaptationCommand, AdaptationManager, AdaptationPolicy, GracefulDegradation, LoadShedding,
 };
 pub use adl::{AdlError, Assembly, DeployedAssembly};
+pub use contracts::{ContractOutcome, LearningConfig, StochasticMonitor, UsageEstimator};
 pub use descriptor::{ComponentDescriptor, DescriptorBuilder};
 pub use drcr::{
     ComponentProvider, Drcr, ResolutionStrategy, COMPONENT_SERVICE, PROP_COMPONENT_NAME,

@@ -187,6 +187,46 @@ pub enum DrcrEvent {
         /// Why (fail-stop, budget exhausted, flap window, enforcement).
         reason: String,
     },
+    /// The contract monitor could not judge a component this round and
+    /// skipped it rather than silently exempting it (e.g. the component is
+    /// missing from the system view, so no claim is known).
+    EnforcementSkipped {
+        /// The component.
+        component: String,
+        /// Why the check could not run.
+        reason: String,
+    },
+    /// The stochastic contract estimator published a measured claim: the
+    /// component's contract was re-written from its declared `cpuusage` to
+    /// a quantile of its observed per-cycle demand, and the component is
+    /// re-admitted against the refined claim on the next resolve pass.
+    ClaimRefined {
+        /// The component.
+        component: String,
+        /// The claim previously in force.
+        declared: f64,
+        /// The measured claim substituted in.
+        refined: f64,
+        /// Cycles of evidence behind the refinement.
+        samples: u64,
+    },
+    /// A probabilistic contract violation: the lower confidence bound on
+    /// the component's per-cycle over-budget rate exceeds the tolerated
+    /// miss rate. This is the typed evidence behind a stochastic-monitor
+    /// quarantine — a verdict over the whole observed distribution, not a
+    /// single-window ratio.
+    StochasticViolation {
+        /// The component.
+        component: String,
+        /// Its declared CPU fraction.
+        claimed: f64,
+        /// Observed fraction of cycles over the per-cycle budget.
+        observed_rate: f64,
+        /// One-sided lower confidence bound on the true over-budget rate.
+        rate_lower_bound: f64,
+        /// Cycles of evidence behind the verdict.
+        samples: u64,
+    },
 }
 
 impl fmt::Display for DrcrEvent {
@@ -317,6 +357,28 @@ impl fmt::Display for DrcrEvent {
             DrcrEvent::Quarantined { component, reason } => {
                 write!(f, "quarantined `{component}`: {reason}")
             }
+            DrcrEvent::EnforcementSkipped { component, reason } => {
+                write!(f, "enforcement skipped `{component}`: {reason}")
+            }
+            DrcrEvent::ClaimRefined {
+                component,
+                declared,
+                refined,
+                samples,
+            } => write!(
+                f,
+                "`{component}` claim refined {declared:.3} -> {refined:.3} ({samples} cycles observed)"
+            ),
+            DrcrEvent::StochasticViolation {
+                component,
+                claimed,
+                observed_rate,
+                rate_lower_bound,
+                samples,
+            } => write!(
+                f,
+                "stochastic violation in `{component}`: over-budget rate {observed_rate:.3} (lower bound {rate_lower_bound:.3}, {samples} cycles) against claim {claimed:.3}"
+            ),
         }
     }
 }
@@ -339,7 +401,10 @@ impl DrcrEvent {
             | DrcrEvent::ComponentFault { component, .. }
             | DrcrEvent::RestartScheduled { component, .. }
             | DrcrEvent::RestartAttempt { component, .. }
-            | DrcrEvent::Quarantined { component, .. } => Some(component),
+            | DrcrEvent::Quarantined { component, .. }
+            | DrcrEvent::EnforcementSkipped { component, .. }
+            | DrcrEvent::ClaimRefined { component, .. }
+            | DrcrEvent::StochasticViolation { component, .. } => Some(component),
             _ => None,
         }
     }

@@ -233,11 +233,19 @@ impl Resolver for ReactiveResolver {
         }
     }
 
-    fn on_contract_changed(&mut self, name: &str, _descriptor: &ComponentDescriptor) {
-        // A mode substitutes frequency/claim/priority, never ports: the
-        // port index stays valid, but the component's own nodes do not.
+    fn on_contract_changed(&mut self, name: &str, descriptor: &ComponentDescriptor) {
+        // A mode or claim rewrite substitutes frequency/claim/priority,
+        // never ports: the port index stays valid, but the component's own
+        // nodes do not.
         self.wiring_memo.remove(name);
         self.admission_memo.remove(name);
+        // Contract rewrites change the CPU's capacity picture even while
+        // the component is inactive (a refined claim frees headroom a
+        // waiting peer was rejected against), so the CPU's admission epoch
+        // advances and peers' memoized rulings go stale. Conservative:
+        // memo misses only re-run analyses, decisions and event streams
+        // are unchanged.
+        *self.epochs.entry(descriptor.task.cpu()).or_insert(0) += 1;
     }
 
     fn sweep_next(&mut self, cursor: Option<&str>) -> Option<Rc<str>> {
@@ -615,6 +623,35 @@ mod tests {
         engine.on_contract_changed("disp", &c);
         assert!(engine.check_wiring(&c, &[]).evaluated);
         assert!(engine.admit(&cand, &view, true).evaluated);
+    }
+
+    #[test]
+    fn contract_change_bumps_the_cpu_admission_epoch_for_peers() {
+        // A claim rewrite frees (or consumes) capacity a *different*
+        // waiting component was last ruled against: its memoized ruling on
+        // the same CPU must go stale, while other CPUs are untouched.
+        let mut engine = ReactiveResolver::new(AdmissionPolicy::Service(Rc::new(
+            UtilizationResolver::default(),
+        )));
+        let peer0 = info("peer0", ComponentState::Unsatisfied, 0, 0.3);
+        let peer1 = info("peer1", ComponentState::Unsatisfied, 1, 0.3);
+        let view = SystemView::new(2, vec![peer0.clone(), peer1.clone()]);
+        engine.admit(&peer0, &view, true);
+        engine.admit(&peer1, &view, true);
+        assert!(!engine.admit(&peer0, &view, true).evaluated, "memo hit");
+        assert!(!engine.admit(&peer1, &view, true).evaluated, "memo hit");
+
+        // `hog` (CPU 0) gets its claim refined.
+        let hog = provider("hog"); // cpu 0 descriptor
+        engine.on_contract_changed("hog", &hog);
+        assert!(
+            engine.admit(&peer0, &view, true).evaluated,
+            "same-CPU peer ruling must be re-evaluated"
+        );
+        assert!(
+            !engine.admit(&peer1, &view, true).evaluated,
+            "other-CPU peer ruling survives"
+        );
     }
 
     #[test]

@@ -167,9 +167,13 @@ pub trait Resolver {
         to: ComponentState,
     );
 
-    /// A component's contract was re-written in place (mode switch; ports
-    /// are preserved, frequency/claim/priority may change). `descriptor` is
-    /// the rewritten contract.
+    /// A component's contract was re-written in place (mode switch, or a
+    /// claim refinement published by [`crate::contracts::StochasticMonitor`];
+    /// ports are preserved, frequency/claim/priority may change).
+    /// `descriptor` is the rewritten contract. A changed claim moves the
+    /// CPU's capacity arithmetic for *every* peer, so engines must also
+    /// invalidate the CPU's memoized admission verdicts — a refinement that
+    /// frees headroom must let previously rejected peers re-admit.
     fn on_contract_changed(&mut self, name: &str, descriptor: &ComponentDescriptor);
 
     /// The next component the deactivation sweep should re-check, strictly

@@ -233,17 +233,27 @@ impl RtaResolver {
 
         // Hypothetical set: admission holders on the CPU (already sorted by
         // priority, list order within ties) plus the candidate, placed last
-        // among its priority peers — it arrives last, FIFO.
-        let mut models: Vec<TaskModel> = view
+        // among its priority peers — it arrives last, FIFO. An existing
+        // claim the model cannot represent makes the whole set
+        // unanalysable: nothing is proven, so nothing is admitted.
+        let mut models: Vec<TaskModel> = Vec::new();
+        for c in view
             .admitted_sorted(cpu)
             .filter(|c| *c.name != *candidate.name)
-            .map(|c| self.model_of(c))
-            .collect();
+        {
+            match self.model_of(c) {
+                Ok(m) => models.push(m),
+                Err(why) => return inconclusive(cpu, why),
+            }
+        }
         let insert_at = models
             .iter()
             .position(|m| m.priority > candidate.priority)
             .unwrap_or(models.len());
-        models.insert(insert_at, self.model_of(candidate));
+        match self.model_of(candidate) {
+            Ok(m) => models.insert(insert_at, m),
+            Err(why) => return inconclusive(cpu, why),
+        }
 
         let mut wcrts = Vec::with_capacity(models.len());
         let mut reason = None;
@@ -255,7 +265,20 @@ impl RtaResolver {
                 .map(|(_, other)| (other.period_ns, other.wcet_ns))
                 .collect();
             let (wcrt_ns, ok) =
-                response_time(task.wcet_ns, self.params.blocking_ns, &hep, task.period_ns);
+                match response_time(task.wcet_ns, self.params.blocking_ns, &hep, task.period_ns) {
+                    Convergence::Converged(v) => (v, true),
+                    Convergence::Miss(v) => (v, false),
+                    Convergence::Inconclusive => {
+                        return inconclusive(
+                            cpu,
+                            format!(
+                            "response-time recurrence for `{}` on CPU {cpu} left the analysable \
+                             range (overflow or iteration budget exhausted)",
+                            task.name
+                        ),
+                        )
+                    }
+                };
             if !ok && reason.is_none() {
                 reason = Some(format!(
                     "RTA: `{}` would miss its deadline on CPU {cpu}: response {} ns > period {} ns",
@@ -364,15 +387,52 @@ impl RtaResolver {
         Some(analyses)
     }
 
-    fn model_of(&self, c: &ComponentInfo) -> TaskModel {
+    /// Builds the recurrence model for one task, or explains why the task
+    /// cannot be modelled. Existing components are validated too: a claim
+    /// that slipped past admission (or was mutated afterwards) must poison
+    /// the analysis as *inconclusive*, never silently saturate the `u64`
+    /// cast and produce a plausible-looking WCET.
+    fn model_of(&self, c: &ComponentInfo) -> Result<TaskModel, String> {
         let period_ns = c.period_ns.expect("periodic component");
-        let claim_ns = (c.cpu_usage * period_ns as f64).ceil() as u64;
-        TaskModel {
+        if !c.cpu_usage.is_finite() || c.cpu_usage <= 0.0 || c.cpu_usage > 1.0 {
+            return Err(format!(
+                "component `{}` carries an invalid cpuusage claim {} (must be finite, in (0, 1])",
+                c.name, c.cpu_usage
+            ));
+        }
+        let claim = (c.cpu_usage * period_ns as f64).ceil();
+        if !claim.is_finite() || claim < 0.0 || claim >= u64::MAX as f64 {
+            return Err(format!(
+                "claim of `{}` ({claim}) does not fit the analysis range",
+                c.name
+            ));
+        }
+        let wcet_ns = (claim as u64)
+            .checked_add(self.params.overhead_ns)
+            .ok_or_else(|| {
+                format!(
+                    "WCET of `{}` overflows once container overhead is charged",
+                    c.name
+                )
+            })?;
+        Ok(TaskModel {
             name: c.name.to_string(),
             priority: c.priority,
             period_ns,
-            wcet_ns: claim_ns + self.params.overhead_ns,
-        }
+            wcet_ns,
+        })
+    }
+}
+
+/// A typed "analysis inconclusive ⇒ inadmissible" rejection: the task set
+/// could not be analysed (invalid claim, arithmetic overflow, iteration
+/// budget), so schedulability is unproven and the candidate is rejected.
+fn inconclusive(cpu: u32, why: String) -> RtaAnalysis {
+    RtaAnalysis {
+        cpu,
+        schedulable: false,
+        wcrts: Vec::new(),
+        reason: Some(format!("RTA: analysis inconclusive, rejecting: {why}")),
     }
 }
 
@@ -395,31 +455,53 @@ impl ResolvingService for RtaResolver {
     }
 }
 
-/// The fixpoint iteration for one task. Returns the fixpoint and `true`,
-/// or, when the recurrence exceeds the deadline (or fails to converge),
-/// the first offending value and `false`.
-fn response_time(wcet: u64, blocking: u64, hep: &[(u64, u64)], deadline: u64) -> (u64, bool) {
+/// Outcome of the fixpoint iteration for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Convergence {
+    /// The recurrence converged within the deadline (the fixpoint).
+    Converged(u64),
+    /// The first recurrence value past the deadline (evidence, not a
+    /// fixpoint).
+    Miss(u64),
+    /// The recurrence left the range the analysis can reason about —
+    /// interference arithmetic overflowed, a value no longer fits `u64`,
+    /// or the iteration budget ran out before convergence. Nothing is
+    /// proven either way; the caller must treat the set as inadmissible
+    /// rather than report a clamped number as a response time.
+    Inconclusive,
+}
+
+/// The fixpoint iteration for one task. All interference arithmetic is
+/// checked: an overflow is an [`Convergence::Inconclusive`] verdict, never
+/// a silently clamped response time.
+fn response_time(wcet: u64, blocking: u64, hep: &[(u64, u64)], deadline: u64) -> Convergence {
     let base = blocking as u128 + wcet as u128;
     let mut r = base;
     for _ in 0..MAX_ITERS {
         if r > deadline as u128 {
-            return (clamp_u64(r), false);
+            return match u64::try_from(r) {
+                Ok(v) => Convergence::Miss(v),
+                Err(_) => Convergence::Inconclusive,
+            };
         }
         let mut next = base;
         for &(period, c) in hep {
             let jobs = r.div_ceil(period.max(1) as u128);
-            next += jobs * c as u128;
+            let Some(term) = jobs.checked_mul(c as u128) else {
+                return Convergence::Inconclusive;
+            };
+            let Some(sum) = next.checked_add(term) else {
+                return Convergence::Inconclusive;
+            };
+            next = sum;
         }
         if next == r {
-            return (clamp_u64(r), true);
+            // A fixpoint at or under the deadline always fits u64.
+            return Convergence::Converged(r as u64);
         }
         r = next;
     }
-    (clamp_u64(r), false)
-}
-
-fn clamp_u64(v: u128) -> u64 {
-    v.min(u64::MAX as u128) as u64
+    Convergence::Inconclusive
 }
 
 #[cfg(test)]
@@ -459,23 +541,85 @@ mod tests {
     fn textbook_recurrence_matches_hand_computation() {
         // C=2.2ms T=8ms under a C=3ms T=5ms interferer:
         // R0 = 2.2 -> 2.2 + 1*3 = 5.2 -> 2.2 + 2*3 = 8.2 > 8: miss.
-        let (r, ok) = response_time(2_200_000, 0, &[(5_000_000, 3_000_000)], 8_000_000);
-        assert!(!ok);
-        assert_eq!(r, 8_200_000);
+        let out = response_time(2_200_000, 0, &[(5_000_000, 3_000_000)], 8_000_000);
+        assert_eq!(out, Convergence::Miss(8_200_000));
         // C=2ms fits: R = 2 + 1*3 = 5 -> fixpoint.
-        let (r, ok) = response_time(2_000_000, 0, &[(5_000_000, 3_000_000)], 8_000_000);
-        assert!(ok);
-        assert_eq!(r, 5_000_000);
+        let out = response_time(2_000_000, 0, &[(5_000_000, 3_000_000)], 8_000_000);
+        assert_eq!(out, Convergence::Converged(5_000_000));
     }
 
     #[test]
     fn blocking_term_is_charged() {
         // Alone, C=5 fits a 10 deadline; with blocking 6 it does not.
-        let (_, ok) = response_time(5, 0, &[], 10);
-        assert!(ok);
-        let (r, ok) = response_time(5, 6, &[], 10);
-        assert!(!ok);
-        assert_eq!(r, 11);
+        assert_eq!(response_time(5, 0, &[], 10), Convergence::Converged(5));
+        assert_eq!(response_time(5, 6, &[], 10), Convergence::Miss(11));
+    }
+
+    #[test]
+    fn recurrence_converges_exactly_at_the_deadline() {
+        // R == deadline is schedulable (implicit deadline, inclusive).
+        assert_eq!(response_time(10, 0, &[], 10), Convergence::Converged(10));
+    }
+
+    #[test]
+    fn overflowing_recurrence_is_inconclusive_not_clamped() {
+        // base = blocking + wcet ≈ 2^65 no longer fits u64: the old code
+        // clamped this to u64::MAX and reported it as a miss "evidence"
+        // value; now the verdict is typed as inconclusive.
+        assert_eq!(
+            response_time(u64::MAX, u64::MAX, &[], 10),
+            Convergence::Inconclusive
+        );
+        // Interference product overflow inside the iteration.
+        assert_eq!(
+            response_time(u64::MAX, u64::MAX, &[(1, u64::MAX)], u64::MAX),
+            Convergence::Inconclusive
+        );
+    }
+
+    #[test]
+    fn invalid_existing_claim_poisons_the_analysis_typed() {
+        // The *candidate* is valid; an already-admitted component carries a
+        // NaN claim (slipped in through a mutated view). The old model
+        // builder saturated `NaN as u64` to 0 and analysed garbage; the
+        // analysis must now reject as inconclusive with a typed reason.
+        let mut sick = comp("sick", ComponentState::Active, 0.5, 1, 10);
+        sick.cpu_usage = f64::NAN;
+        let candidate = comp("ok", ComponentState::Unsatisfied, 0.1, 3, 10);
+        let view = SystemView::new(1, vec![sick, candidate.clone()]);
+        let rta = RtaResolver::default();
+        let analysis = rta.analyze(&candidate, &view);
+        assert!(!analysis.schedulable);
+        assert!(analysis.wcrts.is_empty());
+        let reason = analysis.reason.as_deref().unwrap();
+        assert!(reason.contains("inconclusive"), "{reason}");
+        assert!(reason.contains("`sick`"), "{reason}");
+        let d = rta.admit(&candidate, &view);
+        assert!(!d.is_admit());
+        assert!(d.to_string().contains("inconclusive"), "{d}");
+    }
+
+    #[test]
+    fn wcet_overhead_overflow_is_inconclusive() {
+        // A full-period claim at a period near u64::MAX overflows once the
+        // container overhead is added; the typed rejection names the task.
+        let candidate = ComponentInfo {
+            name: "huge".into(),
+            state: ComponentState::Unsatisfied,
+            cpu: 0,
+            cpu_usage: 1.0,
+            priority: 1,
+            period_ns: Some(u64::MAX),
+        };
+        let view = SystemView::new(1, vec![candidate.clone()]);
+        let rta = RtaResolver::default();
+        let analysis = rta.analyze(&candidate, &view);
+        assert!(!analysis.schedulable);
+        assert!(
+            analysis.reason.as_deref().unwrap().contains("inconclusive"),
+            "{:?}",
+            analysis.reason
+        );
     }
 
     #[test]

@@ -215,6 +215,26 @@ impl DrtRuntime {
         Ok(())
     }
 
+    /// Re-writes a component's CPU claim to a measured value and
+    /// re-resolves — the stochastic-contract refinement loop (see
+    /// [`crate::contracts`] and [`crate::drcr::Drcr::refine_claim`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DrcrError`] from the underlying contract rewrite.
+    pub fn refine_claim(
+        &mut self,
+        name: &str,
+        refined: f64,
+        samples: u64,
+    ) -> Result<(), DrcrError> {
+        self.drcr
+            .borrow_mut()
+            .refine_claim(name, refined, samples, &mut self.framework)?;
+        self.process();
+        Ok(())
+    }
+
     /// Installs and starts a bundle carrying one declarative component,
     /// then lets the DRCR resolve.
     ///

@@ -133,6 +133,9 @@ struct Entry {
     /// Pending backoff: (deadline, attempt number).
     hold: Option<(SimTime, u32)>,
     quarantined: bool,
+    /// Why the component sits in quarantine (typed evidence for audits;
+    /// `None` while not quarantined).
+    quarantine_reason: Option<String>,
 }
 
 /// Deterministic supervision bookkeeping for all components. See the
@@ -181,29 +184,29 @@ impl Supervisor {
                 }
             }
             if entry.fault_times.len() as u32 >= rule.max_faults {
+                let reason = format!(
+                    "{} faults within {} ns window",
+                    entry.fault_times.len(),
+                    rule.window.as_nanos()
+                );
                 entry.quarantined = true;
-                return FaultDecision::Quarantine {
-                    reason: format!(
-                        "{} faults within {} ns window",
-                        entry.fault_times.len(),
-                        rule.window.as_nanos()
-                    ),
-                };
+                entry.quarantine_reason = Some(reason.clone());
+                return FaultDecision::Quarantine { reason };
             }
         }
         match config.policy {
             RestartPolicy::Never => {
+                let reason = "restart policy Never".to_string();
                 entry.quarantined = true;
-                FaultDecision::Quarantine {
-                    reason: "restart policy Never".to_string(),
-                }
+                entry.quarantine_reason = Some(reason.clone());
+                FaultDecision::Quarantine { reason }
             }
             RestartPolicy::Immediate { max_restarts } => {
                 if entry.restarts >= max_restarts {
+                    let reason = format!("restart budget exhausted ({max_restarts})");
                     entry.quarantined = true;
-                    FaultDecision::Quarantine {
-                        reason: format!("restart budget exhausted ({max_restarts})"),
-                    }
+                    entry.quarantine_reason = Some(reason.clone());
+                    FaultDecision::Quarantine { reason }
                 } else {
                     entry.restarts += 1;
                     FaultDecision::Restart {
@@ -219,10 +222,10 @@ impl Supervisor {
                 max_restarts,
             } => {
                 if entry.restarts >= max_restarts {
+                    let reason = format!("restart budget exhausted ({max_restarts})");
                     entry.quarantined = true;
-                    FaultDecision::Quarantine {
-                        reason: format!("restart budget exhausted ({max_restarts})"),
-                    }
+                    entry.quarantine_reason = Some(reason.clone());
+                    FaultDecision::Quarantine { reason }
                 } else {
                     let mut delay_ns = initial.as_nanos().max(1);
                     let cap_ns = cap.as_nanos().max(1);
@@ -266,16 +269,25 @@ impl Supervisor {
     }
 
     /// Marks a component quarantined without a fault (the enforcement
-    /// path routes `Disable` actions here).
-    pub(crate) fn quarantine(&mut self, name: &str) {
+    /// path routes `Disable` actions here), recording why.
+    pub(crate) fn quarantine(&mut self, name: &str, reason: &str) {
         let entry = self.entries.entry(Rc::from(name)).or_default();
         entry.quarantined = true;
+        entry.quarantine_reason = Some(reason.to_string());
         entry.hold = None;
     }
 
     /// Whether the component sits in quarantine.
     pub(crate) fn is_quarantined(&self, name: &str) -> bool {
         self.entries.get(name).is_some_and(|e| e.quarantined)
+    }
+
+    /// The recorded cause of a quarantine, while one is in force.
+    pub(crate) fn quarantine_reason(&self, name: &str) -> Option<&str> {
+        self.entries
+            .get(name)
+            .filter(|e| e.quarantined)
+            .and_then(|e| e.quarantine_reason.as_deref())
     }
 
     /// Fresh slate on operator re-enable: counters, window and quarantine
@@ -286,6 +298,7 @@ impl Supervisor {
             entry.fault_times.clear();
             entry.hold = None;
             entry.quarantined = false;
+            entry.quarantine_reason = None;
         }
     }
 
@@ -405,6 +418,24 @@ mod tests {
                 "fault {i} should restart"
             );
         }
+    }
+
+    #[test]
+    fn quarantine_reason_is_recorded_and_cleared_on_reset() {
+        let mut s = Supervisor::new();
+        let name: Rc<str> = Rc::from("calc");
+        assert_eq!(s.quarantine_reason("calc"), None);
+        s.on_fault(&name, t(1));
+        assert_eq!(s.quarantine_reason("calc"), Some("restart policy Never"));
+        s.reset("calc");
+        assert_eq!(s.quarantine_reason("calc"), None);
+        // The direct (enforcement) path records its own evidence.
+        s.quarantine("calc", "stochastic violation: rate 0.4 > 0.05");
+        assert!(s.is_quarantined("calc"));
+        assert_eq!(
+            s.quarantine_reason("calc"),
+            Some("stochastic violation: rate 0.4 > 0.05")
+        );
     }
 
     #[test]

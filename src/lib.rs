@@ -30,8 +30,12 @@ pub use rtos;
 /// and its control surface, component building blocks, the typed
 /// observability layer, and the kernel configuration types.
 pub mod prelude {
+    pub use drcom::contracts::{
+        ContractOutcome, LearningConfig, StochasticMonitor, UsageEstimator,
+    };
     pub use drcom::descriptor::ComponentDescriptor;
     pub use drcom::drcr::{ComponentProvider, Drcr};
+    pub use drcom::enforce::{ContractMonitor, EnforcementAction, EnforcementPolicy, Violation};
     pub use drcom::faults::{
         FaultInjector, FaultKind, FaultPlan, InjectionLog, LinkRates, NodeFaultKind, NodeFaultPlan,
         StormRates,
